@@ -1,0 +1,48 @@
+"""ACCPART: the AccPart(I) fixpoint vs instance size.
+
+AccPart is the semantic yardstick of Theorems 1-3 (two instances with
+the same accessible part are plan-indistinguishable).  Series: fixpoint
+time and accessible-fact counts as instances grow, for a schema whose
+access graph needs several rounds to saturate.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.data.accessible_part import accessible_part
+from repro.scenarios import example2, referential_chain
+
+
+@pytest.mark.parametrize("size", [25, 100, 400])
+def test_accpart_example2(benchmark, size):
+    scenario = example2(directory_size=size)
+    instance = scenario.instance(0)
+
+    def run():
+        return accessible_part(scenario.schema, instance)
+
+    part = benchmark(run)
+    accessed = sum(
+        len(part.accessed_tuples(r.name))
+        for r in scenario.schema.relations
+    )
+    record(
+        benchmark,
+        rounds=part.rounds,
+        accessed=accessed,
+        values=len(part.accessible_values),
+    )
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_accpart_chain_rounds(benchmark, length):
+    """Longer access chains force more fixpoint rounds."""
+    scenario = referential_chain(length, chain_size=50)
+    instance = scenario.instance(0)
+
+    def run():
+        return accessible_part(scenario.schema, instance)
+
+    part = benchmark(run)
+    assert part.rounds >= length
+    record(benchmark, rounds=part.rounds)

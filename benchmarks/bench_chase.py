@@ -1,0 +1,59 @@
+"""CHASE: chase-engine throughput and accessible-schema overhead.
+
+Two series:
+
+* chase firings/time to saturate the accessible schema of the chain
+  family as the chain length L grows (the proof-relevant chase),
+* raw chase throughput on a wide fact base with full TGDs.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.chase.configuration import ChaseConfiguration
+from repro.chase.engine import chase_to_fixpoint
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import parse_tgd
+from repro.logic.terms import Constant, NullFactory
+from repro.planner.proof_to_plan import initial_configuration
+from repro.schema.accessible import AccessibleSchema, Variant
+from repro.scenarios import referential_chain
+
+
+@pytest.mark.parametrize("length", [1, 2, 4, 6, 8])
+def test_accessible_schema_saturation(benchmark, length):
+    scenario = referential_chain(length)
+    acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+
+    def saturate_initial():
+        return initial_configuration(
+            acc, scenario.query, NullFactory("b")
+        )
+
+    config, _ = benchmark(saturate_initial)
+    record(
+        benchmark,
+        rules=len(acc.rules),
+        facts=len(config),
+    )
+
+
+@pytest.mark.parametrize("rows", [50, 200, 800])
+def test_ground_chase_throughput(benchmark, rows):
+    rules = [
+        parse_tgd("R(x, y) -> S(y, x)"),
+        parse_tgd("S(x, y) & R(y, z) -> T(x, z)"),
+        parse_tgd("T(x, y) -> U(x)"),
+    ]
+
+    def build_and_chase():
+        config = ChaseConfiguration(
+            Atom("R", (Constant(f"a{i}"), Constant(f"a{(i * 7) % rows}")))
+            for i in range(rows)
+        )
+        result = chase_to_fixpoint(config, rules, NullFactory("t"))
+        return config, result
+
+    config, result = benchmark(build_and_chase)
+    assert result.reached_fixpoint
+    record(benchmark, firings=result.firings, facts=len(config))

@@ -1,0 +1,69 @@
+"""DEC: the answerability decision procedure (Theorems 1/5 + §3).
+
+For Guarded TGDs plan existence is decidable (2EXPTIME in general; tiny
+here).  Series: time to reach each verdict -- positive (witness found),
+certified negative (proof space exhausted), and budget-relative
+negative -- across the example schemas.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.logic.queries import cq
+from repro.planner.answerability import (
+    Answerability,
+    decide_answerability,
+)
+from repro.scenarios import example1, example2
+from repro.schema.core import SchemaBuilder
+
+
+def test_decide_positive(benchmark):
+    scenario = example2()
+
+    def decide():
+        return decide_answerability(
+            scenario.schema, scenario.query, max_accesses=5
+        )
+
+    verdict = benchmark(decide)
+    assert verdict is Answerability.ANSWERABLE
+    record(benchmark, verdict=verdict.value)
+
+
+def test_decide_certified_negative(benchmark):
+    schema = (
+        SchemaBuilder("neg")
+        .relation("R", 2)
+        .access("mt_r", "R", inputs=[0])
+        .build()
+    )
+    query = cq([], [("R", ["?x", "?y"])])
+
+    def decide():
+        return decide_answerability(schema, query, max_accesses=4)
+
+    verdict = benchmark(decide)
+    assert verdict is Answerability.NO_PLAN_WITHIN_BUDGET
+    record(benchmark, verdict=verdict.value)
+
+
+@pytest.mark.parametrize("budget", [2, 3, 4])
+def test_decide_budget_boundary(benchmark, budget):
+    """Example 2 needs exactly 4 accesses: the verdict flips at the
+    boundary, certified on both sides."""
+    scenario = example2()
+
+    def decide():
+        return decide_answerability(
+            scenario.schema, scenario.query, max_accesses=budget
+        )
+
+    verdict = benchmark(decide)
+    expected = (
+        Answerability.ANSWERABLE
+        if budget >= 4
+        else Answerability.NO_PLAN_WITHIN_BUDGET
+    )
+    assert verdict is expected
+    record(benchmark, verdict=verdict.value)

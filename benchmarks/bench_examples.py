@@ -1,0 +1,41 @@
+"""EX1/EX2: planning time for the paper's worked examples.
+
+One row per example: time to find the best plan, with plan shape
+(methods used, static cost) recorded.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example1, example2, example5, webservices
+
+
+@pytest.mark.parametrize(
+    "name,scenario_factory,max_accesses",
+    [
+        ("example1", example1, 4),
+        ("example2", example2, 5),
+        ("example5", example5, 4),
+        ("webservices", webservices, 5),
+    ],
+)
+def test_plan_example(benchmark, name, scenario_factory, max_accesses):
+    scenario = scenario_factory()
+
+    def plan():
+        return find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(max_accesses=max_accesses),
+        )
+
+    result = benchmark(plan)
+    assert result.found
+    record(
+        benchmark,
+        methods=",".join(result.best_plan.methods_used()),
+        cost=result.best_cost,
+        nodes=result.stats.nodes_created,
+        accesses=len(result.best_plan.access_commands),
+    )

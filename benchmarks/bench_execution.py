@@ -1,0 +1,108 @@
+"""EXEC: runtime behaviour of competing complete plans.
+
+The paper's introduction argues plan choice matters because the plans
+are *not* algebraic variants of each other: with redundant sources, a
+plan probing after one source pays more probes; a plan intersecting all
+sources pays more bulk accesses.  Series: runtime invocations and
+charged cost of both strategies as source noise (selectivity) varies.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.data.source import InMemorySource
+from repro.planner.proof_to_plan import ChaseProof, plan_from_proof
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example5
+from repro.schema.accessible import AccessibleSchema, Variant
+
+
+def build_plans(scenario):
+    """(cheapest-static plan, all-sources plan) for the scenario."""
+    best = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(max_accesses=4),
+    )
+    exhaustive = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=4,
+            prune_by_cost=False,
+            domination=False,
+            collect_tree=True,
+            candidate_order="method",
+        ),
+    )
+    padded_node = next(
+        n
+        for n in exhaustive.tree
+        if n.successful and len(n.exposures) == 4
+    )
+    acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+    padded = plan_from_proof(
+        acc, ChaseProof(scenario.query, padded_node.exposures)
+    )
+    return best.best_plan, padded
+
+
+@pytest.mark.parametrize("noise", [0, 40, 160])
+def test_execute_best_static_plan(benchmark, noise):
+    scenario = example5(
+        sources=3, professors=20, noise_per_source=noise, match_rate=0.3
+    )
+    best_plan, _ = build_plans(scenario)
+    instance = scenario.instance(0)
+
+    def run():
+        source = InMemorySource(scenario.schema, instance)
+        best_plan.run(source)
+        return source
+
+    source = benchmark(run)
+    record(
+        benchmark,
+        invocations=source.total_invocations,
+        runtime_cost=source.charged_cost(),
+    )
+
+
+@pytest.mark.parametrize("noise", [0, 40, 160])
+def test_execute_intersecting_plan(benchmark, noise):
+    scenario = example5(
+        sources=3, professors=20, noise_per_source=noise, match_rate=0.3
+    )
+    _, padded_plan = build_plans(scenario)
+    instance = scenario.instance(0)
+
+    def run():
+        source = InMemorySource(scenario.schema, instance)
+        padded_plan.run(source)
+        return source
+
+    source = benchmark(run)
+    record(
+        benchmark,
+        invocations=source.total_invocations,
+        runtime_cost=source.charged_cost(),
+    )
+
+
+def test_crossover_shape():
+    """Non-timed shape check: with heavy noise the intersecting plan
+    makes fewer probe invocations than the single-source plan; with no
+    noise the single-source plan is at least as good overall."""
+    noisy = example5(
+        sources=3, professors=20, noise_per_source=200, match_rate=0.3
+    )
+    best_plan, padded_plan = build_plans(noisy)
+    instance = noisy.instance(0)
+    src_best = InMemorySource(noisy.schema, instance)
+    src_padded = InMemorySource(noisy.schema, instance)
+    out_a = best_plan.run(src_best)
+    out_b = padded_plan.run(src_padded)
+    assert set(out_a.rows) == set(out_b.rows)
+    assert src_padded.invocations_of("mt_prof") < src_best.invocations_of(
+        "mt_prof"
+    )

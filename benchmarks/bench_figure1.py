@@ -1,0 +1,84 @@
+"""FIG1: regenerate Figure 1 -- the exploration tree of Example 5.
+
+The paper's only figure shows Algorithm 1 exploring the 3-source
+scenario: the chain n0 -> n1(Udirect1) -> n2(Udirect2) -> n3(Udirect3)
+-> n4(Profinfo, success), backtracking to cheaper successes, and the
+reverse-order node n''' killed by domination pruning.  The benchmark
+times the full exploration and asserts the regenerated tree has exactly
+the paper's qualitative shape (recorded in extra_info).
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example5
+
+
+def explore():
+    scenario = example5(
+        sources=3, source_costs=[1.0, 2.0, 3.0], profinfo_cost=5.0
+    )
+    return find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=4, collect_tree=True, candidate_order="method"
+        ),
+    )
+
+
+def test_figure1_exploration(benchmark):
+    result = benchmark(explore)
+    # The first five nodes are the paper's n0..n4 chain.
+    chain = [
+        node.exposures[-1].fact.relation if node.exposures else "root"
+        for node in result.tree[:5]
+    ]
+    assert chain == [
+        "root", "Udirect1", "Udirect2", "Udirect3", "Profinfo"
+    ]
+    assert result.tree[4].successful
+    # Backtracking discovers strictly cheaper plans, ending at 1 + 5.
+    assert result.stats.best_cost_history[-1] == pytest.approx(6.0)
+    assert result.stats.best_cost_history == sorted(
+        result.stats.best_cost_history, reverse=True
+    )
+    # The reverse-order node (paper's n''') is dominated.
+    assert result.stats.pruned_by_domination >= 1
+    record(
+        benchmark,
+        nodes=result.stats.nodes_created,
+        successes=result.stats.successes,
+        pruned_cost=result.stats.pruned_by_cost,
+        pruned_domination=result.stats.pruned_by_domination,
+        best_cost=result.best_cost,
+        cost_history=result.stats.best_cost_history,
+    )
+
+
+def test_figure1_without_pruning(benchmark):
+    """The same exploration with pruning off: same optimum, more nodes."""
+    scenario = example5(
+        sources=3, source_costs=[1.0, 2.0, 3.0], profinfo_cost=5.0
+    )
+
+    def explore_bare():
+        return find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(
+                max_accesses=4,
+                prune_by_cost=False,
+                domination=False,
+                candidate_order="method",
+            ),
+        )
+
+    result = benchmark(explore_bare)
+    assert result.best_cost == pytest.approx(6.0)
+    record(
+        benchmark,
+        nodes=result.stats.nodes_created,
+        successes=result.stats.successes,
+    )

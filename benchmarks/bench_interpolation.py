@@ -1,0 +1,84 @@
+"""INTERP: constructive interpolation (Theorem 4) timing.
+
+Series: tableau refutation + interpolant extraction time for entailment
+families of growing size (chains of implications / constraint-mediated
+entailments), with interpolant size recorded.  The paper's claim is that
+extraction is polynomial in the proof; wall time therefore tracks proof
+size, not formula semantics.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.fo.formulas import And, Exists, FOAtom, Forall, Implies
+from repro.fo.interpolation import interpolate
+from repro.fo.tableau import TableauProver, tgd_to_formula
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import parse_tgd
+from repro.logic.terms import Constant, Variable
+
+A = Constant("a")
+X = Variable("x")
+
+
+def implication_chain(length):
+    """P0(a) & (P0 -> P1) & ... |= P_len(a); interpolant in {P_len}."""
+    parts = [FOAtom(Atom("P0", (A,)))]
+    for i in range(length):
+        parts.append(
+            Forall(
+                (X,),
+                Implies(
+                    FOAtom(Atom(f"P{i}", (X,))),
+                    FOAtom(Atom(f"P{i + 1}", (X,))),
+                ),
+            )
+        )
+    phi1 = And(*parts)
+    phi2 = Exists((X,), FOAtom(Atom(f"P{length}", (X,))))
+    return phi1, phi2
+
+
+@pytest.mark.parametrize("length", [1, 2, 3, 4])
+def test_interpolation_chain(benchmark, length):
+    phi1, phi2 = implication_chain(length)
+
+    def run():
+        return interpolate(phi1, phi2, verify=False)
+
+    result = benchmark(run)
+    assert result.polarity_ok
+    assert result.constants_ok
+    record(benchmark, interpolant=repr(result.interpolant))
+
+
+def test_interpolation_tgd_mediated(benchmark):
+    """The Example 1 entailment, with full verification enabled."""
+    constraint = tgd_to_formula(
+        parse_tgd("Profinfo(e, o, l) -> Udirect(e, l)")
+    )
+    e, o, l = Variable("e"), Variable("o"), Variable("l")
+    phi1 = And(
+        Exists((e, o, l), FOAtom(Atom("Profinfo", (e, o, l)))),
+        constraint,
+    )
+    phi2 = Exists((e, l), FOAtom(Atom("Udirect", (e, l))))
+
+    def run():
+        return interpolate(phi1, phi2, verify=True)
+
+    result = benchmark(run)
+    assert result.entailed_by_left and result.entails_right
+    record(benchmark, interpolant=repr(result.interpolant))
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_pure_refutation(benchmark, length):
+    """Prover throughput without extraction overhead comparison."""
+    phi1, phi2 = implication_chain(length)
+    prover = TableauProver()
+
+    def run():
+        return prover.entails([phi1], phi2)
+
+    assert benchmark(run)

@@ -1,0 +1,59 @@
+"""T8/A1: Algorithm 1 scaling with the number of redundant sources.
+
+The k-sources family (Example 5 generalized) has ~2^k complete plans.
+The series reported: planning time, nodes explored, and best cost as k
+grows, with full pruning on.  The paper's prose claim is that cost and
+domination pruning keep the explored tree far below the full proof
+space -- compare against bench_pruning.py for the ablation.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import redundant_sources, referential_chain
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+def test_scaling_sources(benchmark, k):
+    scenario = redundant_sources(k)
+
+    def plan():
+        return find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(max_accesses=k + 1),
+        )
+
+    result = benchmark(plan)
+    assert result.found
+    # The cheapest plan uses exactly the cheapest source + Profinfo.
+    assert result.best_cost == pytest.approx(1.0 + 5.0)
+    record(
+        benchmark,
+        nodes=result.stats.nodes_created,
+        pruned_cost=result.stats.pruned_by_cost,
+        pruned_domination=result.stats.pruned_by_domination,
+        best_cost=result.best_cost,
+    )
+
+
+@pytest.mark.parametrize("length", [1, 2, 3, 4, 5])
+def test_scaling_chain_length(benchmark, length):
+    scenario = referential_chain(length)
+
+    def plan():
+        return find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(max_accesses=length + 2),
+        )
+
+    result = benchmark(plan)
+    assert result.found
+    assert len(result.best_plan.access_commands) == length + 1
+    record(
+        benchmark,
+        nodes=result.stats.nodes_created,
+        accesses=len(result.best_plan.access_commands),
+    )

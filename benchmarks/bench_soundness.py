@@ -1,0 +1,64 @@
+"""T5: end-to-end plan-completeness verification throughput.
+
+Times the full verify loop a downstream user would run: plan the query,
+execute over a generated instance, compare with direct evaluation.
+Series over instance sizes -- the shape claim is that execution scales
+with data size while planning does not depend on it at all.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.data.source import InMemorySource
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example1, example2
+
+
+@pytest.mark.parametrize("size", [50, 200, 800])
+def test_example1_execution_scaling(benchmark, size):
+    scenario = example1(professors=size, directory_extra=size * 2)
+    plan = find_best_plan(scenario.schema, scenario.query).best_plan
+    instance = scenario.instance(0)
+    truth = instance.evaluate(scenario.query)
+
+    def run():
+        source = InMemorySource(scenario.schema, instance)
+        return plan.run(source)
+
+    output = benchmark(run)
+    assert set(output.rows) == truth
+    record(benchmark, rows=len(output.rows), data=instance.size())
+
+
+# Note the quadratic shape: the paper's Example 2 plan feeds Direct1 the
+# full Names x Ids cross product, so runtime accesses grow as size^2.
+@pytest.mark.parametrize("size", [20, 40, 80])
+def test_example2_execution_scaling(benchmark, size):
+    scenario = example2(directory_size=size)
+    plan = find_best_plan(
+        scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+    ).best_plan
+    instance = scenario.instance(0)
+    truth = instance.evaluate(scenario.query)
+
+    def run():
+        source = InMemorySource(scenario.schema, instance)
+        return plan.run(source)
+
+    output = benchmark(run)
+    assert set(output.rows) == truth
+    record(benchmark, rows=len(output.rows), data=instance.size())
+
+
+def test_planning_independent_of_data(benchmark):
+    """Planning touches no data: time it once, no instance in sight."""
+    scenario = example2()
+
+    def plan():
+        return find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+        )
+
+    result = benchmark(plan)
+    assert result.found
+    record(benchmark, nodes=result.stats.nodes_created)

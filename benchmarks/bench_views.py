@@ -1,0 +1,41 @@
+"""T6: view-rewriting decision time vs number of views.
+
+Theorem 6 says the accessible-schema chase terminates polynomially for
+view constraints, so both the positive decision (rewriting found) and
+the negative one (certified unrewritable) are benchmarked as the view
+stack grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.planner.views import rewrite_over_views
+from repro.scenarios import view_stack_scenario
+
+
+@pytest.mark.parametrize("views", [1, 2, 4, 6, 8])
+def test_rewriting_positive(benchmark, views):
+    scenario = view_stack_scenario(views=views, include_closing_view=True)
+
+    def rewrite():
+        return rewrite_over_views(scenario.schema, scenario.query)
+
+    result = benchmark(rewrite)
+    assert result.rewritable
+    record(
+        benchmark,
+        view_atoms=len(result.rewriting.atoms),
+        nodes=result.search.stats.nodes_created,
+    )
+
+
+@pytest.mark.parametrize("views", [1, 2, 4, 6])
+def test_rewriting_negative(benchmark, views):
+    scenario = view_stack_scenario(views=views, include_closing_view=False)
+
+    def rewrite():
+        return rewrite_over_views(scenario.schema, scenario.query)
+
+    result = benchmark(rewrite)
+    assert not result.rewritable
+    record(benchmark, nodes=result.search.stats.nodes_created)

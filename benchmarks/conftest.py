@@ -1,0 +1,16 @@
+"""Shared benchmark helpers.
+
+Each benchmark row corresponds to one point of a series in
+EXPERIMENTS.md; parameters appear in the pytest-benchmark table name and
+measured side-channel quantities (node counts, plan costs, access
+counts) are attached via ``benchmark.extra_info`` so they land in the
+report alongside the timings.
+"""
+
+import pytest
+
+
+def record(benchmark, **info):
+    """Attach side-channel measurements to a benchmark row."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

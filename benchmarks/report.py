@@ -1,0 +1,86 @@
+"""Render a pytest-benchmark JSON file into the EXPERIMENTS.md tables.
+
+Usage::
+
+    python -m pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json > experiment_tables.md
+
+Groups rows by benchmark module, prints one markdown table per module
+with mean/stddev timings and every ``extra_info`` measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import OrderedDict
+from typing import Dict, List
+
+
+def load(path: str) -> List[Dict]:
+    with open(path) as handle:
+        return json.load(handle)["benchmarks"]
+
+
+def group_by_module(benchmarks: List[Dict]) -> "OrderedDict[str, List[Dict]]":
+    groups: "OrderedDict[str, List[Dict]]" = OrderedDict()
+    for bench in benchmarks:
+        module = bench["fullname"].split("::")[0].split("/")[-1]
+        groups.setdefault(module, []).append(bench)
+    return groups
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, list):
+        return " → ".join(format_value(v) for v in value)
+    return str(value)
+
+
+def render(benchmarks: List[Dict]) -> str:
+    lines: List[str] = []
+    for module, rows in group_by_module(benchmarks).items():
+        lines.append(f"### {module}")
+        lines.append("")
+        extra_keys: List[str] = []
+        for row in rows:
+            for key in row.get("extra_info", {}):
+                if key not in extra_keys:
+                    extra_keys.append(key)
+        header = ["benchmark", "mean", "stddev"] + extra_keys
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for row in rows:
+            stats = row["stats"]
+            cells = [
+                row["name"],
+                _time(stats["mean"]),
+                _time(stats["stddev"]),
+            ]
+            info = row.get("extra_info", {})
+            cells.extend(
+                format_value(info[k]) if k in info else ""
+                for k in extra_keys
+            )
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _time(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench.json"
+    print(render(load(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""A fuller data-integration scenario exercising the whole library.
+
+A travel-booking mediator integrates four sources with very different
+interfaces:
+
+* ``Flights(origin, dest, flightno)`` -- a legacy GDS: requires BOTH
+  origin and destination codes (an expensive paid call),
+* ``Airports(code)``                  -- a free public airport registry,
+* ``Carriers(flightno, airline)``     -- a service keyed by flight number,
+* ``Reviews(airline, score)``         -- a free review feed.
+
+Constraints say every flight's endpoints are registered airports and
+every flight has a carrier with a review.  The query asks for
+``(flightno, airline, score)`` triples -- untouchable directly, but
+plannable by seeding the GDS with the airport registry cross product.
+
+Demonstrated: planning, certified answerability, head-variable
+inequality filters (ESPJ), SQL rendering, runtime cost accounting.
+
+Run:  python examples/data_integration.py
+"""
+
+from repro import InMemorySource, Instance, SchemaBuilder, cq
+from repro.logic.terms import Constant, Variable
+from repro.planner import SearchOptions, decide_answerability, find_best_plan
+from repro.planner.inequalities import Inequality, plan_with_inequalities
+from repro.plans.tools import to_sql
+
+
+def build_schema():
+    return (
+        SchemaBuilder("travel")
+        .relation("Flights", 3, ["origin", "dest", "flightno"])
+        .relation("Airports", 1, ["code"])
+        .relation("Carriers", 2, ["flightno", "airline"])
+        .relation("Reviews", 2, ["airline", "score"])
+        .access("mt_gds", "Flights", inputs=[0, 1], cost=10.0)
+        .access("mt_airports", "Airports", inputs=[], cost=1.0)
+        .access("mt_carrier", "Carriers", inputs=[0], cost=2.0)
+        .access("mt_reviews", "Reviews", inputs=[], cost=1.0)
+        .tgd("Flights(o, d, f) -> Airports(o)")
+        .tgd("Flights(o, d, f) -> Airports(d)")
+        .tgd("Flights(o, d, f) -> Carriers(f, a)")
+        .tgd("Carriers(f, a) -> Reviews(a, s)")
+        .build()
+    )
+
+
+def build_data():
+    instance = Instance()
+    flights = [
+        ("LHR", "JFK", "BA117"),
+        ("LHR", "SFO", "UA901"),
+        ("CDG", "JFK", "AF006"),
+    ]
+    carriers = {"BA117": "BA", "UA901": "UA", "AF006": "AF"}
+    reviews = {"BA": "4", "UA": "3", "AF": "4"}
+    for origin, dest, flight in flights:
+        instance.add("Flights", (origin, dest, flight))
+        instance.add("Airports", (origin,))
+        instance.add("Airports", (dest,))
+        airline = carriers[flight]
+        instance.add("Carriers", (flight, airline))
+        instance.add("Reviews", (airline, reviews[airline]))
+    return instance
+
+
+def main():
+    schema = build_schema()
+    print(schema.describe())
+    print()
+
+    query = cq(
+        ["?f", "?a", "?s"],
+        [
+            ("Flights", ["?o", "?d", "?f"]),
+            ("Carriers", ["?f", "?a"]),
+            ("Reviews", ["?a", "?s"]),
+        ],
+        name="Qtrip",
+    )
+    print(f"query: {query}")
+    verdict = decide_answerability(schema, query, max_accesses=5)
+    print(f"answerability: {verdict.value}")
+    print()
+
+    result = find_best_plan(schema, query, SearchOptions(max_accesses=5))
+    print(result.best_plan.describe())
+    print(f"static cost: {result.best_cost}")
+    print()
+
+    instance = build_data()
+    source = InMemorySource(schema, instance)
+    output = result.best_plan.run(source)
+    truth = instance.evaluate(query)
+    assert set(output.rows) == truth
+    print(f"{len(output.rows)} itineraries; runtime accesses: "
+          f"{source.total_invocations}, cost {source.charged_cost():.1f}")
+    print()
+
+    # ESPJ: exclude one airline with a head-variable inequality.
+    filtered = plan_with_inequalities(
+        schema,
+        query,
+        [Inequality(Variable("a"), Constant("UA"))],
+        SearchOptions(max_accesses=5),
+    )
+    out2 = filtered.plan.run(InMemorySource(schema, instance))
+    print(f"excluding UA: {sorted(r[0].value for r in out2.rows)}")
+    print()
+
+    print("-- SQL rendering of the unfiltered plan --")
+    print(to_sql(result.best_plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Theorems 4 & 7, Proposition 1, and Claim 1 in action.
+
+Four acts:
+
+1. **Access interpolation** (Theorem 4): prove the Example-1 entailment
+   with the biased tableau prover and extract an interpolant that (a)
+   only uses the shared vocabulary, (b) respects polarities, and (c) is
+   re-verified by the prover itself.
+
+2. **Executable queries** (Proposition 1): compile an executable FO
+   sentence -- including a universal ("every employee of the department
+   is certified") -- into a runnable plan with access + difference.
+
+3. **Plans from bidirectional proofs** (Theorem 7): discover a proof
+   over AcSch<-> and backward-induct it into an executable query, then a
+   plan.
+
+4. **Determinacy counterexamples** (Claim 1): for an unanswerable query,
+   extract two instances with identical accessible parts on which the
+   query differs -- the semantic witness that no plan exists.
+
+Run:  python examples/interpolation_demo.py
+"""
+
+from repro import InMemorySource, Instance, SchemaBuilder, cq
+from repro.fo.formulas import And, Exists, FOAtom, Forall, Implies
+from repro.fo.interpolation import interpolate
+from repro.fo.tableau import tgd_to_formula
+from repro.fo.executable import executable_to_plan, is_executable
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import parse_tgd
+from repro.logic.terms import Variable
+from repro.planner.ra_from_proof import (
+    executable_query_from_proof,
+    find_bidirectional_proof,
+    ra_plan_from_proof,
+)
+
+
+def act_one_interpolation():
+    print("=== Act 1: access interpolation (Theorem 4) ===")
+    e, o, l = Variable("e"), Variable("o"), Variable("l")
+    constraint = tgd_to_formula(
+        parse_tgd("Profinfo(e, o, l) -> Udirect(e, l)")
+    )
+    phi1 = And(
+        Exists((e, o, l), FOAtom(Atom("Profinfo", (e, o, l)))),
+        constraint,
+    )
+    phi2 = Exists((e, l), FOAtom(Atom("Udirect", (e, l))))
+    print(f"phi1 = {phi1}")
+    print(f"phi2 = {phi2}")
+    result = interpolate(phi1, phi2)
+    print(f"interpolant = {result.interpolant}")
+    print(f"  phi1 |= I re-proved: {result.entailed_by_left}")
+    print(f"  I |= phi2 re-proved: {result.entails_right}")
+    print(f"  polarity discipline: {result.polarity_ok}")
+    print(f"  constant discipline: {result.constants_ok}")
+    print()
+
+
+def act_two_executable():
+    print("=== Act 2: executable FO query -> plan (Proposition 1) ===")
+    schema = (
+        SchemaBuilder("hr")
+        .relation("Dept", 1)
+        .relation("Emp", 2)
+        .relation("Cert", 2)
+        .free_access("Dept")
+        .access("mt_emp", "Emp", inputs=[0])
+        .access("mt_cert", "Cert", inputs=[0, 1])
+        .build()
+    )
+    from repro.logic.terms import Constant
+
+    d, n = Variable("d"), Variable("n")
+    sentence = Exists(
+        (d,),
+        And(
+            FOAtom(Atom("Dept", (d,))),
+            Forall(
+                (n,),
+                Implies(
+                    FOAtom(Atom("Emp", (d, n))),
+                    Exists(
+                        (),
+                        FOAtom(Atom("Cert", (n, Constant("safety")))),
+                    ),
+                ),
+            ),
+        ),
+    )
+    print(f"sentence: {sentence}")
+    print(f"executable for schema: {is_executable(sentence, schema)}")
+    plan = executable_to_plan(sentence, schema, name="all-certified")
+    print(plan.describe())
+    good = Instance(
+        {
+            "Dept": [("ops",)],
+            "Emp": [("ops", "ann"), ("ops", "bob")],
+            "Cert": [("ann", "safety"), ("bob", "safety")],
+        }
+    )
+    bad = Instance(
+        {
+            "Dept": [("ops",)],
+            "Emp": [("ops", "ann"), ("ops", "bob")],
+            "Cert": [("ann", "safety")],
+        }
+    )
+    for label, data in (("all certified", good), ("bob missing", bad)):
+        out = plan.run(InMemorySource(schema, data))
+        print(f"  {label}: {'true' if out.rows else 'false'}")
+    print()
+
+
+def act_three_backward():
+    print("=== Act 3: plans from bidirectional proofs (Theorem 7) ===")
+    schema = (
+        SchemaBuilder("uni")
+        .relation("Profinfo", 3)
+        .relation("Udirect", 2)
+        .access("mt_prof", "Profinfo", inputs=[0])
+        .free_access("Udirect")
+        .tgd("Profinfo(eid, onum, lname) -> Udirect(eid, lname)")
+        .build()
+    )
+    query = cq([], [("Profinfo", ["?e", "?o", "?l"])], name="Qb")
+    steps = find_bidirectional_proof(schema, query, max_steps=4)
+    print("proof steps:")
+    for step in steps:
+        print(f"  {step!r}")
+    formula = executable_query_from_proof(schema, query, steps)
+    print(f"executable query: {formula}")
+    plan = ra_plan_from_proof(schema, query, steps)
+    print(plan.describe())
+    yes = Instance(
+        {"Profinfo": [("e1", "o1", "smith")], "Udirect": [("e1", "smith")]}
+    )
+    out = plan.run(InMemorySource(schema, yes))
+    print(f"  on witnessing instance: {'true' if out.rows else 'false'}")
+
+
+def act_four_counterexample():
+    print("=== Act 4: a determinacy counterexample (Claim 1) ===")
+    from repro.data import accessible_part
+    from repro.fo import determinacy_counterexample
+
+    schema = (
+        SchemaBuilder("hidden")
+        .relation("R", 2)
+        .access("mt_r", "R", inputs=[0])  # the key is never revealed
+        .build()
+    )
+    query = cq([], [("R", ["?x", "?y"])], name="Qh")
+    pair = determinacy_counterexample(schema, query)
+    i1, i2 = pair
+    print(f"query: {query} -- unanswerable; witness pair:")
+    print(f"  I1 = {i1!r}  (Q true)")
+    print(f"  I2 = {i2!r}  (Q false)")
+    same = accessible_part(schema, i1) == accessible_part(schema, i2)
+    print(f"  equal accessible parts: {same}")
+    print("  -> no plan can distinguish them, so no plan answers Q")
+
+
+def main():
+    act_one_interpolation()
+    act_two_executable()
+    act_three_backward()
+    act_four_counterexample()
+
+
+if __name__ == "__main__":
+    main()

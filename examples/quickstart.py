@@ -1,0 +1,93 @@
+"""Quickstart: answer a query over a restricted interface (Example 1).
+
+The Profinfo table (faculty records) can only be probed by employee id --
+think of it as a web form with a mandatory ``eid`` field.  The query asks
+for ids and office numbers of everyone named "smith".  Directly, that is
+unanswerable; but a referential constraint says every professor appears
+in the freely-scannable university directory, so a complete plan exists:
+scan the directory, probe Profinfo with each id, keep the smiths.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    InMemorySource,
+    Instance,
+    SchemaBuilder,
+    SearchOptions,
+    cq,
+    find_best_plan,
+)
+
+
+def build_schema():
+    return (
+        SchemaBuilder("university")
+        .relation("Profinfo", 3, ["eid", "onum", "lname"])
+        .relation("Udirect", 2, ["eid", "lname"])
+        # Probing a professor record requires the employee id.
+        .access("mt_prof", "Profinfo", inputs=[0], cost=2.0)
+        # The directory is a free full scan.
+        .access("mt_udir", "Udirect", inputs=[], cost=1.0)
+        # Referential constraint: professors appear in the directory.
+        .tgd("Profinfo(eid, onum, lname) -> Udirect(eid, lname)")
+        .constant("smith")
+        .build()
+    )
+
+
+def build_data():
+    return Instance(
+        {
+            "Profinfo": [
+                ("e1", "o101", "smith"),
+                ("e2", "o102", "jones"),
+                ("e3", "o103", "smith"),
+            ],
+            "Udirect": [
+                ("e1", "smith"),
+                ("e2", "jones"),
+                ("e3", "smith"),
+                ("e9", "smith"),  # a smith who is not a professor
+            ],
+        }
+    )
+
+
+def main():
+    schema = build_schema()
+    print(schema.describe())
+    print()
+
+    query = cq(
+        ["?eid", "?onum"],
+        [("Profinfo", ["?eid", "?onum", "smith"])],
+        name="Q",
+    )
+    print(f"query: {query}")
+    print()
+
+    result = find_best_plan(schema, query, SearchOptions(max_accesses=4))
+    if not result.found:
+        raise SystemExit("no complete plan exists")
+    print(result.best_plan.describe())
+    print(f"static cost: {result.best_cost}")
+    print(f"proof: {result.best_proof}")
+    print()
+
+    source = InMemorySource(schema, build_data())
+    output = result.best_plan.run(source)
+    print("answers (eid, onum):")
+    for row in sorted(output.rows):
+        print(f"  {tuple(t.value for t in row)}")
+    print(f"runtime accesses: {source.total_invocations} "
+          f"(cost charged: {source.charged_cost()})")
+
+    # Sanity: the plan is complete -- it matches direct evaluation.
+    truth = build_data().evaluate(query)
+    assert set(output.rows) == truth, "plan must be complete"
+    print("complete answer verified against direct evaluation ✓")
+
+
+if __name__ == "__main__":
+    main()

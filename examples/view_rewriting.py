@@ -1,0 +1,51 @@
+"""Theorem 6: deciding CQ rewritability over views by chasing.
+
+A hidden star schema (Fact + two dimensions) is exposed only through
+materialized views.  The planner chases the query's canonical database
+with the accessible schema of the view constraints; if the inferred-
+accessible copy of the query matches, the proof *is* the rewriting --
+one view atom per exposure.
+
+Run:  python examples/view_rewriting.py
+"""
+
+from repro import InMemorySource
+from repro.planner.views import rewrite_over_views
+from repro.scenarios import view_stack_scenario
+
+
+def main():
+    # With the closing join view: rewritable.
+    scenario = view_stack_scenario(views=3, include_closing_view=True)
+    print(scenario.schema.describe())
+    print()
+    print(f"query over the hidden base: {scenario.query}")
+    print()
+
+    result = rewrite_over_views(scenario.schema, scenario.query)
+    print(f"rewritable: {result.rewritable}")
+    print(f"rewriting over views: {result.rewriting}")
+    print()
+    print(result.plan.describe())
+    print()
+
+    instance = scenario.instance(seed=0)
+    source = InMemorySource(scenario.schema, instance)
+    output = result.plan.run(source)
+    truth = instance.evaluate(scenario.query)
+    assert set(output.rows) == truth
+    print(f"{len(output.rows)} answer rows via views == direct evaluation ✓")
+    print()
+
+    # Without the closing view the query is NOT rewritable; the chase
+    # terminates and certifies the negative answer.
+    blocked = view_stack_scenario(views=3, include_closing_view=False)
+    negative = rewrite_over_views(blocked.schema, blocked.query)
+    print(
+        f"without the closing view: rewritable={negative.rewritable} "
+        f"(searched {negative.search.stats.nodes_created} proof nodes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

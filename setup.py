@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose pip/setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""Guarded-bag blocking (Section 5, "Search order and termination").
+
+For Guarded TGDs the chase can run forever, but every configuration can be
+organized into a tree of *guarded bags*: sets of facts whose nulls all
+occur together in some guard atom.  A rule firing that would create a new
+bag is *blocked* when an already-existing bag receives a homomorphic image
+of the candidate bag -- any rule firings possible in the new bag would have
+duplicates in the old one, so exploring it cannot change which queries
+match.  The paper notes this simple check ("very naive compared to the
+optimized blocking strategies of the description-logic community") is
+enough for termination: there are finitely many bag types, which bounds
+the depth of any path of non-blocked bags.
+
+This module is deliberately conservative: blocking more aggressively than
+the paper's refined condition can only suppress derived facts, which keeps
+every generated plan sound (plans are built from firings that *did*
+happen) at a possible cost in completeness of the proof search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.logic.atoms import Atom
+from repro.logic.homomorphisms import FactIndex, find_homomorphism
+from repro.logic.terms import Null
+
+
+class BagTree:
+    """The tree of guarded bags built during one chase run."""
+
+    __slots__ = ("_bags", "_parent", "_bag_of_null", "_depth", "_next_id")
+
+    def __init__(self) -> None:
+        self._bags: Dict[int, Tuple[Atom, ...]] = {}
+        self._parent: Dict[int, Optional[int]] = {}
+        self._bag_of_null: Dict[Null, int] = {}
+        self._depth: Dict[int, int] = {}
+        self._next_id = 0
+
+    def register_initial(self, facts: Iterable[Atom]) -> int:
+        """Bag 0: the canonical database / initial configuration."""
+        return self._new_bag(tuple(facts), parent=None)
+
+    def _new_bag(self, facts: Tuple[Atom, ...], parent: Optional[int]) -> int:
+        bag_id = self._next_id
+        self._next_id += 1
+        self._bags[bag_id] = facts
+        self._parent[bag_id] = parent
+        self._depth[bag_id] = (
+            0 if parent is None else self._depth[parent] + 1
+        )
+        for fact in facts:
+            for null in fact.nulls():
+                self._bag_of_null.setdefault(null, bag_id)
+        return bag_id
+
+    def bag_of(self, null: Null) -> Optional[int]:
+        """The bag owning a null (None for never-registered nulls)."""
+        return self._bag_of_null.get(null)
+
+    def depth_of_bag(self, bag_id: int) -> int:
+        """Distance of a bag from the root bag."""
+        return self._depth[bag_id]
+
+    def facts_of(self, bag_id: int) -> Tuple[Atom, ...]:
+        """The facts a bag was created with."""
+        return self._bags[bag_id]
+
+    def __len__(self) -> int:
+        return len(self._bags)
+
+    def home_bag(self, trigger_facts: Tuple[Atom, ...]) -> Optional[int]:
+        """The deepest bag owning a null of the trigger facts (or bag 0)."""
+        best: Optional[int] = None
+        for fact in trigger_facts:
+            for null in fact.nulls():
+                bag = self._bag_of_null.get(null)
+                if bag is not None and (
+                    best is None or self._depth[bag] > self._depth[best]
+                ):
+                    best = bag
+        if best is None and self._bags:
+            return 0
+        return best
+
+    def is_blocked(self, candidate_facts: Tuple[Atom, ...]) -> bool:
+        """True when some existing bag homomorphically absorbs the candidate.
+
+        Nulls of the candidate (both the fresh ones and those inherited
+        from the parent) are mappable; schema constants are rigid.
+        """
+        pattern = list(candidate_facts)
+        for bag_id, facts in self._bags.items():
+            if len(facts) < len(set(candidate_facts)):
+                continue
+            index = FactIndex(facts)
+            if find_homomorphism(pattern, index, map_nulls=True) is not None:
+                return True
+        return False
+
+    def register_firing(
+        self,
+        trigger_facts: Tuple[Atom, ...],
+        new_facts: Tuple[Atom, ...],
+    ) -> int:
+        """Record the bag created by a successful existential firing."""
+        parent = self.home_bag(trigger_facts)
+        return self._new_bag(tuple(new_facts), parent=parent)
+
+
+@dataclass
+class BlockingPolicy:
+    """Configuration of the blocking check used by the chase engine.
+
+    ``max_bag_depth`` is a belt-and-braces cap on the bag-tree depth for
+    constraint sets that are not actually guarded (where the blocking
+    theorem does not apply).
+    """
+
+    enabled: bool = True
+    max_bag_depth: Optional[int] = None
+
+    def fresh_tree(self, initial_facts: Iterable[Atom]) -> BagTree:
+        """A new bag tree seeded with the initial facts."""
+        tree = BagTree()
+        tree.register_initial(initial_facts)
+        return tree
+
+    def allows(
+        self,
+        tree: BagTree,
+        trigger_facts: Tuple[Atom, ...],
+        candidate_facts: Tuple[Atom, ...],
+    ) -> bool:
+        """Whether an existential firing may proceed."""
+        if not self.enabled:
+            return True
+        if self.max_bag_depth is not None:
+            home = tree.home_bag(trigger_facts)
+            depth = 0 if home is None else tree.depth_of_bag(home)
+            if depth + 1 > self.max_bag_depth:
+                return False
+        return not tree.is_blocked(candidate_facts)

@@ -1,0 +1,195 @@
+"""The chase fixpoint engine.
+
+Runs rules over a configuration until no candidate match remains, with
+three safety valves:
+
+* a total firing budget (``max_firings``),
+* a cap on fact derivation depth (``max_depth``),
+* guarded-bag blocking for existential rules (:mod:`repro.chase.blocking`).
+
+The result reports whether a genuine fixpoint was reached or the run was
+truncated; callers that need completeness guarantees (Theorem 6 view
+rewriting, decision procedures for guarded schemas) check that flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.chase.blocking import BagTree, BlockingPolicy
+from repro.chase.configuration import ChaseConfiguration, Provenance
+from repro.chase.firing import (
+    FiringResult,
+    RuleLike,
+    Trigger,
+    _tgd_of,
+    find_triggers,
+    head_satisfied,
+)
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.dependencies import TGD
+from repro.logic.terms import NullFactory
+
+
+class NonTerminatingChaseError(RuntimeError):
+    """Raised when the firing budget is exhausted and the policy says raise."""
+
+
+@dataclass
+class ChasePolicy:
+    """Termination and blocking controls for one chase run."""
+
+    max_firings: int = 100_000
+    max_depth: Optional[int] = None
+    blocking: Optional[BlockingPolicy] = None
+    raise_on_budget: bool = False
+    restricted: bool = True
+
+    def for_saturation(self) -> "ChasePolicy":
+        """A copy suitable for eager free-rule saturation in the planner."""
+        return ChasePolicy(
+            max_firings=self.max_firings,
+            max_depth=self.max_depth,
+            blocking=self.blocking,
+            raise_on_budget=False,
+            restricted=self.restricted,
+        )
+
+
+@dataclass
+class ChaseResult:
+    """Statistics and status of a chase run."""
+
+    reached_fixpoint: bool
+    firings: int = 0
+    blocked: int = 0
+    depth_truncated: int = 0
+    new_facts: Tuple[Atom, ...] = ()
+
+    @property
+    def is_complete(self) -> bool:
+        """No trigger was suppressed: the chase genuinely terminated."""
+        return (
+            self.reached_fixpoint
+            and self.blocked == 0
+            and self.depth_truncated == 0
+        )
+
+
+def chase_to_fixpoint(
+    config: ChaseConfiguration,
+    rules: Sequence[RuleLike],
+    nulls: NullFactory,
+    policy: Optional[ChasePolicy] = None,
+    bag_tree: Optional[BagTree] = None,
+) -> ChaseResult:
+    """Fire rules in place until fixpoint (or a safety valve trips)."""
+    policy = policy or ChasePolicy()
+    if policy.blocking is not None and bag_tree is None:
+        bag_tree = policy.blocking.fresh_tree(list(config))
+    firings = 0
+    blocked = 0
+    truncated = 0
+    all_new: List[Atom] = []
+    suppressed: Set[Tuple[str, Tuple[Atom, ...]]] = set()
+    progress = True
+    while progress:
+        progress = False
+        for rule in rules:
+            for trigger in list(
+                find_triggers(rule, config, policy.restricted)
+            ):
+                if firings >= policy.max_firings:
+                    if policy.raise_on_budget:
+                        raise NonTerminatingChaseError(
+                            f"chase exceeded {policy.max_firings} firings"
+                        )
+                    return ChaseResult(
+                        reached_fixpoint=False,
+                        firings=firings,
+                        blocked=blocked,
+                        depth_truncated=truncated,
+                        new_facts=tuple(all_new),
+                    )
+                if trigger.key() in suppressed:
+                    continue
+                # Re-verify: an earlier firing this round may satisfy it.
+                if policy.restricted and head_satisfied(
+                    trigger.tgd, trigger.homomorphism, config
+                ):
+                    continue
+                outcome = _fire_checked(
+                    trigger, config, nulls, policy, bag_tree
+                )
+                if outcome == "fired":
+                    firings += 1
+                    progress = True
+                elif outcome == "blocked":
+                    blocked += 1
+                    suppressed.add(trigger.key())
+                elif outcome == "depth":
+                    truncated += 1
+                    suppressed.add(trigger.key())
+    return ChaseResult(
+        reached_fixpoint=True,
+        firings=firings,
+        blocked=blocked,
+        depth_truncated=truncated,
+        new_facts=tuple(all_new),
+    )
+
+
+def _fire_checked(
+    trigger: Trigger,
+    config: ChaseConfiguration,
+    nulls: NullFactory,
+    policy: ChasePolicy,
+    bag_tree: Optional[BagTree],
+) -> str:
+    """Fire one trigger subject to depth and blocking checks."""
+    tgd = trigger.tgd
+    trigger_facts = trigger.body_image()
+    depth = 1 + max(
+        (config.depth(f) for f in trigger_facts if f in config), default=0
+    )
+    if policy.max_depth is not None and depth > policy.max_depth:
+        return "depth"
+    binding = trigger.homomorphism
+    has_existentials = bool(tgd.existential_variables())
+    for variable in sorted(tgd.existential_variables(), key=lambda v: v.name):
+        binding = binding.extended(variable, nulls(hint=variable.name))
+    candidate = tuple(atom.apply(binding) for atom in tgd.head)
+    if (
+        has_existentials
+        and policy.blocking is not None
+        and bag_tree is not None
+        and not policy.blocking.allows(bag_tree, trigger_facts, candidate)
+    ):
+        return "blocked"
+    provenance = Provenance(
+        rule=tgd.name, trigger_facts=trigger_facts, depth=depth
+    )
+    added_any = False
+    for fact in candidate:
+        if config.add(fact, provenance):
+            added_any = True
+    if has_existentials and bag_tree is not None:
+        bag_tree.register_firing(trigger_facts, candidate)
+    return "fired" if added_any else "noop"
+
+
+def saturate(
+    config: ChaseConfiguration,
+    rules: Sequence[RuleLike],
+    nulls: NullFactory,
+    policy: Optional[ChasePolicy] = None,
+    bag_tree: Optional[BagTree] = None,
+) -> ChaseResult:
+    """Eager saturation: alias of :func:`chase_to_fixpoint`.
+
+    Named separately because the planner uses it for the "fire cost-free
+    rules immediately" discipline of eager proofs (Section 4), where the
+    rule set excludes accessibility axioms.
+    """
+    return chase_to_fixpoint(config, rules, nulls, policy, bag_tree)

@@ -1,0 +1,144 @@
+"""Trigger detection and rule firing.
+
+A *candidate match* (trigger) for a TGD in a configuration is a
+homomorphism of the body whose head is not yet satisfied (the *restricted*
+chase check -- the variant the paper's Section 4 uses: a candidate match
+exists only when "there is no f such that rho(e, f) holds").  Firing a
+trigger adds head facts, inventing fresh labelled nulls for existential
+variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from repro.chase.configuration import ChaseConfiguration, Provenance
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.dependencies import TGD
+from repro.logic.homomorphisms import find_homomorphism, find_homomorphisms
+from repro.logic.terms import NullFactory, Variable
+from repro.schema.accessible import ChaseRule
+
+RuleLike = Union[TGD, ChaseRule]
+
+
+def _tgd_of(rule: RuleLike) -> TGD:
+    return rule.tgd if isinstance(rule, ChaseRule) else rule
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A rule plus a body homomorphism, ready to fire."""
+
+    rule: RuleLike
+    homomorphism: Substitution
+
+    @property
+    def tgd(self) -> TGD:
+        """The underlying dependency of the trigger's rule."""
+        return _tgd_of(self.rule)
+
+    def body_image(self) -> Tuple[Atom, ...]:
+        """The facts the body maps onto."""
+        return tuple(atom.apply(self.homomorphism) for atom in self.tgd.body)
+
+    def key(self) -> Tuple[str, Tuple[Atom, ...]]:
+        """Identity of the trigger for deduplication."""
+        return (self.tgd.name, self.body_image())
+
+    def __repr__(self) -> str:
+        return f"Trigger({self.tgd.name}, {self.homomorphism!r})"
+
+
+@dataclass(frozen=True)
+class FiringResult:
+    """Outcome of firing one trigger."""
+
+    trigger: Trigger
+    new_facts: Tuple[Atom, ...]
+
+    @property
+    def changed(self) -> bool:
+        """Whether the firing added at least one new fact."""
+        return bool(self.new_facts)
+
+
+def head_satisfied(
+    tgd: TGD, homomorphism: Substitution, config: ChaseConfiguration
+) -> bool:
+    """True when the head already holds under the body match.
+
+    Existential head variables may map to *any* value of the configuration
+    (this is what makes the chase "restricted"/standard rather than
+    oblivious).
+    """
+    binding = homomorphism.restrict(tgd.frontier())
+    return (
+        find_homomorphism(list(tgd.head), config.index, binding) is not None
+    )
+
+
+def find_triggers(
+    rule: RuleLike,
+    config: ChaseConfiguration,
+    restricted: bool = True,
+) -> Iterator[Trigger]:
+    """All candidate matches of the rule in the configuration."""
+    tgd = _tgd_of(rule)
+    for hom in find_homomorphisms(list(tgd.body), config.index):
+        body_binding = hom.restrict(tgd.body_variables())
+        if restricted and head_satisfied(tgd, body_binding, config):
+            continue
+        yield Trigger(rule, body_binding)
+
+
+def fire_trigger(
+    trigger: Trigger,
+    config: ChaseConfiguration,
+    nulls: NullFactory,
+) -> FiringResult:
+    """Fire a trigger in place, returning the facts that were added."""
+    tgd = trigger.tgd
+    binding = trigger.homomorphism
+    for variable in sorted(
+        tgd.existential_variables(), key=lambda v: v.name
+    ):
+        binding = binding.extended(variable, nulls(hint=variable.name))
+    trigger_facts = trigger.body_image()
+    depth = 1 + max(
+        (config.depth(fact) for fact in trigger_facts if fact in config),
+        default=0,
+    )
+    provenance = Provenance(
+        rule=tgd.name, trigger_facts=trigger_facts, depth=depth
+    )
+    new_facts = []
+    for head_atom in tgd.head:
+        fact = head_atom.apply(binding)
+        if config.add(fact, provenance):
+            new_facts.append(fact)
+    return FiringResult(trigger, tuple(new_facts))
+
+
+def fire_all_once(
+    rules: Iterable[RuleLike],
+    config: ChaseConfiguration,
+    nulls: NullFactory,
+    restricted: bool = True,
+) -> Tuple[FiringResult, ...]:
+    """One parallel round: fire every current trigger of every rule.
+
+    Triggers are computed against the configuration as it was at the start
+    of the round semantics-wise; because firing only ever adds facts, new
+    triggers created mid-round are simply picked up next round.
+    """
+    results = []
+    for rule in rules:
+        for trigger in list(find_triggers(rule, config, restricted)):
+            if restricted and head_satisfied(
+                trigger.tgd, trigger.homomorphism, config
+            ):
+                continue
+            results.append(fire_trigger(trigger, config, nulls))
+    return tuple(results)

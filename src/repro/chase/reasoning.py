@@ -1,0 +1,74 @@
+"""Chase-based reasoning services.
+
+The classical reduction (stated as "well-known" in Section 4 of the
+paper): ``Q entails Q' w.r.t. TGDs`` iff some chase sequence from the
+canonical database of Q reaches a configuration with a match for Q' that
+preserves the free variables.  When the chase terminates this is a
+decision procedure; otherwise the bounded run gives a sound
+semi-decision ("yes" answers are always correct).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.chase.configuration import ChaseConfiguration
+from repro.chase.engine import ChasePolicy, ChaseResult, chase_to_fixpoint
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.dependencies import TGD
+from repro.logic.homomorphisms import find_homomorphism
+from repro.logic.queries import ConjunctiveQuery
+from repro.logic.terms import NullFactory
+
+
+def entails_under_constraints(
+    premise: ConjunctiveQuery,
+    conclusion: ConjunctiveQuery,
+    constraints: Sequence[TGD],
+    policy: Optional[ChasePolicy] = None,
+) -> bool:
+    """``premise`` entails ``conclusion`` w.r.t. the constraints.
+
+    Both queries must share head arity; head variables are matched
+    pairwise.  Incomplete (may answer False spuriously) only when the
+    chase run is truncated by its policy.
+    """
+    if len(premise.head) != len(conclusion.head):
+        return False
+    facts, frozen = premise.canonical_database(prefix="ent")
+    config = ChaseConfiguration(facts)
+    chase_to_fixpoint(config, list(constraints), NullFactory("ent"), policy)
+    seed = Substitution(
+        {
+            cv: frozen[pv]
+            for cv, pv in zip(conclusion.head, premise.head)
+        }
+    )
+    return (
+        find_homomorphism(list(conclusion.atoms), config.index, seed)
+        is not None
+    )
+
+
+def is_contained_under(
+    contained: ConjunctiveQuery,
+    container: ConjunctiveQuery,
+    constraints: Sequence[TGD],
+    policy: Optional[ChasePolicy] = None,
+) -> bool:
+    """CQ containment relative to TGD constraints."""
+    return entails_under_constraints(
+        contained, container, constraints, policy
+    )
+
+
+def certain_answer_holds(
+    query: ConjunctiveQuery,
+    facts: Iterable[Atom],
+    constraints: Sequence[TGD],
+    policy: Optional[ChasePolicy] = None,
+) -> bool:
+    """Boolean certain-answer check: chase the facts, evaluate the query."""
+    config = ChaseConfiguration(facts)
+    chase_to_fixpoint(config, list(constraints), NullFactory("ca"), policy)
+    return query.holds_in(config.index)

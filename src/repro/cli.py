@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``demo <scenario>`` -- run a built-in scenario end to end (plan, show
+  the plan, execute it on generated data, verify completeness).
+  Scenarios: example1, example2, example5, chain, views.
+* ``plan <schema.json> <query>`` -- plan a Datalog-style query over a
+  schema file (the :mod:`repro.schema.serialize` JSON format), printing
+  the best plan, its proof, and optionally SQL (``--sql``).
+* ``check <schema.json> <query>`` -- decide answerability only.
+
+Exit status: 0 on success / answerable, 2 when no plan exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.data.source import InMemorySource
+from repro.logic.queries import parse_cq
+from repro.planner.answerability import default_policy_for
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.plans.tools import to_sql
+from repro.scenarios import (
+    example1,
+    example2,
+    example5,
+    referential_chain,
+    view_stack_scenario,
+)
+from repro.schema.serialize import schema_from_dict
+
+SCENARIOS = {
+    "example1": example1,
+    "example2": example2,
+    "example5": example5,
+    "chain": lambda: referential_chain(3),
+    "views": view_stack_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="proof-driven query planning (PODS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a built-in scenario")
+    demo.add_argument("scenario", choices=sorted(SCENARIOS))
+    demo.add_argument("--max-accesses", type=int, default=6)
+    demo.add_argument("--seed", type=int, default=0)
+
+    plan = sub.add_parser("plan", help="plan a query over a schema file")
+    plan.add_argument("schema", help="path to a schema JSON file")
+    plan.add_argument("query", help="e.g. \"q(x) :- R(x, y)\"")
+    plan.add_argument("--max-accesses", type=int, default=6)
+    plan.add_argument("--sql", action="store_true",
+                      help="also print an SQL rendering")
+
+    check = sub.add_parser("check", help="decide answerability")
+    check.add_argument("schema")
+    check.add_argument("query")
+    check.add_argument("--max-accesses", type=int, default=6)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _demo(args)
+    if args.command == "plan":
+        return _plan(args, check_only=False)
+    if args.command == "check":
+        return _plan(args, check_only=True)
+    return 1  # pragma: no cover -- argparse enforces the choices
+
+
+def _demo(args) -> int:
+    scenario = SCENARIOS[args.scenario]()
+    print(scenario.schema.describe())
+    print(f"\nquery: {scenario.query}\n")
+    result = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(max_accesses=args.max_accesses),
+    )
+    if not result.found:
+        print("no complete plan exists within the access budget")
+        return 2
+    print(result.best_plan.describe())
+    print(f"\nstatic cost: {result.best_cost}")
+    print(f"proof: {result.best_proof}\n")
+    instance = scenario.instance(args.seed)
+    source = InMemorySource(scenario.schema, instance)
+    output = result.best_plan.run(source)
+    truth = instance.evaluate(scenario.query)
+    complete = (
+        bool(output.rows) == bool(truth)
+        if scenario.query.is_boolean
+        else set(output.rows) == truth
+    )
+    print(
+        f"executed on a generated instance ({instance.size()} tuples): "
+        f"{len(output.rows)} answer rows, "
+        f"{source.total_invocations} accesses, "
+        f"runtime cost {source.charged_cost():.1f}"
+    )
+    print(f"complete: {'yes' if complete else 'NO'}")
+    return 0 if complete else 1
+
+
+def _plan(args, check_only: bool) -> int:
+    with open(args.schema) as handle:
+        schema = schema_from_dict(json.load(handle))
+    query = parse_cq(args.query)
+    result = find_best_plan(
+        schema,
+        query,
+        SearchOptions(
+            max_accesses=args.max_accesses,
+            chase_policy=default_policy_for(schema),
+        ),
+    )
+    if not result.found:
+        print("not answerable within the access budget")
+        return 2
+    if check_only:
+        print(f"answerable (cheapest plan cost: {result.best_cost})")
+        return 0
+    print(result.best_plan.describe())
+    print(f"\nstatic cost: {result.best_cost}")
+    print(f"proof: {result.best_proof}")
+    if args.sql:
+        print("\n-- SQL rendering --")
+        print(to_sql(result.best_plan))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Concrete cost functions over plans and command sequences.
+
+All cost functions expose two entry points:
+
+* :meth:`CostFunction.plan_cost` -- the cost of a complete plan,
+* :meth:`CostFunction.commands_cost` -- the cost of a command prefix,
+  which is what Algorithm 1 charges partial plans with during search.
+
+Monotonicity (appending commands never decreases cost) is what makes the
+cost-bound pruning of Section 5 sound; :func:`is_monotone_on` provides a
+programmatic spot-check used by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.plans.commands import AccessCommand, Command, MiddlewareCommand
+from repro.plans.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Singleton,
+    Union as UnionExpr,
+)
+from repro.plans.plan import Plan
+from repro.schema.core import Schema
+
+
+class CostFunction:
+    """Base class: a monotone real-valued cost on command sequences."""
+
+    def commands_cost(self, commands: Sequence[Command]) -> float:
+        """Monotone cost of a command prefix."""
+        raise NotImplementedError
+
+    def plan_cost(self, plan: Plan) -> float:
+        """Cost of a complete plan (defaults to its command list)."""
+        return self.commands_cost(plan.commands)
+
+    def method_cost(self, method_name: str) -> float:
+        """Cost of a single hypothetical access command on the method.
+
+        Used by search heuristics to order candidate methods cheapest
+        first; subclasses with data-dependent costs may approximate.
+        """
+        probe = AccessCommand(
+            target="_probe",
+            method=method_name,
+            input_expr=Singleton(),
+            input_binding=(),
+            output_map=(),
+        )
+        return self.commands_cost([probe])
+
+
+@dataclass
+class SimpleCostFunction(CostFunction):
+    """The paper's simple cost: sum of per-method weights per command."""
+
+    per_method: Mapping[str, float]
+    default: float = 1.0
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "SimpleCostFunction":
+        """Use the cost declared on each access method."""
+        return cls({m.name: m.cost for m in schema.methods})
+
+    def commands_cost(self, commands: Sequence[Command]) -> float:
+        """Monotone cost of a command prefix."""
+        return sum(
+            self.per_method.get(c.method, self.default)
+            for c in commands
+            if isinstance(c, AccessCommand)
+        )
+
+
+@dataclass
+class CountingCostFunction(CostFunction):
+    """Every access command costs one unit (pure access counting)."""
+
+    def commands_cost(self, commands: Sequence[Command]) -> float:
+        """Monotone cost of a command prefix."""
+        return float(
+            sum(1 for c in commands if isinstance(c, AccessCommand))
+        )
+
+
+@dataclass
+class CardinalityCostFunction(CostFunction):
+    """A monotone, cardinality-aware estimator.
+
+    Each access command is charged ``per_access + per_tuple * |E|`` where
+    ``|E|`` is the estimated number of input tuples fed to the method,
+    propagated through the expression tree from per-relation cardinality
+    statistics (``table_estimates`` maps temporary-table name prefixes are
+    not needed: estimates flow through the command sequence itself).
+
+    This is the "generic black box" flavour of cost the search accepts;
+    it stays monotone because every access command adds a positive charge.
+    """
+
+    relation_cardinality: Mapping[str, int]
+    per_access: float = 1.0
+    per_tuple: float = 0.01
+    join_selectivity: float = 0.5
+    default_cardinality: int = 100
+
+    def commands_cost(self, commands: Sequence[Command]) -> float:
+        """Monotone cost of a command prefix."""
+        estimates: Dict[str, float] = {}
+        total = 0.0
+        for command in commands:
+            if isinstance(command, AccessCommand):
+                fan_in = self._estimate(command.input_expr, estimates)
+                total += self.per_access + self.per_tuple * fan_in
+                # The access's own output size estimate.
+                relation = self._relation_of(command)
+                base = float(
+                    self.relation_cardinality.get(
+                        relation, self.default_cardinality
+                    )
+                )
+                estimates[command.target] = max(1.0, base)
+            else:
+                estimates[command.target] = self._estimate(
+                    command.expr, estimates
+                )
+        return total
+
+    def _relation_of(self, command: AccessCommand) -> str:
+        # Access commands do not carry the relation; the method name is the
+        # stable key callers configure estimates with.
+        return command.method
+
+    def _estimate(
+        self, expr: Expression, estimates: Mapping[str, float]
+    ) -> float:
+        if isinstance(expr, Singleton):
+            return 1.0
+        if isinstance(expr, Scan):
+            return estimates.get(expr.table, float(self.default_cardinality))
+        if isinstance(expr, (Project, Rename)):
+            return self._estimate(expr.child, estimates)
+        if isinstance(expr, Select):
+            return max(1.0, 0.5 * self._estimate(expr.child, estimates))
+        if isinstance(expr, Join):
+            left = self._estimate(expr.left, estimates)
+            right = self._estimate(expr.right, estimates)
+            return max(1.0, self.join_selectivity * min(left, right) *
+                       max(1.0, max(left, right) ** 0.5))
+        if isinstance(expr, UnionExpr):
+            return self._estimate(expr.left, estimates) + self._estimate(
+                expr.right, estimates
+            )
+        if isinstance(expr, Difference):
+            return self._estimate(expr.left, estimates)
+        return float(self.default_cardinality)
+
+
+def is_monotone_on(
+    cost: CostFunction, commands: Sequence[Command]
+) -> bool:
+    """Spot-check monotonicity along one command sequence's prefixes."""
+    previous = 0.0
+    for end in range(len(commands) + 1):
+        value = cost.commands_cost(commands[:end])
+        if value + 1e-9 < previous:
+            return False
+        previous = value
+    return True

@@ -1,0 +1,118 @@
+"""The accessible part ``AccPart(I)`` of an instance (Section 3).
+
+Everything a querier could ever extract from an instance: start from the
+schema constants, repeatedly enter every known value combination into
+every access method, and collect the returned facts and values, until a
+fixpoint.  Two instances with the same accessible part are
+indistinguishable to any plan -- this is the semantic core of
+access-determinacy and of Theorems 1-3.
+
+The computation here works directly on an :class:`Instance` (not through
+an :class:`InMemorySource`) because it is a *semantic* construction used
+by tests and determinacy checks, not a runtime one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+import itertools
+
+from repro.data.instance import Instance
+from repro.logic.terms import Constant
+from repro.schema.core import Schema
+
+
+@dataclass(frozen=True)
+class AccessiblePart:
+    """The result of the AccPart fixpoint."""
+
+    accessed: Dict[str, FrozenSet[Tuple[Constant, ...]]]
+    accessible_values: FrozenSet[Constant]
+    rounds: int
+
+    def accessed_tuples(self, relation: str) -> FrozenSet[Tuple[Constant, ...]]:
+        """The accessed tuples of one relation."""
+        return self.accessed.get(relation, frozenset())
+
+    def as_instance(self) -> Instance:
+        """The accessible part seen as an instance over original names.
+
+        This is the structure I' of Proposition 2: relation R interpreted
+        by the accessed R-tuples.
+        """
+        instance = Instance()
+        for relation, rows in self.accessed.items():
+            for row in rows:
+                instance.add(relation, row)
+        return instance
+
+    def is_subpart_of(self, other: "AccessiblePart") -> bool:
+        """Fact containment (the preorder behind Theorem 1)."""
+        return all(
+            rows <= other.accessed_tuples(relation)
+            for relation, rows in self.accessed.items()
+        )
+
+    def is_induced_subpart_of(self, other: "AccessiblePart") -> bool:
+        """Induced-subinstance containment (the preorder behind Theorem 3).
+
+        Beyond containment, every fact of ``other`` whose values are all
+        accessible *here* must already be accessed here.
+        """
+        if not self.is_subpart_of(other):
+            return False
+        for relation, rows in other.accessed.items():
+            mine = self.accessed_tuples(relation)
+            for row in rows:
+                if row in mine:
+                    continue
+                if all(value in self.accessible_values for value in row):
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AccessiblePart):
+            mine = {r: v for r, v in self.accessed.items() if v}
+            theirs = {r: v for r, v in other.accessed.items() if v}
+            return (
+                mine == theirs
+                and self.accessible_values == other.accessible_values
+            )
+        return NotImplemented
+
+
+def accessible_part(schema: Schema, instance: Instance) -> AccessiblePart:
+    """Compute ``AccPart(I)`` by the paper's fixpoint iteration."""
+    accessible: Set[Constant] = set(schema.constants)
+    accessed: Dict[str, Set[Tuple[Constant, ...]]] = {
+        relation.name: set() for relation in schema.relations
+    }
+    rounds = 0
+    changed = True
+    while changed:
+        changed = False
+        rounds += 1
+        for method in schema.methods:
+            relation = method.relation
+            for row in instance.tuples(relation):
+                if row in accessed[relation]:
+                    continue
+                if all(
+                    row[p] in accessible for p in method.input_positions
+                ):
+                    accessed[relation].add(row)
+                    changed = True
+        # Defining axioms: all positions of accessed facts become accessible.
+        for rows in accessed.values():
+            for row in rows:
+                for value in row:
+                    if value not in accessible:
+                        accessible.add(value)
+                        changed = True
+    return AccessiblePart(
+        accessed={r: frozenset(v) for r, v in accessed.items()},
+        accessible_values=frozenset(accessible),
+        rounds=rounds,
+    )

@@ -1,0 +1,154 @@
+"""Source decorators: caching, budgets, and failure injection.
+
+Real restricted interfaces are rate-limited, flaky, and worth caching.
+These wrappers compose around any source exposing
+``access(method, inputs)`` (duck-typed; :class:`~repro.data.source.
+InMemorySource` or another decorator):
+
+* :class:`CachingSource` -- memoizes (method, inputs) pairs, so repeated
+  probes (common in proof-generated plans whose accesses are driven by
+  overlapping temporary tables) hit the backend once.
+* :class:`BudgetedSource` -- enforces a hard invocation or cost budget,
+  raising :class:`AccessBudgetExceeded`; useful to assert a plan's
+  runtime frugality in tests.
+* :class:`FlakySource` -- fails deterministically on chosen invocation
+  indices, for failure-injection testing of harness code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.data.instance import _to_constant
+from repro.logic.terms import Constant
+
+
+class AccessBudgetExceeded(RuntimeError):
+    """A budgeted source refused an access beyond its allowance."""
+
+
+class SourceUnavailable(RuntimeError):
+    """An injected failure from :class:`FlakySource`."""
+
+
+class _Wrapper:
+    """Shared plumbing: delegate everything, intercept ``access``."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    @property
+    def schema(self):
+        """The wrapped source's schema."""
+        return self.inner.schema
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class CachingSource(_Wrapper):
+    """Memoize accesses by (method, inputs)."""
+
+    def __init__(self, inner) -> None:
+        super().__init__(inner)
+        self._cache: Dict[
+            Tuple[str, Tuple[Constant, ...]],
+            FrozenSet[Tuple[Constant, ...]],
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        key = (method_name, tuple(_to_constant(v) for v in inputs))
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = self.inner.access(method_name, inputs)
+        self._cache[key] = result
+        return result
+
+
+class BudgetedSource(_Wrapper):
+    """Refuse accesses beyond an invocation-count or cost budget."""
+
+    def __init__(
+        self,
+        inner,
+        max_invocations: Optional[int] = None,
+        max_cost: Optional[float] = None,
+    ) -> None:
+        super().__init__(inner)
+        self.max_invocations = max_invocations
+        self.max_cost = max_cost
+        self.invocations = 0
+        self.spent = 0.0
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        cost = self.schema.method(method_name).cost
+        if (
+            self.max_invocations is not None
+            and self.invocations + 1 > self.max_invocations
+        ):
+            raise AccessBudgetExceeded(
+                f"invocation budget {self.max_invocations} exhausted"
+            )
+        if self.max_cost is not None and self.spent + cost > self.max_cost:
+            raise AccessBudgetExceeded(
+                f"cost budget {self.max_cost} exhausted "
+                f"(spent {self.spent}, next access costs {cost})"
+            )
+        self.invocations += 1
+        self.spent += cost
+        return self.inner.access(method_name, inputs)
+
+
+class FlakySource(_Wrapper):
+    """Fail on selected invocation indices (0-based), or by predicate."""
+
+    def __init__(
+        self,
+        inner,
+        fail_on: Sequence[int] = (),
+        predicate: Optional[Callable[[str, Tuple], bool]] = None,
+    ) -> None:
+        super().__init__(inner)
+        self.fail_on = frozenset(fail_on)
+        self.predicate = predicate
+        self.calls = 0
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        index = self.calls
+        self.calls += 1
+        if index in self.fail_on or (
+            self.predicate is not None
+            and self.predicate(method_name, tuple(inputs))
+        ):
+            raise SourceUnavailable(
+                f"injected failure on call #{index} ({method_name})"
+            )
+        return self.inner.access(method_name, inputs)
+
+
+def calibrate_costs(source) -> Dict[str, float]:
+    """Fit simple-cost weights from an executed source's log.
+
+    Per method: the total runtime charge observed, i.e. declared
+    per-invocation cost times invocation count.  Feeding the result into
+    ``SimpleCostFunction(per_method=...)`` makes a *re*-planning run see
+    each method at the price one access command actually cost last time
+    (the fan-out of probe methods is priced in), which is the simplest
+    feedback loop between execution and the static search.
+    """
+    from collections import defaultdict
+
+    invocations: Dict[str, int] = defaultdict(int)
+    for record in source.log:
+        invocations[record.method] += 1
+    return {
+        method: source.schema.method(method).cost * count
+        for method, count in invocations.items()
+    }

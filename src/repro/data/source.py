@@ -1,0 +1,109 @@
+"""Access-enforced data sources with per-access metering.
+
+:class:`InMemorySource` is the simulation of the paper's remote
+datasources: the *only* way to read data is to invoke a declared access
+method with values for all of its input positions.  Every invocation is
+logged, so tests and benchmarks can check both the "fewer accesses"
+runtime order of Theorem 8 (the set of (method, input-tuple) pairs
+touched) and the money/latency cost a cost function assigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.data.instance import Instance, _to_constant
+from repro.logic.terms import Constant
+from repro.schema.core import AccessMethod, Schema, SchemaError
+
+
+class AccessViolation(RuntimeError):
+    """Raised when data is requested in a way the schema forbids."""
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One logged invocation of an access method."""
+
+    method: str
+    relation: str
+    inputs: Tuple[Constant, ...]
+    results: int
+
+
+class InMemorySource:
+    """An instance exposed only through its schema's access methods."""
+
+    def __init__(self, schema: Schema, instance: Instance) -> None:
+        self.schema = schema
+        self.instance = instance
+        self.log: List[AccessRecord] = []
+
+    # ------------------------------------------------------------ access
+    def access(
+        self, method_name: str, inputs: Sequence[object] = ()
+    ) -> FrozenSet[Tuple[Constant, ...]]:
+        """Invoke a method: return all relation tuples matching the inputs.
+
+        ``inputs`` must supply exactly one value per input position of the
+        method, in the order the method declares them.
+        """
+        method = self.schema.method(method_name)
+        values = tuple(_to_constant(v) for v in inputs)
+        if len(values) != len(method.input_positions):
+            raise AccessViolation(
+                f"method {method_name} needs {len(method.input_positions)} "
+                f"inputs, got {len(values)}"
+            )
+        matching = frozenset(
+            row
+            for row in self.instance.tuples(method.relation)
+            if all(
+                row[position] == value
+                for position, value in zip(method.input_positions, values)
+            )
+        )
+        self.log.append(
+            AccessRecord(
+                method=method_name,
+                relation=method.relation,
+                inputs=values,
+                results=len(matching),
+            )
+        )
+        return matching
+
+    # ---------------------------------------------------------- metering
+    def reset_log(self) -> None:
+        """Clear the access log and counters."""
+        self.log.clear()
+
+    @property
+    def total_invocations(self) -> int:
+        """Every logged call, including repeats."""
+        return len(self.log)
+
+    def distinct_accesses(self) -> FrozenSet[Tuple[str, Tuple[Constant, ...]]]:
+        """The set of (method, inputs) pairs -- Theorem 8's access measure."""
+        return frozenset((rec.method, rec.inputs) for rec in self.log)
+
+    def invocations_of(self, method_name: str) -> int:
+        """Logged invocation count for one method."""
+        return sum(1 for rec in self.log if rec.method == method_name)
+
+    def charged_cost(self, per_method: Optional[Dict[str, float]] = None) -> float:
+        """Total runtime cost: per-method weight (default: declared cost)."""
+        total = 0.0
+        for record in self.log:
+            if per_method is not None and record.method in per_method:
+                total += per_method[record.method]
+            else:
+                total += self.schema.method(record.method).cost
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"InMemorySource({self.schema.name}, "
+            f"{self.instance.size()} tuples, {len(self.log)} accesses)"
+        )

@@ -1,0 +1,75 @@
+"""First-order logic machinery for Section 3.
+
+Formula ASTs, negation normal form, polarity analysis, the paper's
+``BindPatt`` binding-pattern semantics, *executable* FO queries and their
+compilation to plans (Proposition 1), a refutation tableau prover over a
+bounded Herbrand universe, and constructive Craig/Lyndon/Access
+interpolation (Theorem 4) extracted from closed tableaux.
+"""
+
+from repro.fo.formulas import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    FOAtom,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Top,
+    polarities,
+    to_nnf,
+)
+from repro.fo.binding import (
+    BindingPattern,
+    UnrestrictedQuantificationError,
+    binding_patterns,
+)
+from repro.fo.executable import (
+    ExecutabilityError,
+    executable_to_plan,
+    is_executable,
+)
+from repro.fo.tableau import ProofNotFound, TableauProver
+from repro.fo.interpolation import (
+    InterpolationResult,
+    interpolate,
+    verify_interpolant,
+)
+from repro.fo.counterexample import determinacy_counterexample
+from repro.fo.determinacy import (
+    is_access_determined,
+    is_monotonically_determined,
+)
+
+__all__ = [
+    "And",
+    "BindingPattern",
+    "Bottom",
+    "Eq",
+    "ExecutabilityError",
+    "Exists",
+    "FOAtom",
+    "Forall",
+    "Formula",
+    "Implies",
+    "InterpolationResult",
+    "Not",
+    "Or",
+    "ProofNotFound",
+    "TableauProver",
+    "Top",
+    "UnrestrictedQuantificationError",
+    "binding_patterns",
+    "determinacy_counterexample",
+    "executable_to_plan",
+    "interpolate",
+    "is_access_determined",
+    "is_executable",
+    "is_monotonically_determined",
+    "polarities",
+    "to_nnf",
+    "verify_interpolant",
+]

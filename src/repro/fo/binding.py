@@ -1,0 +1,145 @@
+"""Binding patterns: the paper's ``BindPatt`` semantics.
+
+``BindPatt(phi)`` collects, per relation occurrence used in (guarded)
+quantification, the set of argument positions whose values are already
+bound when the quantifier is evaluated inductively -- the access pattern a
+naive evaluator would need.  The definition is partial: formulas with
+*unrestricted* quantifiers (e.g. ``exists x . not P(x)``) have no binding
+pattern and raise :class:`UnrestrictedQuantificationError`, exactly as in
+the paper (which notes every active-domain formula can be rewritten into
+restricted form).
+
+A top-level positive atom is treated as ``BindPatt(R(t)) = (R, all
+positions)``; a quantified guard ``exists y (R(t, y) & phi)`` or
+``forall y (R(t, y) -> phi)`` contributes ``(R, { i : t_i not in y })``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+from repro.fo.formulas import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    FOAtom,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+
+
+class UnrestrictedQuantificationError(ValueError):
+    """Raised when BindPatt is undefined for a formula."""
+
+
+@dataclass(frozen=True)
+class BindingPattern:
+    """A relation plus the positions bound at evaluation time."""
+
+    relation: str
+    bound_positions: FrozenSet[int]
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(p) for p in sorted(self.bound_positions))
+        return f"({self.relation},{{{inner}}})"
+
+
+def binding_patterns(formula: Formula) -> FrozenSet[BindingPattern]:
+    """``BindPatt`` of a formula, per the paper's induction."""
+    out: Set[BindingPattern] = set()
+    _collect(formula, out)
+    return frozenset(out)
+
+
+def _guard_pattern(atom: Atom, quantified: Tuple[Variable, ...]) -> BindingPattern:
+    bound = frozenset(
+        i
+        for i, term in enumerate(atom.terms)
+        if not (isinstance(term, Variable) and term in quantified)
+    )
+    return BindingPattern(atom.relation, bound)
+
+
+def _collect(formula: Formula, out: Set[BindingPattern]) -> None:
+    if isinstance(formula, (Top, Bottom, Eq)):
+        return
+    if isinstance(formula, FOAtom):
+        out.add(
+            BindingPattern(
+                formula.atom.relation,
+                frozenset(range(formula.atom.arity)),
+            )
+        )
+        return
+    if isinstance(formula, Not):
+        _collect(formula.inner, out)
+        return
+    if isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            _collect(part, out)
+        return
+    if isinstance(formula, Implies):
+        _collect(formula.left, out)
+        _collect(formula.right, out)
+        return
+    if isinstance(formula, Exists):
+        guard, rest = _existential_guard(formula)
+        out.add(_guard_pattern(guard, formula.variables))
+        _collect(rest, out)
+        return
+    if isinstance(formula, Forall):
+        guard, rest = _universal_guard(formula)
+        out.add(_guard_pattern(guard, formula.variables))
+        _collect(rest, out)
+        return
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _existential_guard(formula: Exists) -> Tuple[Atom, Formula]:
+    """Split ``exists y (R(..) & phi)``; the guard must cover the ys."""
+    body = formula.body
+    if isinstance(body, FOAtom):
+        guard, rest = body.atom, Top()
+    elif isinstance(body, And) and body.parts and isinstance(
+        body.parts[0], FOAtom
+    ):
+        guard, rest = body.parts[0].atom, And(*body.parts[1:])
+    else:
+        raise UnrestrictedQuantificationError(
+            f"existential quantifier without a guard atom: {formula!r}"
+        )
+    _check_guard_covers(guard, formula.variables, formula)
+    return guard, rest
+
+
+def _universal_guard(formula: Forall) -> Tuple[Atom, Formula]:
+    """Split ``forall y (R(..) -> phi)``; the guard must cover the ys."""
+    body = formula.body
+    if isinstance(body, Implies) and isinstance(body.left, FOAtom):
+        guard, rest = body.left.atom, body.right
+    else:
+        raise UnrestrictedQuantificationError(
+            f"universal quantifier without a guard implication: {formula!r}"
+        )
+    _check_guard_covers(guard, formula.variables, formula)
+    return guard, rest
+
+
+def _check_guard_covers(
+    guard: Atom, quantified: Tuple[Variable, ...], formula: Formula
+) -> None:
+    guard_vars = set(guard.variables())
+    missing = [v for v in quantified if v not in guard_vars]
+    if missing:
+        raise UnrestrictedQuantificationError(
+            f"quantified variables {missing} not covered by guard "
+            f"{guard!r} in {formula!r}"
+        )

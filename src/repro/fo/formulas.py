@@ -1,0 +1,387 @@
+"""First-order formula ASTs.
+
+Formulas are built from relational atoms (reusing
+:class:`repro.logic.atoms.Atom`), equality, the constants ``Top`` /
+``Bottom``, boolean connectives, and quantifiers binding tuples of
+variables.  All nodes are immutable and hashable.
+
+``Implies(a, b)`` is a first-class node but is treated as ``Or(Not(a), b)``
+by polarity analysis and NNF, matching the paper's convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.terms import Constant, Null, Term, Variable
+
+
+class Formula:
+    """Base class for first-order formulas."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        raise NotImplementedError
+
+    def substitute(self, substitution: Substitution) -> "Formula":
+        """Apply a substitution to free occurrences."""
+        raise NotImplementedError
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        raise NotImplementedError
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The always-true formula."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        return frozenset()
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        return self
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        return frozenset()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The always-false formula."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        return frozenset()
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        return self
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        return frozenset()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+@dataclass(frozen=True)
+class FOAtom(Formula):
+    """A relational atom as a formula."""
+
+    atom: Atom
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        return frozenset(self.atom.variables())
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        return FOAtom(self.atom.apply(substitution))
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        return frozenset({self.atom.relation})
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        return frozenset(self.atom.constants())
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality between two terms."""
+
+    left: Term
+    right: Term
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Variable)
+        )
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        return Eq(
+            substitution.get(self.left, self.left),
+            substitution.get(self.right, self.right),
+        )
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        return frozenset()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Constant)
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.left!r}={self.right!r}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    inner: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        return self.inner.free_variables()
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        return Not(self.inner.substitute(substitution))
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        return self.inner.relations()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        return self.inner.constants()
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+class _Junction(Formula):
+    """Shared implementation of n-ary connectives."""
+
+    symbol = "?"
+
+    def __init__(self, *parts: Formula) -> None:
+        flat = []
+        for part in parts:
+            if isinstance(part, type(self)):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        self.parts: Tuple[Formula, ...] = tuple(flat)
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        out: Set[Variable] = set()
+        for part in self.parts:
+            out |= part.free_variables()
+        return frozenset(out)
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        return type(self)(
+            *(part.substitute(substitution) for part in self.parts)
+        )
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        out: Set[str] = set()
+        for part in self.parts:
+            out |= part.relations()
+        return frozenset(out)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        out: Set[Constant] = set()
+        for part in self.parts:
+            out |= part.constants()
+        return frozenset(out)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.parts))
+
+    def __repr__(self) -> str:
+        if not self.parts:
+            return "⊤" if isinstance(self, And) else "⊥"
+        joined = f" {self.symbol} ".join(repr(p) for p in self.parts)
+        return f"({joined})"
+
+
+class And(_Junction):
+    """N-ary conjunction (flattens nested Ands)."""
+
+    symbol = "∧"
+
+
+class Or(_Junction):
+    """N-ary disjunction (flattens nested Ors)."""
+
+    symbol = "∨"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Material implication; polarity-wise it is ``Or(Not(left), right)``."""
+
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        return self.left.free_variables() | self.right.free_variables()
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        return Implies(
+            self.left.substitute(substitution),
+            self.right.substitute(substitution),
+        )
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        return self.left.relations() | self.right.relations()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        return self.left.constants() | self.right.constants()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} → {self.right!r})"
+
+
+class _Quantifier(Formula):
+    symbol = "?"
+
+    def __init__(self, variables: Iterable[Variable], body: Formula) -> None:
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.body = body
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """Variables not bound by any quantifier here."""
+        return self.body.free_variables() - set(self.variables)
+
+    def substitute(self, substitution: Substitution) -> Formula:
+        """Apply a substitution to free occurrences."""
+        trimmed = Substitution(
+            {
+                key: value
+                for key, value in substitution.items()
+                if key not in self.variables
+            }
+        )
+        return type(self)(self.variables, self.body.substitute(trimmed))
+
+    def relations(self) -> FrozenSet[str]:
+        """Relation names occurring in the formula."""
+        return self.body.relations()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Schema constants occurring in the formula."""
+        return self.body.constants()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.variables == other.variables
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.variables, self.body))
+
+    def __repr__(self) -> str:
+        names = ",".join(v.name for v in self.variables)
+        return f"{self.symbol}{names}.{self.body!r}"
+
+
+class Exists(_Quantifier):
+    """Existential quantification over a tuple of variables."""
+
+    symbol = "∃"
+
+
+class Forall(_Quantifier):
+    """Universal quantification over a tuple of variables."""
+
+    symbol = "∀"
+
+
+# ------------------------------------------------------------------- NNF
+def to_nnf(formula: Formula, negate: bool = False) -> Formula:
+    """Negation normal form (negation only on atoms and equalities)."""
+    if isinstance(formula, Top):
+        return Bottom() if negate else formula
+    if isinstance(formula, Bottom):
+        return Top() if negate else formula
+    if isinstance(formula, (FOAtom, Eq)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return to_nnf(formula.inner, not negate)
+    if isinstance(formula, Implies):
+        return to_nnf(Or(Not(formula.left), formula.right), negate)
+    if isinstance(formula, And):
+        parts = tuple(to_nnf(p, negate) for p in formula.parts)
+        return Or(*parts) if negate else And(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(to_nnf(p, negate) for p in formula.parts)
+        return And(*parts) if negate else Or(*parts)
+    if isinstance(formula, Exists):
+        body = to_nnf(formula.body, negate)
+        return (
+            Forall(formula.variables, body)
+            if negate
+            else Exists(formula.variables, body)
+        )
+    if isinstance(formula, Forall):
+        body = to_nnf(formula.body, negate)
+        return (
+            Exists(formula.variables, body)
+            if negate
+            else Forall(formula.variables, body)
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+# -------------------------------------------------------------- polarity
+def polarities(formula: Formula) -> Dict[str, Set[int]]:
+    """Occurrence polarities per relation: +1 positive, -1 negative."""
+    out: Dict[str, Set[int]] = {}
+    _collect_polarities(formula, +1, out)
+    return out
+
+
+def _collect_polarities(
+    formula: Formula, sign: int, out: Dict[str, Set[int]]
+) -> None:
+    if isinstance(formula, FOAtom):
+        out.setdefault(formula.atom.relation, set()).add(sign)
+    elif isinstance(formula, Not):
+        _collect_polarities(formula.inner, -sign, out)
+    elif isinstance(formula, Implies):
+        _collect_polarities(formula.left, -sign, out)
+        _collect_polarities(formula.right, sign, out)
+    elif isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            _collect_polarities(part, sign, out)
+    elif isinstance(formula, (Exists, Forall)):
+        _collect_polarities(formula.body, sign, out)
+    # Top/Bottom/Eq carry no relation occurrences.

@@ -1,0 +1,176 @@
+"""Constructive interpolation (Theorem 4) and its verification.
+
+:func:`interpolate` computes an interpolant for an entailment
+``phi1 |= phi2`` from a closed tableau, and checks the Theorem 4
+guarantees programmatically:
+
+1. ``phi1 |= I`` and ``I |= phi2``   (re-proved with the same prover),
+2. relations occur in I only with polarities occurring in both sides,
+3. constants of I occur in both sides,
+4. binding patterns of I are among those of the inputs (checked when the
+   inputs have defined BindPatt),
+5. equality-freeness is preserved (the prover never introduces equality).
+
+Verification is best-effort in the same sense the prover is: a bounded
+search that can fail to confirm a true entailment, but never certifies a
+false one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Set
+
+from repro.fo.binding import (
+    BindingPattern,
+    UnrestrictedQuantificationError,
+    binding_patterns,
+)
+from repro.fo.formulas import Formula, Not, polarities
+from repro.fo.tableau import ProofNotFound, TableauProver, is_parameter
+
+
+@dataclass
+class InterpolationResult:
+    """An interpolant plus the outcome of the property checks."""
+
+    interpolant: Formula
+    entailed_by_left: Optional[bool]
+    entails_right: Optional[bool]
+    polarity_ok: bool
+    constants_ok: bool
+    binding_ok: Optional[bool]
+
+    @property
+    def fully_verified(self) -> bool:
+        """All property checks passed (or were inapplicable)."""
+        return bool(
+            self.entailed_by_left
+            and self.entails_right
+            and self.polarity_ok
+            and self.constants_ok
+            and self.binding_ok in (True, None)
+        )
+
+
+def interpolate(
+    phi1: Formula,
+    phi2: Formula,
+    prover: Optional[TableauProver] = None,
+    verify: bool = True,
+) -> InterpolationResult:
+    """Interpolate ``phi1 |= phi2``; raises ProofNotFound if unprovable."""
+    from repro.fo.normalize import normalize
+
+    prover = prover or TableauProver()
+    interpolant = prover.refute([phi1], [Not(phi2)])
+    interpolant = _generalize_one_sided_constants(interpolant, phi1, phi2)
+    interpolant = normalize(interpolant)
+    entailed = entails = None
+    if verify:
+        entailed, entails = verify_interpolant(
+            phi1, interpolant, phi2, prover
+        )
+    return InterpolationResult(
+        interpolant=interpolant,
+        entailed_by_left=entailed,
+        entails_right=entails,
+        polarity_ok=_polarity_ok(phi1, interpolant, phi2),
+        constants_ok=_constants_ok(phi1, interpolant, phi2),
+        binding_ok=_binding_ok(phi1, interpolant, phi2),
+    )
+
+
+def _generalize_one_sided_constants(
+    interpolant: Formula, phi1: Formula, phi2: Formula
+) -> Formula:
+    """Quantify out constants that occur on only one side (Thm 4 item 3).
+
+    A constant occurring only in ``phi1`` is existentially generalized
+    (``phi1 |= I(c)`` gives ``phi1 |= exists z I(z)``, and since c is
+    absent from ``phi2``, ``I(c) |= phi2`` gives ``exists z I(z) |=
+    phi2``); a constant only in ``phi2`` is dually universalized.
+    """
+    from itertools import count
+
+    from repro.fo.formulas import Exists, Forall
+    from repro.fo.tableau import _replace_constant
+    from repro.logic.terms import Variable
+
+    shared = phi1.constants() & phi2.constants()
+    left_only = phi1.constants() - shared
+    fresh = count()
+    result = interpolant
+    for constant in sorted(result.constants()):
+        if constant in shared or is_parameter(constant):
+            continue
+        variable = Variable(f"c{next(fresh)}")
+        result = _replace_constant(result, constant, variable)
+        if constant in left_only:
+            result = Exists((variable,), result)
+        else:
+            result = Forall((variable,), result)
+    return result
+
+
+def verify_interpolant(
+    phi1: Formula,
+    interpolant: Formula,
+    phi2: Formula,
+    prover: Optional[TableauProver] = None,
+) -> tuple:
+    """(phi1 |= I proved?, I |= phi2 proved?) -- both best-effort."""
+    prover = prover or TableauProver()
+    return (
+        prover.entails([phi1], interpolant),
+        prover.entails([interpolant], phi2),
+    )
+
+
+def _polarity_ok(
+    phi1: Formula, interpolant: Formula, phi2: Formula
+) -> bool:
+    """Theorem 4 item 2: polarity containment on both sides."""
+    left = polarities(phi1)
+    right = polarities(phi2)
+    for relation, signs in polarities(interpolant).items():
+        for sign in signs:
+            if sign not in left.get(relation, set()):
+                return False
+            if sign not in right.get(relation, set()):
+                return False
+    return True
+
+
+def _constants_ok(
+    phi1: Formula, interpolant: Formula, phi2: Formula
+) -> bool:
+    """Theorem 4 item 3: shared constants only (parameters excluded)."""
+    shared = phi1.constants() & phi2.constants()
+    return all(
+        constant in shared
+        for constant in interpolant.constants()
+        if not is_parameter(constant)
+    )
+
+
+def _binding_ok(
+    phi1: Formula, interpolant: Formula, phi2: Formula
+) -> Optional[bool]:
+    """Theorem 4 item 4; None when some BindPatt is undefined."""
+    try:
+        allowed: Set[BindingPattern] = set(binding_patterns(phi1))
+        allowed |= set(binding_patterns(phi2))
+        mine = binding_patterns(interpolant)
+    except UnrestrictedQuantificationError:
+        return None
+    # A pattern with more bound positions is servable whenever one with
+    # fewer bound positions is: compare up to that monotonicity.
+    for pattern in mine:
+        if not any(
+            pattern.relation == base.relation
+            and base.bound_positions <= pattern.bound_positions
+            for base in allowed
+        ):
+            return False
+    return True

@@ -1,0 +1,174 @@
+"""Formula normalization: miniscoping, alpha-renaming, deduplication.
+
+Tableau-extracted interpolants are correct but syntactically noisy: wide
+disjunctions of variants of the same atom under one big quantifier
+prefix.  This module cleans them up:
+
+* :func:`drop_unused_quantifiers` removes bound variables that do not
+  occur in the body,
+* :func:`push_quantifiers` miniscopes -- ``exists z (A or B)`` becomes
+  ``exists z A or exists z B`` (each keeping only the variables it
+  uses); dually for ``forall`` over conjunctions,
+* :func:`alpha_normalize` renames bound variables canonically so that
+  alpha-equivalent subformulas become syntactically equal,
+* flattening + deduplication of ``And``/``Or`` arguments.
+
+:func:`normalize` composes all of them; it preserves logical equivalence
+(each step is a classical equivalence) and is what the interpolation
+pipeline applies before verification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Tuple
+
+from repro.fo.formulas import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    FOAtom,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.fo.tableau import simplify
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.terms import Variable
+
+
+def normalize(formula: Formula) -> Formula:
+    """Simplify, miniscope, alpha-normalize and deduplicate."""
+    result = simplify(formula)
+    result = push_quantifiers(result)
+    result = alpha_normalize(result)
+    result = _dedupe(result)
+    return simplify(result)
+
+
+def drop_unused_quantifiers(formula: Formula) -> Formula:
+    """Remove quantified variables that are not free in the body."""
+    if isinstance(formula, (Exists, Forall)):
+        body = drop_unused_quantifiers(formula.body)
+        used = tuple(
+            v for v in formula.variables if v in body.free_variables()
+        )
+        if not used:
+            return body
+        return type(formula)(used, body)
+    return _map_children(formula, drop_unused_quantifiers)
+
+
+def push_quantifiers(formula: Formula) -> Formula:
+    """Miniscope quantifiers through their distributive connective."""
+    formula = drop_unused_quantifiers(formula)
+    if isinstance(formula, Exists):
+        body = push_quantifiers(formula.body)
+        if isinstance(body, Or):
+            return Or(
+                *(
+                    push_quantifiers(Exists(formula.variables, part))
+                    for part in body.parts
+                )
+            )
+        return drop_unused_quantifiers(Exists(formula.variables, body))
+    if isinstance(formula, Forall):
+        body = push_quantifiers(formula.body)
+        if isinstance(body, And):
+            return And(
+                *(
+                    push_quantifiers(Forall(formula.variables, part))
+                    for part in body.parts
+                )
+            )
+        return drop_unused_quantifiers(Forall(formula.variables, body))
+    return _map_children(formula, push_quantifiers)
+
+
+def alpha_normalize(formula: Formula) -> Formula:
+    """Rename bound variables canonically by binder depth.
+
+    Depth-based (de Bruijn-style) names make alpha-equivalent *sibling*
+    subformulas syntactically equal, which is what lets ``_dedupe``
+    collapse them.  Nested scopes get increasing depths, so no capture
+    can occur.
+    """
+    return _alpha(formula, {}, 0)
+
+
+def _alpha(
+    formula: Formula,
+    renaming: Dict[Variable, Variable],
+    depth: int,
+) -> Formula:
+    if isinstance(formula, FOAtom):
+        terms = tuple(
+            renaming.get(t, t) if isinstance(t, Variable) else t
+            for t in formula.atom.terms
+        )
+        return FOAtom(Atom(formula.atom.relation, terms))
+    if isinstance(formula, Eq):
+        left = renaming.get(formula.left, formula.left)
+        right = renaming.get(formula.right, formula.right)
+        return Eq(left, right)
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_alpha(formula.inner, renaming, depth))
+    if isinstance(formula, And):
+        return And(*(_alpha(p, renaming, depth) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(*(_alpha(p, renaming, depth) for p in formula.parts))
+    if isinstance(formula, Implies):
+        return Implies(
+            _alpha(formula.left, renaming, depth),
+            _alpha(formula.right, renaming, depth),
+        )
+    if isinstance(formula, (Exists, Forall)):
+        inner = dict(renaming)
+        fresh = []
+        for offset, variable in enumerate(formula.variables):
+            new = Variable(f"v{depth + offset}")
+            inner[variable] = new
+            fresh.append(new)
+        return type(formula)(
+            tuple(fresh),
+            _alpha(formula.body, inner, depth + len(formula.variables)),
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _dedupe(formula: Formula) -> Formula:
+    """Remove duplicate arguments of flattened And/Or nodes."""
+    if isinstance(formula, And):
+        seen: Dict[Formula, None] = {}
+        for part in (_dedupe(p) for p in formula.parts):
+            seen.setdefault(part)
+        parts = tuple(seen)
+        return parts[0] if len(parts) == 1 else And(*parts)
+    if isinstance(formula, Or):
+        seen = {}
+        for part in (_dedupe(p) for p in formula.parts):
+            seen.setdefault(part)
+        parts = tuple(seen)
+        return parts[0] if len(parts) == 1 else Or(*parts)
+    return _map_children(formula, _dedupe)
+
+
+def _map_children(formula: Formula, mapper) -> Formula:
+    """Apply ``mapper`` to immediate subformulas, rebuilding the node."""
+    if isinstance(formula, Not):
+        return Not(mapper(formula.inner))
+    if isinstance(formula, And):
+        return And(*(mapper(p) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(*(mapper(p) for p in formula.parts))
+    if isinstance(formula, Implies):
+        return Implies(mapper(formula.left), mapper(formula.right))
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(formula.variables, mapper(formula.body))
+    return formula

@@ -1,0 +1,61 @@
+"""Logical substrate: terms, atoms, queries, dependencies, homomorphisms.
+
+This subpackage implements the classical database-theory toolkit the paper
+builds on: first-order terms (variables, schema constants, labelled nulls),
+relational atoms and facts, substitutions, conjunctive queries with their
+canonical databases, homomorphism search, conjunctive-query containment and
+minimization, and tuple-generating dependencies (TGDs) with the guardedness
+hierarchy used in Section 5 of the paper.
+"""
+
+from repro.logic.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Term,
+    Variable,
+    fresh_null,
+    reset_null_counter,
+)
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.queries import ConjunctiveQuery, cq
+from repro.logic.dependencies import (
+    TGD,
+    inclusion_dependency,
+    parse_tgd,
+)
+from repro.logic.homomorphisms import (
+    FactIndex,
+    extend_homomorphism,
+    find_homomorphism,
+    find_homomorphisms,
+)
+from repro.logic.containment import (
+    is_contained_in,
+    is_equivalent,
+    minimize,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "FactIndex",
+    "Null",
+    "NullFactory",
+    "Substitution",
+    "TGD",
+    "Term",
+    "Variable",
+    "cq",
+    "extend_homomorphism",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "fresh_null",
+    "inclusion_dependency",
+    "is_contained_in",
+    "is_equivalent",
+    "minimize",
+    "parse_tgd",
+    "reset_null_counter",
+]

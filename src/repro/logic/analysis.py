@@ -1,0 +1,135 @@
+"""Static analysis of TGD sets: termination and structure.
+
+The chase does not terminate for arbitrary TGDs; the standard sufficient
+condition is **weak acyclicity** (Fagin, Kolaitis, Miller, Popa): build
+the position dependency graph --
+
+* a node per (relation, position),
+* a *normal* edge from body position p to head position q whenever a
+  universally-quantified variable occurs at p and is copied to q,
+* a *special* edge from p to q whenever a variable at p occurs in a head
+  atom that also introduces an existential variable at q --
+
+and require that no cycle passes through a special edge.  Weakly acyclic
+sets have a polynomially-bounded chase, so the planner can saturate
+without blocking or budgets.
+
+``analyze_constraints`` bundles this with the guardedness / inclusion-
+dependency classification used by the paper (§5), and
+``repro.planner.answerability.default_policy_for`` consults it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.logic.dependencies import TGD
+from repro.logic.terms import Variable
+
+Position = Tuple[str, int]
+
+
+def position_dependency_graph(
+    constraints: Sequence[TGD],
+) -> "nx.DiGraph":
+    """The FKMP position graph; edges carry ``special`` booleans."""
+    graph = nx.DiGraph()
+    for tgd in constraints:
+        body_positions: List[Tuple[Variable, Position]] = []
+        for atom in tgd.body:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    body_positions.append((term, (atom.relation, index)))
+        existentials = tgd.existential_variables()
+        head_var_positions: List[Tuple[Variable, Position]] = []
+        head_exist_positions: List[Position] = []
+        for atom in tgd.head:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    position = (atom.relation, index)
+                    if term in existentials:
+                        head_exist_positions.append(position)
+                    else:
+                        head_var_positions.append((term, position))
+        for variable, source in body_positions:
+            if variable not in tgd.frontier():
+                continue
+            for head_variable, target in head_var_positions:
+                if head_variable == variable:
+                    _add_edge(graph, source, target, special=False)
+            for target in head_exist_positions:
+                _add_edge(graph, source, target, special=True)
+    return graph
+
+
+def _add_edge(
+    graph: "nx.DiGraph", source: Position, target: Position, special: bool
+) -> None:
+    if graph.has_edge(source, target):
+        if special:
+            graph[source][target]["special"] = True
+    else:
+        graph.add_edge(source, target, special=special)
+
+
+def is_weakly_acyclic(constraints: Sequence[TGD]) -> bool:
+    """True when no cycle of the position graph uses a special edge."""
+    graph = position_dependency_graph(constraints)
+    for component in nx.strongly_connected_components(graph):
+        if len(component) == 1:
+            node = next(iter(component))
+            if not graph.has_edge(node, node):
+                continue
+        subgraph = graph.subgraph(component)
+        if any(
+            data.get("special", False)
+            for _u, _v, data in subgraph.edges(data=True)
+        ):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class ConstraintAnalysis:
+    """Summary of a TGD set's structure."""
+
+    total: int
+    full_tgds: int
+    inclusion_dependencies: int
+    guarded: bool
+    weakly_acyclic: bool
+
+    @property
+    def chase_terminates(self) -> bool:
+        """A *sufficient* static guarantee of chase termination."""
+        return self.weakly_acyclic
+
+    def describe(self) -> str:
+        """A human-readable multi-line description."""
+        notes = []
+        if self.weakly_acyclic:
+            notes.append("weakly acyclic (chase terminates)")
+        if self.guarded:
+            notes.append("guarded (blocking applies)")
+        return (
+            f"{self.total} TGDs ({self.full_tgds} full, "
+            f"{self.inclusion_dependencies} inclusion dependencies)"
+            + (": " + ", ".join(notes) if notes else "")
+        )
+
+
+def analyze_constraints(constraints: Sequence[TGD]) -> ConstraintAnalysis:
+    """Classify a constraint set for planner policy selection."""
+    constraints = list(constraints)
+    return ConstraintAnalysis(
+        total=len(constraints),
+        full_tgds=sum(1 for tgd in constraints if tgd.is_full),
+        inclusion_dependencies=sum(
+            1 for tgd in constraints if tgd.is_inclusion_dependency
+        ),
+        guarded=all(tgd.is_guarded for tgd in constraints),
+        weakly_acyclic=is_weakly_acyclic(constraints),
+    )

@@ -1,0 +1,160 @@
+"""Relational atoms, facts, and substitutions.
+
+An :class:`Atom` is a relation name applied to a tuple of terms.  A *fact*
+is an atom with no variables (its terms are constants and labelled nulls).
+A :class:`Substitution` maps variables -- and, during homomorphism search
+over chase configurations, nulls -- to terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.logic.terms import Constant, Null, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A relational atom ``relation(t1, ..., tn)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    @property
+    def is_fact(self) -> bool:
+        """True when the atom contains no variables."""
+        return not any(isinstance(t, Variable) for t in self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables of the atom, in order of first occurrence."""
+        seen: Dict[Variable, None] = {}
+        for term in self.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen[term] = None
+        return tuple(seen)
+
+    def nulls(self) -> Tuple[Null, ...]:
+        """The labelled nulls of the atom, in order of first occurrence."""
+        seen: Dict[Null, None] = {}
+        for term in self.terms:
+            if isinstance(term, Null) and term not in seen:
+                seen[term] = None
+        return tuple(seen)
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """The schema constants of the atom, in order of first occurrence."""
+        seen: Dict[Constant, None] = {}
+        for term in self.terms:
+            if isinstance(term, Constant) and term not in seen:
+                seen[term] = None
+        return tuple(seen)
+
+    def apply(self, substitution: "Substitution") -> "Atom":
+        """Apply a substitution, returning a new atom."""
+        return Atom(
+            self.relation,
+            tuple(substitution.get(t, t) for t in self.terms),
+        )
+
+    def rename_relation(self, relation: str) -> "Atom":
+        """The same atom over a different relation name."""
+        return Atom(relation, self.terms)
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({args})"
+
+
+class Substitution:
+    """An immutable-by-convention mapping from terms to terms.
+
+    Only variables and nulls are meaningful keys; schema constants are
+    never remapped.  ``Substitution`` supports functional extension
+    (:meth:`extended`) so backtracking search can share prefixes cheaply.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Term, Term]] = None) -> None:
+        self._mapping: Dict[Term, Term] = dict(mapping) if mapping else {}
+
+    def get(self, term: Term, default: Optional[Term] = None) -> Optional[Term]:
+        """Mapping lookup with a default."""
+        return self._mapping.get(term, default)
+
+    def __getitem__(self, term: Term) -> Term:
+        return self._mapping[term]
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._mapping == other._mapping
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def items(self) -> Iterable[Tuple[Term, Term]]:
+        """The (key, image) pairs of the mapping."""
+        return self._mapping.items()
+
+    def as_dict(self) -> Dict[Term, Term]:
+        """A plain-dict copy of the mapping."""
+        return dict(self._mapping)
+
+    def extended(self, term: Term, image: Term) -> "Substitution":
+        """A new substitution with one extra binding."""
+        new = Substitution(self._mapping)
+        new._mapping[term] = image
+        return new
+
+    def restrict(self, keys: Iterable[Term]) -> "Substitution":
+        """The substitution restricted to the given keys."""
+        wanted = set(keys)
+        return Substitution(
+            {k: v for k, v in self._mapping.items() if k in wanted}
+        )
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """``self`` then ``other``: ``(self.compose(other))(t) = other(self(t))``."""
+        result: Dict[Term, Term] = {}
+        for key, value in self._mapping.items():
+            result[key] = other.get(value, value)
+        for key, value in other.items():
+            if key not in result:
+                result[key] = value
+        return Substitution(result)
+
+    def apply(self, term: Term) -> Term:
+        """The image of one term (identity when unmapped)."""
+        return self._mapping.get(term, term)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k!r}->{v!r}" for k, v in sorted(
+            self._mapping.items(), key=lambda kv: repr(kv[0])))
+        return f"{{{pairs}}}"
+
+
+def apply_to_atoms(
+    atoms: Iterable[Atom], substitution: Substitution
+) -> Tuple[Atom, ...]:
+    """Apply a substitution to every atom in a sequence."""
+    return tuple(atom.apply(substitution) for atom in atoms)

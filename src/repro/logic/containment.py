@@ -1,0 +1,92 @@
+"""Classical conjunctive-query containment and minimization.
+
+``Q1 is contained in Q2`` (every instance's Q1-answers are Q2-answers) holds
+iff there is a containment mapping: a homomorphism from Q2's atoms into the
+canonical database of Q1 sending Q2's head to Q1's head (Chandra-Merkurjev
+classic).  Containment *under constraints* is provided by
+``repro.chase.reasoning``, which chases the canonical database first.
+
+Minimization computes the core of the query by repeatedly looking for a
+fold that drops an atom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.homomorphisms import FactIndex, find_homomorphism
+from repro.logic.queries import ConjunctiveQuery, QueryError
+from repro.logic.terms import Null, Term, Variable
+
+
+def containment_mapping(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> Optional[Substitution]:
+    """A homomorphism witnessing ``contained subseteq container``.
+
+    Maps the *container*'s atoms into the canonical database of the
+    *contained* query, fixing head variables pairwise.
+    """
+    if len(container.head) != len(contained.head):
+        return None
+    facts, frozen = contained.canonical_database(prefix="can")
+    index = FactIndex(facts)
+    seed = Substitution(
+        {
+            cv: frozen[dv]
+            for cv, dv in zip(container.head, contained.head)
+        }
+    )
+    return find_homomorphism(list(container.atoms), index, seed)
+
+
+def is_contained_in(
+    contained: ConjunctiveQuery, container: ConjunctiveQuery
+) -> bool:
+    """``contained subseteq container`` over all instances (no constraints)."""
+    return containment_mapping(container, contained) is not None
+
+
+def is_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Mutual containment."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of the query: an equivalent subquery with minimal atoms.
+
+    Repeatedly tries to remove one atom while retaining an endomorphism of
+    the original query into the candidate subquery that fixes the head.
+    """
+    atoms: List[Atom] = list(query.atoms)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(atoms)):
+            candidate = atoms[:i] + atoms[i + 1:]
+            if not candidate:
+                continue
+            if not _head_preserved(query.head, candidate):
+                continue
+            trial = ConjunctiveQuery(query.head, tuple(candidate), query.name)
+            if _folds_into(query, trial):
+                atoms = candidate
+                changed = True
+                break
+    return ConjunctiveQuery(query.head, tuple(atoms), query.name)
+
+
+def _head_preserved(head: Tuple[Variable, ...], atoms: List[Atom]) -> bool:
+    remaining: set = set()
+    for atom in atoms:
+        remaining.update(atom.variables())
+    return all(v in remaining for v in head)
+
+
+def _folds_into(query: ConjunctiveQuery, sub: ConjunctiveQuery) -> bool:
+    """True if query's atoms map homomorphically into sub's canonical db."""
+    facts, frozen = sub.canonical_database(prefix="core")
+    index = FactIndex(facts)
+    seed = Substitution({v: frozen[v] for v in query.head})
+    return find_homomorphism(list(query.atoms), index, seed) is not None

@@ -1,0 +1,225 @@
+"""Homomorphism search over fact collections.
+
+The workhorse of the whole system: conjunctive-query evaluation, chase
+trigger detection, containment checking, success detection in proof search
+and the domination pruning of Algorithm 1 are all homomorphism problems.
+
+A homomorphism here maps *mappable* terms (variables and, when requested,
+labelled nulls) of a list of pattern atoms to the terms of a fact store, so
+that every pattern atom becomes a stored fact.  Schema constants are rigid:
+they always map to themselves.
+
+The search is a classical backtracking join: at each step we pick the
+pattern atom with the fewest unbound mappable terms (a cheap fail-first
+heuristic) and scan only the candidate facts selected through a per-relation
+index keyed by (position, term).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.terms import Constant, Null, Term, Variable
+
+
+class FactIndex:
+    """An indexed collection of facts.
+
+    Facts are grouped by relation name and indexed by every
+    ``(position, term)`` pair, which makes candidate selection during
+    backtracking proportional to the number of actually-matching facts.
+    """
+
+    __slots__ = ("_by_relation", "_by_position", "_size")
+
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
+        self._by_relation: Dict[str, Set[Atom]] = {}
+        self._by_position: Dict[Tuple[str, int, Term], Set[Atom]] = {}
+        self._size = 0
+        for fact in facts:
+            self.add(fact)
+
+    def add(self, fact: Atom) -> bool:
+        """Insert a fact; returns False if it was already present."""
+        bucket = self._by_relation.setdefault(fact.relation, set())
+        if fact in bucket:
+            return False
+        bucket.add(fact)
+        for position, term in enumerate(fact.terms):
+            key = (fact.relation, position, term)
+            self._by_position.setdefault(key, set()).add(fact)
+        self._size += 1
+        return True
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._by_relation.get(fact.relation, ())
+
+    def __iter__(self) -> Iterator[Atom]:
+        for bucket in self._by_relation.values():
+            yield from bucket
+
+    def relations(self) -> Iterable[str]:
+        """Relation names with at least one indexed fact."""
+        return self._by_relation.keys()
+
+    def facts_of(self, relation: str) -> FrozenSet[Atom]:
+        """The indexed facts of one relation."""
+        return frozenset(self._by_relation.get(relation, ()))
+
+    def candidates(
+        self, atom: Atom, binding: Substitution, map_nulls: bool
+    ) -> Iterable[Atom]:
+        """Facts that could match ``atom`` under the current binding.
+
+        Uses the most selective available (position, term) index entry;
+        falls back to the full relation bucket when every position of the
+        atom is still unbound.
+        """
+        bucket = self._by_relation.get(atom.relation)
+        if not bucket:
+            return ()
+        best: Optional[Set[Atom]] = None
+        for position, term in enumerate(atom.terms):
+            image = _image_of(term, binding, map_nulls)
+            if image is None:
+                continue
+            entry = self._by_position.get((atom.relation, position, image))
+            if entry is None:
+                return ()
+            if best is None or len(entry) < len(best):
+                best = entry
+        return best if best is not None else bucket
+
+    def copy(self) -> "FactIndex":
+        """An independent copy of the index."""
+        clone = FactIndex.__new__(FactIndex)
+        clone._by_relation = {k: set(v) for k, v in self._by_relation.items()}
+        clone._by_position = {k: set(v) for k, v in self._by_position.items()}
+        clone._size = self._size
+        return clone
+
+
+def _image_of(
+    term: Term, binding: Substitution, map_nulls: bool
+) -> Optional[Term]:
+    """The already-determined image of a pattern term, or None if free."""
+    if isinstance(term, Variable) or (map_nulls and isinstance(term, Null)):
+        return binding.get(term)
+    return term
+
+
+def _mappable(term: Term, map_nulls: bool) -> bool:
+    return isinstance(term, Variable) or (map_nulls and isinstance(term, Null))
+
+
+def extend_homomorphism(
+    atom: Atom, fact: Atom, binding: Substitution, map_nulls: bool = False
+) -> Optional[Substitution]:
+    """Try to extend ``binding`` so that ``atom`` maps onto ``fact``.
+
+    Returns the extended substitution, or None when the terms clash.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    current = binding
+    for term, image in zip(atom.terms, fact.terms):
+        if _mappable(term, map_nulls):
+            bound = current.get(term)
+            if bound is None:
+                current = current.extended(term, image)
+            elif bound != image:
+                return None
+        elif term != image:
+            return None
+    return current
+
+
+def find_homomorphisms(
+    atoms: Sequence[Atom],
+    index: FactIndex,
+    binding: Optional[Substitution] = None,
+    map_nulls: bool = False,
+) -> Iterator[Substitution]:
+    """All homomorphisms of ``atoms`` into ``index`` extending ``binding``.
+
+    ``map_nulls=True`` additionally treats labelled nulls in the pattern as
+    mappable -- this is what containment checks and domination pruning need,
+    where the pattern is itself a set of chase facts.
+    """
+    start = binding if binding is not None else Substitution()
+    remaining = list(atoms)
+    yield from _search(remaining, index, start, map_nulls)
+
+
+def _search(
+    remaining: List[Atom],
+    index: FactIndex,
+    binding: Substitution,
+    map_nulls: bool,
+) -> Iterator[Substitution]:
+    if not remaining:
+        yield binding
+        return
+    position = _pick_atom(remaining, binding, map_nulls)
+    atom = remaining[position]
+    rest = remaining[:position] + remaining[position + 1:]
+    for fact in index.candidates(atom, binding, map_nulls):
+        extended = extend_homomorphism(atom, fact, binding, map_nulls)
+        if extended is not None:
+            yield from _search(rest, index, extended, map_nulls)
+
+
+def _pick_atom(
+    remaining: Sequence[Atom], binding: Substitution, map_nulls: bool
+) -> int:
+    """Fail-first: pick the atom with the fewest unbound mappable terms."""
+    best_index = 0
+    best_score = None
+    for i, atom in enumerate(remaining):
+        unbound = sum(
+            1
+            for t in atom.terms
+            if _mappable(t, map_nulls) and t not in binding
+        )
+        if unbound == 0:
+            return i
+        if best_score is None or unbound < best_score:
+            best_score = unbound
+            best_index = i
+    return best_index
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom],
+    index: FactIndex,
+    binding: Optional[Substitution] = None,
+    map_nulls: bool = False,
+) -> Optional[Substitution]:
+    """The first homomorphism found, or None."""
+    for hom in find_homomorphisms(atoms, index, binding, map_nulls):
+        return hom
+    return None
+
+
+def has_homomorphism(
+    atoms: Sequence[Atom],
+    index: FactIndex,
+    binding: Optional[Substitution] = None,
+    map_nulls: bool = False,
+) -> bool:
+    """Existence check for a homomorphism."""
+    return find_homomorphism(atoms, index, binding, map_nulls) is not None

@@ -1,0 +1,111 @@
+"""First-order terms: variables, schema constants, and labelled nulls.
+
+Three disjoint kinds of term appear in the paper's development:
+
+* :class:`Variable` -- a query variable (free or bound).
+* :class:`Constant` -- a *schema constant*: a value the querier may use as a
+  test value in accesses ("smith", 3, ...).  Schema constants are always
+  accessible (Section 3 of the paper seeds the ``accessible`` relation with
+  them).
+* :class:`Null` -- a *labelled null*, called a "chase constant" in the
+  paper.  Nulls are introduced by firing existential rules during the chase
+  and name the columns of the temporary tables in generated plans.
+
+All terms are immutable, hashable values, so they can live in frozen atoms,
+sets and dictionary keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Union
+
+
+class _Orderable:
+    """Cross-kind total order by printed form (stable output in tests)."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, (Variable, Constant, Null)):
+            return repr(self) < repr(other)
+        return NotImplemented
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(_Orderable):
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(_Orderable):
+    """A schema constant (a concrete data value known to the querier)."""
+
+    value: Union[str, int, float, bool]
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Null(_Orderable):
+    """A labelled null ("chase constant").
+
+    Nulls compare by name only.  Use :func:`fresh_null` or a
+    :class:`NullFactory` to mint globally fresh ones.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"_{self.name}"
+
+
+Term = Union[Variable, Constant, Null]
+
+
+class NullFactory:
+    """Mints fresh labelled nulls with a shared prefix.
+
+    A factory is the deterministic, instance-scoped alternative to the
+    module-level :func:`fresh_null` counter: each chase run owns a factory
+    so that re-running the same proof search produces the same null names
+    (important for reproducible plans and for tests).
+    """
+
+    def __init__(self, prefix: str = "n") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def __call__(self, hint: str = "") -> Null:
+        index = next(self._counter)
+        if hint:
+            return Null(f"{self._prefix}{index}_{hint}")
+        return Null(f"{self._prefix}{index}")
+
+
+_GLOBAL_FACTORY = NullFactory(prefix="g")
+
+
+def fresh_null(hint: str = "") -> Null:
+    """Mint a fresh null from the module-level counter."""
+    return _GLOBAL_FACTORY(hint)
+
+
+def reset_null_counter() -> None:
+    """Reset the module-level null counter (test isolation helper)."""
+    global _GLOBAL_FACTORY
+    _GLOBAL_FACTORY = NullFactory(prefix="g")
+
+
+def is_ground(term: Term) -> bool:
+    """A term is ground when it is not a variable."""
+    return not isinstance(term, Variable)

@@ -1,0 +1,95 @@
+"""Proof-driven planning: the paper's core contribution.
+
+* :mod:`repro.planner.plan_state` -- the incremental SPJ plan builder
+  whose steps mirror accessibility-axiom firings (Section 4).
+* :mod:`repro.planner.proof_to_plan` -- replay a chase proof (a sequence
+  of (fact, method) exposures) into a complete plan (Theorem 5).
+* :mod:`repro.planner.search` -- Algorithm 1: cost-guided exploration of
+  the space of eager chase proofs, with cost-bound and domination pruning
+  (Section 5), returning the cheapest plan within an access budget.
+* :mod:`repro.planner.views` -- Theorem 6: chase-based conjunctive
+  rewriting over views (the Levy-Mendelzon-Sagiv-Srivastava setting).
+* :mod:`repro.planner.ra_from_proof` -- Theorem 7: RA / USPJ-with-atomic-
+  negation plans from proofs over the bidirectional axioms.
+* :mod:`repro.planner.answerability` -- plan-existence decision wrapper.
+"""
+
+from repro.planner.plan_state import PlanningError, PlanState
+from repro.planner.proof_to_plan import (
+    ChaseProof,
+    Exposure,
+    plan_from_proof,
+    replay_proof,
+)
+from repro.planner.search import (
+    SearchNode,
+    SearchOptions,
+    SearchResult,
+    SearchStats,
+    find_any_plan,
+    find_best_plan,
+    plan_search,
+)
+from repro.planner.answerability import (
+    Answerability,
+    answerability_witness,
+    decide_answerability,
+    is_answerable,
+)
+from repro.planner.views import (
+    ViewRewritingResult,
+    rewrite_over_views,
+    views_schema,
+)
+from repro.planner.brute_force import (
+    brute_force_plan,
+    k_round_plan,
+)
+from repro.planner.inequalities import (
+    Inequality,
+    plan_with_inequalities,
+)
+from repro.planner.refine import (
+    find_best_plan_iterative,
+    minimize_proof,
+)
+from repro.planner.visualize import plan_to_dot, search_tree_to_dot
+from repro.planner.ra_from_proof import (
+    BackwardStep,
+    ra_plan_from_proof,
+    uspj_neg_plan,
+)
+
+__all__ = [
+    "Answerability",
+    "BackwardStep",
+    "ChaseProof",
+    "Exposure",
+    "PlanState",
+    "PlanningError",
+    "SearchNode",
+    "SearchOptions",
+    "SearchResult",
+    "SearchStats",
+    "ViewRewritingResult",
+    "Inequality",
+    "answerability_witness",
+    "brute_force_plan",
+    "decide_answerability",
+    "find_any_plan",
+    "find_best_plan_iterative",
+    "find_best_plan",
+    "is_answerable",
+    "k_round_plan",
+    "minimize_proof",
+    "plan_from_proof",
+    "plan_search",
+    "plan_to_dot",
+    "plan_with_inequalities",
+    "ra_plan_from_proof",
+    "replay_proof",
+    "rewrite_over_views",
+    "search_tree_to_dot",
+    "uspj_neg_plan",
+    "views_schema",
+]

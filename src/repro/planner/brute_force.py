@@ -1,0 +1,227 @@
+"""The paper's baseline ``P_k``: k rounds of every possible access.
+
+The alternative (non-constructive) proofs of Theorems 1-3 observe that
+only k "levels" of the accessible part matter, and that an EUSPJ plan
+``P_k`` can materialize them: *"P simply performs k rounds of making
+every possible access with values produced by the previous round"* --
+immediately adding *"which is certainly not feasible"*.  This module
+implements that plan so the infeasibility is measurable: the brute-force
+plan's runtime accesses blow up combinatorially in the known-value count
+(every method is fed the full cartesian power of all known values) while
+proof-based plans touch only what their proofs need.
+
+``k_round_plan`` builds P_k (output: one accessed-copy table per
+relation); ``brute_force_plan`` composes it with a middleware evaluation
+of a CQ over the accessed copies, yielding a complete plan whenever the
+query is monotonically determined with witness depth <= k.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.atoms import Atom
+from repro.logic.queries import ConjunctiveQuery
+from repro.logic.terms import Constant, Term, Variable
+from repro.plans.commands import (
+    AccessCommand,
+    Command,
+    MiddlewareCommand,
+    identity_output_map,
+)
+from repro.plans.expressions import (
+    EqAttr,
+    EqConst,
+    Expression,
+    Join,
+    Literal,
+    NamedTable,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Singleton,
+    Union,
+)
+from repro.plans.plan import Plan
+from repro.schema.core import Schema
+
+
+def accessed_table_name(relation: str) -> str:
+    """Name of the brute-force plan's accessed copy of a relation."""
+    return f"BF_{relation}"
+
+
+VALUES_TABLE = "BF_vals"
+_VAL = "v"
+
+
+def k_round_plan(schema: Schema, k: int) -> Plan:
+    """The plan P_k: materialize the k-round accessible part.
+
+    After execution, ``BF_<R>`` holds the accessed R-tuples and
+    ``BF_vals`` the accessible values reached within k rounds.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    commands: List[Command] = []
+    counter = itertools.count()
+    # Round 0: the schema constants.
+    seed = NamedTable.from_rows(
+        (_VAL,), [(c,) for c in schema.constants]
+    )
+    commands.append(MiddlewareCommand(VALUES_TABLE, Literal(seed)))
+    per_relation_tables: Dict[str, List[str]] = {
+        r.name: [] for r in schema.relations
+    }
+    for _round in range(k):
+        round_outputs: List[Tuple[str, str, int]] = []
+        for method in schema.methods:
+            relation = schema.relation(method.relation)
+            raw = f"BF_a{next(counter)}"
+            width = len(method.input_positions)
+            input_expr, binding_attrs = _value_power(width)
+            commands.append(
+                AccessCommand(
+                    target=raw,
+                    method=method.name,
+                    input_expr=input_expr,
+                    input_binding=binding_attrs,
+                    output_map=identity_output_map(
+                        tuple(
+                            f"{raw}_p{i}" for i in range(relation.arity)
+                        )
+                    ),
+                )
+            )
+            round_outputs.append((raw, relation.name, relation.arity))
+            per_relation_tables[relation.name].append(raw)
+        # Defining axioms: every column of every accessed tuple becomes
+        # a known value for the next round.
+        value_parts: List[Expression] = [Scan(VALUES_TABLE)]
+        for raw, _relation, arity in round_outputs:
+            for position in range(arity):
+                value_parts.append(
+                    Rename(
+                        Project(Scan(raw), (f"{raw}_p{position}",)),
+                        ((f"{raw}_p{position}", _VAL),),
+                    )
+                )
+        union: Expression = value_parts[0]
+        for part in value_parts[1:]:
+            union = Union(union, part)
+        commands.append(MiddlewareCommand(VALUES_TABLE, union))
+    # Collapse each relation's per-round raw tables into one table with
+    # positional attributes.
+    for relation in schema.relations:
+        positional = tuple(
+            f"{accessed_table_name(relation.name)}_p{i}"
+            for i in range(relation.arity)
+        )
+        parts = [
+            Rename(
+                Scan(raw),
+                tuple(
+                    (f"{raw}_p{i}", positional[i])
+                    for i in range(relation.arity)
+                ),
+            )
+            for raw in per_relation_tables[relation.name]
+        ]
+        if not parts:
+            empty = NamedTable.empty(positional)
+            expr: Expression = Literal(empty)
+        else:
+            expr = parts[0]
+            for part in parts[1:]:
+                expr = Union(expr, part)
+        commands.append(
+            MiddlewareCommand(accessed_table_name(relation.name), expr)
+        )
+    return Plan(tuple(commands), VALUES_TABLE, name=f"P_{k}")
+
+
+def _value_power(width: int) -> Tuple[Expression, Tuple[str, ...]]:
+    """The ``width``-fold cartesian power of the known-value table."""
+    if width == 0:
+        # Input-free methods fire unconditionally -- even before any
+        # value is known (the paper's "every possible access").
+        return Singleton(), ()
+    attrs = tuple(f"in{i}" for i in range(width))
+    expr: Expression = Rename(Scan(VALUES_TABLE), ((_VAL, attrs[0]),))
+    for attr in attrs[1:]:
+        expr = Join(expr, Rename(Scan(VALUES_TABLE), ((_VAL, attr),)))
+    return expr, attrs
+
+
+def cq_over_tables(
+    query: ConjunctiveQuery,
+    table_of: Dict[str, str],
+    attr_prefixing=lambda table, i: f"{table}_p{i}",
+) -> Expression:
+    """Compile a CQ into a join expression over positional tables.
+
+    Each atom scans its relation's table, filters constants and repeated
+    variables, renames surviving positions to variable names; atoms are
+    natural-joined (shared variables align by name) and the head is
+    projected.
+    """
+    parts: List[Expression] = []
+    for atom in query.atoms:
+        table = table_of[atom.relation]
+        positional = [
+            attr_prefixing(table, i) for i in range(atom.arity)
+        ]
+        conditions: List[object] = []
+        first: Dict[Variable, int] = {}
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                conditions.append(EqConst(positional[i], term))
+            elif isinstance(term, Variable):
+                if term in first:
+                    conditions.append(
+                        EqAttr(positional[first[term]], positional[i])
+                    )
+                else:
+                    first[term] = i
+        expr: Expression = Scan(table)
+        if conditions:
+            expr = Select(expr, tuple(conditions))
+        keep = tuple(positional[p] for p in first.values())
+        expr = Project(expr, keep)
+        renaming = tuple(
+            (positional[p], variable.name)
+            for variable, p in first.items()
+        )
+        if renaming:
+            expr = Rename(expr, renaming)
+        parts.append(expr)
+    joined = parts[0]
+    for part in parts[1:]:
+        joined = Join(joined, part)
+    return Project(joined, tuple(v.name for v in query.head))
+
+
+def brute_force_plan(
+    schema: Schema, query: ConjunctiveQuery, k: int
+) -> Plan:
+    """P_k followed by middleware evaluation of the query.
+
+    Complete whenever the query has a USPJ plan whose witnesses live in
+    the k-round accessible part (any proof-based plan with <= k access
+    "layers" implies this).
+    """
+    base = k_round_plan(schema, k)
+    table_of = {
+        relation.name: accessed_table_name(relation.name)
+        for relation in schema.relations
+    }
+    evaluation = MiddlewareCommand(
+        "T_fin", cq_over_tables(query, table_of)
+    )
+    return Plan(
+        base.commands + (evaluation,),
+        "T_fin",
+        name=f"bruteforce_{k}",
+    )

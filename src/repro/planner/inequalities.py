@@ -1,0 +1,143 @@
+"""ESPJ support: planning queries with head-variable inequalities.
+
+Section 2 allows inequalities in selections and join conditions (the
+``E`` in ESPJ/EUSPJ).  For conjunctive queries extended with
+inequalities *among head variables and constants*, planning reduces to
+planning the conjunctive core and filtering the final table: the
+canonical constants of head variables are frozen through the whole
+proof, so the filter applies to exactly the tuples the query's
+inequality semantics constrains.
+
+(Inequalities touching existential variables are NOT supported this way:
+their witnesses are projected away before the filter could see them.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.logic.queries import ConjunctiveQuery, QueryError
+from repro.logic.terms import Constant, Variable
+from repro.planner.search import (
+    SearchOptions,
+    SearchResult,
+    find_best_plan,
+)
+from repro.plans.commands import MiddlewareCommand
+from repro.plans.expressions import (
+    NeqAttr,
+    NeqConst,
+    Project,
+    Scan,
+    Select,
+)
+from repro.plans.plan import Plan
+from repro.schema.core import Schema
+
+InequalityTerm = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Inequality:
+    """``left != right`` between head variables and/or constants."""
+
+    left: InequalityTerm
+    right: InequalityTerm
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} != {self.right!r}"
+
+
+@dataclass
+class InequalityPlanResult:
+    """A filtered plan plus the underlying conjunctive-core search."""
+
+    plan: Optional[Plan]
+    core: SearchResult
+
+    @property
+    def found(self) -> bool:
+        """Whether a (filtered) complete plan was produced."""
+        return self.plan is not None
+
+
+def plan_with_inequalities(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    inequalities: Sequence[Inequality],
+    options: Optional[SearchOptions] = None,
+) -> InequalityPlanResult:
+    """Plan ``query AND inequalities`` (head variables/constants only)."""
+    _validate(query, inequalities)
+    core = find_best_plan(schema, query, options)
+    if not core.found:
+        return InequalityPlanResult(plan=None, core=core)
+    plan = apply_inequalities(core.best_plan, query, inequalities)
+    return InequalityPlanResult(plan=plan, core=core)
+
+
+def apply_inequalities(
+    plan: Plan,
+    query: ConjunctiveQuery,
+    inequalities: Sequence[Inequality],
+) -> Plan:
+    """Insert the inequality filter over the plan's output table.
+
+    The proof-generated plans name output attributes after the canonical
+    nulls of the head variables (``<query>_<var>``), which is what the
+    filter conditions reference.
+    """
+    _validate(query, inequalities)
+    _facts, frozen = query.canonical_database()
+
+    def attr_of(variable: Variable) -> str:
+        """Output attribute carrying the head variable."""
+        return frozen[variable].name
+
+    conditions: List[object] = []
+    for inequality in inequalities:
+        left, right = inequality.left, inequality.right
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            conditions.append(NeqAttr(attr_of(left), attr_of(right)))
+        elif isinstance(left, Variable) and isinstance(right, Constant):
+            conditions.append(NeqConst(attr_of(left), right))
+        elif isinstance(left, Constant) and isinstance(right, Variable):
+            conditions.append(NeqConst(attr_of(right), left))
+        else:
+            if left == right:  # constant != itself: always-empty query
+                return _always_empty(plan)
+            # Distinct constants: the inequality is vacuous.
+    if not conditions:
+        return plan
+    filtered = MiddlewareCommand(
+        "T_ineq", Select(Scan(plan.output_table), tuple(conditions))
+    )
+    return Plan(
+        plan.commands + (filtered,), "T_ineq", name=f"{plan.name}+ineq"
+    )
+
+
+def _always_empty(plan: Plan) -> Plan:
+    from repro.plans.expressions import Difference
+
+    empty = MiddlewareCommand(
+        "T_ineq",
+        Difference(Scan(plan.output_table), Scan(plan.output_table)),
+    )
+    return Plan(
+        plan.commands + (empty,), "T_ineq", name=f"{plan.name}+ineq"
+    )
+
+
+def _validate(
+    query: ConjunctiveQuery, inequalities: Sequence[Inequality]
+) -> None:
+    head = set(query.head)
+    for inequality in inequalities:
+        for term in (inequality.left, inequality.right):
+            if isinstance(term, Variable) and term not in head:
+                raise QueryError(
+                    f"inequality {inequality!r}: {term!r} is not a head "
+                    f"variable (existential inequalities unsupported)"
+                )

@@ -1,0 +1,271 @@
+"""Plans from chase proofs (Section 4, Theorem 5).
+
+A chase proof that ``Q`` entails ``InferredAccQ`` is, for planning
+purposes, fully determined by its sequence of accessibility-axiom firings:
+everything else (original constraints, defining axioms, inferred-
+accessible rules) is cost-free and fired eagerly.  :class:`ChaseProof`
+records exactly that sequence -- which fact was exposed with which
+method -- and :func:`plan_from_proof` replays it into a complete SPJ plan
+whose structure mirrors the proof's.
+
+The replay enforces the paper's *eager proof* discipline: cost-free rules
+are saturated before and after every access firing, and one access firing
+exposes, besides the chosen fact, every other fact of the same relation
+that agrees with it on the method's input positions (the "facts induced
+by firing" -- they come back from the very same access, so incorporating
+them costs no extra access command).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chase.configuration import ChaseConfiguration, Provenance
+from repro.chase.engine import ChasePolicy, saturate
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.homomorphisms import find_homomorphism
+from repro.logic.queries import ConjunctiveQuery
+from repro.logic.terms import Null, NullFactory, Variable
+from repro.planner.plan_state import PlanningError, PlanState
+from repro.plans.plan import Plan
+from repro.schema.accessible import (
+    AccessibleSchema,
+    accessed_name,
+    inferred_accessible_query,
+)
+from repro.schema.core import AccessMethod
+
+
+@dataclass(frozen=True)
+class Exposure:
+    """One accessibility-axiom firing: expose ``fact`` via ``method``."""
+
+    fact: Atom
+    method: str
+
+    def __repr__(self) -> str:
+        return f"expose {self.fact!r} via {self.method}"
+
+
+@dataclass(frozen=True)
+class ChaseProof:
+    """The access-relevant skeleton of a chase proof for a query."""
+
+    query: ConjunctiveQuery
+    exposures: Tuple[Exposure, ...]
+
+    def __repr__(self) -> str:
+        steps = "; ".join(repr(e) for e in self.exposures)
+        return f"ChaseProof({self.query.name}: {steps})"
+
+
+@dataclass
+class SaturationLog:
+    """Aggregated completeness of every saturation in a run.
+
+    Complete saturations everywhere mean the explored proof space is the
+    *whole* bounded proof space: a failed search is then a certified
+    negative for the given access budget.
+    """
+
+    complete: bool = True
+
+    def absorb(self, result) -> None:
+        """Merge one chase result's completeness into the log."""
+        if not result.is_complete:
+            self.complete = False
+
+
+@dataclass
+class ReplayResult:
+    """Everything the replay produced."""
+
+    plan: Plan
+    config: ChaseConfiguration
+    state: PlanState
+    head_nulls: Tuple[Null, ...]
+    match: Substitution
+
+
+def initial_configuration(
+    acc_schema: AccessibleSchema,
+    query: ConjunctiveQuery,
+    nulls: NullFactory,
+    policy: Optional[ChasePolicy] = None,
+    log: Optional["SaturationLog"] = None,
+) -> Tuple[ChaseConfiguration, Dict[Variable, Null]]:
+    """Canonical database + schema-constant seeds, free rules saturated."""
+    facts, frozen = query.canonical_database()
+    config = ChaseConfiguration(facts)
+    for fact in acc_schema.initial_accessible_facts():
+        config.add(fact)
+    result = saturate(
+        config,
+        list(acc_schema.free_rules),
+        nulls,
+        policy.for_saturation() if policy else None,
+    )
+    if log is not None:
+        log.absorb(result)
+    return config, frozen
+
+
+def fire_access(
+    config: ChaseConfiguration,
+    state: PlanState,
+    fact: Atom,
+    method: AccessMethod,
+    acc_schema: AccessibleSchema,
+    nulls: NullFactory,
+    policy: Optional[ChasePolicy] = None,
+    expose_induced: bool = True,
+    log: Optional["SaturationLog"] = None,
+) -> Tuple[PlanState, Tuple[Atom, ...]]:
+    """Fire one accessibility axiom in place; returns (state, exposed).
+
+    Mutates ``config``; callers who branch (the search tree) copy first.
+    Exposes the chosen fact and (unless ``expose_induced`` is False -- an
+    ablation switch) all facts induced by the same access, then saturates
+    the cost-free rules.
+    """
+    _check_inputs_accessible(config, fact, method)
+    exposed: List[Atom] = []
+    new_state = state
+    to_expose = (
+        _induced_facts(config, fact, method)
+        if expose_induced
+        else (fact,)
+    )
+    for induced in to_expose:
+        accessed = induced.rename_relation(accessed_name(induced.relation))
+        if accessed in config:
+            continue
+        new_state = new_state.expose(induced, method)
+        config.add(
+            accessed,
+            Provenance(
+                rule=f"access[{method.name}]",
+                trigger_facts=(induced,),
+                depth=config.depth(induced) + 1,
+            ),
+        )
+        exposed.append(induced)
+    if not exposed:
+        raise PlanningError(
+            f"{fact!r} is already exposed; firing {method.name} is a no-op"
+        )
+    result = saturate(
+        config,
+        list(acc_schema.free_rules),
+        nulls,
+        policy.for_saturation() if policy else None,
+    )
+    if log is not None:
+        log.absorb(result)
+    return new_state, tuple(exposed)
+
+
+def _check_inputs_accessible(
+    config: ChaseConfiguration, fact: Atom, method: AccessMethod
+) -> None:
+    if fact.relation != method.relation:
+        raise PlanningError(
+            f"method {method.name} is on {method.relation}, "
+            f"got fact {fact!r}"
+        )
+    if fact not in config:
+        raise PlanningError(
+            f"{fact!r} is not in the chase configuration; only derived "
+            f"facts can be exposed"
+        )
+    for position in method.input_positions:
+        term = fact.terms[position]
+        if not config.is_accessible(term):
+            raise PlanningError(
+                f"cannot fire {method.name} on {fact!r}: input value "
+                f"{term!r} (position {position}) is not accessible"
+            )
+
+
+def _induced_facts(
+    config: ChaseConfiguration, fact: Atom, method: AccessMethod
+) -> Tuple[Atom, ...]:
+    """All facts the access retrieving ``fact`` also exposes.
+
+    These are the relation's facts agreeing with the chosen one on the
+    method's input positions (Algorithm 1, line 8).  The chosen fact is
+    listed first so its plan commands come first.
+    """
+    same_access = [
+        other
+        for other in config.facts_of(fact.relation)
+        if other != fact
+        and all(
+            other.terms[p] == fact.terms[p]
+            for p in method.input_positions
+        )
+    ]
+    return (fact, *sorted(same_access, key=repr))
+
+
+def success_match(
+    config: ChaseConfiguration,
+    query: ConjunctiveQuery,
+    head_nulls: Dict[Variable, Null],
+) -> Optional[Substitution]:
+    """A match for InferredAccQ preserving the free variables, if any."""
+    target = inferred_accessible_query(query)
+    seed = Substitution(
+        {variable: head_nulls[variable] for variable in query.head}
+    )
+    return find_homomorphism(list(target.atoms), config.index, seed)
+
+
+def replay_proof(
+    acc_schema: AccessibleSchema,
+    proof: ChaseProof,
+    policy: Optional[ChasePolicy] = None,
+    name: str = "proof-plan",
+) -> ReplayResult:
+    """Replay a proof's exposures and produce the corresponding plan.
+
+    Raises :class:`PlanningError` if an exposure is not fireable in
+    sequence or if the final configuration has no match for
+    ``InferredAccQ`` (i.e. the proof is not actually successful).
+    """
+    query = proof.query
+    nulls = NullFactory("r")
+    config, frozen = initial_configuration(acc_schema, query, nulls, policy)
+    state = PlanState()
+    schema = acc_schema.schema
+    for exposure in proof.exposures:
+        method = schema.method(exposure.method)
+        state, _ = fire_access(
+            config, state, exposure.fact, method, acc_schema, nulls, policy
+        )
+    match = success_match(config, query, frozen)
+    if match is None:
+        raise PlanningError(
+            f"proof does not witness InferredAcc{query.name}: "
+            f"no match after {len(proof.exposures)} exposures"
+        )
+    head_nulls = tuple(frozen[v] for v in query.head)
+    plan = state.finish(head_nulls, name=name)
+    return ReplayResult(
+        plan=plan,
+        config=config,
+        state=state,
+        head_nulls=head_nulls,
+        match=match,
+    )
+
+
+def plan_from_proof(
+    acc_schema: AccessibleSchema,
+    proof: ChaseProof,
+    policy: Optional[ChasePolicy] = None,
+    name: str = "proof-plan",
+) -> Plan:
+    """The SPJ plan generated from a chase proof (Theorem 5)."""
+    return replay_proof(acc_schema, proof, policy, name).plan

@@ -1,0 +1,447 @@
+"""Algorithm 1: cost-guided exploration of the proof space (Section 5).
+
+The search maintains a *partial proof tree*.  Each node carries a chase
+configuration (saturated under cost-free rules -- the eager-proof
+discipline), the partial plan generated so far, and its cost.  Expanding
+a node fires one accessibility axiom for a *candidate fact for exposure*:
+a fact of an original relation, not yet accessed, whose chosen method's
+input positions all hold accessible values.
+
+Pruning (the paper's "Optimizations"):
+
+* cost-bound -- monotone costs let us abort any node whose partial plan
+  already costs at least as much as the best complete plan found;
+* domination -- a new node is discarded when an already-explored node has
+  "at least as many useful facts" (a homomorphism over the original,
+  inferred-accessible and accessible relations, fixing the canonical
+  constants of the query's free variables) at no higher cost.
+
+Search order follows the paper: depth-first on the leftmost branch, with
+candidates ordered by derivation depth and methods by expected cost; a
+best-first (cheapest partial plan) strategy is also provided.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chase.configuration import ChaseConfiguration
+from repro.chase.engine import ChasePolicy
+from repro.cost.functions import (
+    CostFunction,
+    CountingCostFunction,
+    SimpleCostFunction,
+)
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.homomorphisms import find_homomorphism
+from repro.logic.queries import ConjunctiveQuery
+from repro.logic.terms import Null, NullFactory, Variable
+from repro.planner.plan_state import PlanState, PlanningError
+from repro.planner.proof_to_plan import (
+    ChaseProof,
+    Exposure,
+    SaturationLog,
+    fire_access,
+    initial_configuration,
+    success_match,
+)
+from repro.plans.plan import Plan
+from repro.schema.accessible import (
+    ACCESSIBLE,
+    AccessibleSchema,
+    Variant,
+    accessed_name,
+    infacc_name,
+    is_accessed_name,
+    is_infacc_name,
+)
+from repro.schema.core import AccessMethod, Schema
+
+
+@dataclass
+class SearchOptions:
+    """Tuning knobs for Algorithm 1."""
+
+    max_accesses: int = 6
+    cost: Optional[CostFunction] = None
+    prune_by_cost: bool = True
+    domination: bool = True
+    expose_induced: bool = True
+    strategy: str = "dfs"  # or "best-first"
+    # Candidate ordering within a node: "depth" prefers facts of minimal
+    # derivation depth (paper default), "method" prefers the cheapest
+    # method first (the fixed method priority of Example 5 / Figure 1).
+    candidate_order: str = "depth"
+    # Optional beam width: keep only the best-ranked N candidates per
+    # node.  Cuts the tree aggressively but FORFEITS Theorem 9 optimality
+    # (and certified negatives: exhausted is forced False).
+    beam_width: Optional[int] = None
+    chase_policy: Optional[ChasePolicy] = None
+    max_nodes: Optional[int] = None
+    stop_on_first: bool = False
+    collect_tree: bool = False
+
+
+@dataclass
+class SearchStats:
+    """Counters reported by one search run."""
+
+    nodes_created: int = 0
+    nodes_expanded: int = 0
+    successes: int = 0
+    pruned_by_cost: int = 0
+    pruned_by_domination: int = 0
+    pruned_by_depth: int = 0
+    best_cost_history: List[float] = field(default_factory=list)
+
+
+@dataclass
+class SearchNode:
+    """One node of the partial proof tree."""
+
+    node_id: int
+    parent_id: Optional[int]
+    config: ChaseConfiguration
+    state: PlanState
+    exposures: Tuple[Exposure, ...]
+    cost: float
+    successful: bool = False
+    pruned: Optional[str] = None
+    pending: List[Tuple[Atom, AccessMethod]] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Number of access commands in the partial plan."""
+        return self.state.access_command_count
+
+    @property
+    def is_terminal(self) -> bool:
+        """Successful or out of candidates (Algorithm 1's terminal nodes)."""
+        return self.successful or not self.pending
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one Algorithm 1 run."""
+
+    best_plan: Optional[Plan]
+    best_cost: float
+    best_proof: Optional[ChaseProof]
+    stats: SearchStats
+    tree: Tuple[SearchNode, ...] = ()
+    # True when the bounded proof space was fully explored AND every
+    # cost-free saturation genuinely reached a fixpoint: a failed search
+    # is then a *certified* "no plan within the access budget".
+    exhausted: bool = False
+
+    @property
+    def found(self) -> bool:
+        """Whether a complete plan was found."""
+        return self.best_plan is not None
+
+
+def plan_search(
+    acc_schema: AccessibleSchema,
+    query: ConjunctiveQuery,
+    options: Optional[SearchOptions] = None,
+) -> SearchResult:
+    """Run Algorithm 1 over the given accessible schema and query."""
+    searcher = _Searcher(acc_schema, query, options or SearchOptions())
+    return searcher.run()
+
+
+def find_best_plan(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    options: Optional[SearchOptions] = None,
+) -> SearchResult:
+    """Build ``AcSch(schema)`` and search for the cheapest plan."""
+    schema.validate_query(query)
+    return plan_search(
+        AccessibleSchema(schema, Variant.FORWARD), query, options
+    )
+
+
+def find_any_plan(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    max_accesses: int = 6,
+    chase_policy: Optional[ChasePolicy] = None,
+) -> SearchResult:
+    """First-proof search: stop at the first complete plan found."""
+    options = SearchOptions(
+        max_accesses=max_accesses,
+        cost=CountingCostFunction(),
+        stop_on_first=True,
+        chase_policy=chase_policy,
+    )
+    return find_best_plan(schema, query, options)
+
+
+# ---------------------------------------------------------------- internals
+class _Searcher:
+    def __init__(
+        self,
+        acc_schema: AccessibleSchema,
+        query: ConjunctiveQuery,
+        options: SearchOptions,
+    ) -> None:
+        self.acc = acc_schema
+        self.schema = acc_schema.schema
+        self.query = query
+        self.options = options
+        self.cost = options.cost or SimpleCostFunction.from_schema(
+            self.schema
+        )
+        self.nulls = NullFactory("s")
+        self.stats = SearchStats()
+        self.best_plan: Optional[Plan] = None
+        self.best_cost = float("inf")
+        self.best_proof: Optional[ChaseProof] = None
+        self.nodes: List[SearchNode] = []
+        # Domination registry: every non-pruned node explored so far.
+        self._registry: List[SearchNode] = []
+        self.saturation_log = SaturationLog()
+        self._drained = False
+        self._ids = itertools.count()
+        self.head_nulls: Dict[Variable, Null] = {}
+        # Methods ordered by expected cost (the paper's fixed priority).
+        self._method_priority = {
+            m.name: (self.cost.method_cost(m.name), m.name)
+            for m in self.schema.methods
+        }
+
+    # ------------------------------------------------------------- setup
+    def _make_root(self) -> SearchNode:
+        config, frozen = initial_configuration(
+            self.acc,
+            self.query,
+            self.nulls,
+            self.options.chase_policy,
+            log=self.saturation_log,
+        )
+        self.head_nulls = frozen
+        root = SearchNode(
+            node_id=next(self._ids),
+            parent_id=None,
+            config=config,
+            state=PlanState(),
+            exposures=(),
+            cost=0.0,
+        )
+        self._finalize_node(root)
+        return root
+
+    # ------------------------------------------------------------- main
+    def run(self) -> SearchResult:
+        """Execute every command; returns the output table."""
+        root = self._make_root()
+        if self.options.strategy == "best-first":
+            self._run_best_first(root)
+        else:
+            self._run_dfs(root)
+        return SearchResult(
+            best_plan=self.best_plan,
+            best_cost=self.best_cost,
+            best_proof=self.best_proof,
+            stats=self.stats,
+            tree=tuple(self.nodes) if self.options.collect_tree else (),
+            exhausted=(
+                self._drained
+                and self.saturation_log.complete
+                and self.options.beam_width is None
+            ),
+        )
+
+    def _run_dfs(self, root: SearchNode) -> None:
+        stack = [root]
+        while stack:
+            if self._budget_exhausted():
+                return
+            node = stack[-1]
+            if node.is_terminal:
+                stack.pop()
+                continue
+            fact, method = node.pending.pop(0)
+            child = self._expand(node, fact, method)
+            if child is not None:
+                if self.options.stop_on_first and child.successful:
+                    return
+                stack.append(child)
+        self._drained = True
+
+    def _run_best_first(self, root: SearchNode) -> None:
+        counter = itertools.count()
+        heap: List[Tuple[float, int, SearchNode]] = []
+        heapq.heappush(heap, (root.cost, next(counter), root))
+        while heap:
+            if self._budget_exhausted():
+                return
+            _, _, node = heapq.heappop(heap)
+            if node.successful:
+                continue
+            while node.pending:
+                fact, method = node.pending.pop(0)
+                child = self._expand(node, fact, method)
+                if child is not None:
+                    if self.options.stop_on_first and child.successful:
+                        return
+                    if not child.is_terminal:
+                        heapq.heappush(
+                            heap, (child.cost, next(counter), child)
+                        )
+        self._drained = True
+
+    def _budget_exhausted(self) -> bool:
+        return (
+            self.options.max_nodes is not None
+            and self.stats.nodes_created >= self.options.max_nodes
+        )
+
+    # --------------------------------------------------------- expansion
+    def _expand(
+        self, node: SearchNode, fact: Atom, method: AccessMethod
+    ) -> Optional[SearchNode]:
+        self.stats.nodes_expanded += 1
+        config = node.config.copy()
+        try:
+            state, _exposed = fire_access(
+                config,
+                node.state,
+                fact,
+                method,
+                self.acc,
+                self.nulls,
+                self.options.chase_policy,
+                expose_induced=self.options.expose_induced,
+                log=self.saturation_log,
+            )
+        except PlanningError:
+            return None
+        if state.access_command_count > self.options.max_accesses:
+            self.stats.pruned_by_depth += 1
+            return None
+        cost = self.cost.commands_cost(state.commands)
+        child = SearchNode(
+            node_id=next(self._ids),
+            parent_id=node.node_id,
+            config=config,
+            state=state,
+            exposures=node.exposures + (Exposure(fact, method.name),),
+            cost=cost,
+        )
+        if self.options.prune_by_cost and cost >= self.best_cost:
+            self.stats.pruned_by_cost += 1
+            child.pruned = "cost"
+            self._record(child)
+            return None
+        if self.options.domination and self._is_dominated(child):
+            self.stats.pruned_by_domination += 1
+            child.pruned = "domination"
+            self._record(child)
+            return None
+        self._finalize_node(child)
+        return child
+
+    def _finalize_node(self, node: SearchNode) -> None:
+        """Success check, candidate generation, registration."""
+        self.stats.nodes_created += 1
+        match = success_match(node.config, self.query, self.head_nulls)
+        if match is not None:
+            node.successful = True
+            self.stats.successes += 1
+            plan = node.state.finish(
+                tuple(self.head_nulls[v] for v in self.query.head),
+                name=f"plan@{node.node_id}",
+            )
+            plan_cost = self.cost.plan_cost(plan)
+            if plan_cost < self.best_cost:
+                self.best_cost = plan_cost
+                self.best_plan = plan
+                self.best_proof = ChaseProof(self.query, node.exposures)
+                self.stats.best_cost_history.append(plan_cost)
+        else:
+            node.pending = self._candidates(node)
+        self._record(node)
+        self._registry.append(node)
+
+    def _record(self, node: SearchNode) -> None:
+        if self.options.collect_tree:
+            self.nodes.append(node)
+
+    def _candidates(
+        self, node: SearchNode
+    ) -> List[Tuple[Atom, AccessMethod]]:
+        """Candidate (fact, method) pairs for exposure, in search order."""
+        out: List[Tuple[Atom, AccessMethod, Tuple]] = []
+        for relation in self.schema.relations:
+            methods = self.schema.methods_of(relation.name)
+            if not methods:
+                continue
+            for fact in node.config.facts_of(relation.name):
+                accessed = fact.rename_relation(accessed_name(fact.relation))
+                if accessed in node.config:
+                    continue
+                for method in methods:
+                    if all(
+                        node.config.is_accessible(fact.terms[p])
+                        for p in method.input_positions
+                    ):
+                        if self.options.candidate_order == "method":
+                            rank = (
+                                self._method_priority[method.name],
+                                node.config.depth(fact),
+                                repr(fact),
+                            )
+                        else:
+                            rank = (
+                                node.config.depth(fact),
+                                self._method_priority[method.name],
+                                repr(fact),
+                            )
+                        out.append((fact, method, rank))
+        out.sort(key=lambda item: item[2])
+        candidates = [(fact, method) for fact, method, _ in out]
+        if self.options.beam_width is not None:
+            candidates = candidates[: self.options.beam_width]
+        return candidates
+
+    # -------------------------------------------------------- domination
+    def _is_dominated(self, child: SearchNode) -> bool:
+        pattern = _relevant_facts(child.config)
+        child_relations = {atom.relation for atom in pattern}
+        frozen = Substitution(
+            {null: null for null in self.head_nulls.values()}
+        )
+        for other in self._registry:
+            if other.cost > child.cost + 1e-12:
+                continue
+            # Cheap prefilter: a homomorphism needs every relation of the
+            # pattern present in the target configuration.
+            if not child_relations <= set(other.config.relations()):
+                continue
+            hom = find_homomorphism(
+                pattern, other.config.index, frozen, map_nulls=True
+            )
+            if hom is not None:
+                return True
+        return False
+
+
+def _relevant_facts(config: ChaseConfiguration) -> List[Atom]:
+    """Facts the domination homomorphism must preserve.
+
+    The paper requires preservation of original-schema and
+    inferred-accessible facts; we additionally preserve ``_accessible``
+    facts, which only makes domination *harder* to establish (strictly
+    fewer prunes -- safe).
+    """
+    out: List[Atom] = []
+    for relation in config.relations():
+        if is_accessed_name(relation):
+            continue
+        out.extend(config.facts_of(relation))
+    return out

@@ -1,0 +1,56 @@
+"""Access plans: relational-algebra expressions, commands, and plans.
+
+A plan (Section 2 of the paper) is a sequence of *access commands*
+``T <- mt <- E`` (invoke access method ``mt`` on every tuple produced by
+expression ``E``, collecting matching tuples into temporary table ``T``)
+and *middleware query commands* ``T := E`` (relational algebra over
+temporary tables), with a distinguished output table.  Plans are
+classified by the operators their expressions use: SPJ, USPJ, USPJ with
+atomic negation, or full RA.
+"""
+
+from repro.plans.expressions import (
+    Condition,
+    Difference,
+    EqAttr,
+    EqConst,
+    EvaluationError,
+    Expression,
+    Join,
+    NamedTable,
+    NeqAttr,
+    NeqConst,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Singleton,
+    Union,
+)
+from repro.plans.commands import AccessCommand, Command, MiddlewareCommand
+from repro.plans.plan import Plan, PlanKind, PlanValidationError
+
+__all__ = [
+    "AccessCommand",
+    "Command",
+    "Condition",
+    "Difference",
+    "EqAttr",
+    "EqConst",
+    "EvaluationError",
+    "Expression",
+    "Join",
+    "MiddlewareCommand",
+    "NamedTable",
+    "NeqAttr",
+    "NeqConst",
+    "Plan",
+    "PlanKind",
+    "PlanValidationError",
+    "Project",
+    "Rename",
+    "Scan",
+    "Select",
+    "Singleton",
+    "Union",
+]

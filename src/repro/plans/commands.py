@@ -1,0 +1,140 @@
+"""Plan commands: access commands and middleware query commands.
+
+An access command ``T <- mt <- E`` (Section 2): evaluate ``E`` over the
+temporary tables, feed every result tuple into access method ``mt``, and
+collect each matching relation tuple into ``T`` through the output
+mapping ``b_out``.  The output mapping may duplicate a relation position
+into several ``T`` attributes and may map two relation positions to one
+attribute (which acts as an equality filter) -- both cases from the
+paper's plan semantics are implemented.
+
+A middleware command ``T := E`` runs relational algebra locally, at no
+access cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.plans.expressions import (
+    EvaluationError,
+    Expression,
+    NamedTable,
+)
+from repro.logic.terms import Constant, Term
+
+# One entry per method input position: either the name of an attribute of
+# the input expression's result, or a fixed schema constant.
+InputBinding = Tuple[Union[str, Constant], ...]
+
+
+@dataclass(frozen=True)
+class AccessCommand:
+    """``target <- method <- input_expr``.
+
+    ``input_binding``
+        one entry per input position of the method, in the method's
+        declared order (the paper's ``b_in``): an attribute name of the
+        input expression's result, or a schema :class:`Constant`.
+    ``output_map``
+        the paper's ``b_out``: ``(attribute, (position, ...))`` pairs.
+        Relation positions may feed several attributes (duplication); if
+        an attribute is fed by several positions the accessed tuple is
+        kept only when they agree (equality filter).
+    """
+
+    target: str
+    method: str
+    input_expr: Expression
+    input_binding: InputBinding
+    output_map: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    @property
+    def output_attrs(self) -> Tuple[str, ...]:
+        """The attribute names of the produced table, in order."""
+        return tuple(attr for attr, _ in self.output_map)
+
+    @property
+    def input_attrs(self) -> Tuple[str, ...]:
+        """Distinct attribute names read from the input expression.
+
+        An attribute feeding several input positions (a repeated variable
+        in a guard) is listed once; the binding re-reads it per position.
+        """
+        seen: Dict[str, None] = {}
+        for entry in self.input_binding:
+            if isinstance(entry, str) and entry not in seen:
+                seen[entry] = None
+        return tuple(seen)
+
+    def execute(self, env: Dict[str, NamedTable], source) -> NamedTable:
+        """Run the command against a source; returns the produced table."""
+        inputs = self.input_expr.evaluate(env)
+        try:
+            projected = inputs.project(self.input_attrs)
+        except EvaluationError as exc:
+            raise EvaluationError(
+                f"access {self.method}: input expression lacks "
+                f"attributes {self.input_attrs}: {exc}"
+            ) from exc
+        rows = set()
+        columns = {a: i for i, a in enumerate(projected.attributes)}
+        for input_row in projected.rows:
+            values = tuple(
+                entry
+                if isinstance(entry, Constant)
+                else input_row[columns[entry]]
+                for entry in self.input_binding
+            )
+            for accessed in source.access(self.method, values):
+                out_row = self._map_output(accessed)
+                if out_row is not None:
+                    rows.add(out_row)
+        table = NamedTable(self.output_attrs, frozenset(rows))
+        env[self.target] = table
+        return table
+
+    def _map_output(
+        self, accessed: Tuple[Term, ...]
+    ) -> Optional[Tuple[Term, ...]]:
+        out: List[Term] = []
+        for _attr, positions in self.output_map:
+            values = {accessed[p] for p in positions}
+            if len(values) != 1:
+                return None  # equality filter failed
+            out.append(next(iter(values)))
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.target} <- {self.method} <- "
+            f"{self.input_expr!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MiddlewareCommand:
+    """``target := expr`` -- local relational algebra, no access cost."""
+
+    target: str
+    expr: Expression
+
+    def execute(self, env: Dict[str, NamedTable], source) -> NamedTable:
+        """Run the command, writing its target table into the env."""
+        table = self.expr.evaluate(env)
+        env[self.target] = table
+        return table
+
+    def __repr__(self) -> str:
+        return f"{self.target} := {self.expr!r}"
+
+
+Command = Union[AccessCommand, MiddlewareCommand]
+
+
+def identity_output_map(
+    attrs: Sequence[str],
+) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+    """b_out mapping position i to the i-th attribute, one-to-one."""
+    return tuple((attr, (i,)) for i, attr in enumerate(attrs))

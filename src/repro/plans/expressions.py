@@ -1,0 +1,515 @@
+"""Relational-algebra expressions over named-attribute temporary tables.
+
+Expressions evaluate against an *environment*: a mapping from temporary
+table names to :class:`NamedTable` values.  Cells hold ground terms
+(schema :class:`~repro.logic.terms.Constant` values; labelled nulls never
+reach the runtime).  Joins are natural joins on shared attribute names --
+the proof-to-plan algorithms arrange for attribute names (chase constants)
+to encode exactly the intended join conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.logic.terms import Constant, Term
+
+
+class EvaluationError(RuntimeError):
+    """Raised when an expression is evaluated against an unfit environment."""
+
+
+@dataclass(frozen=True)
+class NamedTable:
+    """An immutable relation with named attributes."""
+
+    attributes: Tuple[str, ...]
+    rows: FrozenSet[Tuple[Term, ...]]
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise EvaluationError(
+                f"duplicate attribute in {self.attributes}"
+            )
+        for row in self.rows:
+            if len(row) != len(self.attributes):
+                raise EvaluationError(
+                    f"row width {len(row)} != {len(self.attributes)} attrs"
+                )
+
+    @classmethod
+    def from_rows(
+        cls, attributes: Sequence[str], rows: Iterable[Sequence[Term]]
+    ) -> "NamedTable":
+        """Build a table from attribute names and row iterables."""
+        return cls(tuple(attributes), frozenset(tuple(r) for r in rows))
+
+    @classmethod
+    def empty(cls, attributes: Sequence[str]) -> "NamedTable":
+        """An empty table with the given attributes."""
+        return cls(tuple(attributes), frozenset())
+
+    @classmethod
+    def singleton(cls) -> "NamedTable":
+        """The zero-attribute table with one (empty) row: logical TRUE."""
+        return cls((), frozenset({()}))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the table has no rows."""
+        return not self.rows
+
+    def column(self, attribute: str) -> int:
+        """Index of an attribute (raises on unknown names)."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise EvaluationError(
+                f"no attribute {attribute!r} in {self.attributes}"
+            ) from None
+
+    def project(self, attributes: Sequence[str]) -> "NamedTable":
+        """Duplicate-eliminating projection."""
+        columns = [self.column(a) for a in attributes]
+        return NamedTable(
+            tuple(attributes),
+            frozenset(tuple(row[c] for c in columns) for row in self.rows),
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "NamedTable":
+        """A copy with attributes renamed."""
+        new_attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        return NamedTable(new_attrs, self.rows)
+
+    def __repr__(self) -> str:
+        return f"NamedTable({list(self.attributes)}, {len(self.rows)} rows)"
+
+
+Environment = Mapping[str, NamedTable]
+
+
+# --------------------------------------------------------------- conditions
+@dataclass(frozen=True)
+class EqAttr:
+    """Selection condition: two attributes are equal."""
+
+    left: str
+    right: str
+
+    def holds(self, table: NamedTable, row: Tuple[Term, ...]) -> bool:
+        """Whether the condition holds for one row of the table."""
+        return row[table.column(self.left)] == row[table.column(self.right)]
+
+    def __repr__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class EqConst:
+    """Selection condition: attribute equals a constant."""
+
+    attribute: str
+    value: Constant
+
+    def holds(self, table: NamedTable, row: Tuple[Term, ...]) -> bool:
+        """Whether the condition holds for one row of the table."""
+        return row[table.column(self.attribute)] == self.value
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class NeqAttr:
+    """Inequality between two attributes (the E in ESPJ)."""
+
+    left: str
+    right: str
+
+    def holds(self, table: NamedTable, row: Tuple[Term, ...]) -> bool:
+        """Whether the condition holds for one row of the table."""
+        return row[table.column(self.left)] != row[table.column(self.right)]
+
+    def __repr__(self) -> str:
+        return f"{self.left}!={self.right}"
+
+
+@dataclass(frozen=True)
+class NeqConst:
+    """Inequality between an attribute and a constant."""
+
+    attribute: str
+    value: Constant
+
+    def holds(self, table: NamedTable, row: Tuple[Term, ...]) -> bool:
+        """Whether the condition holds for one row of the table."""
+        return row[table.column(self.attribute)] != self.value
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}!={self.value!r}"
+
+
+Condition = (EqAttr, EqConst, NeqAttr, NeqConst)
+
+
+# -------------------------------------------------------------- expressions
+class Expression:
+    """Base class for RA expressions.
+
+    Subclasses implement :meth:`attributes` (static schema) and
+    :meth:`evaluate`.  ``uses_union``/``uses_difference``/
+    ``uses_inequality`` drive plan-language classification.
+    """
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        raise NotImplementedError
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        raise NotImplementedError
+
+    @property
+    def uses_union(self) -> bool:
+        """Whether a union operator occurs in the subtree."""
+        return any(child.uses_union for child in self.children())
+
+    @property
+    def uses_difference(self) -> bool:
+        """Whether a difference operator occurs in the subtree."""
+        return any(child.uses_difference for child in self.children())
+
+    @property
+    def uses_inequality(self) -> bool:
+        """Whether an inequality condition occurs in the subtree."""
+        return any(child.uses_inequality for child in self.children())
+
+    def children(self) -> Tuple["Expression", ...]:
+        """Immediate subexpressions."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Singleton(Expression):
+    """The TRUE table: no attributes, one empty row.
+
+    Used as the input expression of input-free access commands (the
+    paper's ``T <- mt <- {}`` convention).
+    """
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        return ()
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        return NamedTable.singleton()
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "{()}"
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """An inline constant table (e.g. the schema constants)."""
+
+    table: NamedTable
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        return self.table.attributes
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        return self.table
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"lit[{','.join(self.table.attributes)};{len(self.table)}]"
+
+
+@dataclass(frozen=True)
+class Scan(Expression):
+    """Read a temporary table by name."""
+
+    table: str
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        try:
+            return env_schema[self.table]
+        except KeyError:
+            raise EvaluationError(f"unknown table {self.table!r}") from None
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        try:
+            return env[self.table]
+        except KeyError:
+            raise EvaluationError(f"unknown table {self.table!r}") from None
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return frozenset({self.table})
+
+    def __repr__(self) -> str:
+        return self.table
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """Duplicate-eliminating projection onto named attributes."""
+
+    child: Expression
+    attrs: Tuple[str, ...]
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        child_attrs = self.child.attributes(env_schema)
+        for attr in self.attrs:
+            if attr not in child_attrs:
+                raise EvaluationError(
+                    f"projection attribute {attr!r} not in {child_attrs}"
+                )
+        return self.attrs
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        return self.child.evaluate(env).project(self.attrs)
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return self.child.tables_read()
+
+    def children(self) -> Tuple[Expression, ...]:
+        """Immediate subexpressions."""
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"π[{','.join(self.attrs)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Select(Expression):
+    """Selection by a conjunction of (in)equality conditions."""
+
+    child: Expression
+    conditions: Tuple[object, ...]
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        return self.child.attributes(env_schema)
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        table = self.child.evaluate(env)
+        rows = frozenset(
+            row
+            for row in table.rows
+            if all(cond.holds(table, row) for cond in self.conditions)
+        )
+        return NamedTable(table.attributes, rows)
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return self.child.tables_read()
+
+    def children(self) -> Tuple[Expression, ...]:
+        """Immediate subexpressions."""
+        return (self.child,)
+
+    @property
+    def uses_inequality(self) -> bool:
+        """Whether an inequality condition occurs in the subtree."""
+        if any(isinstance(c, (NeqAttr, NeqConst)) for c in self.conditions):
+            return True
+        return self.child.uses_inequality
+
+    def __repr__(self) -> str:
+        conds = " & ".join(repr(c) for c in self.conditions)
+        return f"σ[{conds}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """Natural join on shared attribute names."""
+
+    left: Expression
+    right: Expression
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        left_attrs = self.left.attributes(env_schema)
+        right_attrs = self.right.attributes(env_schema)
+        extra = tuple(a for a in right_attrs if a not in left_attrs)
+        return left_attrs + extra
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        shared = [a for a in right.attributes if a in left.attributes]
+        extra = [a for a in right.attributes if a not in left.attributes]
+        left_key = [left.column(a) for a in shared]
+        right_key = [right.column(a) for a in shared]
+        extra_cols = [right.column(a) for a in extra]
+        by_key: Dict[Tuple[Term, ...], List[Tuple[Term, ...]]] = {}
+        for row in right.rows:
+            key = tuple(row[c] for c in right_key)
+            by_key.setdefault(key, []).append(tuple(row[c] for c in extra_cols))
+        rows: Set[Tuple[Term, ...]] = set()
+        for row in left.rows:
+            key = tuple(row[c] for c in left_key)
+            for suffix in by_key.get(key, ()):
+                rows.add(row + suffix)
+        return NamedTable(left.attributes + tuple(extra), frozenset(rows))
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return self.left.tables_read() | self.right.tables_read()
+
+    def children(self) -> Tuple[Expression, ...]:
+        """Immediate subexpressions."""
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    """Set union; the right side is reordered to the left's attributes."""
+
+    left: Expression
+    right: Expression
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        left_attrs = self.left.attributes(env_schema)
+        right_attrs = self.right.attributes(env_schema)
+        if set(left_attrs) != set(right_attrs):
+            raise EvaluationError(
+                f"union attribute mismatch: {left_attrs} vs {right_attrs}"
+            )
+        return left_attrs
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env).project(left.attributes)
+        return NamedTable(left.attributes, left.rows | right.rows)
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return self.left.tables_read() | self.right.tables_read()
+
+    def children(self) -> Tuple[Expression, ...]:
+        """Immediate subexpressions."""
+        return (self.left, self.right)
+
+    @property
+    def uses_union(self) -> bool:
+        """Whether a union operator occurs in the subtree."""
+        return True
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(Expression):
+    """Set difference; attribute sets must coincide."""
+
+    left: Expression
+    right: Expression
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        left_attrs = self.left.attributes(env_schema)
+        right_attrs = self.right.attributes(env_schema)
+        if set(left_attrs) != set(right_attrs):
+            raise EvaluationError(
+                f"difference attribute mismatch: {left_attrs} vs {right_attrs}"
+            )
+        return left_attrs
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env).project(left.attributes)
+        return NamedTable(left.attributes, left.rows - right.rows)
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return self.left.tables_read() | self.right.tables_read()
+
+    def children(self) -> Tuple[Expression, ...]:
+        """Immediate subexpressions."""
+        return (self.left, self.right)
+
+    @property
+    def uses_difference(self) -> bool:
+        """Whether a difference operator occurs in the subtree."""
+        return True
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Rename(Expression):
+    """Attribute renaming."""
+
+    child: Expression
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def _map(self) -> Dict[str, str]:
+        return dict(self.mapping)
+
+    def attributes(self, env_schema: Mapping[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+        """Static output attributes (see :class:`Expression`)."""
+        mapping = self._map()
+        return tuple(
+            mapping.get(a, a) for a in self.child.attributes(env_schema)
+        )
+
+    def evaluate(self, env: Environment) -> NamedTable:
+        """Evaluate against the environment (see :class:`Expression`)."""
+        return self.child.evaluate(env).rename(self._map())
+
+    def tables_read(self) -> FrozenSet[str]:
+        """Temporary tables this expression scans."""
+        return self.child.tables_read()
+
+    def children(self) -> Tuple[Expression, ...]:
+        """Immediate subexpressions."""
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        pairs = ",".join(f"{a}->{b}" for a, b in self.mapping)
+        return f"ρ[{pairs}]({self.child!r})"

@@ -1,0 +1,145 @@
+"""Plans: command sequences with a distinguished output table.
+
+A plan's *language class* (Section 2) is determined by the operators its
+expressions use:
+
+* ``SPJ``      -- select / project / join only,
+* ``USPJ``     -- plus union,
+* ``USPJ_NEG`` -- plus difference (the paper's USPJ with atomic negation;
+  this classifier does not police that differences are against accessed
+  relations -- the generators guarantee it),
+* ``RA``       -- anything else (full relational algebra).
+
+``E``-variants (with inequalities) are reported through
+:attr:`Plan.uses_inequality`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.plans.commands import AccessCommand, Command, MiddlewareCommand
+from repro.plans.expressions import Expression, NamedTable
+
+
+class PlanValidationError(ValueError):
+    """Raised when a plan is structurally ill-formed."""
+
+
+class PlanKind(enum.Enum):
+    """Plan language class, by the operators the plan's expressions use."""
+
+    SPJ = "SPJ"
+    USPJ = "USPJ"
+    USPJ_NEG = "USPJ¬"
+    RA = "RA"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An immutable access plan."""
+
+    commands: Tuple[Command, ...]
+    output_table: str
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.commands, tuple):
+            object.__setattr__(self, "commands", tuple(self.commands))
+        self.validate()
+
+    # ------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check def-before-use of temporary tables and output presence."""
+        defined: Set[str] = set()
+        for command in self.commands:
+            expr = (
+                command.input_expr
+                if isinstance(command, AccessCommand)
+                else command.expr
+            )
+            for table in expr.tables_read():
+                if table not in defined:
+                    raise PlanValidationError(
+                        f"{command!r} reads undefined table {table!r}"
+                    )
+            defined.add(command.target)
+        if self.output_table not in defined:
+            raise PlanValidationError(
+                f"output table {self.output_table!r} never assigned"
+            )
+
+    # -------------------------------------------------------- execution
+    def run(self, source) -> NamedTable:
+        """Execute every command in sequence; returns the output table."""
+        env: Dict[str, NamedTable] = {}
+        for command in self.commands:
+            command.execute(env, source)
+        return env[self.output_table]
+
+    def run_with_env(self, source) -> Tuple[NamedTable, Dict[str, NamedTable]]:
+        """Execute and also return the full temporary-table environment."""
+        env: Dict[str, NamedTable] = {}
+        for command in self.commands:
+            command.execute(env, source)
+        return env[self.output_table], env
+
+    # ----------------------------------------------------- inspection
+    @property
+    def access_commands(self) -> Tuple[AccessCommand, ...]:
+        """The plan's access commands, in order."""
+        return tuple(
+            c for c in self.commands if isinstance(c, AccessCommand)
+        )
+
+    @property
+    def middleware_commands(self) -> Tuple[MiddlewareCommand, ...]:
+        """The plan's middleware commands, in order."""
+        return tuple(
+            c for c in self.commands if isinstance(c, MiddlewareCommand)
+        )
+
+    def methods_used(self) -> Tuple[str, ...]:
+        """Methods of the access commands, in command order (with repeats)."""
+        return tuple(c.method for c in self.access_commands)
+
+    def _expressions(self) -> List[Expression]:
+        out: List[Expression] = []
+        for command in self.commands:
+            if isinstance(command, AccessCommand):
+                out.append(command.input_expr)
+            else:
+                out.append(command.expr)
+        return out
+
+    @property
+    def kind(self) -> PlanKind:
+        """Language class by the operators the plan's expressions use."""
+        uses_union = any(e.uses_union for e in self._expressions())
+        uses_difference = any(e.uses_difference for e in self._expressions())
+        if uses_difference:
+            return PlanKind.USPJ_NEG
+        if uses_union:
+            return PlanKind.USPJ
+        return PlanKind.SPJ
+
+    @property
+    def uses_inequality(self) -> bool:
+        """True when some expression uses an inequality condition (E-fragment)."""
+        return any(e.uses_inequality for e in self._expressions())
+
+    def describe(self) -> str:
+        """A readable listing of the plan."""
+        lines = [f"plan {self.name} ({self.kind.value}):"]
+        for i, command in enumerate(self.commands):
+            lines.append(f"  {i:2d}. {command!r}")
+        lines.append(f"  output: {self.output_table}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Plan({self.name}: {len(self.commands)} commands, "
+            f"{len(self.access_commands)} accesses, out={self.output_table})"
+        )

@@ -1,0 +1,29 @@
+"""The paper's worked examples as reusable scenario factories.
+
+Each scenario bundles a schema, a query, and a data generator, so tests,
+examples and benchmarks all speak about "Example 1" / "Example 2" /
+"Example 5" the same way.  Parameterized generalizations (k redundant
+sources, chains of length L) feed the scaling benchmarks.
+"""
+
+from repro.scenarios.examples import (
+    Scenario,
+    example1,
+    example2,
+    example5,
+    redundant_sources,
+    referential_chain,
+)
+from repro.scenarios.viewsets import view_stack_scenario
+from repro.scenarios.webservices import webservices
+
+__all__ = [
+    "Scenario",
+    "example1",
+    "example2",
+    "example5",
+    "redundant_sources",
+    "referential_chain",
+    "view_stack_scenario",
+    "webservices",
+]

@@ -1,0 +1,229 @@
+"""Schema/query/data factories for the paper's Examples 1, 2, 4, 5.
+
+The *data generators* produce instances that satisfy the scenario's
+constraints, with tunable sizes and (for the cost scenarios) tunable
+overlap between the redundant sources -- the knob the paper's discussion
+of plan costs turns ("what percentage of the tuples in the two directory
+tables match a result in Profinfo").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.data.instance import Instance
+from repro.logic.queries import ConjunctiveQuery, cq
+from repro.schema.core import Schema, SchemaBuilder
+
+
+@dataclass
+class Scenario:
+    """A named schema + query + instance generator triple."""
+
+    name: str
+    schema: Schema
+    query: ConjunctiveQuery
+    make_instance: Callable[[int], Instance]
+
+    def instance(self, seed: int = 0) -> Instance:
+        """A seeded constraint-satisfying instance for this scenario."""
+        return self.make_instance(seed)
+
+
+# ------------------------------------------------------------- Example 1
+def example1(
+    professors: int = 50,
+    directory_extra: int = 100,
+    lastname: str = "smith",
+) -> Scenario:
+    """Example 1/4: Profinfo behind an eid-input access, free Udirect.
+
+    ``Q`` asks for (eid, onum) of professors with the given last name;
+    the plan must route through the university directory.
+    """
+    schema = (
+        SchemaBuilder("example1")
+        .relation("Profinfo", 3, ["eid", "onum", "lname"])
+        .relation("Udirect", 2, ["eid", "lname"])
+        .access("mt_prof", "Profinfo", inputs=[0], cost=2.0)
+        .access("mt_udir", "Udirect", inputs=[], cost=1.0)
+        .tgd("Profinfo(eid, onum, lname) -> Udirect(eid, lname)")
+        .constant(lastname)
+        .build()
+    )
+    query = cq(
+        ["?eid", "?onum"],
+        [("Profinfo", ["?eid", "?onum", lastname])],
+        name="Q1",
+    )
+
+    def make_instance(seed: int) -> Instance:
+        """Generate a seeded instance."""
+        rng = random.Random(seed)
+        instance = Instance()
+        names = [lastname, "jones", "doe", "garcia", "chen"]
+        for i in range(professors):
+            name = names[i % len(names)]
+            instance.add("Profinfo", (f"e{i}", f"o{i}", name))
+            instance.add("Udirect", (f"e{i}", name))
+        for j in range(directory_extra):
+            instance.add(
+                "Udirect", (f"x{j}", rng.choice(names))
+            )
+        return instance
+
+    return Scenario("example1", schema, query, make_instance)
+
+
+# ------------------------------------------------------------- Example 2
+def example2(
+    directory_size: int = 60,
+    overlap: float = 1.0,
+) -> Scenario:
+    """Example 2: two telephone directories chained through Ids/Names.
+
+    ``overlap`` is the fraction of Direct2 entries mirrored in Direct1
+    (the schema's referential constraint requires 1.0 for valid
+    instances; lower values are for negative testing).
+    """
+    schema = (
+        SchemaBuilder("example2")
+        .relation("Direct1", 3, ["uname", "addr", "uid"])
+        .relation("Ids", 1, ["uid"])
+        .relation("Direct2", 3, ["uname", "addr", "phone"])
+        .relation("Names", 1, ["uname"])
+        .access("mt_d1", "Direct1", inputs=[0, 2], cost=2.0)
+        .access("mt_ids", "Ids", inputs=[], cost=1.0)
+        .access("mt_d2", "Direct2", inputs=[0, 1], cost=2.0)
+        .access("mt_names", "Names", inputs=[], cost=1.0)
+        .tgd("Direct1(uname, addr, uid) -> Ids(uid)")
+        .tgd("Direct2(uname, addr, phone) -> Names(uname)")
+        .tgd("Direct2(uname, addr, phone) -> Direct1(uname, addr, uid)")
+        .build()
+    )
+    query = cq(
+        ["?phone"],
+        [("Direct2", ["?uname", "?addr", "?phone"])],
+        name="Q2",
+    )
+
+    def make_instance(seed: int) -> Instance:
+        """Generate a seeded instance."""
+        rng = random.Random(seed)
+        instance = Instance()
+        for i in range(directory_size):
+            uname, addr = f"user{i}", f"addr{i}"
+            uid, phone = f"uid{i}", f"555-{i:04d}"
+            if rng.random() < overlap:
+                instance.add("Direct2", (uname, addr, phone))
+                instance.add("Names", (uname,))
+            instance.add("Direct1", (uname, addr, uid))
+            instance.add("Ids", (uid,))
+        return instance
+
+    return Scenario("example2", schema, query, make_instance)
+
+
+# ------------------------------------------------------------- Example 5
+def example5(
+    sources: int = 3,
+    source_costs: Optional[Sequence[float]] = None,
+    profinfo_cost: float = 5.0,
+    professors: int = 30,
+    noise_per_source: int = 50,
+    match_rate: float = 0.5,
+) -> Scenario:
+    """Example 5 / Figure 1: k redundant directory sources.
+
+    Every professor appears in every ``Udirect_i`` (that is the
+    referential constraint), each source additionally carrying noise
+    entries; ``match_rate`` controls how many noise entries collide with
+    professor ids, which is what makes source choice matter at runtime.
+    """
+    costs = list(
+        source_costs
+        if source_costs is not None
+        else [float(i + 1) for i in range(sources)]
+    )
+    if len(costs) != sources:
+        raise ValueError("one cost per source required")
+    builder = (
+        SchemaBuilder(f"example5_{sources}")
+        .relation("Profinfo", 3, ["eid", "onum", "lname"])
+        .access("mt_prof", "Profinfo", inputs=[0, 2], cost=profinfo_cost)
+    )
+    for i in range(1, sources + 1):
+        builder.relation(f"Udirect{i}", 2, ["eid", "lname"])
+        builder.access(
+            f"mt_udirect{i}", f"Udirect{i}", inputs=[], cost=costs[i - 1]
+        )
+        builder.tgd(
+            f"Profinfo(eid, onum, lname) -> Udirect{i}(eid, lname)"
+        )
+    schema = builder.build()
+    query = cq([], [("Profinfo", ["?e", "?o", "?l"])], name="Q5")
+
+    def make_instance(seed: int) -> Instance:
+        """Generate a seeded instance."""
+        rng = random.Random(seed)
+        instance = Instance()
+        for p in range(professors):
+            instance.add("Profinfo", (f"e{p}", f"o{p}", f"n{p}"))
+            for i in range(1, sources + 1):
+                instance.add(f"Udirect{i}", (f"e{p}", f"n{p}"))
+        for i in range(1, sources + 1):
+            for j in range(noise_per_source):
+                if rng.random() < match_rate:
+                    eid = f"e{rng.randrange(professors * 3)}"
+                else:
+                    eid = f"z{i}_{j}"
+                instance.add(f"Udirect{i}", (eid, f"m{i}_{j}"))
+        return instance
+
+    return Scenario(f"example5[{sources}]", schema, query, make_instance)
+
+
+# ------------------------------------------------- parameterized families
+def redundant_sources(k: int, **kwargs) -> Scenario:
+    """Example 5 generalized to k sources (benchmark family)."""
+    return example5(sources=k, **kwargs)
+
+
+def referential_chain(length: int, chain_size: int = 40) -> Scenario:
+    """Example 2 generalized: a chain of L hops of referential constraints.
+
+    Relations ``R0 .. R_L`` where ``R0`` is the queried (hidden-ish)
+    relation; each ``R_i(key, val)`` requires its key as input, and a free
+    unary ``K_i`` relation reveals each level's keys via a referential
+    constraint.  Answering needs one access per level.
+    """
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    builder = SchemaBuilder(f"chain{length}")
+    last = length - 1
+    for i in range(length):
+        builder.relation(f"R{i}", 2, ["key", "val"])
+        builder.access(f"mt_R{i}", f"R{i}", inputs=[0], cost=2.0)
+    # Only the last level's keys are freely revealed; each level's key is
+    # exposed as a value one level up.
+    builder.relation(f"K{last}", 1, ["key"])
+    builder.access(f"mt_K{last}", f"K{last}", inputs=[], cost=1.0)
+    builder.tgd(f"R{last}(key, val) -> K{last}(key)")
+    for i in range(length - 1):
+        builder.tgd(f"R{i}(key, val) -> R{i+1}(key2, key)")
+    schema = builder.build()
+    query = cq(["?v"], [("R0", ["?k", "?v"])], name=f"Qchain{length}")
+
+    def make_instance(seed: int) -> Instance:
+        """Generate a seeded instance."""
+        instance = Instance()
+        for j in range(chain_size):
+            for i in range(length):
+                value = f"k{i-1}_{j}" if i else f"v{j}"
+                instance.add(f"R{i}", (f"k{i}_{j}", value))
+            instance.add(f"K{last}", (f"k{last}_{j}",))
+        return instance
+
+    return Scenario(f"chain[{length}]", schema, query, make_instance)

@@ -1,0 +1,94 @@
+"""View-stack scenarios for the Theorem 6 benchmarks.
+
+A base star schema ``Fact(k, a, b)``, ``DimA(a, x)``, ``DimB(b, y)`` is
+hidden; only views are accessible.  ``view_stack_scenario(n)`` creates n
+join views plus one projection view per dimension, and a query that is
+rewritable exactly when the needed combination of views exists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.data.instance import Instance
+from repro.logic.queries import ConjunctiveQuery, cq
+from repro.planner.views import ViewDefinition, views_schema
+from repro.scenarios.examples import Scenario
+from repro.schema.core import Relation
+
+
+def view_stack_scenario(
+    views: int = 3,
+    rows: int = 40,
+    include_closing_view: bool = True,
+) -> Scenario:
+    """A hidden star schema exposed through a stack of views.
+
+    With ``include_closing_view`` the final join view needed for the
+    query exists and the query is rewritable; without it the rewriting
+    attempt must fail -- benchmarks time both sides of the decision.
+    """
+    base = [
+        Relation("Fact", 3, ("k", "a", "b")),
+        Relation("DimA", 2, ("a", "x")),
+        Relation("DimB", 2, ("b", "y")),
+    ]
+    definitions: List[ViewDefinition] = []
+    # Decoy views: projections of Fact joined with DimA on varying shapes.
+    for i in range(views):
+        definitions.append(
+            ViewDefinition(
+                f"V{i}",
+                cq(
+                    ["?k", "?x"],
+                    [
+                        ("Fact", ["?k", "?a", f"?b{i}"]),
+                        ("DimA", ["?a", "?x"]),
+                    ],
+                    name=f"defV{i}",
+                ),
+            )
+        )
+    if include_closing_view:
+        definitions.append(
+            ViewDefinition(
+                "VFULL",
+                cq(
+                    ["?k", "?x", "?y"],
+                    [
+                        ("Fact", ["?k", "?a", "?b"]),
+                        ("DimA", ["?a", "?x"]),
+                        ("DimB", ["?b", "?y"]),
+                    ],
+                    name="defVFULL",
+                ),
+            )
+        )
+    schema = views_schema(base, definitions, name=f"views{views}")
+    query = cq(
+        ["?k", "?x", "?y"],
+        [
+            ("Fact", ["?k", "?a", "?b"]),
+            ("DimA", ["?a", "?x"]),
+            ("DimB", ["?b", "?y"]),
+        ],
+        name="Qstar",
+    )
+
+    def make_instance(seed: int) -> Instance:
+        """Generate a seeded instance."""
+        rng = random.Random(seed)
+        instance = Instance()
+        for r in range(rows):
+            a, b = f"a{r % 7}", f"b{r % 5}"
+            instance.add("Fact", (f"k{r}", a, b))
+            instance.add("DimA", (a, f"x{r % 7}"))
+            instance.add("DimB", (b, f"y{r % 5}"))
+        # Materialize the views so view accesses return real data.
+        for definition in definitions:
+            for row in instance.evaluate(definition.definition):
+                instance.add(definition.name, row)
+        return instance
+
+    return Scenario(f"views[{views}]", schema, query, make_instance)

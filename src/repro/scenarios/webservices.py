@@ -1,0 +1,75 @@
+"""A bibliography web-services mediator (the PDQ line's motivating domain).
+
+Four services, interfaces modelled on real bibliography providers:
+
+* ``Articles(doi, title, venue)``     -- lookup requires a DOI,
+* ``VenueListing(venue, doi)``        -- browsing a venue lists its DOIs
+  (requires the venue name),
+* ``Venues(venue)``                   -- a free registry of venue names,
+* ``AuthorOf(doi, author)``           -- requires a DOI.
+
+Constraints: every article's venue is registered and listed (the venue
+listing covers the articles), and every article has at least one author.
+The query joins all the way through: (title, author) pairs for articles
+in some venue -- answerable only by the 4-hop chain
+Venues -> VenueListing -> Articles -> AuthorOf.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instance import Instance
+from repro.logic.queries import cq
+from repro.scenarios.examples import Scenario
+from repro.schema.core import SchemaBuilder
+
+
+def webservices(
+    venues: int = 4,
+    articles_per_venue: int = 8,
+    authors_per_article: int = 2,
+) -> Scenario:
+    """The bibliography mediator scenario, sized by its three knobs."""
+    schema = (
+        SchemaBuilder("biblio")
+        .relation("Articles", 3, ["doi", "title", "venue"])
+        .relation("VenueListing", 2, ["venue", "doi"])
+        .relation("Venues", 1, ["venue"])
+        .relation("AuthorOf", 2, ["doi", "author"])
+        .access("mt_article", "Articles", inputs=[0], cost=2.0)
+        .access("mt_listing", "VenueListing", inputs=[0], cost=3.0)
+        .access("mt_venues", "Venues", inputs=[], cost=1.0)
+        .access("mt_authors", "AuthorOf", inputs=[0], cost=2.0)
+        .tgd("Articles(d, t, v) -> Venues(v)")
+        .tgd("Articles(d, t, v) -> VenueListing(v, d)")
+        .tgd("VenueListing(v, d) -> Articles(d, t, v2)")
+        .tgd("Articles(d, t, v) -> AuthorOf(d, a)")
+        .build()
+    )
+    query = cq(
+        ["?t", "?a"],
+        [
+            ("Articles", ["?d", "?t", "?v"]),
+            ("AuthorOf", ["?d", "?a"]),
+        ],
+        name="Qbib",
+    )
+
+    def make_instance(seed: int) -> Instance:
+        """Generate a seeded instance."""
+        rng = random.Random(seed)
+        instance = Instance()
+        for v in range(venues):
+            venue = f"venue{v}"
+            instance.add("Venues", (venue,))
+            for j in range(articles_per_venue):
+                doi = f"10.{v}/{j}"
+                instance.add("Articles", (doi, f"title{v}_{j}", venue))
+                instance.add("VenueListing", (venue, doi))
+                for k in range(authors_per_article):
+                    author = f"author{rng.randrange(venues * 3)}"
+                    instance.add("AuthorOf", (doi, author))
+        return instance
+
+    return Scenario("webservices", schema, query, make_instance)

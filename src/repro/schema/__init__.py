@@ -1,0 +1,50 @@
+"""Schemas with access methods and the accessible-schema constructions.
+
+A :class:`Schema` packages relations, their access methods (binding
+patterns), schema constants, and integrity constraints (TGDs).  The
+``accessible`` module builds the three axiom systems of Section 3 of the
+paper -- ``AcSch``, ``AcSch<->`` and ``AcSch-neg`` -- whose proofs are what
+the planner turns into plans.
+"""
+
+from repro.schema.core import (
+    AccessMethod,
+    Relation,
+    Schema,
+    SchemaBuilder,
+    SchemaError,
+)
+from repro.schema.accessible import (
+    ACCESSED_PREFIX,
+    ACCESSIBLE,
+    INFACC_PREFIX,
+    AccessibleSchema,
+    AxiomKind,
+    accessed_name,
+    accessible_schema,
+    infacc_name,
+    inferred_accessible_query,
+    is_accessed_name,
+    is_infacc_name,
+    original_name,
+)
+
+__all__ = [
+    "ACCESSED_PREFIX",
+    "ACCESSIBLE",
+    "AccessMethod",
+    "AccessibleSchema",
+    "AxiomKind",
+    "INFACC_PREFIX",
+    "Relation",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaError",
+    "accessed_name",
+    "accessible_schema",
+    "infacc_name",
+    "inferred_accessible_query",
+    "is_accessed_name",
+    "is_infacc_name",
+    "original_name",
+]

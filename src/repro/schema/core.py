@@ -1,0 +1,336 @@
+"""Relations, access methods, and schemas.
+
+An :class:`AccessMethod` is the paper's notion of restricted interface: a
+named way of querying one relation, with a set of *input positions* that
+must be supplied (mandatory web-form fields, index lookup keys, required
+service parameters).  A relation with no methods cannot be accessed at all
+(a virtual or hidden relation); a method with no input positions is a free
+table scan.
+
+Positions are 0-based throughout this codebase (the paper counts from 1);
+all public pretty-printers show 0-based positions explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import TGD
+from repro.logic.queries import ConjunctiveQuery
+from repro.logic.terms import Constant, Variable
+
+
+class SchemaError(ValueError):
+    """Raised for ill-formed schemas or lookups of unknown components."""
+
+
+@dataclass(frozen=True, slots=True)
+class Relation:
+    """A relation with a name, an arity and optional attribute names."""
+
+    name: str
+    arity: int
+    attributes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SchemaError(f"negative arity for {self.name}")
+        if self.attributes and len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"{self.name}: {len(self.attributes)} attribute names "
+                f"for arity {self.arity}"
+            )
+        if not self.attributes:
+            object.__setattr__(
+                self,
+                "attributes",
+                tuple(f"a{i}" for i in range(self.arity)),
+            )
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+@dataclass(frozen=True, slots=True)
+class AccessMethod:
+    """An access method on a relation.
+
+    ``input_positions`` are the 0-based positions whose values must be
+    supplied to invoke the method.  An empty tuple means free access.
+    """
+
+    name: str
+    relation: str
+    input_positions: Tuple[int, ...]
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.input_positions, tuple):
+            object.__setattr__(
+                self, "input_positions", tuple(self.input_positions)
+            )
+        if len(set(self.input_positions)) != len(self.input_positions):
+            raise SchemaError(f"method {self.name}: repeated input position")
+        if any(p < 0 for p in self.input_positions):
+            raise SchemaError(f"method {self.name}: negative input position")
+        if self.cost < 0:
+            raise SchemaError(f"method {self.name}: negative cost")
+
+    @property
+    def is_free(self) -> bool:
+        """True when the method needs no inputs (full scan allowed)."""
+        return not self.input_positions
+
+    def __repr__(self) -> str:
+        inputs = ",".join(str(p) for p in self.input_positions)
+        return f"{self.name}[{self.relation};in={{{inputs}}}]"
+
+
+class Schema:
+    """A querying scenario: relations, methods, constants, constraints."""
+
+    def __init__(
+        self,
+        relations: Iterable[Relation],
+        methods: Iterable[AccessMethod] = (),
+        constants: Iterable[Constant] = (),
+        constraints: Iterable[TGD] = (),
+        name: str = "S",
+    ) -> None:
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation {relation.name}")
+            self._relations[relation.name] = relation
+        self._methods: Dict[str, AccessMethod] = {}
+        self._methods_by_relation: Dict[str, List[AccessMethod]] = {
+            r: [] for r in self._relations
+        }
+        for method in methods:
+            self._add_method(method)
+        self.constants: Tuple[Constant, ...] = tuple(constants)
+        self.constraints: Tuple[TGD, ...] = tuple(constraints)
+        self._validate_constraints()
+
+    def _add_method(self, method: AccessMethod) -> None:
+        relation = self._relations.get(method.relation)
+        if relation is None:
+            raise SchemaError(
+                f"method {method.name} refers to unknown relation "
+                f"{method.relation}"
+            )
+        if any(p >= relation.arity for p in method.input_positions):
+            raise SchemaError(
+                f"method {method.name}: input position beyond arity "
+                f"{relation.arity}"
+            )
+        if method.name in self._methods:
+            raise SchemaError(f"duplicate method name {method.name}")
+        self._methods[method.name] = method
+        self._methods_by_relation[method.relation].append(method)
+
+    def _validate_constraints(self) -> None:
+        for tgd in self.constraints:
+            for atom in tgd.body + tgd.head:
+                relation = self._relations.get(atom.relation)
+                if relation is None:
+                    raise SchemaError(
+                        f"constraint {tgd.name} uses unknown relation "
+                        f"{atom.relation}"
+                    )
+                if atom.arity != relation.arity:
+                    raise SchemaError(
+                        f"constraint {tgd.name}: {atom.relation} used with "
+                        f"arity {atom.arity}, declared {relation.arity}"
+                    )
+
+    # ----------------------------------------------------------- lookups
+    @property
+    def relations(self) -> Tuple[Relation, ...]:
+        """All declared relations, in declaration order."""
+        return tuple(self._relations.values())
+
+    @property
+    def methods(self) -> Tuple[AccessMethod, ...]:
+        """All declared access methods, in declaration order."""
+        return tuple(self._methods.values())
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name (raises SchemaError if unknown)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name}") from None
+
+    def has_relation(self, name: str) -> bool:
+        """Whether a relation with this name is declared."""
+        return name in self._relations
+
+    def method(self, name: str) -> AccessMethod:
+        """Look up an access method by name (raises SchemaError if unknown)."""
+        try:
+            return self._methods[name]
+        except KeyError:
+            raise SchemaError(f"unknown method {name}") from None
+
+    def methods_of(self, relation: str) -> Tuple[AccessMethod, ...]:
+        """The access methods declared on one relation (possibly none)."""
+        if relation not in self._relations:
+            raise SchemaError(f"unknown relation {relation}")
+        return tuple(self._methods_by_relation[relation])
+
+    def accessible_relations(self) -> Tuple[Relation, ...]:
+        """Relations having at least one access method."""
+        return tuple(
+            r
+            for r in self._relations.values()
+            if self._methods_by_relation[r.name]
+        )
+
+    def hidden_relations(self) -> Tuple[Relation, ...]:
+        """Relations with no method at all (only reachable via reasoning)."""
+        return tuple(
+            r
+            for r in self._relations.values()
+            if not self._methods_by_relation[r.name]
+        )
+
+    # ------------------------------------------------------- properties
+    @property
+    def has_only_guarded_constraints(self) -> bool:
+        """True when every constraint is a Guarded TGD (Section 5 applies)."""
+        return all(tgd.is_guarded for tgd in self.constraints)
+
+    @property
+    def has_only_inclusion_dependencies(self) -> bool:
+        """True when every constraint is a referential constraint (ID)."""
+        return all(tgd.is_inclusion_dependency for tgd in self.constraints)
+
+    def validate_query(self, query: ConjunctiveQuery) -> None:
+        """Check a query only mentions schema relations at correct arity."""
+        for atom in query.atoms:
+            relation = self.relation(atom.relation)
+            if atom.arity != relation.arity:
+                raise SchemaError(
+                    f"query {query.name}: {atom.relation} used with arity "
+                    f"{atom.arity}, declared {relation.arity}"
+                )
+
+    def describe(self) -> str:
+        """A human-readable multi-line description."""
+        lines = [f"schema {self.name}"]
+        for relation in self._relations.values():
+            methods = self._methods_by_relation[relation.name]
+            if methods:
+                tags = ", ".join(repr(m) for m in methods)
+            else:
+                tags = "no access"
+            lines.append(f"  {relation!r}: {tags}")
+        if self.constants:
+            values = ", ".join(repr(c) for c in self.constants)
+            lines.append(f"  constants: {values}")
+        for tgd in self.constraints:
+            lines.append(f"  constraint {tgd!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema({self.name}: {len(self._relations)} relations, "
+            f"{len(self._methods)} methods, "
+            f"{len(self.constraints)} constraints)"
+        )
+
+
+class SchemaBuilder:
+    """Fluent construction of schemas.
+
+    ::
+
+        schema = (
+            SchemaBuilder("uni")
+            .relation("Profinfo", 3)
+            .relation("Udirect", 2)
+            .access("mt_prof", "Profinfo", inputs=[0])
+            .access("mt_udir", "Udirect", inputs=[])
+            .tgd("Profinfo(eid, onum, lname) -> Udirect(eid, lname)")
+            .constant("smith")
+            .build()
+        )
+    """
+
+    def __init__(self, name: str = "S") -> None:
+        self._name = name
+        self._relations: List[Relation] = []
+        self._methods: List[AccessMethod] = []
+        self._constants: List[Constant] = []
+        self._constraints: List[TGD] = []
+
+    def relation(
+        self,
+        name: str,
+        arity: int,
+        attributes: Sequence[str] = (),
+    ) -> "SchemaBuilder":
+        """Declare a relation."""
+        self._relations.append(Relation(name, arity, tuple(attributes)))
+        return self
+
+    def access(
+        self,
+        name: str,
+        relation: str,
+        inputs: Sequence[int] = (),
+        cost: float = 1.0,
+    ) -> "SchemaBuilder":
+        """Declare an access method with 0-based input positions."""
+        self._methods.append(
+            AccessMethod(name, relation, tuple(inputs), cost)
+        )
+        return self
+
+    def free_access(
+        self, relation: str, cost: float = 1.0
+    ) -> "SchemaBuilder":
+        """Shorthand: an input-free method named ``mt_<relation>``."""
+        return self.access(f"mt_{relation}", relation, (), cost)
+
+    def constant(self, value: object) -> "SchemaBuilder":
+        """Declare a schema constant (a value the querier may use)."""
+        self._constants.append(
+            value if isinstance(value, Constant) else Constant(value)  # type: ignore[arg-type]
+        )
+        return self
+
+    def tgd(self, text_or_tgd: object, name: str = "") -> "SchemaBuilder":
+        """Add a constraint, as a TGD object or parse_tgd text."""
+        if isinstance(text_or_tgd, TGD):
+            self._constraints.append(text_or_tgd)
+        elif isinstance(text_or_tgd, str):
+            from repro.logic.dependencies import parse_tgd
+
+            self._constraints.append(parse_tgd(text_or_tgd, name=name))
+        else:
+            raise SchemaError(f"cannot interpret constraint {text_or_tgd!r}")
+        return self
+
+    def build(self) -> Schema:
+        """Validate and assemble the schema."""
+        return Schema(
+            self._relations,
+            self._methods,
+            self._constants,
+            self._constraints,
+            name=self._name,
+        )

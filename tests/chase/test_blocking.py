@@ -1,0 +1,82 @@
+"""Unit tests for the guarded-bag blocking structure."""
+
+import pytest
+
+from repro.chase.blocking import BagTree, BlockingPolicy
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null
+
+
+A = Constant("a")
+N = [Null(f"n{i}") for i in range(6)]
+
+
+class TestBagTree:
+    def test_initial_bag_owns_initial_nulls(self):
+        tree = BagTree()
+        tree.register_initial([Atom("R", (N[0], N[1]))])
+        assert tree.bag_of(N[0]) == 0
+        assert tree.depth_of_bag(0) == 0
+
+    def test_register_firing_creates_child(self):
+        tree = BagTree()
+        tree.register_initial([Atom("R", (N[0], N[1]))])
+        bag = tree.register_firing(
+            (Atom("R", (N[0], N[1])),), (Atom("R", (N[1], N[2])),)
+        )
+        assert tree.depth_of_bag(bag) == 1
+        assert tree.bag_of(N[2]) == bag
+
+    def test_home_bag_is_deepest_owner(self):
+        tree = BagTree()
+        tree.register_initial([Atom("R", (N[0], N[1]))])
+        child = tree.register_firing(
+            (Atom("R", (N[0], N[1])),), (Atom("R", (N[1], N[2])),)
+        )
+        assert tree.home_bag((Atom("R", (N[1], N[2])),)) == child
+        assert tree.home_bag((Atom("R", (N[0], N[1])),)) == 0
+
+    def test_is_blocked_by_homomorphic_bag(self):
+        tree = BagTree()
+        tree.register_initial([Atom("R", (N[0], N[1]))])
+        # Candidate R(n1, n2) maps into bag 0's R(n0, n1) by null renaming.
+        assert tree.is_blocked((Atom("R", (N[1], N[2])),))
+
+    def test_not_blocked_when_constants_differ(self):
+        tree = BagTree()
+        tree.register_initial([Atom("R", (N[0], A))])
+        # Candidate has constant "b" which cannot map to "a".
+        assert not tree.is_blocked(
+            (Atom("R", (N[1], Constant("b"))),)
+        )
+
+    def test_not_blocked_across_relations(self):
+        tree = BagTree()
+        tree.register_initial([Atom("R", (N[0],))])
+        assert not tree.is_blocked((Atom("S", (N[1],)),))
+
+
+class TestBlockingPolicy:
+    def test_disabled_policy_allows_everything(self):
+        policy = BlockingPolicy(enabled=False)
+        tree = policy.fresh_tree([Atom("R", (N[0], N[1]))])
+        assert policy.allows(
+            tree, (Atom("R", (N[0], N[1])),), (Atom("R", (N[1], N[2])),)
+        )
+
+    def test_enabled_policy_blocks_homomorphic_bag(self):
+        policy = BlockingPolicy(enabled=True)
+        tree = policy.fresh_tree([Atom("R", (N[0], N[1]))])
+        assert not policy.allows(
+            tree, (Atom("R", (N[0], N[1])),), (Atom("R", (N[1], N[2])),)
+        )
+
+    def test_max_bag_depth_cap(self):
+        policy = BlockingPolicy(enabled=True, max_bag_depth=0)
+        tree = policy.fresh_tree([Atom("R", (N[0], A))])
+        # Fresh shape (different constant) but depth cap forbids it.
+        assert not policy.allows(
+            tree,
+            (Atom("R", (N[0], A)),),
+            (Atom("S", (N[1], Constant("b"))),),
+        )

@@ -1,0 +1,99 @@
+"""Property-based tests for the chase engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chase.configuration import ChaseConfiguration
+from repro.chase.engine import ChasePolicy, chase_to_fixpoint
+from repro.chase.firing import find_triggers
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import TGD
+from repro.logic.terms import Constant, NullFactory, Variable
+
+
+VARS = [Variable(n) for n in "xyz"]
+CONSTS = [Constant(f"c{i}") for i in range(4)]
+RELATIONS = ["R2", "S2", "T1"]
+
+
+def _arity(relation: str) -> int:
+    return int(relation[-1])
+
+
+@st.composite
+def full_tgds(draw):
+    """Random *full* TGDs (no existentials): chase always terminates."""
+    body_rel = draw(st.sampled_from(RELATIONS))
+    body_terms = tuple(
+        draw(st.sampled_from(VARS)) for _ in range(_arity(body_rel))
+    )
+    body = (Atom(body_rel, body_terms),)
+    body_vars = [t for t in body_terms if isinstance(t, Variable)]
+    head_rel = draw(st.sampled_from(RELATIONS))
+    pool = body_vars + CONSTS[:1] if body_vars else CONSTS[:1]
+    head_terms = tuple(
+        draw(st.sampled_from(pool)) for _ in range(_arity(head_rel))
+    )
+    return TGD(body, (Atom(head_rel, head_terms),))
+
+
+@st.composite
+def fact_sets(draw):
+    facts = []
+    for _ in range(draw(st.integers(1, 6))):
+        relation = draw(st.sampled_from(RELATIONS))
+        terms = tuple(
+            draw(st.sampled_from(CONSTS)) for _ in range(_arity(relation))
+        )
+        facts.append(Atom(relation, terms))
+    return facts
+
+
+@given(st.lists(full_tgds(), min_size=1, max_size=4), fact_sets())
+@settings(max_examples=60, deadline=None)
+def test_full_tgd_chase_reaches_genuine_fixpoint(rules, facts):
+    config = ChaseConfiguration(facts)
+    result = chase_to_fixpoint(config, rules, NullFactory("t"))
+    assert result.reached_fixpoint
+    # Fixpoint means no rule has any remaining candidate match.
+    for rule in rules:
+        assert not list(find_triggers(rule, config))
+
+
+@given(st.lists(full_tgds(), min_size=1, max_size=4), fact_sets())
+@settings(max_examples=60, deadline=None)
+def test_chase_only_adds_facts(rules, facts):
+    config = ChaseConfiguration(facts)
+    before = set(config)
+    chase_to_fixpoint(config, rules, NullFactory("t"))
+    assert before <= set(config)
+
+
+@given(st.lists(full_tgds(), min_size=1, max_size=3), fact_sets())
+@settings(max_examples=40, deadline=None)
+def test_chase_deterministic_for_full_tgds(rules, facts):
+    """Full-TGD chase is confluent: same fixpoint regardless of restarts."""
+    config_a = ChaseConfiguration(facts)
+    chase_to_fixpoint(config_a, rules, NullFactory("a"))
+    config_b = ChaseConfiguration(facts)
+    chase_to_fixpoint(config_b, list(reversed(rules)), NullFactory("b"))
+    assert set(config_a) == set(config_b)
+
+
+@given(fact_sets())
+@settings(max_examples=30, deadline=None)
+def test_depth_zero_for_initial_facts(facts):
+    config = ChaseConfiguration(facts)
+    assert all(config.depth(fact) == 0 for fact in config)
+
+
+@given(st.lists(full_tgds(), min_size=1, max_size=3), fact_sets())
+@settings(max_examples=40, deadline=None)
+def test_derived_facts_have_positive_depth(rules, facts):
+    config = ChaseConfiguration(facts)
+    initial = set(config)
+    chase_to_fixpoint(config, rules, NullFactory("t"))
+    for fact in config:
+        if fact not in initial:
+            assert config.depth(fact) >= 1

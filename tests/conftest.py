@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's schemas and queries, small instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, SchemaBuilder, cq
+from repro.scenarios import example1, example2, example5
+
+
+@pytest.fixture
+def uni_schema():
+    """Example 1's schema: restricted Profinfo, free Udirect."""
+    return (
+        SchemaBuilder("uni")
+        .relation("Profinfo", 3, ["eid", "onum", "lname"])
+        .relation("Udirect", 2, ["eid", "lname"])
+        .access("mt_prof", "Profinfo", inputs=[0], cost=2.0)
+        .access("mt_udir", "Udirect", inputs=[], cost=1.0)
+        .tgd("Profinfo(eid, onum, lname) -> Udirect(eid, lname)")
+        .build()
+    )
+
+
+@pytest.fixture
+def uni_boolean_query():
+    """Example 4's boolean query over Example 1's schema."""
+    return cq([], [("Profinfo", ["?e", "?o", "?l"])], name="Qb")
+
+
+@pytest.fixture
+def uni_instance():
+    return Instance(
+        {
+            "Profinfo": [
+                ("e1", "o101", "smith"),
+                ("e2", "o102", "jones"),
+            ],
+            "Udirect": [
+                ("e1", "smith"),
+                ("e2", "jones"),
+                ("e3", "doe"),
+            ],
+        }
+    )
+
+
+@pytest.fixture
+def scenario1():
+    return example1(professors=10, directory_extra=15)
+
+
+@pytest.fixture
+def scenario2():
+    return example2(directory_size=12)
+
+
+@pytest.fixture
+def scenario5():
+    return example5(sources=3, professors=8, noise_per_source=10)

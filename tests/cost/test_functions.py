@@ -1,0 +1,126 @@
+"""Unit tests for cost functions and their monotonicity."""
+
+import pytest
+
+from repro.cost.functions import (
+    CardinalityCostFunction,
+    CountingCostFunction,
+    SimpleCostFunction,
+    is_monotone_on,
+)
+from repro.plans.commands import (
+    AccessCommand,
+    MiddlewareCommand,
+    identity_output_map,
+)
+from repro.plans.expressions import Join, Project, Scan, Singleton
+from repro.plans.plan import Plan
+from repro.schema.core import SchemaBuilder
+
+
+def access(target, method, expr=None, attrs=()):
+    return AccessCommand(
+        target,
+        method,
+        expr if expr is not None else Singleton(),
+        attrs,
+        identity_output_map((f"{target}_p0", f"{target}_p1")),
+    )
+
+
+@pytest.fixture
+def commands():
+    return [
+        access("T1", "cheap"),
+        MiddlewareCommand("T2", Project(Scan("T1"), ("T1_p0",))),
+        access("T3", "pricey"),
+        MiddlewareCommand("T4", Join(Scan("T2"), Scan("T3"))),
+    ]
+
+
+class TestSimpleCost:
+    def test_sums_per_method_weights(self, commands):
+        cost = SimpleCostFunction({"cheap": 1.0, "pricey": 10.0})
+        assert cost.commands_cost(commands) == pytest.approx(11.0)
+
+    def test_default_for_unknown_method(self, commands):
+        cost = SimpleCostFunction({}, default=3.0)
+        assert cost.commands_cost(commands) == pytest.approx(6.0)
+
+    def test_middleware_free(self):
+        cost = SimpleCostFunction({"m": 1.0})
+        only_mw = [MiddlewareCommand("T", Singleton())]
+        assert cost.commands_cost(only_mw) == 0.0
+
+    def test_repeated_method_charged_per_command(self):
+        cost = SimpleCostFunction({"m": 2.0})
+        cmds = [access("A", "m"), access("B", "m")]
+        assert cost.commands_cost(cmds) == pytest.approx(4.0)
+
+    def test_from_schema_uses_declared_costs(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt", "R", inputs=[], cost=7.5)
+            .build()
+        )
+        cost = SimpleCostFunction.from_schema(schema)
+        assert cost.method_cost("mt") == pytest.approx(7.5)
+
+    def test_monotone(self, commands):
+        cost = SimpleCostFunction({"cheap": 1.0, "pricey": 10.0})
+        assert is_monotone_on(cost, commands)
+
+
+class TestCountingCost:
+    def test_counts_access_commands(self, commands):
+        assert CountingCostFunction().commands_cost(commands) == 2.0
+
+    def test_monotone(self, commands):
+        assert is_monotone_on(CountingCostFunction(), commands)
+
+
+class TestCardinalityCost:
+    def test_charges_per_access_plus_fanin(self, commands):
+        cost = CardinalityCostFunction(
+            relation_cardinality={"cheap": 100, "pricey": 10},
+            per_access=1.0,
+            per_tuple=0.1,
+        )
+        value = cost.commands_cost(commands)
+        # Two accesses with singleton fan-in (1 row each).
+        assert value == pytest.approx(2.0 + 0.1 * 2)
+
+    def test_larger_input_costs_more(self):
+        cost = CardinalityCostFunction(
+            relation_cardinality={"big": 1000, "probe": 10},
+            per_access=1.0,
+            per_tuple=0.01,
+        )
+        cheap = [access("A", "probe")]
+        chained = [
+            access("A", "big"),
+            access(
+                "B", "probe", Project(Scan("A"), ("A_p0",)), ("A_p0",)
+            ),
+        ]
+        assert cost.commands_cost(chained) > cost.commands_cost(cheap)
+
+    def test_monotone(self, commands):
+        cost = CardinalityCostFunction(relation_cardinality={})
+        assert is_monotone_on(cost, commands)
+
+    def test_method_cost_probe(self):
+        cost = CardinalityCostFunction(
+            relation_cardinality={}, per_access=2.0, per_tuple=0.5
+        )
+        assert cost.method_cost("anything") == pytest.approx(2.5)
+
+
+class TestMonotonicityChecker:
+    def test_detects_non_monotone(self, commands):
+        class Bogus(CountingCostFunction):
+            def commands_cost(self, cmds):
+                return -float(len(cmds))
+
+        assert not is_monotone_on(Bogus(), commands)

@@ -1,0 +1,152 @@
+"""Unit tests for the AccPart fixpoint (Section 3 semantics)."""
+
+import pytest
+
+from repro.data.accessible_part import accessible_part
+from repro.data.instance import Instance
+from repro.logic.terms import Constant
+from repro.schema.core import SchemaBuilder
+
+
+def uni_schema():
+    return (
+        SchemaBuilder("uni")
+        .relation("Profinfo", 3)
+        .relation("Udirect", 2)
+        .access("mt_prof", "Profinfo", inputs=[0])
+        .free_access("Udirect")
+        .tgd("Profinfo(eid, onum, lname) -> Udirect(eid, lname)")
+        .build()
+    )
+
+
+class TestFixpoint:
+    def test_free_access_exposes_all(self):
+        schema = uni_schema()
+        instance = Instance({"Udirect": [("e1", "smith")]})
+        part = accessible_part(schema, instance)
+        assert part.accessed_tuples("Udirect") == {
+            (Constant("e1"), Constant("smith"))
+        }
+        assert Constant("e1") in part.accessible_values
+
+    def test_chained_exposure_through_inputs(self):
+        schema = uni_schema()
+        instance = Instance(
+            {
+                "Profinfo": [("e1", "o1", "smith")],
+                "Udirect": [("e1", "smith")],
+            }
+        )
+        part = accessible_part(schema, instance)
+        # e1 flows from Udirect into the Profinfo access.
+        assert (
+            Constant("e1"),
+            Constant("o1"),
+            Constant("smith"),
+        ) in part.accessed_tuples("Profinfo")
+        assert Constant("o1") in part.accessible_values
+
+    def test_unreachable_facts_stay_hidden(self):
+        schema = uni_schema()
+        instance = Instance(
+            {
+                "Profinfo": [("e9", "o9", "ghost")],  # e9 not in Udirect
+                "Udirect": [("e1", "smith")],
+            }
+        )
+        part = accessible_part(schema, instance)
+        assert part.accessed_tuples("Profinfo") == frozenset()
+
+    def test_schema_constants_seed_the_fixpoint(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt_r", "R", inputs=[0])
+            .constant("k")
+            .build()
+        )
+        instance = Instance({"R": [("k", "v"), ("other", "w")]})
+        part = accessible_part(schema, instance)
+        assert part.accessed_tuples("R") == {
+            (Constant("k"), Constant("v"))
+        }
+
+    def test_no_methods_no_access(self):
+        schema = SchemaBuilder("s").relation("R", 1).build()
+        instance = Instance({"R": [("a",)]})
+        part = accessible_part(schema, instance)
+        assert part.accessed_tuples("R") == frozenset()
+        assert part.accessible_values == frozenset()
+
+
+class TestOrderings:
+    def test_subpart_reflexive(self):
+        schema = uni_schema()
+        instance = Instance({"Udirect": [("e1", "smith")]})
+        part = accessible_part(schema, instance)
+        assert part.is_subpart_of(part)
+        assert part.is_induced_subpart_of(part)
+
+    def test_subpart_of_larger_instance(self):
+        schema = uni_schema()
+        small = accessible_part(
+            schema, Instance({"Udirect": [("e1", "smith")]})
+        )
+        large = accessible_part(
+            schema,
+            Instance({"Udirect": [("e1", "smith"), ("e2", "jones")]}),
+        )
+        assert small.is_subpart_of(large)
+        assert not large.is_subpart_of(small)
+
+    def test_induced_subpart_detects_hidden_visible_fact(self):
+        schema = uni_schema()
+        # Same accessible values, but 'large' has an extra accessed fact
+        # whose values are accessible in 'small' too.
+        small = accessible_part(
+            schema, Instance({"Udirect": [("e1", "smith")]})
+        )
+        large = accessible_part(
+            schema,
+            Instance(
+                {"Udirect": [("e1", "smith"), ("e1", "e1")]}
+            ),
+        )
+        assert small.is_subpart_of(large)
+        assert not small.is_induced_subpart_of(large)
+
+    def test_as_instance_roundtrip(self):
+        schema = uni_schema()
+        instance = Instance({"Udirect": [("e1", "smith")]})
+        part = accessible_part(schema, instance)
+        as_inst = part.as_instance()
+        assert as_inst.tuples("Udirect") == instance.tuples("Udirect")
+
+    def test_plan_indistinguishability(self):
+        """Two instances with equal AccPart give equal plan outputs."""
+        from repro.data.source import InMemorySource
+        from repro.planner import find_best_plan, SearchOptions
+        from repro.logic.queries import cq
+
+        schema = uni_schema()
+        query = cq([], [("Profinfo", ["?e", "?o", "?l"])])
+        plan = find_best_plan(schema, query).best_plan
+        shared = {
+            "Profinfo": [("e1", "o1", "smith")],
+            "Udirect": [("e1", "smith")],
+        }
+        i1 = Instance(shared)
+        i2 = Instance(
+            {
+                # An extra hidden Profinfo fact whose eid never surfaces.
+                "Profinfo": shared["Profinfo"] + [("e9", "o9", "ghost")],
+                "Udirect": shared["Udirect"],
+            }
+        )
+        p1 = accessible_part(schema, i1)
+        p2 = accessible_part(schema, i2)
+        assert p1 == p2
+        out1 = plan.run(InMemorySource(schema, i1))
+        out2 = plan.run(InMemorySource(schema, i2))
+        assert out1.rows == out2.rows

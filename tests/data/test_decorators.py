@@ -1,0 +1,161 @@
+"""Tests for source decorators and runtime cost calibration."""
+
+import pytest
+
+from repro.data.decorators import (
+    AccessBudgetExceeded,
+    BudgetedSource,
+    CachingSource,
+    FlakySource,
+    SourceUnavailable,
+    calibrate_costs,
+)
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example1
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def backend():
+    schema = (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .access("mt_key", "R", inputs=[0], cost=3.0)
+        .free_access("R")
+        .build()
+    )
+    instance = Instance({"R": [("a", "1"), ("b", "2")]})
+    return InMemorySource(schema, instance)
+
+
+class TestCachingSource:
+    def test_repeat_accesses_hit_cache(self, backend):
+        source = CachingSource(backend)
+        first = source.access("mt_key", ("a",))
+        second = source.access("mt_key", ("a",))
+        assert first == second
+        assert source.hits == 1
+        assert source.misses == 1
+        assert backend.total_invocations == 1
+
+    def test_distinct_inputs_miss(self, backend):
+        source = CachingSource(backend)
+        source.access("mt_key", ("a",))
+        source.access("mt_key", ("b",))
+        assert source.misses == 2
+
+    def test_plan_runs_through_cache(self):
+        scenario = example1()
+        plan = find_best_plan(scenario.schema, scenario.query).best_plan
+        backend = InMemorySource(scenario.schema, scenario.instance(0))
+        cached = CachingSource(backend)
+        out_cached = plan.run(cached)
+        fresh = InMemorySource(scenario.schema, scenario.instance(0))
+        out_fresh = plan.run(fresh)
+        assert out_cached.rows == out_fresh.rows
+
+
+class TestBudgetedSource:
+    def test_invocation_budget_enforced(self, backend):
+        source = BudgetedSource(backend, max_invocations=2)
+        source.access("mt_R")
+        source.access("mt_R")
+        with pytest.raises(AccessBudgetExceeded):
+            source.access("mt_R")
+
+    def test_cost_budget_enforced(self, backend):
+        source = BudgetedSource(backend, max_cost=4.0)
+        source.access("mt_key", ("a",))  # cost 3
+        with pytest.raises(AccessBudgetExceeded):
+            source.access("mt_key", ("b",))  # would exceed 4
+        assert source.spent == pytest.approx(3.0)
+
+    def test_plan_within_budget_succeeds(self):
+        scenario = example1(professors=3, directory_extra=0)
+        plan = find_best_plan(scenario.schema, scenario.query).best_plan
+        backend = InMemorySource(scenario.schema, scenario.instance(0))
+        # 1 scan + 3 probes fits in 10 invocations.
+        source = BudgetedSource(backend, max_invocations=10)
+        plan.run(source)
+
+    def test_plan_over_budget_aborts(self):
+        scenario = example1(professors=50, directory_extra=100)
+        plan = find_best_plan(scenario.schema, scenario.query).best_plan
+        backend = InMemorySource(scenario.schema, scenario.instance(0))
+        source = BudgetedSource(backend, max_invocations=3)
+        with pytest.raises(AccessBudgetExceeded):
+            plan.run(source)
+
+
+class TestFlakySource:
+    def test_fails_on_selected_calls(self, backend):
+        source = FlakySource(backend, fail_on=[1])
+        source.access("mt_R")
+        with pytest.raises(SourceUnavailable):
+            source.access("mt_R")
+        # Subsequent calls recover.
+        source.access("mt_R")
+
+    def test_predicate_failures(self, backend):
+        source = FlakySource(
+            backend,
+            predicate=lambda method, inputs: method == "mt_key",
+        )
+        source.access("mt_R")
+        with pytest.raises(SourceUnavailable):
+            source.access("mt_key", ("a",))
+
+    def test_plan_propagates_failure(self):
+        scenario = example1()
+        plan = find_best_plan(scenario.schema, scenario.query).best_plan
+        backend = InMemorySource(scenario.schema, scenario.instance(0))
+        source = FlakySource(backend, fail_on=[0])
+        with pytest.raises(SourceUnavailable):
+            plan.run(source)
+
+
+class TestComposition:
+    def test_cache_behind_budget(self, backend):
+        """A cache inside a budget: repeats are free."""
+        source = BudgetedSource(CachingSource(backend), max_invocations=5)
+        for _ in range(5):
+            source.access("mt_key", ("a",))
+        # Budget counts the outer calls; backend saw only one.
+        assert backend.total_invocations == 1
+
+    def test_budget_behind_cache(self, backend):
+        """A budget inside a cache: repeats don't consume budget."""
+        source = CachingSource(BudgetedSource(backend, max_invocations=1))
+        for _ in range(5):
+            source.access("mt_key", ("a",))
+        assert backend.total_invocations == 1
+
+
+class TestCalibration:
+    def test_weights_reflect_fanout(self):
+        scenario = example1(professors=20, directory_extra=30)
+        plan = find_best_plan(scenario.schema, scenario.query).best_plan
+        source = InMemorySource(scenario.schema, scenario.instance(0))
+        plan.run(source)
+        weights = calibrate_costs(source)
+        # The probe method was invoked many times: its calibrated weight
+        # exceeds the one-shot scan's.
+        assert weights["mt_prof"] > weights["mt_udir"]
+
+    def test_replan_with_calibrated_costs(self):
+        """Feedback loop: calibrated weights are usable for re-planning."""
+        from repro.cost.functions import SimpleCostFunction
+
+        scenario = example1()
+        plan = find_best_plan(scenario.schema, scenario.query).best_plan
+        source = InMemorySource(scenario.schema, scenario.instance(0))
+        plan.run(source)
+        cost = SimpleCostFunction(calibrate_costs(source))
+        replanned = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(cost=cost),
+        )
+        assert replanned.found

@@ -1,0 +1,90 @@
+"""Unit tests for instances: storage, evaluation, constraint checks."""
+
+import pytest
+
+from repro.data.instance import Instance, InstanceError
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import parse_tgd
+from repro.logic.queries import cq
+from repro.logic.terms import Constant, Variable
+
+
+class TestStorage:
+    def test_add_and_tuples(self):
+        instance = Instance()
+        assert instance.add("R", ("a", 1))
+        assert not instance.add("R", ("a", 1))  # dedup
+        assert instance.tuples("R") == {(Constant("a"), Constant(1))}
+
+    def test_add_fact(self):
+        instance = Instance()
+        instance.add_fact(Atom("R", (Constant("a"),)))
+        assert instance.size("R") == 1
+
+    def test_add_fact_rejects_variables(self):
+        with pytest.raises(InstanceError):
+            Instance().add_fact(Atom("R", (Variable("x"),)))
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(InstanceError):
+            Instance().add("R", (object(),))
+
+    def test_size_total_and_per_relation(self):
+        instance = Instance({"R": [("a",)], "S": [("b",), ("c",)]})
+        assert instance.size() == 3
+        assert instance.size("S") == 2
+        assert instance.size("T") == 0
+
+    def test_domain(self):
+        instance = Instance({"R": [("a", "b")], "S": [("b",)]})
+        assert instance.domain() == {Constant("a"), Constant("b")}
+
+    def test_copy_independent(self):
+        instance = Instance({"R": [("a",)]})
+        clone = instance.copy()
+        clone.add("R", ("b",))
+        assert instance.size() == 1
+
+    def test_equality_ignores_empty_relations(self):
+        a = Instance({"R": [("x",)], "S": []})
+        b = Instance({"R": [("x",)]})
+        assert a == b
+
+
+class TestEvaluation:
+    def test_evaluate_cq(self):
+        instance = Instance({"R": [("a", "b"), ("c", "b")]})
+        result = instance.evaluate(cq(["?x"], [("R", ["?x", "b"])]))
+        assert result == {(Constant("a"),), (Constant("c"),)}
+
+    def test_fact_index_cache_invalidated_on_add(self):
+        instance = Instance({"R": [("a",)]})
+        query = cq([], [("R", ["?x"])])
+        assert instance.evaluate(query)
+        instance.add("S", ("b",))
+        assert instance.evaluate(cq([], [("S", ["?x"])]))
+
+
+class TestConstraints:
+    def test_satisfies_full_tgd(self):
+        tgd = parse_tgd("R(x) -> S(x)")
+        good = Instance({"R": [("a",)], "S": [("a",)]})
+        bad = Instance({"R": [("a",)]})
+        assert good.satisfies(tgd)
+        assert not bad.satisfies(tgd)
+
+    def test_satisfies_existential_tgd_any_witness(self):
+        tgd = parse_tgd("R(x) -> S(x, y)")
+        good = Instance({"R": [("a",)], "S": [("a", "w")]})
+        assert good.satisfies(tgd)
+
+    def test_violations_listed(self):
+        tgds = [parse_tgd("R(x) -> S(x)"), parse_tgd("S(x) -> R(x)")]
+        instance = Instance({"R": [("a",)]})
+        violated = instance.violations(tgds)
+        assert len(violated) == 1
+        assert violated[0].name == "R=>S"
+
+    def test_satisfies_all(self):
+        tgds = [parse_tgd("R(x) -> S(x)")]
+        assert Instance({"S": [("a",)]}).satisfies_all(tgds)

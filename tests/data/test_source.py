@@ -1,0 +1,78 @@
+"""Unit tests for the access-enforced source and its metering."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import AccessViolation, InMemorySource
+from repro.logic.terms import Constant
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def source():
+    schema = (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .access("mt_key", "R", inputs=[0], cost=2.0)
+        .access("mt_scan", "R", inputs=[], cost=5.0)
+        .build()
+    )
+    instance = Instance({"R": [("a", "1"), ("a", "2"), ("b", "3")]})
+    return InMemorySource(schema, instance)
+
+
+class TestAccess:
+    def test_keyed_access_filters(self, source):
+        rows = source.access("mt_key", ("a",))
+        assert len(rows) == 2
+        assert all(row[0] == Constant("a") for row in rows)
+
+    def test_free_access_returns_all(self, source):
+        assert len(source.access("mt_scan")) == 3
+
+    def test_no_match_returns_empty(self, source):
+        assert source.access("mt_key", ("zzz",)) == frozenset()
+
+    def test_wrong_arity_raises(self, source):
+        with pytest.raises(AccessViolation):
+            source.access("mt_key", ())
+        with pytest.raises(AccessViolation):
+            source.access("mt_scan", ("a",))
+
+    def test_unknown_method_raises(self, source):
+        from repro.schema.core import SchemaError
+
+        with pytest.raises(SchemaError):
+            source.access("nope", ())
+
+
+class TestMetering:
+    def test_log_records_everything(self, source):
+        source.access("mt_key", ("a",))
+        source.access("mt_key", ("a",))
+        source.access("mt_scan")
+        assert source.total_invocations == 3
+        assert source.invocations_of("mt_key") == 2
+        record = source.log[0]
+        assert record.method == "mt_key"
+        assert record.results == 2
+
+    def test_distinct_accesses_deduplicates(self, source):
+        source.access("mt_key", ("a",))
+        source.access("mt_key", ("a",))
+        source.access("mt_key", ("b",))
+        assert len(source.distinct_accesses()) == 2
+
+    def test_charged_cost_uses_declared_weights(self, source):
+        source.access("mt_key", ("a",))
+        source.access("mt_scan")
+        assert source.charged_cost() == pytest.approx(7.0)
+
+    def test_charged_cost_with_override(self, source):
+        source.access("mt_key", ("a",))
+        assert source.charged_cost({"mt_key": 10.0}) == pytest.approx(10.0)
+
+    def test_reset_log(self, source):
+        source.access("mt_scan")
+        source.reset_log()
+        assert source.total_invocations == 0

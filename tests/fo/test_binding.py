@@ -1,0 +1,114 @@
+"""Unit tests for BindPatt (the paper's binding-pattern semantics)."""
+
+import pytest
+
+from repro.fo.binding import (
+    BindingPattern,
+    UnrestrictedQuantificationError,
+    binding_patterns,
+)
+from repro.fo.formulas import (
+    And,
+    Eq,
+    Exists,
+    FOAtom,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def pattern(rel, *positions):
+    return BindingPattern(rel, frozenset(positions))
+
+
+class TestBaseCases:
+    def test_top_and_eq_empty(self):
+        assert binding_patterns(Top()) == frozenset()
+        assert binding_patterns(Eq(X, Y)) == frozenset()
+
+    def test_bare_atom_fully_bound(self):
+        formula = FOAtom(Atom("R", (X, Y)))
+        assert binding_patterns(formula) == {pattern("R", 0, 1)}
+
+    def test_negation_transparent(self):
+        formula = Not(FOAtom(Atom("R", (X,))))
+        assert binding_patterns(formula) == {pattern("R", 0)}
+
+
+class TestGuardedQuantifiers:
+    def test_existential_guard_unbinds_quantified(self):
+        formula = Exists((Y,), FOAtom(Atom("R", (X, Y))))
+        assert binding_patterns(formula) == {pattern("R", 0)}
+
+    def test_universal_guard(self):
+        formula = Forall(
+            (Y,), Implies(FOAtom(Atom("S", (X, Y))), FOAtom(Atom("T", (X, Y))))
+        )
+        assert binding_patterns(formula) == {
+            pattern("S", 0),
+            pattern("T", 0, 1),
+        }
+
+    def test_constants_count_as_bound(self):
+        formula = Exists((Y,), FOAtom(Atom("R", (Constant("a"), Y))))
+        assert binding_patterns(formula) == {pattern("R", 0)}
+
+    def test_paper_example(self):
+        # exists x,y (R(x,y) & forall z (S(x,y,z) -> U(x,y,z)))
+        # = {(R, {}), (S, {0,1}), (U, {0,1,2})} (0-based).
+        inner = Forall(
+            (Z,),
+            Implies(
+                FOAtom(Atom("S", (X, Y, Z))), FOAtom(Atom("U", (X, Y, Z)))
+            ),
+        )
+        formula = Exists((X, Y), And(FOAtom(Atom("R", (X, Y))), inner))
+        assert binding_patterns(formula) == {
+            pattern("R"),
+            pattern("S", 0, 1),
+            pattern("U", 0, 1, 2),
+        }
+
+    def test_union_of_branches(self):
+        formula = Or(
+            Exists((X,), FOAtom(Atom("R", (X,)))),
+            Exists((X,), FOAtom(Atom("S", (X,)))),
+        )
+        assert binding_patterns(formula) == {pattern("R"), pattern("S")}
+
+
+class TestUndefinedCases:
+    def test_unguarded_existential(self):
+        formula = Exists((X,), Not(FOAtom(Atom("P", (X,)))))
+        with pytest.raises(UnrestrictedQuantificationError):
+            binding_patterns(formula)
+
+    def test_unguarded_universal(self):
+        formula = Forall((X,), FOAtom(Atom("P", (X,))))
+        with pytest.raises(UnrestrictedQuantificationError):
+            binding_patterns(formula)
+
+    def test_guard_must_cover_quantified_variables(self):
+        formula = Exists(
+            (X, Y), And(FOAtom(Atom("R", (X,))), FOAtom(Atom("S", (Y,))))
+        )
+        with pytest.raises(UnrestrictedQuantificationError):
+            binding_patterns(formula)
+
+    def test_nested_single_quantifiers_ok(self):
+        formula = Exists(
+            (X,),
+            And(
+                FOAtom(Atom("R", (X,))),
+                Exists((Y,), FOAtom(Atom("S", (Y,)))),
+            ),
+        )
+        assert binding_patterns(formula) == {pattern("R"), pattern("S")}

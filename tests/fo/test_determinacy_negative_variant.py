@@ -1,0 +1,53 @@
+"""Extra coverage for the AcSch-neg determinacy check and its hierarchy."""
+
+import pytest
+
+from repro.fo.determinacy import (
+    is_access_determined,
+    is_induced_subinstance_determined,
+    is_monotonically_determined,
+)
+from repro.logic.queries import cq
+from repro.scenarios import example2, webservices
+from repro.schema.core import SchemaBuilder
+
+
+class TestHierarchy:
+    """Forward proofs embed into both extended systems: whenever the
+    FORWARD check succeeds, the NEGATIVE and BIDIRECTIONAL checks must
+    too (their rule sets are supersets)."""
+
+    @pytest.mark.parametrize(
+        "factory", [example2, webservices]
+    )
+    def test_scenarios_respect_hierarchy(self, factory):
+        scenario = factory()
+        query = scenario.query
+        forward = is_monotonically_determined(scenario.schema, query)
+        assert forward  # all shipped scenarios are answerable
+        assert is_access_determined(scenario.schema, query)
+        assert is_induced_subinstance_determined(scenario.schema, query)
+
+    def test_negative_check_on_unanswerable(self):
+        schema = SchemaBuilder("s").relation("H", 2).build()
+        query = cq([], [("H", ["?x", "?y"])])
+        assert not is_induced_subinstance_determined(schema, query)
+
+    def test_negative_axioms_require_full_accessibility(self):
+        """AcSch-neg's negative axiom needs ALL positions accessible; a
+        relation whose second position is never exposed cannot be
+        transferred by it.  The query stays determined only through the
+        ordinary positive route (which exists here), so all three agree."""
+        schema = (
+            SchemaBuilder("s")
+            .relation("Keys", 1)
+            .relation("R", 2)
+            .free_access("Keys")
+            .access("mt_r", "R", inputs=[0])
+            .tgd("R(x, y) -> Keys(x)")
+            .build()
+        )
+        query = cq([], [("R", ["?x", "?y"])])
+        forward = is_monotonically_determined(schema, query)
+        negative = is_induced_subinstance_determined(schema, query)
+        assert forward and negative

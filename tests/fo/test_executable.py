@@ -1,0 +1,203 @@
+"""Tests for executable FO queries and Proposition 1 compilation."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.fo.executable import (
+    ExecutabilityError,
+    executable_to_plan,
+    is_executable,
+    method_for_guard,
+    to_guarded_nnf,
+)
+from repro.fo.formulas import (
+    And,
+    Eq,
+    Exists,
+    FOAtom,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.schema.core import SchemaBuilder
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .relation("Emp", 2)       # (dept, name)
+        .relation("Dept", 1)
+        .relation("Cert", 2)      # (name, cert)
+        .free_access("Dept")
+        .access("mt_emp", "Emp", inputs=[0])
+        .access("mt_cert", "Cert", inputs=[0, 1])
+        .build()
+    )
+
+
+def run(plan, schema, data):
+    return plan.run(InMemorySource(schema, Instance(data)))
+
+
+class TestGuardedNNF:
+    def test_preserves_forall_guard_shape(self):
+        formula = Not(
+            Exists((X,), And(FOAtom(Atom("Dept", (X,))), Top()))
+        )
+        result = to_guarded_nnf(formula)
+        assert isinstance(result, Forall)
+        assert isinstance(result.body, Implies)
+
+    def test_negated_forall_becomes_guarded_exists(self):
+        formula = Not(
+            Forall((X,), Implies(FOAtom(Atom("Dept", (X,))), Top()))
+        )
+        result = to_guarded_nnf(formula)
+        assert isinstance(result, Exists)
+
+    def test_double_negation_identity_shape(self):
+        formula = Exists((X,), FOAtom(Atom("Dept", (X,))))
+        assert isinstance(to_guarded_nnf(Not(Not(formula))), Exists)
+
+
+class TestMethodForGuard:
+    def test_picks_cheapest_covering_method(self, schema):
+        guard = Atom("Emp", (X, Y))
+        method = method_for_guard(schema, guard, [X])
+        assert method.name == "mt_emp"
+
+    def test_none_when_inputs_uncovered(self, schema):
+        guard = Atom("Cert", (X, Y))
+        assert method_for_guard(schema, guard, [X]) is None
+
+    def test_constants_count_as_bound(self, schema):
+        guard = Atom("Emp", (Constant("d"), Y))
+        assert method_for_guard(schema, guard, []) is not None
+
+
+class TestIsExecutable:
+    def test_simple_executable_sentence(self, schema):
+        formula = Exists((X,), FOAtom(Atom("Dept", (X,))))
+        assert is_executable(formula, schema)
+
+    def test_uncovered_guard_not_executable(self, schema):
+        formula = Exists((X, Y), FOAtom(Atom("Cert", (X, Y))))
+        assert not is_executable(formula, schema)
+
+    def test_unrestricted_quantifier_not_executable(self, schema):
+        formula = Forall((X,), FOAtom(Atom("Dept", (X,))))
+        assert not is_executable(formula, schema)
+
+
+class TestCompiledSemantics:
+    def test_existential_sentence(self, schema):
+        formula = Exists((X,), FOAtom(Atom("Dept", (X,))))
+        plan = executable_to_plan(formula, schema)
+        assert not run(plan, schema, {"Dept": [("sales",)]}).is_empty
+        assert run(plan, schema, {}).is_empty
+
+    def test_nested_exists_join(self, schema):
+        # exists d (Dept(d) & exists n Emp(d, n))
+        formula = Exists(
+            (X,),
+            And(
+                FOAtom(Atom("Dept", (X,))),
+                Exists((Y,), FOAtom(Atom("Emp", (X, Y)))),
+            ),
+        )
+        plan = executable_to_plan(formula, schema)
+        assert not run(
+            plan,
+            schema,
+            {"Dept": [("sales",)], "Emp": [("sales", "ann")]},
+        ).is_empty
+        assert run(
+            plan,
+            schema,
+            {"Dept": [("sales",)], "Emp": [("hr", "bob")]},
+        ).is_empty
+
+    def test_universal_sentence(self, schema):
+        # exists d (Dept(d) & forall n (Emp(d, n) -> Cert(n, n)))
+        formula = Exists(
+            (X,),
+            And(
+                FOAtom(Atom("Dept", (X,))),
+                Forall(
+                    (Y,),
+                    Implies(
+                        FOAtom(Atom("Emp", (X, Y))),
+                        Exists((), FOAtom(Atom("Cert", (Y, Y)))),
+                    ),
+                ),
+            ),
+        )
+        plan = executable_to_plan(formula, schema)
+        all_certified = {
+            "Dept": [("sales",)],
+            "Emp": [("sales", "ann")],
+            "Cert": [("ann", "ann")],
+        }
+        one_missing = {
+            "Dept": [("sales",)],
+            "Emp": [("sales", "ann"), ("sales", "bob")],
+            "Cert": [("ann", "ann")],
+        }
+        assert not run(plan, schema, all_certified).is_empty
+        assert run(plan, schema, one_missing).is_empty
+
+    def test_disjunction(self, schema):
+        formula = Or(
+            Exists((X,), FOAtom(Atom("Dept", (X,)))),
+            Exists(
+                (X,),
+                And(
+                    FOAtom(Atom("Dept", (X,))),
+                    Exists((Y,), FOAtom(Atom("Emp", (X, Y)))),
+                ),
+            ),
+        )
+        plan = executable_to_plan(formula, schema)
+        assert not run(plan, schema, {"Dept": [("d",)]}).is_empty
+
+    def test_negated_sentence(self, schema):
+        formula = Not(Exists((X,), FOAtom(Atom("Dept", (X,)))))
+        plan = executable_to_plan(formula, schema)
+        assert not run(plan, schema, {}).is_empty
+        assert run(plan, schema, {"Dept": [("d",)]}).is_empty
+
+    def test_equality_selection(self, schema):
+        # exists d,n (Emp(d,n) via Dept... ) with d = n
+        formula = Exists(
+            (X,),
+            And(
+                FOAtom(Atom("Dept", (X,))),
+                Exists(
+                    (Y,),
+                    And(FOAtom(Atom("Emp", (X, Y))), Eq(X, Y)),
+                ),
+            ),
+        )
+        plan = executable_to_plan(formula, schema)
+        match = {"Dept": [("d",)], "Emp": [("d", "d")]}
+        no_match = {"Dept": [("d",)], "Emp": [("d", "n")]}
+        assert not run(plan, schema, match).is_empty
+        assert run(plan, schema, no_match).is_empty
+
+    def test_free_variables_rejected(self, schema):
+        with pytest.raises(ExecutabilityError):
+            executable_to_plan(FOAtom(Atom("Dept", (X,))), schema)
+
+    def test_uncompilable_guard_raises(self, schema):
+        formula = Exists((X, Y), FOAtom(Atom("Cert", (X, Y))))
+        with pytest.raises(ExecutabilityError):
+            executable_to_plan(formula, schema)

@@ -1,0 +1,134 @@
+"""Additional executable-compiler edge cases."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.fo.executable import (
+    ExecutabilityError,
+    executable_to_plan,
+    to_guarded_nnf,
+)
+from repro.fo.formulas import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    FOAtom,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.schema.core import SchemaBuilder
+
+
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .relation("K", 1)
+        .free_access("R")
+        .free_access("K")
+        .constant("c0")
+        .build()
+    )
+
+
+def run(plan, schema, data):
+    return plan.run(InMemorySource(schema, Instance(data)))
+
+
+class TestConstantGuards:
+    def test_constant_in_guard_position(self, schema):
+        # exists y R('c0', y)
+        formula = Exists(
+            (Y,), FOAtom(Atom("R", (Constant("c0"), Y)))
+        )
+        plan = executable_to_plan(formula, schema)
+        assert not run(plan, schema, {"R": [("c0", "v")]}).is_empty
+        assert run(plan, schema, {"R": [("zz", "v")]}).is_empty
+
+    def test_repeated_variable_guard(self, schema):
+        formula = Exists((X,), FOAtom(Atom("R", (X, X))))
+        plan = executable_to_plan(formula, schema)
+        assert not run(plan, schema, {"R": [("a", "a")]}).is_empty
+        assert run(plan, schema, {"R": [("a", "b")]}).is_empty
+
+
+class TestBooleanStructure:
+    def test_top_sentence(self, schema):
+        plan = executable_to_plan(Top(), schema)
+        assert not run(plan, schema, {}).is_empty
+
+    def test_bottom_sentence(self, schema):
+        plan = executable_to_plan(Bottom(), schema)
+        assert run(plan, schema, {"R": [("a", "b")]}).is_empty
+
+    def test_constant_equality_true(self, schema):
+        formula = And(
+            Exists((X,), FOAtom(Atom("K", (X,)))),
+            Eq(Constant("a"), Constant("a")),
+        )
+        plan = executable_to_plan(formula, schema)
+        assert not run(plan, schema, {"K": [("k",)]}).is_empty
+
+    def test_constant_equality_false(self, schema):
+        formula = And(
+            Exists((X,), FOAtom(Atom("K", (X,)))),
+            Eq(Constant("a"), Constant("b")),
+        )
+        plan = executable_to_plan(formula, schema)
+        assert run(plan, schema, {"K": [("k",)]}).is_empty
+
+    def test_negated_equality_inside_exists(self, schema):
+        # exists x, y (R(x, y) & not x = y)
+        formula = Exists(
+            (X,),
+            And(
+                FOAtom(Atom("K", (X,))),
+                Exists(
+                    (Y,),
+                    And(FOAtom(Atom("R", (X, Y))), Not(Eq(X, Y))),
+                ),
+            ),
+        )
+        plan = executable_to_plan(formula, schema)
+        diff = {"K": [("a",)], "R": [("a", "b")]}
+        same = {"K": [("a",)], "R": [("a", "a")]}
+        assert not run(plan, schema, diff).is_empty
+        assert run(plan, schema, same).is_empty
+
+    def test_negated_universal_via_guarded_nnf(self, schema):
+        # not forall x (K(x) -> exists y R(x, y))
+        inner = Forall(
+            (X,),
+            Implies(
+                FOAtom(Atom("K", (X,))),
+                Exists((Y,), FOAtom(Atom("R", (X, Y)))),
+            ),
+        )
+        plan = executable_to_plan(Not(inner), schema)
+        # Holds iff some K value has NO R partner.
+        witness = {"K": [("a",), ("b",)], "R": [("a", "v")]}
+        covered = {"K": [("a",)], "R": [("a", "v")]}
+        assert not run(plan, schema, witness).is_empty
+        assert run(plan, schema, covered).is_empty
+
+
+class TestGuardedNNFStructure:
+    def test_implies_unfolded(self):
+        formula = Implies(FOAtom(Atom("K", (Constant("a"),))), Top())
+        result = to_guarded_nnf(formula)
+        assert isinstance(result, Or)
+
+    def test_negate_flag(self):
+        formula = FOAtom(Atom("K", (Constant("a"),)))
+        assert to_guarded_nnf(formula, negate=True) == Not(formula)

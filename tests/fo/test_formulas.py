@@ -1,0 +1,116 @@
+"""Unit tests for FO formula ASTs, NNF, and polarity analysis."""
+
+import pytest
+
+from repro.fo.formulas import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    FOAtom,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Top,
+    polarities,
+    to_nnf,
+)
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.terms import Constant, Variable
+
+
+X, Y = Variable("x"), Variable("y")
+A = Constant("a")
+P = FOAtom(Atom("P", (X,)))
+Q = FOAtom(Atom("Q", (X,)))
+
+
+class TestStructure:
+    def test_junctions_flatten(self):
+        formula = And(And(P, Q), P)
+        assert len(formula.parts) == 3
+
+    def test_free_variables(self):
+        formula = Exists((X,), And(P, FOAtom(Atom("R", (X, Y)))))
+        assert formula.free_variables() == {Y}
+
+    def test_substitute_respects_binding(self):
+        formula = Exists((X,), FOAtom(Atom("R", (X, Y))))
+        result = formula.substitute(Substitution({X: A, Y: A}))
+        # Bound x untouched, free y replaced.
+        atom = result.body.atom
+        assert atom.terms == (X, A)
+
+    def test_relations_collected(self):
+        formula = Implies(P, Exists((Y,), FOAtom(Atom("R", (X, Y)))))
+        assert formula.relations() == {"P", "R"}
+
+    def test_constants_collected(self):
+        formula = And(FOAtom(Atom("P", (A,))), Eq(X, Constant("b")))
+        assert formula.constants() == {A, Constant("b")}
+
+    def test_equality_and_hash(self):
+        assert And(P, Q) == And(P, Q)
+        assert hash(Exists((X,), P)) == hash(Exists((X,), P))
+        assert Or(P, Q) != And(P, Q)
+
+
+class TestNNF:
+    def test_double_negation(self):
+        assert to_nnf(Not(Not(P))) == P
+
+    def test_de_morgan_and(self):
+        result = to_nnf(Not(And(P, Q)))
+        assert isinstance(result, Or)
+        assert Not(P) in result.parts
+
+    def test_de_morgan_or(self):
+        result = to_nnf(Not(Or(P, Q)))
+        assert isinstance(result, And)
+
+    def test_implication_unfolded(self):
+        result = to_nnf(Implies(P, Q))
+        assert isinstance(result, Or)
+        assert Not(P) in result.parts
+
+    def test_quantifier_duality(self):
+        assert isinstance(to_nnf(Not(Exists((X,), P))), Forall)
+        assert isinstance(to_nnf(Not(Forall((X,), P))), Exists)
+
+    def test_top_bottom_flip(self):
+        assert to_nnf(Not(Top())) == Bottom()
+        assert to_nnf(Not(Bottom())) == Top()
+
+    def test_nnf_idempotent_on_literals(self):
+        assert to_nnf(Not(P)) == Not(P)
+
+
+class TestPolarity:
+    def test_positive_occurrence(self):
+        assert polarities(P) == {"P": {1}}
+
+    def test_negation_flips(self):
+        assert polarities(Not(P)) == {"P": {-1}}
+
+    def test_implication_left_negative(self):
+        result = polarities(Implies(P, Q))
+        assert result["P"] == {-1}
+        assert result["Q"] == {1}
+
+    def test_both_polarities(self):
+        result = polarities(And(P, Not(P)))
+        assert result["P"] == {1, -1}
+
+    def test_quantifiers_transparent(self):
+        result = polarities(Forall((X,), Implies(P, Exists((Y,), Q))))
+        assert result["P"] == {-1}
+        assert result["Q"] == {1}
+
+    def test_paper_example(self):
+        # forall x (P(x) -> exists y R(x,y)): P negative, R positive.
+        formula = Forall(
+            (X,), Implies(P, Exists((Y,), FOAtom(Atom("R", (X, Y)))))
+        )
+        result = polarities(formula)
+        assert result == {"P": {-1}, "R": {1}}

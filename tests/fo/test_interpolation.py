@@ -1,0 +1,109 @@
+"""Tests for constructive interpolation (Theorem 4)."""
+
+import pytest
+
+from repro.fo.formulas import (
+    And,
+    Exists,
+    FOAtom,
+    Forall,
+    Implies,
+    Not,
+    Or,
+)
+from repro.fo.interpolation import interpolate, verify_interpolant
+from repro.fo.tableau import ProofNotFound, TableauProver, tgd_to_formula
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import parse_tgd
+from repro.logic.terms import Constant, Variable
+
+
+X, Y = Variable("x"), Variable("y")
+A, B = Constant("a"), Constant("b")
+
+
+def atom(rel, *terms):
+    return FOAtom(Atom(rel, tuple(terms)))
+
+
+class TestGroundInterpolation:
+    def test_shared_atom_interpolant(self):
+        phi1 = And(atom("P", A), Implies(atom("P", A), atom("Q", A)))
+        phi2 = Or(atom("Q", A), atom("R", A))
+        result = interpolate(phi1, phi2)
+        assert result.fully_verified
+        # The interpolant mentions only the shared relation Q.
+        assert result.interpolant.relations() <= {"Q"}
+
+    def test_vocabulary_discipline(self):
+        # phi1 uses P, S; phi2 uses Q, S; shared: S.
+        phi1 = And(atom("P", A), atom("S", A))
+        phi2 = Or(atom("S", A), atom("Q", A))
+        result = interpolate(phi1, phi2)
+        assert result.interpolant.relations() <= {"S"}
+        assert result.fully_verified
+
+    def test_unshared_constants_quantified_or_absent(self):
+        phi1 = And(atom("P", A), atom("S", A))
+        phi2 = Or(atom("S", A), atom("Q", B))
+        result = interpolate(phi1, phi2)
+        assert result.constants_ok
+
+    def test_polarity_check(self):
+        phi1 = And(atom("P", A), Implies(atom("P", A), atom("Q", A)))
+        phi2 = atom("Q", A)
+        result = interpolate(phi1, phi2)
+        assert result.polarity_ok
+
+    def test_unprovable_entailment_raises(self):
+        with pytest.raises(ProofNotFound):
+            interpolate(atom("P", A), atom("Q", A))
+
+
+class TestQuantifiedInterpolation:
+    def test_existential_interpolant(self):
+        phi1 = And(
+            Exists((X,), atom("P", X)),
+            Forall((X,), Implies(atom("P", X), atom("Q", X))),
+        )
+        phi2 = Exists((X,), atom("Q", X))
+        result = interpolate(phi1, phi2)
+        assert result.entailed_by_left
+        assert result.entails_right
+        assert result.interpolant.relations() <= {"Q"}
+
+    def test_tgd_mediated_interpolation(self):
+        """The Example 1 pattern: a referential constraint carries the
+        entailment; the interpolant lives in the shared (target) relation."""
+        constraint = tgd_to_formula(
+            parse_tgd("Profinfo(e, o, l) -> Udirect(e, l)")
+        )
+        phi1 = And(
+            Exists(
+                (Variable("e"), Variable("o"), Variable("l")),
+                atom("Profinfo", Variable("e"), Variable("o"), Variable("l")),
+            ),
+            constraint,
+        )
+        phi2 = Exists(
+            (Variable("e"), Variable("l")),
+            atom("Udirect", Variable("e"), Variable("l")),
+        )
+        result = interpolate(phi1, phi2)
+        assert result.entailed_by_left
+        assert result.entails_right
+        assert result.interpolant.relations() <= {"Udirect"}
+
+
+class TestVerification:
+    def test_verify_interpolant_direct(self):
+        phi1 = And(atom("P", A), Implies(atom("P", A), atom("Q", A)))
+        phi2 = atom("Q", A)
+        ok_left, ok_right = verify_interpolant(phi1, atom("Q", A), phi2)
+        assert ok_left and ok_right
+
+    def test_verify_flags_bad_interpolant(self):
+        phi1 = atom("P", A)
+        phi2 = Or(atom("P", A), atom("Q", A))
+        ok_left, _ = verify_interpolant(phi1, atom("Q", A), phi2)
+        assert not ok_left

@@ -1,0 +1,130 @@
+"""Unit tests for formula normalization (miniscoping, alpha, dedup)."""
+
+import pytest
+
+from repro.fo.formulas import (
+    And,
+    Exists,
+    FOAtom,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.fo.normalize import (
+    alpha_normalize,
+    drop_unused_quantifiers,
+    normalize,
+    push_quantifiers,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A = Constant("a")
+
+
+def atom(rel, *terms):
+    return FOAtom(Atom(rel, tuple(terms)))
+
+
+class TestDropUnused:
+    def test_unused_variable_removed(self):
+        formula = Exists((X, Y), atom("P", X))
+        result = drop_unused_quantifiers(formula)
+        assert result == Exists((X,), atom("P", X))
+
+    def test_fully_unused_quantifier_vanishes(self):
+        formula = Exists((Y,), atom("P", A))
+        assert drop_unused_quantifiers(formula) == atom("P", A)
+
+    def test_used_variables_kept(self):
+        formula = Forall((X,), atom("P", X))
+        assert drop_unused_quantifiers(formula) == formula
+
+
+class TestPushQuantifiers:
+    def test_exists_distributes_over_or(self):
+        formula = Exists((X,), Or(atom("P", X), atom("Q", X)))
+        result = push_quantifiers(formula)
+        assert isinstance(result, Or)
+        assert all(isinstance(p, Exists) for p in result.parts)
+
+    def test_forall_distributes_over_and(self):
+        formula = Forall((X,), And(atom("P", X), atom("Q", X)))
+        result = push_quantifiers(formula)
+        assert isinstance(result, And)
+        assert all(isinstance(p, Forall) for p in result.parts)
+
+    def test_disjunct_keeps_only_its_variables(self):
+        formula = Exists((X, Y), Or(atom("P", X), atom("Q", Y)))
+        result = push_quantifiers(formula)
+        for part in result.parts:
+            assert len(part.variables) == 1
+
+    def test_exists_does_not_distribute_over_and(self):
+        formula = Exists((X,), And(atom("P", X), atom("Q", X)))
+        result = push_quantifiers(formula)
+        assert isinstance(result, Exists)
+
+
+class TestAlphaNormalize:
+    def test_sibling_scopes_share_names(self):
+        formula = Or(
+            Exists((X,), atom("P", X)),
+            Exists((Y,), atom("P", Y)),
+        )
+        result = alpha_normalize(formula)
+        assert result.parts[0] == result.parts[1]
+
+    def test_nested_scopes_get_distinct_names(self):
+        formula = Exists((X,), And(atom("P", X), Exists((Y,), atom("R", X, Y))))
+        result = alpha_normalize(formula)
+        inner = result.body.parts[1]
+        assert result.variables[0] != inner.variables[0]
+
+    def test_free_variables_untouched(self):
+        formula = Exists((X,), atom("R", X, Z))
+        result = alpha_normalize(formula)
+        assert Z in result.free_variables()
+
+    def test_repeated_pattern_preserved(self):
+        formula = Exists((X,), atom("R", X, X))
+        result = alpha_normalize(formula)
+        terms = result.body.atom.terms
+        assert terms[0] == terms[1]
+
+
+class TestNormalize:
+    def test_collapses_alpha_equivalent_disjuncts(self):
+        formula = Or(
+            Exists((X,), atom("P", X)),
+            Exists((Y,), atom("P", Y)),
+        )
+        result = normalize(formula)
+        assert isinstance(result, Exists)  # one disjunct survives
+
+    def test_keeps_semantically_distinct_disjuncts(self):
+        formula = Or(
+            Exists((X,), atom("R", X, X)),
+            Exists((X, Y), atom("R", X, Y)),
+        )
+        result = normalize(formula)
+        assert isinstance(result, Or)
+        assert len(result.parts) == 2
+
+    def test_top_absorption(self):
+        formula = And(atom("P", A), Top())
+        assert normalize(formula) == atom("P", A)
+
+    def test_equivalence_preserved_by_prover(self):
+        """normalize() output is provably equivalent to its input."""
+        from repro.fo.tableau import TableauProver
+
+        prover = TableauProver()
+        formula = Exists((X,), Or(atom("P", X), Or(atom("Q", X), atom("P", X))))
+        result = normalize(formula)
+        assert prover.entails([formula], result)
+        assert prover.entails([result], formula)

@@ -1,0 +1,150 @@
+"""Tests for the tableau prover: refutations, entailments, budgets."""
+
+import pytest
+
+from repro.fo.formulas import (
+    And,
+    Exists,
+    FOAtom,
+    Forall,
+    Implies,
+    Not,
+    Or,
+)
+from repro.fo.tableau import (
+    ProofNotFound,
+    TableauProver,
+    simplify,
+    tgd_to_formula,
+)
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import parse_tgd
+from repro.logic.terms import Constant, Variable
+
+
+X, Y = Variable("x"), Variable("y")
+A, B = Constant("a"), Constant("b")
+Pa = FOAtom(Atom("P", (A,)))
+Qa = FOAtom(Atom("Q", (A,)))
+Px = FOAtom(Atom("P", (X,)))
+Qx = FOAtom(Atom("Q", (X,)))
+
+
+@pytest.fixture
+def prover():
+    return TableauProver()
+
+
+class TestPropositionalLayer:
+    def test_contradiction_refuted(self, prover):
+        assert prover.is_unsatisfiable([Pa, Not(Pa)])
+
+    def test_satisfiable_not_refuted(self, prover):
+        assert not prover.is_unsatisfiable([Pa])
+
+    def test_modus_ponens(self, prover):
+        assert prover.entails([Pa, Implies(Pa, Qa)], Qa)
+
+    def test_no_bogus_entailment(self, prover):
+        assert not prover.entails([Pa], Qa)
+
+    def test_disjunction_elimination(self, prover):
+        premises = [Or(Pa, Qa), Implies(Pa, Qa)]
+        assert prover.entails(premises, Qa)
+
+    def test_conjunction_projection(self, prover):
+        assert prover.entails([And(Pa, Qa)], Pa)
+
+    def test_case_split_both_branches_needed(self, prover):
+        # (P or Q) and not P entails Q.
+        assert prover.entails([Or(Pa, Qa), Not(Pa)], Qa)
+
+
+class TestQuantifiers:
+    def test_universal_instantiation(self, prover):
+        premises = [Forall((X,), Implies(Px, Qx)), Pa]
+        assert prover.entails(premises, Qa)
+
+    def test_existential_generalization(self, prover):
+        assert prover.entails([Pa], Exists((X,), Px))
+
+    def test_exists_forall_combination(self, prover):
+        premises = [
+            Exists((X,), Px),
+            Forall((X,), Implies(Px, Qx)),
+        ]
+        assert prover.entails(premises, Exists((X,), Qx))
+
+    def test_forall_not_entailed_by_instance(self, prover):
+        assert not prover.entails([Pa], Forall((X,), Px))
+
+    def test_two_step_chain(self, prover):
+        Rx = FOAtom(Atom("R", (X,)))
+        premises = [
+            Pa,
+            Forall((X,), Implies(Px, Qx)),
+            Forall((X,), Implies(Qx, Rx)),
+        ]
+        assert prover.entails(premises, FOAtom(Atom("R", (A,))))
+
+    def test_tgd_entailment(self, prover):
+        tgd = tgd_to_formula(parse_tgd("P(x) -> Q(x, y)"))
+        goal = Exists((X, Y), FOAtom(Atom("Q", (X, Y))))
+        assert prover.entails([Pa, tgd], goal)
+
+
+class TestBudgets:
+    def test_step_budget_raises_proof_not_found(self):
+        tight = TableauProver(max_steps=3)
+        hard = [
+            Forall((X,), Implies(Px, Qx)),
+            Forall((X,), Implies(Qx, Px)),
+            Pa,
+        ]
+        with pytest.raises(ProofNotFound):
+            tight.refute(hard, [Not(Not(FOAtom(Atom("Z", (A,)))))])
+
+    def test_gamma_limit_prevents_hang(self):
+        # A satisfiable set with a universal: must return, not loop.
+        prover = TableauProver(gamma_limit=2, max_steps=200)
+        assert not prover.is_unsatisfiable(
+            [Forall((X,), Implies(Px, Qx)), Pa]
+        )
+
+
+class TestTGDToFormula:
+    def test_full_tgd_shape(self):
+        formula = tgd_to_formula(parse_tgd("R(x, y) -> S(y, x)"))
+        assert isinstance(formula, Forall)
+        assert isinstance(formula.body, Implies)
+
+    def test_existential_tgd_shape(self):
+        formula = tgd_to_formula(parse_tgd("R(x) -> S(x, y)"))
+        assert isinstance(formula.body.right, Exists)
+
+
+class TestSimplify:
+    def test_and_with_top(self):
+        from repro.fo.formulas import Top
+
+        assert simplify(And(Pa, Top())) == Pa
+
+    def test_or_with_bottom(self):
+        from repro.fo.formulas import Bottom
+
+        assert simplify(Or(Pa, Bottom())) == Pa
+
+    def test_and_with_bottom_collapses(self):
+        from repro.fo.formulas import Bottom
+
+        assert isinstance(simplify(And(Pa, Bottom())), Bottom)
+
+    def test_not_top_is_bottom(self):
+        from repro.fo.formulas import Bottom, Top
+
+        assert isinstance(simplify(Not(Top())), Bottom)
+
+    def test_quantifier_over_constant_body(self):
+        from repro.fo.formulas import Top
+
+        assert isinstance(simplify(Exists((X,), Top())), Top)

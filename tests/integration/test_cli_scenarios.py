@@ -1,0 +1,14 @@
+"""Every CLI demo scenario runs end to end and reports completeness."""
+
+import pytest
+
+from repro.cli import SCENARIOS, main
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_demo_scenarios_complete(scenario, capsys):
+    code = main(["demo", scenario])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "complete: yes" in out
+    assert "static cost" in out

@@ -1,0 +1,95 @@
+"""Error messages name the offending component (debuggability contract)."""
+
+import pytest
+
+from repro.logic.queries import QueryError, cq
+from repro.planner.plan_state import PlanningError, PlanState
+from repro.plans.expressions import EvaluationError, Project, Scan
+from repro.plans.plan import Plan, PlanValidationError
+from repro.plans.commands import MiddlewareCommand
+from repro.schema.core import SchemaBuilder, SchemaError
+
+
+class TestSchemaErrors:
+    def test_unknown_relation_named(self):
+        schema = SchemaBuilder("s").relation("R", 1).build()
+        with pytest.raises(SchemaError, match="Zebra"):
+            schema.relation("Zebra")
+
+    def test_arity_mismatch_reports_both_arities(self):
+        with pytest.raises(SchemaError, match="arity 2.*declared 1"):
+            (
+                SchemaBuilder("s")
+                .relation("R", 1)
+                .relation("S", 1)
+                .tgd("R(x, y) -> S(x)")
+                .build()
+            )
+
+    def test_method_position_error_names_method(self):
+        with pytest.raises(SchemaError, match="mt_bad"):
+            (
+                SchemaBuilder("s")
+                .relation("R", 1)
+                .access("mt_bad", "R", inputs=[5])
+                .build()
+            )
+
+
+class TestQueryErrors:
+    def test_unbound_head_variable_named(self):
+        with pytest.raises(QueryError, match="z"):
+            cq(["?z"], [("R", ["?x"])])
+
+
+class TestPlanErrors:
+    def test_undefined_table_named(self):
+        with pytest.raises(PlanValidationError, match="GHOST"):
+            Plan((MiddlewareCommand("T", Scan("GHOST")),), "T")
+
+    def test_missing_output_table(self):
+        from repro.plans.expressions import Singleton
+
+        with pytest.raises(PlanValidationError, match="NOPE"):
+            Plan((MiddlewareCommand("T", Singleton()),), "NOPE")
+
+    def test_unknown_attribute_in_projection(self):
+        from repro.plans.expressions import NamedTable
+
+        env = {"T": NamedTable.from_rows(["x"], [])}
+        with pytest.raises(EvaluationError, match="zz"):
+            Project(Scan("T"), ("zz",)).evaluate(env)
+
+
+class TestPlannerErrors:
+    def test_inaccessible_input_names_value_and_method(self):
+        from repro.logic.atoms import Atom
+        from repro.logic.terms import Null
+
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt_r", "R", inputs=[0])
+            .build()
+        )
+        with pytest.raises(PlanningError, match="mt_r|accessible"):
+            PlanState().expose(
+                Atom("R", (Null("k"), Null("v"))), schema.method("mt_r")
+            )
+
+    def test_relation_method_mismatch_names_both(self):
+        from repro.logic.atoms import Atom
+        from repro.logic.terms import Null
+
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 1)
+            .relation("S", 1)
+            .free_access("R")
+            .free_access("S")
+            .build()
+        )
+        with pytest.raises(PlanningError, match="mt_R.*S|S.*mt_R"):
+            PlanState().expose(
+                Atom("S", (Null("v"),)), schema.method("mt_R")
+            )

@@ -1,0 +1,109 @@
+"""Tests for the scenario factories themselves."""
+
+import pytest
+
+from repro.scenarios import (
+    example1,
+    example2,
+    example5,
+    redundant_sources,
+    referential_chain,
+    view_stack_scenario,
+)
+
+
+class TestExample1Factory:
+    def test_schema_shape(self):
+        scenario = example1()
+        assert scenario.schema.method("mt_prof").input_positions == (0,)
+        assert scenario.schema.method("mt_udir").is_free
+
+    def test_instances_satisfy_constraints(self):
+        scenario = example1(professors=5, directory_extra=5)
+        for seed in range(3):
+            assert scenario.instance(seed).satisfies_all(
+                scenario.schema.constraints
+            )
+
+    def test_lastname_parameter(self):
+        scenario = example1(lastname="chen")
+        assert any(
+            c.value == "chen" for c in scenario.schema.constants
+        )
+        instance = scenario.instance(0)
+        assert instance.evaluate(scenario.query)
+
+
+class TestExample2Factory:
+    def test_constraints_are_inclusion_dependencies(self):
+        scenario = example2()
+        assert scenario.schema.has_only_guarded_constraints
+
+    def test_instance_sizes_scale(self):
+        small = example2(directory_size=5).instance(0)
+        large = example2(directory_size=50).instance(0)
+        assert large.size() > small.size()
+
+    def test_instances_valid(self):
+        scenario = example2(directory_size=10)
+        assert scenario.instance(1).satisfies_all(
+            scenario.schema.constraints
+        )
+
+
+class TestExample5Factory:
+    def test_source_count_parameter(self):
+        scenario = example5(sources=5)
+        names = {r.name for r in scenario.schema.relations}
+        assert {"Udirect1", "Udirect5"} <= names
+
+    def test_cost_vector_validated(self):
+        with pytest.raises(ValueError):
+            example5(sources=3, source_costs=[1.0])
+
+    def test_every_professor_in_every_source(self):
+        scenario = example5(sources=2, professors=4, noise_per_source=0)
+        instance = scenario.instance(0)
+        assert instance.satisfies_all(scenario.schema.constraints)
+        assert instance.size("Udirect1") == instance.size("Udirect2") == 4
+
+    def test_noise_adds_non_matching_entries(self):
+        quiet = example5(sources=2, professors=4, noise_per_source=0)
+        noisy = example5(sources=2, professors=4, noise_per_source=20)
+        assert noisy.instance(0).size("Udirect1") > quiet.instance(
+            0
+        ).size("Udirect1")
+
+    def test_redundant_sources_alias(self):
+        assert redundant_sources(3).schema.name == example5(3).schema.name
+
+
+class TestChainFactory:
+    @pytest.mark.parametrize("length", [1, 3, 5])
+    def test_chain_instances_valid(self, length):
+        scenario = referential_chain(length, chain_size=5)
+        instance = scenario.instance(0)
+        assert instance.satisfies_all(scenario.schema.constraints)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            referential_chain(0)
+
+    def test_only_last_key_table_free(self):
+        scenario = referential_chain(3)
+        free = [m for m in scenario.schema.methods if m.is_free]
+        assert [m.name for m in free] == ["mt_K2"]
+
+
+class TestViewStackFactory:
+    def test_views_materialized_consistently(self):
+        scenario = view_stack_scenario(2)
+        instance = scenario.instance(0)
+        # Every view's contents equal its definition's evaluation.
+        assert instance.satisfies_all(scenario.schema.constraints)
+
+    def test_closing_view_flag(self):
+        with_close = view_stack_scenario(2, include_closing_view=True)
+        without = view_stack_scenario(2, include_closing_view=False)
+        assert with_close.schema.has_relation("VFULL")
+        assert not without.schema.has_relation("VFULL")

@@ -1,0 +1,55 @@
+"""End-to-end tests for the bibliography web-services scenario."""
+
+import pytest
+
+from repro.data.source import InMemorySource
+from repro.planner.answerability import Answerability, decide_answerability
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import webservices
+
+
+class TestWebservices:
+    def test_four_hop_plan_found(self):
+        scenario = webservices()
+        result = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+        )
+        assert result.found
+        assert result.best_plan.methods_used() == (
+            "mt_venues",
+            "mt_listing",
+            "mt_article",
+            "mt_authors",
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_plan_complete_on_generated_data(self, seed):
+        scenario = webservices(venues=3, articles_per_venue=5)
+        result = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+        )
+        instance = scenario.instance(seed)
+        assert instance.satisfies_all(scenario.schema.constraints)
+        out = result.best_plan.run(
+            InMemorySource(scenario.schema, instance)
+        )
+        assert set(out.rows) == instance.evaluate(scenario.query)
+
+    def test_needs_all_four_accesses(self):
+        scenario = webservices()
+        verdict3 = decide_answerability(
+            scenario.schema, scenario.query, max_accesses=3
+        )
+        verdict4 = decide_answerability(
+            scenario.schema, scenario.query, max_accesses=4
+        )
+        assert verdict3 is Answerability.NO_PLAN_WITHIN_BUDGET
+        assert verdict4 is Answerability.ANSWERABLE
+
+    def test_constraints_weakly_acyclic(self):
+        from repro.logic.analysis import analyze_constraints
+
+        scenario = webservices()
+        assert analyze_constraints(
+            scenario.schema.constraints
+        ).weakly_acyclic

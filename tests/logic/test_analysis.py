@@ -1,0 +1,116 @@
+"""Tests for constraint analysis: weak acyclicity and classification."""
+
+import pytest
+
+from repro.logic.analysis import (
+    analyze_constraints,
+    is_weakly_acyclic,
+    position_dependency_graph,
+)
+from repro.logic.dependencies import parse_tgd
+
+
+class TestPositionGraph:
+    def test_normal_edge_for_copied_variable(self):
+        graph = position_dependency_graph([parse_tgd("R(x) -> S(x)")])
+        assert graph.has_edge(("R", 0), ("S", 0))
+        assert not graph[("R", 0)][("S", 0)]["special"]
+
+    def test_special_edge_for_existential(self):
+        graph = position_dependency_graph([parse_tgd("R(x) -> S(x, y)")])
+        assert graph.has_edge(("R", 0), ("S", 1))
+        assert graph[("R", 0)][("S", 1)]["special"]
+
+    def test_non_frontier_body_variable_no_edges(self):
+        graph = position_dependency_graph([parse_tgd("R(x, z) -> S(x)")])
+        assert not graph.has_edge(("R", 1), ("S", 0))
+
+
+class TestWeakAcyclicity:
+    def test_acyclic_full_tgds(self):
+        assert is_weakly_acyclic(
+            [parse_tgd("R(x) -> S(x)"), parse_tgd("S(x) -> T(x)")]
+        )
+
+    def test_cycle_without_existentials_ok(self):
+        # R -> S -> R is a cycle, but with no special edge: WA.
+        assert is_weakly_acyclic(
+            [parse_tgd("R(x) -> S(x)"), parse_tgd("S(x) -> R(x)")]
+        )
+
+    def test_self_special_loop_not_wa(self):
+        # The classic diverging ID: R(x,y) -> exists z R(y,z).
+        assert not is_weakly_acyclic([parse_tgd("R(x, y) -> R(y, z)")])
+
+    def test_two_rule_special_cycle_not_wa(self):
+        assert not is_weakly_acyclic(
+            [
+                parse_tgd("P(x) -> E(x, y)"),
+                parse_tgd("E(x, y) -> P(y)"),
+            ]
+        )
+
+    def test_existential_into_sink_is_wa(self):
+        # Existentials that never flow back are fine.
+        assert is_weakly_acyclic(
+            [parse_tgd("R(x) -> S(x, y)"), parse_tgd("S(x, y) -> T(x)")]
+        )
+
+    def test_example_schemas_are_wa(self):
+        from repro.scenarios import example1, example2, example5
+
+        for factory in (example1, example2, example5):
+            schema = factory().schema
+            assert is_weakly_acyclic(schema.constraints)
+
+    def test_empty_set_trivially_wa(self):
+        assert is_weakly_acyclic([])
+
+
+class TestAnalyzeConstraints:
+    def test_census(self):
+        analysis = analyze_constraints(
+            [
+                parse_tgd("R(x, y) -> S(y, x)"),  # full ID... no: full
+                parse_tgd("R(x, y) -> T(x, z)"),
+            ]
+        )
+        assert analysis.total == 2
+        assert analysis.full_tgds == 1
+        assert analysis.guarded
+        assert analysis.weakly_acyclic
+        assert analysis.chase_terminates
+
+    def test_describe_mentions_properties(self):
+        analysis = analyze_constraints([parse_tgd("R(x) -> S(x)")])
+        text = analysis.describe()
+        assert "weakly acyclic" in text
+        assert "guarded" in text
+
+    def test_non_wa_flagged(self):
+        analysis = analyze_constraints([parse_tgd("R(x, y) -> R(y, z)")])
+        assert not analysis.weakly_acyclic
+        assert not analysis.chase_terminates
+
+
+class TestPolicySelection:
+    def test_wa_schema_gets_plain_policy(self):
+        from repro.planner.answerability import default_policy_for
+        from repro.scenarios import example2
+
+        policy = default_policy_for(example2().schema)
+        assert policy.blocking is None
+        assert policy.max_depth is None
+
+    def test_cyclic_guarded_gets_blocking(self):
+        from repro.planner.answerability import default_policy_for
+        from repro.schema.core import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .tgd("R(x, y) -> R(y, z)")
+            .build()
+        )
+        policy = default_policy_for(schema)
+        assert policy.blocking is not None

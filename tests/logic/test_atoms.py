@@ -1,0 +1,93 @@
+"""Unit tests for atoms and substitutions."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Substitution, apply_to_atoms
+from repro.logic.terms import Constant, Null, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("a"), Constant("b")
+N1, N2 = Null("n1"), Null("n2")
+
+
+class TestAtom:
+    def test_arity(self):
+        assert Atom("R", (X, Y, A)).arity == 3
+
+    def test_is_fact_when_no_variables(self):
+        assert Atom("R", (A, N1)).is_fact
+        assert not Atom("R", (A, X)).is_fact
+
+    def test_variables_in_first_occurrence_order(self):
+        atom = Atom("R", (Y, X, Y))
+        assert atom.variables() == (Y, X)
+
+    def test_nulls_deduplicated(self):
+        atom = Atom("R", (N1, N2, N1))
+        assert atom.nulls() == (N1, N2)
+
+    def test_constants(self):
+        assert Atom("R", (A, X, B, A)).constants() == (A, B)
+
+    def test_apply_substitution(self):
+        sub = Substitution({X: A, Y: N1})
+        assert Atom("R", (X, Y, Z)).apply(sub) == Atom("R", (A, N1, Z))
+
+    def test_rename_relation(self):
+        assert Atom("R", (X,)).rename_relation("S") == Atom("S", (X,))
+
+    def test_equality_and_hash(self):
+        assert Atom("R", (X, A)) == Atom("R", (X, A))
+        assert hash(Atom("R", (X, A))) == hash(Atom("R", (X, A)))
+        assert Atom("R", (X, A)) != Atom("R", (A, X))
+
+    def test_terms_coerced_to_tuple(self):
+        atom = Atom("R", [X, Y])  # list input
+        assert isinstance(atom.terms, tuple)
+
+
+class TestSubstitution:
+    def test_get_with_default(self):
+        sub = Substitution({X: A})
+        assert sub.get(X) == A
+        assert sub.get(Y) is None
+        assert sub.get(Y, Y) == Y
+
+    def test_extended_does_not_mutate_original(self):
+        sub = Substitution({X: A})
+        bigger = sub.extended(Y, B)
+        assert Y not in sub
+        assert bigger[Y] == B
+        assert bigger[X] == A
+
+    def test_restrict(self):
+        sub = Substitution({X: A, Y: B})
+        only_x = sub.restrict([X])
+        assert X in only_x
+        assert Y not in only_x
+
+    def test_compose_applies_left_then_right(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: A})
+        composed = first.compose(second)
+        assert composed[X] == A
+        assert composed[Y] == A
+
+    def test_compose_keeps_right_only_keys(self):
+        composed = Substitution({X: A}).compose(Substitution({Z: B}))
+        assert composed[Z] == B
+
+    def test_equality_and_hash(self):
+        assert Substitution({X: A}) == Substitution({X: A})
+        assert hash(Substitution({X: A})) == hash(Substitution({X: A}))
+
+    def test_apply_to_atoms(self):
+        sub = Substitution({X: A})
+        atoms = apply_to_atoms([Atom("R", (X,)), Atom("S", (X, Y))], sub)
+        assert atoms == (Atom("R", (A,)), Atom("S", (A, Y)))
+
+    def test_len_and_iter(self):
+        sub = Substitution({X: A, Y: B})
+        assert len(sub) == 2
+        assert set(sub) == {X, Y}

@@ -1,0 +1,116 @@
+"""Unit tests for CQ containment and minimization (cores)."""
+
+import pytest
+
+from repro.logic.containment import (
+    containment_mapping,
+    is_contained_in,
+    is_equivalent,
+    minimize,
+)
+from repro.logic.queries import cq
+
+
+class TestContainment:
+    def test_reflexive(self):
+        q = cq(["?x"], [("R", ["?x", "?y"])])
+        assert is_contained_in(q, q)
+
+    def test_adding_atoms_restricts(self):
+        narrow = cq(["?x"], [("R", ["?x", "?y"]), ("S", ["?y"])])
+        wide = cq(["?x"], [("R", ["?x", "?y"])])
+        assert is_contained_in(narrow, wide)
+        assert not is_contained_in(wide, narrow)
+
+    def test_constant_specialization(self):
+        specific = cq(["?x"], [("R", ["?x", "a"])])
+        general = cq(["?x"], [("R", ["?x", "?y"])])
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_incomparable_relations(self):
+        q1 = cq([], [("R", ["?x"])])
+        q2 = cq([], [("S", ["?x"])])
+        assert not is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_head_arity_mismatch(self):
+        q1 = cq(["?x"], [("R", ["?x", "?y"])])
+        q2 = cq(["?x", "?y"], [("R", ["?x", "?y"])])
+        assert not is_contained_in(q1, q2)
+
+    def test_containment_mapping_witness(self):
+        narrow = cq(["?x"], [("R", ["?x", "?y"]), ("S", ["?y"])])
+        wide = cq(["?x"], [("R", ["?x", "?y"])])
+        assert containment_mapping(wide, narrow) is not None
+
+    def test_path_queries(self):
+        # Length-2 path is contained in length-1 pattern.
+        p2 = cq(
+            ["?x"],
+            [("E", ["?x", "?y"]), ("E", ["?y", "?z"])],
+        )
+        p1 = cq(["?x"], [("E", ["?x", "?y"])])
+        assert is_contained_in(p2, p1)
+        assert not is_contained_in(p1, p2)
+
+    def test_equivalence_of_renamed_copies(self):
+        q1 = cq(["?x"], [("R", ["?x", "?y"])])
+        q2 = cq(["?a"], [("R", ["?a", "?b"])])
+        assert is_equivalent(q1, q2)
+
+
+class TestMinimize:
+    def test_redundant_atom_removed(self):
+        query = cq(
+            ["?x"],
+            [("R", ["?x", "?y"]), ("R", ["?x", "?z"])],
+        )
+        core = minimize(query)
+        assert len(core.atoms) == 1
+        assert is_equivalent(query, core)
+
+    def test_core_of_already_minimal_query(self):
+        query = cq(["?x"], [("R", ["?x", "?y"]), ("S", ["?y"])])
+        assert minimize(query).atoms == query.atoms
+
+    def test_constant_blocks_folding(self):
+        query = cq(
+            ["?x"],
+            [("R", ["?x", "a"]), ("R", ["?x", "?z"])],
+        )
+        core = minimize(query)
+        # The second atom folds onto the first (z -> a), not vice versa.
+        assert len(core.atoms) == 1
+        assert core.atoms[0].terms[1].value == "a"
+
+    def test_triangle_vs_edge(self):
+        # A boolean triangle query is its own core.
+        triangle = cq(
+            [],
+            [
+                ("E", ["?x", "?y"]),
+                ("E", ["?y", "?z"]),
+                ("E", ["?z", "?x"]),
+            ],
+        )
+        assert len(minimize(triangle).atoms) == 3
+
+    def test_path_folds_to_loop_free_core(self):
+        # exists x y z: E(x,y), E(y,z) with boolean head has a 1-atom core
+        # only if it maps into itself; it does not (no loop), so stays 2.
+        path = cq([], [("E", ["?x", "?y"]), ("E", ["?y", "?z"])])
+        assert len(minimize(path).atoms) == 2
+
+    def test_head_variables_protected(self):
+        query = cq(
+            ["?x", "?y"],
+            [("R", ["?x", "?y"]), ("R", ["?x", "?z"])],
+        )
+        core = minimize(query)
+        assert len(core.atoms) == 2 or core.head == (
+            query.head[0],
+            query.head[1],
+        )
+        # The head-preserving fold exists (z -> y), so 1 atom suffices.
+        assert len(core.atoms) == 1

@@ -1,0 +1,133 @@
+"""Unit tests for TGDs: classification, parsing, renaming."""
+
+import pytest
+
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import (
+    DependencyError,
+    TGD,
+    inclusion_dependency,
+    parse_tgd,
+)
+from repro.logic.terms import Constant, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTGDBasics:
+    def test_frontier_and_existentials(self):
+        tgd = TGD(
+            (Atom("R", (X, Y)),),
+            (Atom("S", (X, Z)),),
+        )
+        assert tgd.frontier() == {X}
+        assert tgd.existential_variables() == {Z}
+
+    def test_full_tgd(self):
+        tgd = TGD((Atom("R", (X, Y)),), (Atom("S", (Y, X)),))
+        assert tgd.is_full
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD((), (Atom("S", (X,)),))
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD((Atom("R", (X,)),), ())
+
+    def test_default_name(self):
+        tgd = TGD((Atom("R", (X,)),), (Atom("S", (X,)),))
+        assert tgd.name == "R=>S"
+
+
+class TestGuardedness:
+    def test_single_atom_body_is_guarded(self):
+        tgd = TGD((Atom("R", (X, Y)),), (Atom("S", (X,)),))
+        assert tgd.is_guarded
+        assert tgd.guard == Atom("R", (X, Y))
+
+    def test_guard_must_cover_all_body_variables(self):
+        tgd = TGD(
+            (Atom("R", (X, Y)), Atom("S", (Y, Z))),
+            (Atom("T", (X,)),),
+        )
+        assert not tgd.is_guarded
+        assert tgd.guard is None
+
+    def test_wide_guard(self):
+        tgd = TGD(
+            (Atom("G", (X, Y, Z)), Atom("S", (Y, Z))),
+            (Atom("T", (X,)),),
+        )
+        assert tgd.is_guarded
+
+
+class TestInclusionDependencies:
+    def test_classification(self):
+        tgd = TGD((Atom("R", (X, Y)),), (Atom("S", (Y, Z)),))
+        assert tgd.is_inclusion_dependency
+
+    def test_repeated_variable_not_id(self):
+        tgd = TGD((Atom("R", (X, X)),), (Atom("S", (X,)),))
+        assert not tgd.is_inclusion_dependency
+
+    def test_constant_not_id(self):
+        tgd = TGD((Atom("R", (X, Constant("a"))),), (Atom("S", (X,)),))
+        assert not tgd.is_inclusion_dependency
+
+    def test_builder(self):
+        tgd = inclusion_dependency(
+            "Direct1", [2], "Ids", [0],
+            source_arity=3, target_arity=1,
+        )
+        assert tgd.is_inclusion_dependency
+        assert tgd.body[0].relation == "Direct1"
+        assert tgd.head[0].relation == "Ids"
+        # Position 2 of the source is exported to position 0 of the target.
+        assert tgd.body[0].terms[2] == tgd.head[0].terms[0]
+
+    def test_builder_rejects_bad_positions(self):
+        with pytest.raises(DependencyError):
+            inclusion_dependency("R", [5], "S", [0], 2, 1)
+
+    def test_builder_rejects_length_mismatch(self):
+        with pytest.raises(DependencyError):
+            inclusion_dependency("R", [0, 1], "S", [0], 2, 1)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        tgd = parse_tgd("R(x, y) -> S(y)")
+        assert tgd.body == (Atom("R", (X, Y)),)
+        assert tgd.head == (Atom("S", (Y,)),)
+
+    def test_parse_multi_atom(self):
+        tgd = parse_tgd("R(x) & S(x, y) -> T(y) & U(x, y)")
+        assert len(tgd.body) == 2
+        assert len(tgd.head) == 2
+
+    def test_parse_constants(self):
+        tgd = parse_tgd("R(x, 'smith') -> S(x, 3)")
+        assert tgd.body[0].terms[1] == Constant("smith")
+        assert tgd.head[0].terms[1] == Constant(3)
+
+    def test_parse_missing_arrow(self):
+        with pytest.raises(DependencyError):
+            parse_tgd("R(x) S(x)")
+
+    def test_parse_custom_name(self):
+        assert parse_tgd("R(x) -> S(x)", name="rho").name == "rho"
+
+
+class TestRenaming:
+    def test_rename_relations_both_sides(self):
+        tgd = parse_tgd("R(x) -> S(x)")
+        renamed = tgd.rename_relations({"R": "InfAcc_R", "S": "InfAcc_S"})
+        assert renamed.body[0].relation == "InfAcc_R"
+        assert renamed.head[0].relation == "InfAcc_S"
+
+    def test_rename_preserves_terms(self):
+        tgd = parse_tgd("R(x, y) -> S(y, z)")
+        renamed = tgd.rename_relations({"R": "RR"})
+        assert renamed.body[0].terms == tgd.body[0].terms

@@ -1,0 +1,173 @@
+"""Unit tests for the homomorphism search and fact index."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.homomorphisms import (
+    FactIndex,
+    extend_homomorphism,
+    find_homomorphism,
+    find_homomorphisms,
+    has_homomorphism,
+)
+from repro.logic.terms import Constant, Null, Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+N1, N2 = Null("n1"), Null("n2")
+
+
+def index_of(*facts):
+    return FactIndex(facts)
+
+
+class TestFactIndex:
+    def test_add_and_contains(self):
+        index = FactIndex()
+        fact = Atom("R", (A, B))
+        assert index.add(fact)
+        assert fact in index
+        assert not index.add(fact)  # duplicate
+        assert len(index) == 1
+
+    def test_facts_of_relation(self):
+        index = index_of(Atom("R", (A,)), Atom("S", (B,)))
+        assert index.facts_of("R") == frozenset({Atom("R", (A,))})
+        assert index.facts_of("T") == frozenset()
+
+    def test_copy_is_independent(self):
+        index = index_of(Atom("R", (A,)))
+        clone = index.copy()
+        clone.add(Atom("R", (B,)))
+        assert len(index) == 1
+        assert len(clone) == 2
+
+    def test_candidates_uses_position_index(self):
+        index = index_of(
+            Atom("R", (A, B)), Atom("R", (A, C)), Atom("R", (B, C))
+        )
+        binding = Substitution({X: A})
+        candidates = set(index.candidates(Atom("R", (X, Y)), binding, False))
+        assert candidates == {Atom("R", (A, B)), Atom("R", (A, C))}
+
+    def test_candidates_unknown_constant_empty(self):
+        index = index_of(Atom("R", (A,)))
+        assert list(
+            index.candidates(Atom("R", (B,)), Substitution(), False)
+        ) == []
+
+
+class TestExtendHomomorphism:
+    def test_binds_variables(self):
+        result = extend_homomorphism(
+            Atom("R", (X, Y)), Atom("R", (A, B)), Substitution()
+        )
+        assert result is not None
+        assert result[X] == A and result[Y] == B
+
+    def test_conflicting_binding_fails(self):
+        binding = Substitution({X: B})
+        assert (
+            extend_homomorphism(Atom("R", (X,)), Atom("R", (A,)), binding)
+            is None
+        )
+
+    def test_repeated_variable_must_agree(self):
+        assert (
+            extend_homomorphism(
+                Atom("R", (X, X)), Atom("R", (A, B)), Substitution()
+            )
+            is None
+        )
+        ok = extend_homomorphism(
+            Atom("R", (X, X)), Atom("R", (A, A)), Substitution()
+        )
+        assert ok is not None
+
+    def test_constants_are_rigid(self):
+        assert (
+            extend_homomorphism(Atom("R", (A,)), Atom("R", (B,)), Substitution())
+            is None
+        )
+
+    def test_nulls_rigid_by_default(self):
+        assert (
+            extend_homomorphism(
+                Atom("R", (N1,)), Atom("R", (A,)), Substitution()
+            )
+            is None
+        )
+
+    def test_nulls_mappable_when_requested(self):
+        result = extend_homomorphism(
+            Atom("R", (N1,)), Atom("R", (A,)), Substitution(), map_nulls=True
+        )
+        assert result is not None
+        assert result[N1] == A
+
+    def test_relation_mismatch(self):
+        assert (
+            extend_homomorphism(Atom("R", (X,)), Atom("S", (A,)), Substitution())
+            is None
+        )
+
+
+class TestFindHomomorphisms:
+    def test_single_atom_all_matches(self):
+        index = index_of(Atom("R", (A,)), Atom("R", (B,)))
+        homs = list(find_homomorphisms([Atom("R", (X,))], index))
+        assert {h[X] for h in homs} == {A, B}
+
+    def test_join_via_shared_variable(self):
+        index = index_of(
+            Atom("R", (A, B)),
+            Atom("S", (B, C)),
+            Atom("S", (A, C)),
+        )
+        homs = list(
+            find_homomorphisms([Atom("R", (X, Y)), Atom("S", (Y, Z))], index)
+        )
+        assert len(homs) == 1
+        assert homs[0][Y] == B
+
+    def test_empty_pattern_yields_identity(self):
+        homs = list(find_homomorphisms([], index_of()))
+        assert len(homs) == 1
+
+    def test_respects_seed_binding(self):
+        index = index_of(Atom("R", (A,)), Atom("R", (B,)))
+        homs = list(
+            find_homomorphisms(
+                [Atom("R", (X,))], index, Substitution({X: B})
+            )
+        )
+        assert len(homs) == 1
+        assert homs[0][X] == B
+
+    def test_no_match(self):
+        assert not has_homomorphism([Atom("T", (X,))], index_of(Atom("R", (A,))))
+
+    def test_find_homomorphism_returns_first_or_none(self):
+        index = index_of(Atom("R", (A,)))
+        assert find_homomorphism([Atom("R", (X,))], index) is not None
+        assert find_homomorphism([Atom("S", (X,))], index) is None
+
+    def test_cartesian_product_count(self):
+        index = index_of(
+            Atom("R", (A,)), Atom("R", (B,)), Atom("S", (A,)), Atom("S", (B,))
+        )
+        homs = list(
+            find_homomorphisms([Atom("R", (X,)), Atom("S", (Y,))], index)
+        )
+        assert len(homs) == 4
+
+    def test_null_pattern_maps_into_constants(self):
+        index = index_of(Atom("R", (A, B)))
+        homs = list(
+            find_homomorphisms(
+                [Atom("R", (N1, N2))], index, map_nulls=True
+            )
+        )
+        assert len(homs) == 1
+        assert homs[0][N1] == A

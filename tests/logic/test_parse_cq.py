@@ -1,0 +1,66 @@
+"""Tests for the Datalog-style CQ text parser."""
+
+import pytest
+
+from repro.logic.queries import QueryError, parse_cq
+from repro.logic.terms import Constant, Variable
+
+
+class TestParseCQ:
+    def test_basic_query(self):
+        query = parse_cq("q(phone) :- Direct2(uname, addr, phone)")
+        assert query.name == "q"
+        assert query.head == (Variable("phone"),)
+        assert query.atoms[0].relation == "Direct2"
+
+    def test_multi_atom_body(self):
+        query = parse_cq("q(x) :- R(x, y), S(y, z)")
+        assert len(query.atoms) == 2
+        assert query.existential_variables() == {
+            Variable("y"),
+            Variable("z"),
+        }
+
+    def test_boolean_with_empty_head(self):
+        query = parse_cq("q() :- R(x)")
+        assert query.is_boolean
+
+    def test_boolean_shorthand_without_head(self):
+        query = parse_cq("R(x), S(x)")
+        assert query.is_boolean
+        assert len(query.atoms) == 2
+
+    def test_quoted_string_constant(self):
+        query = parse_cq("q(e) :- Profinfo(e, o, 'smith')")
+        assert query.atoms[0].terms[2] == Constant("smith")
+
+    def test_double_quoted_constant(self):
+        query = parse_cq('q(e) :- R(e, "tag")')
+        assert query.atoms[0].terms[1] == Constant("tag")
+
+    def test_integer_constant(self):
+        query = parse_cq("q(x) :- R(x, 42)")
+        assert query.atoms[0].terms[1] == Constant(42)
+
+    def test_head_variable_must_occur(self):
+        with pytest.raises(QueryError):
+            parse_cq("q(zzz) :- R(x)")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            parse_cq("q(x) :- ")
+
+    def test_malformed_head_rejected(self):
+        with pytest.raises(QueryError):
+            parse_cq("just text :- R(x)")
+
+    def test_repeated_variable(self):
+        query = parse_cq("q() :- R(x, x)")
+        assert query.atoms[0].terms[0] == query.atoms[0].terms[1]
+
+    def test_evaluation_sanity(self):
+        from repro.data.instance import Instance
+
+        query = parse_cq("q(x) :- R(x, 'keep')")
+        instance = Instance({"R": [("a", "keep"), ("b", "drop")]})
+        assert instance.evaluate(query) == {(Constant("a"),)}

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the logic substrate.
+
+Invariants exercised:
+
+* substitution composition is associative in its action on atoms,
+* canonical-database homomorphism: every CQ maps into its own canonical db,
+* containment is reflexive and transitive on random CQs,
+* the core is equivalent to, and no larger than, the original query,
+* homomorphism search agrees with brute-force enumeration on small inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.containment import is_contained_in, is_equivalent, minimize
+from repro.logic.homomorphisms import FactIndex, find_homomorphisms
+from repro.logic.queries import ConjunctiveQuery
+from repro.logic.terms import Constant, Variable
+
+
+VARIABLES = [Variable(n) for n in "xyzuvw"]
+CONSTANTS = [Constant(c) for c in "abc"]
+RELATIONS = ["R", "S", "T"]
+
+terms = st.sampled_from(VARIABLES + CONSTANTS)
+relation_names = st.sampled_from(RELATIONS)
+
+
+@st.composite
+def atoms(draw, max_arity: int = 3):
+    relation = draw(relation_names)
+    arity = draw(st.integers(1, max_arity))
+    return Atom(f"{relation}{arity}", tuple(draw(terms) for _ in range(arity)))
+
+
+@st.composite
+def queries(draw, max_atoms: int = 4):
+    body = tuple(
+        draw(atoms()) for _ in range(draw(st.integers(1, max_atoms)))
+    )
+    body_vars = sorted(
+        {v for atom in body for v in atom.variables()},
+        key=lambda v: v.name,
+    )
+    if body_vars:
+        head_count = draw(st.integers(0, min(2, len(body_vars))))
+        head = tuple(body_vars[:head_count])
+    else:
+        head = ()
+    return ConjunctiveQuery(head, body, name="H")
+
+
+@st.composite
+def substitutions(draw):
+    mapping = {}
+    for variable in VARIABLES:
+        if draw(st.booleans()):
+            mapping[variable] = draw(terms)
+    return Substitution(mapping)
+
+
+@given(atoms(), substitutions(), substitutions())
+def test_substitution_composition_acts_correctly(atom, s1, s2):
+    composed = s1.compose(s2)
+    stepwise = atom.apply(s1).apply(s2)
+    assert atom.apply(composed) == stepwise
+
+
+@given(queries())
+def test_query_maps_into_own_canonical_database(query):
+    facts, frozen = query.canonical_database()
+    index = FactIndex(facts)
+    seed = Substitution({v: frozen[v] for v in query.head})
+    homs = list(find_homomorphisms(list(query.atoms), index, seed))
+    assert homs, "a CQ must match its own canonical database"
+
+
+@given(queries())
+def test_containment_reflexive(query):
+    assert is_contained_in(query, query)
+
+
+@given(queries(), queries(), queries())
+@settings(max_examples=40, deadline=None)
+def test_containment_transitive(q1, q2, q3):
+    if is_contained_in(q1, q2) and is_contained_in(q2, q3):
+        assert is_contained_in(q1, q3)
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_core_equivalent_and_no_larger(query):
+    core = minimize(query)
+    assert len(core.atoms) <= len(query.atoms)
+    assert is_equivalent(query, core)
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_core_is_idempotent(query):
+    core = minimize(query)
+    again = minimize(core)
+    assert len(again.atoms) == len(core.atoms)
+
+
+@given(st.lists(atoms(max_arity=2), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_homomorphism_search_matches_bruteforce(pattern_atoms):
+    """Search results equal brute-force enumeration over all bindings."""
+    facts = [
+        Atom("R2", (Constant("a"), Constant("b"))),
+        Atom("R2", (Constant("b"), Constant("a"))),
+        Atom("S1", (Constant("a"),)),
+        Atom("T2", (Constant("a"), Constant("a"))),
+        Atom("R1", (Constant("b"),)),
+        Atom("S2", (Constant("a"), Constant("c"))),
+        Atom("T1", (Constant("c"),)),
+    ]
+    index = FactIndex(facts)
+    found = {
+        frozenset(
+            (k, v)
+            for k, v in hom.items()
+            if isinstance(k, Variable)
+        )
+        for hom in find_homomorphisms(pattern_atoms, index)
+    }
+    variables = sorted(
+        {v for atom in pattern_atoms for v in atom.variables()},
+        key=lambda v: v.name,
+    )
+    domain = [Constant(c) for c in "abc"]
+    brute = set()
+    for combo in itertools.product(domain, repeat=len(variables)):
+        binding = Substitution(dict(zip(variables, combo)))
+        if all(atom.apply(binding) in index for atom in pattern_atoms):
+            brute.add(frozenset(zip(variables, combo)))
+    assert found == brute

@@ -1,0 +1,115 @@
+"""Unit tests for conjunctive queries and canonical databases."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.homomorphisms import FactIndex
+from repro.logic.queries import ConjunctiveQuery, QueryError, cq
+from repro.logic.terms import Constant, Null, Variable
+
+
+class TestBuilder:
+    def test_cq_helper_parses_variables_and_constants(self):
+        query = cq(["?x"], [("R", ["?x", "smith", 3])])
+        atom = query.atoms[0]
+        assert atom.terms == (Variable("x"), Constant("smith"), Constant(3))
+        assert query.head == (Variable("x"),)
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            cq(["?z"], [("R", ["?x"])])
+
+    def test_repeated_head_variable_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                (Variable("x"), Variable("x")),
+                (Atom("R", (Variable("x"),)),),
+            )
+
+    def test_boolean_query(self):
+        assert cq([], [("R", ["?x"])]).is_boolean
+
+
+class TestAccessors:
+    def test_variables_and_existentials(self):
+        query = cq(["?x"], [("R", ["?x", "?y"])])
+        assert query.variables() == {Variable("x"), Variable("y")}
+        assert query.existential_variables() == {Variable("y")}
+
+    def test_relations_and_constants(self):
+        query = cq([], [("R", ["?x", "a"]), ("S", ["?x"])])
+        assert query.relations() == {"R", "S"}
+        assert query.constants() == {Constant("a")}
+
+
+class TestCanonicalDatabase:
+    def test_variables_become_nulls(self):
+        query = cq(["?x"], [("R", ["?x", "?y"])], name="Q")
+        facts, frozen = query.canonical_database()
+        assert facts == (Atom("R", (Null("Q_x"), Null("Q_y"))),)
+        assert frozen[Variable("x")] == Null("Q_x")
+
+    def test_constants_preserved(self):
+        query = cq([], [("R", ["?x", "smith"])], name="Q")
+        facts, _ = query.canonical_database()
+        assert facts[0].terms[1] == Constant("smith")
+
+    def test_prefix_override(self):
+        query = cq([], [("R", ["?x"])], name="Q")
+        facts, _ = query.canonical_database(prefix="zz")
+        assert facts[0].terms[0] == Null("zz_x")
+
+    def test_repeated_variable_shares_null(self):
+        query = cq([], [("R", ["?x", "?x"])], name="Q")
+        facts, _ = query.canonical_database()
+        assert facts[0].terms[0] == facts[0].terms[1]
+
+
+class TestEvaluation:
+    def test_evaluate_returns_head_tuples(self):
+        query = cq(["?x"], [("R", ["?x", "?y"])])
+        index = FactIndex(
+            [
+                Atom("R", (Constant("a"), Constant("b"))),
+                Atom("R", (Constant("c"), Constant("b"))),
+            ]
+        )
+        assert query.evaluate(index) == {
+            (Constant("a"),),
+            (Constant("c"),),
+        }
+
+    def test_holds_in(self):
+        query = cq([], [("R", ["?x"])])
+        assert query.holds_in(FactIndex([Atom("R", (Constant("a"),))]))
+        assert not query.holds_in(FactIndex())
+
+    def test_join_query_evaluation(self):
+        query = cq(["?z"], [("R", ["?x", "?y"]), ("S", ["?y", "?z"])])
+        index = FactIndex(
+            [
+                Atom("R", (Constant("a"), Constant("b"))),
+                Atom("S", (Constant("b"), Constant("c"))),
+                Atom("S", (Constant("x"), Constant("y"))),
+            ]
+        )
+        assert query.evaluate(index) == {(Constant("c"),)}
+
+
+class TestTransforms:
+    def test_rename_relations(self):
+        query = cq([], [("R", ["?x"]), ("S", ["?x"])])
+        renamed = query.rename_relations({"R": "InfAcc_R"})
+        assert renamed.relations() == {"InfAcc_R", "S"}
+
+    def test_substitute_rejects_head_collapse(self):
+        query = cq(["?x"], [("R", ["?x", "?y"])])
+        with pytest.raises(QueryError):
+            query.substitute(Substitution({Variable("x"): Constant("a")}))
+
+    def test_substitute_body_variable(self):
+        query = cq(["?x"], [("R", ["?x", "?y"])])
+        result = query.substitute(
+            Substitution({Variable("y"): Constant("b")})
+        )
+        assert result.atoms[0].terms[1] == Constant("b")

@@ -1,0 +1,95 @@
+"""Unit tests for terms: identity, hashing, factories, ordering."""
+
+import pytest
+
+from repro.logic.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    fresh_null,
+    is_ground,
+    reset_null_counter,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_repr(self):
+        assert repr(Variable("uname")) == "?uname"
+
+    def test_not_ground(self):
+        assert not is_ground(Variable("x"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("smith") == Constant("smith")
+        assert Constant(3) != Constant("3")
+
+    def test_string_repr_quoted(self):
+        assert repr(Constant("smith")) == "'smith'"
+
+    def test_numeric_repr(self):
+        assert repr(Constant(3)) == "3"
+
+    def test_ground(self):
+        assert is_ground(Constant("smith"))
+
+    def test_distinct_from_variable_with_same_name(self):
+        assert Constant("x") != Variable("x")
+
+
+class TestNull:
+    def test_equality_by_name(self):
+        assert Null("n1") == Null("n1")
+        assert Null("n1") != Null("n2")
+
+    def test_repr(self):
+        assert repr(Null("Q_e")) == "_Q_e"
+
+    def test_ground(self):
+        assert is_ground(Null("n0"))
+
+
+class TestNullFactory:
+    def test_mints_distinct_nulls(self):
+        factory = NullFactory("t")
+        nulls = [factory() for _ in range(10)]
+        assert len(set(nulls)) == 10
+
+    def test_hint_appears_in_name(self):
+        factory = NullFactory("t")
+        null = factory(hint="uid")
+        assert "uid" in null.name
+
+    def test_two_factories_same_prefix_collide_deterministically(self):
+        a, b = NullFactory("p"), NullFactory("p")
+        assert a() == b()  # determinism is the point: same prefix+index
+
+    def test_global_fresh_null_distinct(self):
+        reset_null_counter()
+        assert fresh_null() != fresh_null()
+
+    def test_reset_restarts_sequence(self):
+        reset_null_counter()
+        first = fresh_null()
+        reset_null_counter()
+        assert fresh_null() == first
+
+
+class TestOrdering:
+    def test_terms_sortable_across_kinds(self):
+        terms = [Constant("b"), Null("a"), Variable("c"), Constant(1)]
+        ordered = sorted(terms)
+        assert len(ordered) == 4
+
+    def test_sorting_is_stable_by_repr(self):
+        terms = [Constant("b"), Constant("a")]
+        assert sorted(terms) == [Constant("a"), Constant("b")]

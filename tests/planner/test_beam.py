@@ -1,0 +1,69 @@
+"""Tests for the beam-width search restriction."""
+
+import pytest
+
+from repro.planner.answerability import Answerability
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example5
+
+
+class TestBeamWidth:
+    def test_beam_reduces_nodes(self):
+        scenario = example5(sources=4)
+        full = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(max_accesses=5, prune_by_cost=False,
+                          domination=False),
+        )
+        beam = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(
+                max_accesses=5,
+                prune_by_cost=False,
+                domination=False,
+                beam_width=1,
+            ),
+        )
+        assert beam.stats.nodes_created < full.stats.nodes_created
+
+    def test_beam_one_still_finds_a_plan(self):
+        scenario = example5(sources=3)
+        result = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(
+                max_accesses=4, beam_width=1, candidate_order="method"
+            ),
+        )
+        assert result.found
+
+    def test_beam_can_miss_the_optimum(self):
+        """With method-priority ordering and beam 1, the search walks the
+        cheap-method-first path only and never revisits alternatives --
+        the found plan may be suboptimal (the documented trade-off)."""
+        scenario = example5(
+            sources=2, source_costs=[1.0, 1.5], profinfo_cost=5.0
+        )
+        exact = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=3)
+        )
+        beam = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(
+                max_accesses=3, beam_width=1, candidate_order="method"
+            ),
+        )
+        assert beam.found
+        assert beam.best_cost >= exact.best_cost
+
+    def test_beam_search_never_claims_exhaustion(self):
+        scenario = example5(sources=2)
+        result = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(max_accesses=3, beam_width=2),
+        )
+        assert not result.exhausted

@@ -1,0 +1,115 @@
+"""Tests for the P_k brute-force plan (the paper's infeasible baseline)."""
+
+import pytest
+
+from repro.data.source import InMemorySource
+from repro.logic.queries import cq
+from repro.planner.brute_force import (
+    accessed_table_name,
+    brute_force_plan,
+    k_round_plan,
+)
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example1, example2
+from repro.schema.core import SchemaBuilder
+
+
+class TestKRoundPlan:
+    def test_materializes_accessible_part(self):
+        scenario = example1()
+        plan = k_round_plan(scenario.schema, k=2)
+        instance = scenario.instance(0)
+        source = InMemorySource(scenario.schema, instance)
+        _out, env = plan.run_with_env(source)
+        from repro.data.accessible_part import accessible_part
+
+        part = accessible_part(scenario.schema, instance)
+        for relation in scenario.schema.relations:
+            got = {
+                row for row in env[accessed_table_name(relation.name)].rows
+            }
+            assert got == set(part.accessed_tuples(relation.name)), (
+                relation.name
+            )
+
+    def test_values_table_matches_accessible_values(self):
+        scenario = example1()
+        plan = k_round_plan(scenario.schema, k=2)
+        instance = scenario.instance(0)
+        out = plan.run(InMemorySource(scenario.schema, instance))
+        from repro.data.accessible_part import accessible_part
+
+        part = accessible_part(scenario.schema, instance)
+        assert {row[0] for row in out.rows} == set(
+            part.accessible_values
+        )
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            k_round_plan(example1().schema, k=0)
+
+    def test_too_few_rounds_miss_deep_values(self):
+        """Example 2 needs 3 rounds (names/ids -> direct1 -> direct2)."""
+        scenario = example2(directory_size=5)
+        instance = scenario.instance(0)
+        shallow = k_round_plan(scenario.schema, k=1)
+        deep = k_round_plan(scenario.schema, k=3)
+        env1 = shallow.run_with_env(
+            InMemorySource(scenario.schema, instance)
+        )[1]
+        env3 = deep.run_with_env(
+            InMemorySource(scenario.schema, instance)
+        )[1]
+        d2 = accessed_table_name("Direct2")
+        assert env1[d2].is_empty
+        assert not env3[d2].is_empty
+
+
+class TestBruteForcePlan:
+    def test_complete_on_example1(self):
+        scenario = example1(professors=6, directory_extra=4)
+        plan = brute_force_plan(scenario.schema, scenario.query, k=2)
+        instance = scenario.instance(0)
+        out = plan.run(InMemorySource(scenario.schema, instance))
+        assert set(out.rows) == instance.evaluate(scenario.query)
+
+    def test_complete_on_example2(self):
+        scenario = example2(directory_size=4)
+        plan = brute_force_plan(scenario.schema, scenario.query, k=3)
+        instance = scenario.instance(0)
+        out = plan.run(InMemorySource(scenario.schema, instance))
+        assert set(out.rows) == instance.evaluate(scenario.query)
+
+    def test_infeasibility_vs_proof_based_plan(self):
+        """The paper's point: P_k makes vastly more runtime accesses."""
+        scenario = example2(directory_size=6)
+        instance = scenario.instance(0)
+        proof_based = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+        ).best_plan
+        brute = brute_force_plan(scenario.schema, scenario.query, k=3)
+        src_proof = InMemorySource(scenario.schema, instance)
+        src_brute = InMemorySource(scenario.schema, instance)
+        out_proof = proof_based.run(src_proof)
+        out_brute = brute.run(src_brute)
+        assert set(out_proof.rows) == set(out_brute.rows)
+        assert (
+            src_brute.total_invocations
+            > 2 * src_proof.total_invocations
+        )
+
+    def test_boolean_query(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 1)
+            .free_access("R")
+            .build()
+        )
+        query = cq([], [("R", ["?x"])])
+        plan = brute_force_plan(schema, query, k=1)
+        from repro.data.instance import Instance
+
+        yes = InMemorySource(schema, Instance({"R": [("a",)]}))
+        no = InMemorySource(schema, Instance({}))
+        assert not plan.run(yes).is_empty
+        assert plan.run(no).is_empty

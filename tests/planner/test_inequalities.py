@@ -1,0 +1,155 @@
+"""Tests for ESPJ planning: head-variable inequalities."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.logic.queries import QueryError, cq
+from repro.logic.terms import Constant, Variable
+from repro.planner.inequalities import (
+    Inequality,
+    apply_inequalities,
+    plan_with_inequalities,
+)
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .relation("Edge", 2)
+        .free_access("Edge")
+        .build()
+    )
+
+
+def edges(*pairs):
+    return Instance({"Edge": list(pairs)})
+
+
+class TestPlanWithInequalities:
+    def test_var_var_inequality(self, schema):
+        query = cq(["?x", "?y"], [("Edge", ["?x", "?y"])], name="Qe")
+        result = plan_with_inequalities(
+            schema,
+            query,
+            [Inequality(Variable("x"), Variable("y"))],
+        )
+        assert result.found
+        instance = edges(("a", "a"), ("a", "b"))
+        out = result.plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset(
+            {(Constant("a"), Constant("b"))}
+        )
+
+    def test_var_const_inequality(self, schema):
+        query = cq(["?x", "?y"], [("Edge", ["?x", "?y"])], name="Qe")
+        result = plan_with_inequalities(
+            schema,
+            query,
+            [Inequality(Variable("x"), Constant("a"))],
+        )
+        instance = edges(("a", "b"), ("c", "d"))
+        out = result.plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset(
+            {(Constant("c"), Constant("d"))}
+        )
+
+    def test_multiple_inequalities_conjoined(self, schema):
+        query = cq(["?x", "?y"], [("Edge", ["?x", "?y"])], name="Qe")
+        result = plan_with_inequalities(
+            schema,
+            query,
+            [
+                Inequality(Variable("x"), Variable("y")),
+                Inequality(Variable("y"), Constant("d")),
+            ],
+        )
+        instance = edges(("a", "a"), ("a", "b"), ("c", "d"))
+        out = result.plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset(
+            {(Constant("a"), Constant("b"))}
+        )
+
+    def test_vacuous_constant_inequality_is_noop(self, schema):
+        query = cq(["?x"], [("Edge", ["?x", "?y"])], name="Qe")
+        result = plan_with_inequalities(
+            schema,
+            query,
+            [Inequality(Constant("a"), Constant("b"))],
+        )
+        instance = edges(("a", "b"))
+        assert not result.plan.run(
+            InMemorySource(schema, instance)
+        ).is_empty
+
+    def test_contradictory_constant_inequality_empty(self, schema):
+        query = cq(["?x"], [("Edge", ["?x", "?y"])], name="Qe")
+        result = plan_with_inequalities(
+            schema,
+            query,
+            [Inequality(Constant("a"), Constant("a"))],
+        )
+        instance = edges(("a", "b"))
+        assert result.plan.run(
+            InMemorySource(schema, instance)
+        ).is_empty
+
+    def test_existential_variable_rejected(self, schema):
+        query = cq(["?x"], [("Edge", ["?x", "?y"])], name="Qe")
+        with pytest.raises(QueryError):
+            plan_with_inequalities(
+                schema,
+                query,
+                [Inequality(Variable("x"), Variable("y"))],
+            )
+
+    def test_unanswerable_core_propagates(self):
+        hidden = SchemaBuilder("h").relation("H", 2).build()
+        query = cq(["?x", "?y"], [("H", ["?x", "?y"])])
+        result = plan_with_inequalities(
+            hidden,
+            query,
+            [Inequality(Variable("x"), Variable("y"))],
+        )
+        assert not result.found
+
+    def test_completeness_with_restricted_access(self):
+        """The filter composes with a proof-based multi-access plan."""
+        schema = (
+            SchemaBuilder("s")
+            .relation("Profinfo", 3)
+            .relation("Udirect", 2)
+            .access("mt_prof", "Profinfo", inputs=[0])
+            .free_access("Udirect")
+            .tgd("Profinfo(e, o, l) -> Udirect(e, l)")
+            .build()
+        )
+        query = cq(
+            ["?e", "?l"], [("Profinfo", ["?e", "?o", "?l"])], name="Qp"
+        )
+        result = plan_with_inequalities(
+            schema,
+            query,
+            [Inequality(Variable("l"), Constant("smith"))],
+        )
+        instance = Instance(
+            {
+                "Profinfo": [("e1", "o1", "smith"), ("e2", "o2", "doe")],
+                "Udirect": [("e1", "smith"), ("e2", "doe")],
+            }
+        )
+        out = result.plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset(
+            {(Constant("e2"), Constant("doe"))}
+        )
+
+    def test_filtered_plan_uses_inequality_operator(self, schema):
+        query = cq(["?x", "?y"], [("Edge", ["?x", "?y"])], name="Qe")
+        result = plan_with_inequalities(
+            schema,
+            query,
+            [Inequality(Variable("x"), Variable("y"))],
+        )
+        assert result.plan.uses_inequality

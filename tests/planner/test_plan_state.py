@@ -1,0 +1,155 @@
+"""Unit tests for the incremental plan builder (PlanState)."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null
+from repro.planner.plan_state import PlanningError, PlanState
+from repro.schema.core import AccessMethod, SchemaBuilder
+
+
+E, L, O = Null("e"), Null("l"), Null("o")
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .relation("Udirect", 2)
+        .relation("Profinfo", 3)
+        .access("mt_udir", "Udirect", inputs=[])
+        .access("mt_prof", "Profinfo", inputs=[0])
+        .build()
+    )
+
+
+class TestExpose:
+    def test_free_exposure_starts_plan(self, schema):
+        state = PlanState().expose(
+            Atom("Udirect", (E, L)), schema.method("mt_udir")
+        )
+        assert state.access_command_count == 1
+        assert state.attributes == {"e", "l"}
+        assert state.current is not None
+
+    def test_keyed_exposure_requires_attribute(self, schema):
+        with pytest.raises(PlanningError):
+            PlanState().expose(
+                Atom("Profinfo", (E, O, L)), schema.method("mt_prof")
+            )
+
+    def test_chained_exposure(self, schema):
+        state = PlanState().expose(
+            Atom("Udirect", (E, L)), schema.method("mt_udir")
+        )
+        state = state.expose(
+            Atom("Profinfo", (E, O, L)), schema.method("mt_prof")
+        )
+        assert state.access_command_count == 2
+        assert state.attributes == {"e", "l", "o"}
+
+    def test_relation_method_mismatch(self, schema):
+        with pytest.raises(PlanningError):
+            PlanState().expose(
+                Atom("Udirect", (E, L)), schema.method("mt_prof")
+            )
+
+    def test_immutable_states(self, schema):
+        empty = PlanState()
+        extended = empty.expose(
+            Atom("Udirect", (E, L)), schema.method("mt_udir")
+        )
+        assert empty.access_command_count == 0
+        assert extended.access_command_count == 1
+
+    def test_access_reuse_same_inputs(self, schema):
+        state = PlanState().expose(
+            Atom("Udirect", (E, L)), schema.method("mt_udir")
+        )
+        # Another Udirect fact exposed through the same (input-free)
+        # access: no new access command, just middleware.
+        other = Atom("Udirect", (Null("e2"), Null("l2")))
+        state2 = state.expose(other, schema.method("mt_udir"))
+        assert state2.access_command_count == 1
+        assert "e2" in state2.attributes
+
+    def test_constant_inputs_no_attribute_needed(self, schema):
+        method = AccessMethod("mt_const", "Profinfo", (0,))
+        schema2 = (
+            SchemaBuilder("s2")
+            .relation("Profinfo", 3)
+            .access("mt_const", "Profinfo", inputs=[0])
+            .build()
+        )
+        fact = Atom("Profinfo", (Constant("e1"), O, L))
+        state = PlanState().expose(fact, schema2.method("mt_const"))
+        assert state.access_command_count == 1
+
+
+class TestFinish:
+    def test_boolean_finish(self, schema):
+        state = PlanState().expose(
+            Atom("Udirect", (E, L)), schema.method("mt_udir")
+        )
+        plan = state.finish(())
+        assert plan.output_table == "T_fin"
+        # Output is the zero-attribute table.
+        assert plan.commands[-1].expr.attrs == ()
+
+    def test_finish_projects_head_attributes(self, schema):
+        state = PlanState().expose(
+            Atom("Udirect", (E, L)), schema.method("mt_udir")
+        )
+        plan = state.finish((E,))
+        assert plan.commands[-1].expr.attrs == ("e",)
+
+    def test_finish_rejects_inaccessible_output(self, schema):
+        state = PlanState().expose(
+            Atom("Udirect", (E, L)), schema.method("mt_udir")
+        )
+        with pytest.raises(PlanningError):
+            state.finish((Null("zzz"),))
+
+    def test_access_free_boolean_plan(self):
+        plan = PlanState().finish(())
+        assert plan.access_commands == ()
+
+    def test_access_free_non_boolean_rejected(self):
+        with pytest.raises(PlanningError):
+            PlanState().finish((E,))
+
+
+class TestGeneratedSemantics:
+    def test_repeated_null_becomes_equality_filter(self, schema):
+        # Exposing R(e, e) must keep only tuples with equal columns.
+        schema2 = (
+            SchemaBuilder("s2")
+            .relation("R", 2)
+            .free_access("R")
+            .build()
+        )
+        state = PlanState().expose(
+            Atom("R", (E, E)), schema2.method("mt_R")
+        )
+        plan = state.finish((E,))
+        instance = Instance({"R": [("a", "a"), ("a", "b")]})
+        out = plan.run(InMemorySource(schema2, instance))
+        assert out.rows == frozenset({(Constant("a"),)})
+
+    def test_constant_position_becomes_filter(self, schema):
+        schema2 = (
+            SchemaBuilder("s2")
+            .relation("R", 2)
+            .free_access("R")
+            .constant("k")
+            .build()
+        )
+        state = PlanState().expose(
+            Atom("R", (E, Constant("k"))), schema2.method("mt_R")
+        )
+        plan = state.finish((E,))
+        instance = Instance({"R": [("a", "k"), ("b", "other")]})
+        out = plan.run(InMemorySource(schema2, instance))
+        assert out.rows == frozenset({(Constant("a"),)})

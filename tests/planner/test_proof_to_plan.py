@@ -1,0 +1,175 @@
+"""Unit tests for chase-proof replay and plan generation (Theorem 5)."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.logic.atoms import Atom
+from repro.logic.queries import cq
+from repro.logic.terms import Constant, Null
+from repro.planner.plan_state import PlanningError
+from repro.planner.proof_to_plan import (
+    ChaseProof,
+    Exposure,
+    plan_from_proof,
+    replay_proof,
+)
+from repro.schema.accessible import AccessibleSchema, Variant
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def acc(uni_schema):
+    return AccessibleSchema(uni_schema, Variant.FORWARD)
+
+
+def q_boolean():
+    return cq([], [("Profinfo", ["?e", "?o", "?l"])], name="Q")
+
+
+def example1_proof():
+    query = q_boolean()
+    return ChaseProof(
+        query,
+        (
+            Exposure(
+                Atom("Udirect", (Null("Q_e"), Null("Q_l"))), "mt_udir"
+            ),
+            Exposure(
+                Atom(
+                    "Profinfo",
+                    (Null("Q_e"), Null("Q_o"), Null("Q_l")),
+                ),
+                "mt_prof",
+            ),
+        ),
+    )
+
+
+class TestReplay:
+    def test_example1_proof_replays(self, acc):
+        result = replay_proof(acc, example1_proof())
+        assert result.plan.access_commands
+        assert result.match is not None
+
+    def test_plan_structure_mirrors_proof(self, acc):
+        plan = plan_from_proof(acc, example1_proof())
+        assert plan.methods_used() == ("mt_udir", "mt_prof")
+
+    def test_incomplete_proof_rejected(self, acc):
+        query = q_boolean()
+        partial = ChaseProof(
+            query,
+            (
+                Exposure(
+                    Atom("Udirect", (Null("Q_e"), Null("Q_l"))),
+                    "mt_udir",
+                ),
+            ),
+        )
+        with pytest.raises(PlanningError):
+            plan_from_proof(acc, partial)
+
+    def test_out_of_order_proof_rejected(self, acc):
+        query = q_boolean()
+        reordered = ChaseProof(
+            query,
+            tuple(reversed(example1_proof().exposures)),
+        )
+        # Profinfo first: its input e is not accessible yet.
+        with pytest.raises(PlanningError):
+            plan_from_proof(acc, reordered)
+
+    def test_unknown_fact_rejected(self, acc):
+        query = q_boolean()
+        bogus = ChaseProof(
+            query,
+            (
+                Exposure(
+                    Atom("Udirect", (Null("nope"), Null("nah"))),
+                    "mt_udir",
+                ),
+            ),
+        )
+        # The exposure itself fires (the access command is generic), but
+        # the proof cannot witness InferredAccQ.
+        with pytest.raises(PlanningError):
+            plan_from_proof(acc, bogus)
+
+
+class TestGeneratedPlanSemantics:
+    def test_plan_answers_query_positive(self, acc, uni_schema):
+        plan = plan_from_proof(acc, example1_proof())
+        instance = Instance(
+            {
+                "Profinfo": [("e1", "o1", "smith")],
+                "Udirect": [("e1", "smith")],
+            }
+        )
+        out = plan.run(InMemorySource(uni_schema, instance))
+        assert not out.is_empty
+
+    def test_plan_answers_query_negative(self, acc, uni_schema):
+        plan = plan_from_proof(acc, example1_proof())
+        instance = Instance({"Udirect": [("e9", "doe")]})
+        out = plan.run(InMemorySource(uni_schema, instance))
+        assert out.is_empty
+
+    def test_non_boolean_projection(self, uni_schema):
+        query = cq(
+            ["?e", "?o"],
+            [("Profinfo", ["?e", "?o", "?l"])],
+            name="Q",
+        )
+        acc = AccessibleSchema(uni_schema, Variant.FORWARD)
+        proof = ChaseProof(
+            query,
+            (
+                Exposure(
+                    Atom("Udirect", (Null("Q_e"), Null("Q_l"))),
+                    "mt_udir",
+                ),
+                Exposure(
+                    Atom(
+                        "Profinfo",
+                        (Null("Q_e"), Null("Q_o"), Null("Q_l")),
+                    ),
+                    "mt_prof",
+                ),
+            ),
+        )
+        plan = plan_from_proof(acc, proof)
+        instance = Instance(
+            {
+                "Profinfo": [
+                    ("e1", "o1", "smith"),
+                    ("e2", "o2", "jones"),
+                ],
+                "Udirect": [("e1", "smith"), ("e2", "jones")],
+            }
+        )
+        out = plan.run(InMemorySource(uni_schema, instance))
+        assert out.rows == {
+            (Constant("e1"), Constant("o1")),
+            (Constant("e2"), Constant("o2")),
+        }
+
+    def test_induced_facts_share_one_access(self):
+        """Two facts behind the same access input: one access command."""
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .relation("A", 1)
+            .free_access("A")
+            .access("mt_r", "R", inputs=[0])
+            .tgd("A(x) -> R(x, y)")
+            .tgd("A(x) -> R(x, z)")
+            .build()
+        )
+        query = cq([], [("A", ["?x"]), ("R", ["?x", "?y"])], name="Q")
+        from repro.planner import find_any_plan
+
+        result = find_any_plan(schema, query, max_accesses=4)
+        assert result.found
+        # Both chase R-facts over the same x use the same raw access.
+        assert len(result.best_plan.access_commands) <= 2

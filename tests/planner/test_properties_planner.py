@@ -1,0 +1,131 @@
+"""Property-based tests for the planner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.generators import random_instance
+from repro.data.source import InMemorySource
+from repro.logic.queries import cq
+from repro.planner.proof_to_plan import ChaseProof, plan_from_proof
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example5
+from repro.schema.accessible import AccessibleSchema, Variant
+from repro.schema.core import SchemaBuilder
+
+
+@given(st.permutations(range(3)), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_any_source_permutation_yields_equivalent_plan(order, seed):
+    """Exposing the redundant sources in any order (then Profinfo) gives
+    a complete plan computing the same answer."""
+    scenario = example5(sources=3, professors=5, noise_per_source=5)
+    acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+    # Discover the canonical exposures once via an exhaustive search.
+    full = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=4,
+            prune_by_cost=False,
+            domination=False,
+            collect_tree=True,
+            candidate_order="method",
+        ),
+    )
+    node = next(
+        n for n in full.tree if n.successful and len(n.exposures) == 4
+    )
+    sources = list(node.exposures[:3])
+    profinfo = node.exposures[3]
+    permuted = tuple(sources[i] for i in order) + (profinfo,)
+    plan = plan_from_proof(acc, ChaseProof(scenario.query, permuted))
+    instance = scenario.instance(seed)
+    truth = instance.evaluate(scenario.query)
+    output = plan.run(InMemorySource(scenario.schema, instance))
+    assert bool(output.rows) == bool(truth)
+
+
+@given(st.integers(1, 4), st.integers(0, 3))
+@settings(max_examples=16, deadline=None)
+def test_partial_source_subsets_all_complete(prefix_len, seed):
+    """Any non-empty prefix of sources before Profinfo stays complete."""
+    scenario = example5(sources=4, professors=5, noise_per_source=5)
+    acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+    full = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=5,
+            prune_by_cost=False,
+            domination=False,
+            collect_tree=True,
+            candidate_order="method",
+        ),
+    )
+    node = next(
+        n for n in full.tree if n.successful and len(n.exposures) == 5
+    )
+    exposures = node.exposures[:prefix_len] + (node.exposures[-1],)
+    plan = plan_from_proof(acc, ChaseProof(scenario.query, exposures))
+    instance = scenario.instance(seed)
+    truth = instance.evaluate(scenario.query)
+    output = plan.run(InMemorySource(scenario.schema, instance))
+    assert bool(output.rows) == bool(truth)
+
+
+@given(st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_search_deterministic(seed):
+    """Same inputs, same best plan -- the search has no hidden state."""
+    scenario = example5(sources=3)
+    a = find_best_plan(
+        scenario.schema, scenario.query, SearchOptions(max_accesses=4)
+    )
+    b = find_best_plan(
+        scenario.schema, scenario.query, SearchOptions(max_accesses=4)
+    )
+    assert a.best_cost == b.best_cost
+    assert a.best_plan.methods_used() == b.best_plan.methods_used()
+    assert a.stats.nodes_created == b.stats.nodes_created
+
+
+@given(st.floats(0.1, 20.0), st.floats(0.1, 20.0), st.floats(0.1, 20.0))
+@settings(max_examples=30, deadline=None)
+def test_best_cost_is_min_over_source_subsets(c1, c2, c3):
+    """For the 3-source family the optimum has a closed form."""
+    profinfo_cost = 5.0
+    scenario = example5(
+        sources=3, source_costs=[c1, c2, c3], profinfo_cost=profinfo_cost
+    )
+    result = find_best_plan(
+        scenario.schema, scenario.query, SearchOptions(max_accesses=4)
+    )
+    assert result.best_cost == pytest.approx(
+        min(c1, c2, c3) + profinfo_cost
+    )
+
+
+@given(st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_plan_state_attribute_monotonicity(seed):
+    """Attributes only grow along any exposure sequence the search makes."""
+    scenario = example5(sources=3)
+    result = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(max_accesses=4, collect_tree=True),
+    )
+    by_id = {node.node_id: node for node in result.tree}
+    rng = random.Random(seed)
+    nodes = [n for n in result.tree if n.parent_id is not None]
+    node = rng.choice(nodes)
+    parent = by_id[node.parent_id]
+    assert parent.state.attributes <= node.state.attributes
+    assert (
+        node.state.access_command_count
+        >= parent.state.access_command_count
+    )

@@ -1,0 +1,169 @@
+"""Tests for Theorem 7: RA/USPJ-neg plans via backward induction."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.fo.formulas import Exists, Forall
+from repro.logic.atoms import Atom
+from repro.logic.queries import cq
+from repro.logic.terms import Null
+from repro.planner.plan_state import PlanningError
+from repro.planner.ra_from_proof import (
+    BackwardStep,
+    executable_query_from_proof,
+    find_bidirectional_proof,
+    ra_plan_from_proof,
+)
+from repro.schema.accessible import Variant
+from repro.schema.core import SchemaBuilder
+
+
+def q_boolean():
+    return cq([], [("Profinfo", ["?e", "?o", "?l"])], name="Qb")
+
+
+class TestFormulaConstruction:
+    def test_positive_steps_build_existential_nest(self, uni_schema):
+        steps = (
+            BackwardStep(
+                Atom("Udirect", (Null("Qb_e"), Null("Qb_l"))), "mt_udir"
+            ),
+            BackwardStep(
+                Atom(
+                    "Profinfo", (Null("Qb_e"), Null("Qb_o"), Null("Qb_l"))
+                ),
+                "mt_prof",
+            ),
+        )
+        formula = executable_query_from_proof(uni_schema, q_boolean(), steps)
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body.parts[1], Exists)
+
+    def test_negative_step_builds_universal(self, uni_schema):
+        steps = (
+            BackwardStep(
+                Atom("Udirect", (Null("Qb_e"), Null("Qb_l"))), "mt_udir"
+            ),
+            BackwardStep(
+                Atom(
+                    "Profinfo", (Null("Qb_e"), Null("Qb_o"), Null("Qb_l"))
+                ),
+                "mt_prof",
+                negative=True,
+            ),
+        )
+        formula = executable_query_from_proof(uni_schema, q_boolean(), steps)
+        inner = formula.body.parts[1]
+        assert isinstance(inner, Forall)
+
+    def test_inaccessible_input_rejected(self, uni_schema):
+        steps = (
+            BackwardStep(
+                Atom(
+                    "Profinfo", (Null("Qb_e"), Null("Qb_o"), Null("Qb_l"))
+                ),
+                "mt_prof",
+            ),
+        )
+        with pytest.raises(PlanningError):
+            executable_query_from_proof(uni_schema, q_boolean(), steps)
+
+    def test_empty_proof_gives_top(self, uni_schema):
+        from repro.fo.formulas import Top
+
+        formula = executable_query_from_proof(uni_schema, q_boolean(), ())
+        assert isinstance(formula, Top)
+
+
+class TestProofSearch:
+    def test_finds_positive_proof(self, uni_schema):
+        steps = find_bidirectional_proof(uni_schema, q_boolean())
+        assert steps is not None
+        assert [s.fact.relation for s in steps] == ["Udirect", "Profinfo"]
+
+    def test_unanswerable_yields_none(self):
+        schema = SchemaBuilder("s").relation("Hidden", 1).build()
+        steps = find_bidirectional_proof(
+            schema, cq([], [("Hidden", ["?x"])]), max_steps=3
+        )
+        assert steps is None
+
+    def test_negative_variant_proof_search_runs(self, uni_schema):
+        steps = find_bidirectional_proof(
+            uni_schema, q_boolean(), variant=Variant.NEGATIVE
+        )
+        assert steps is not None  # positive proof also valid here
+
+
+class TestGeneratedPlans:
+    def test_plan_from_positive_proof_answers_query(self, uni_schema):
+        steps = find_bidirectional_proof(uni_schema, q_boolean())
+        plan = ra_plan_from_proof(uni_schema, q_boolean(), steps)
+        yes = Instance(
+            {
+                "Profinfo": [("e1", "o1", "smith")],
+                "Udirect": [("e1", "smith")],
+            }
+        )
+        no = Instance({"Udirect": [("e9", "doe")]})
+        assert not plan.run(InMemorySource(uni_schema, yes)).is_empty
+        assert plan.run(InMemorySource(uni_schema, no)).is_empty
+
+    def test_universal_plan_verifies_all_matches(self):
+        """A hand-built negative-step proof: 'every R-tuple with key k is
+        also in S' compiles to an access + difference plan."""
+        schema = (
+            SchemaBuilder("s")
+            .relation("Keys", 1)
+            .relation("R", 2)
+            .relation("S", 2)
+            .free_access("Keys")
+            .access("mt_r", "R", inputs=[0])
+            .access("mt_s", "S", inputs=[0, 1])
+            .build()
+        )
+        query = cq([], [("Keys", ["?k"])], name="Qk")
+        k, v = Null("Qk_k"), Null("w")
+        steps = (
+            BackwardStep(Atom("Keys", (k,)), "mt_Keys"),
+            BackwardStep(Atom("R", (k, v)), "mt_r", negative=True),
+            BackwardStep(Atom("S", (k, v)), "mt_s"),
+        )
+        formula = executable_query_from_proof(schema, query, steps)
+        plan = ra_plan_from_proof(schema, query, steps)
+        from repro.plans.plan import PlanKind
+
+        assert plan.kind is PlanKind.USPJ_NEG
+        # Semantics: true iff exists key k with all R(k, v) having S(k, v).
+        good = Instance(
+            {"Keys": [("k1",)], "R": [("k1", "a")], "S": [("k1", "a")]}
+        )
+        bad = Instance(
+            {"Keys": [("k1",)], "R": [("k1", "a"), ("k1", "b")],
+             "S": [("k1", "a")]}
+        )
+        assert not plan.run(InMemorySource(schema, good)).is_empty
+        assert plan.run(InMemorySource(schema, bad)).is_empty
+
+    def test_vacuous_universal_is_true(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("Keys", 1)
+            .relation("R", 2)
+            .relation("S", 2)
+            .free_access("Keys")
+            .access("mt_r", "R", inputs=[0])
+            .access("mt_s", "S", inputs=[0, 1])
+            .build()
+        )
+        query = cq([], [("Keys", ["?k"])], name="Qk")
+        k, v = Null("Qk_k"), Null("w")
+        steps = (
+            BackwardStep(Atom("Keys", (k,)), "mt_Keys"),
+            BackwardStep(Atom("R", (k, v)), "mt_r", negative=True),
+            BackwardStep(Atom("S", (k, v)), "mt_s"),
+        )
+        plan = ra_plan_from_proof(schema, query, steps)
+        empty_r = Instance({"Keys": [("k1",)]})
+        assert not plan.run(InMemorySource(schema, empty_r)).is_empty

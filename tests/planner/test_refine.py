@@ -1,0 +1,102 @@
+"""Tests for proof minimization and iterative-deepening planning."""
+
+import pytest
+
+from repro.cost.functions import SimpleCostFunction
+from repro.logic.queries import cq
+from repro.planner.proof_to_plan import ChaseProof, plan_from_proof
+from repro.planner.refine import (
+    find_best_plan_iterative,
+    minimize_proof,
+    proof_is_valid,
+)
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import example2, example5
+from repro.schema.accessible import AccessibleSchema, Variant
+from repro.schema.core import SchemaBuilder
+
+
+def padded_proof(scenario):
+    """The all-sources proof of Example 5 (3 padding exposures)."""
+    result = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=4,
+            prune_by_cost=False,
+            domination=False,
+            collect_tree=True,
+            candidate_order="method",
+        ),
+    )
+    node = next(
+        n for n in result.tree if n.successful and len(n.exposures) == 4
+    )
+    return ChaseProof(scenario.query, node.exposures)
+
+
+class TestMinimizeProof:
+    def test_padded_proof_shrinks_to_two_exposures(self):
+        scenario = example5(sources=3)
+        acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+        proof = padded_proof(scenario)
+        minimal = minimize_proof(acc, proof)
+        assert len(minimal.exposures) == 2
+        relations = [e.fact.relation for e in minimal.exposures]
+        assert relations[-1] == "Profinfo"
+
+    def test_minimization_lowers_cost(self):
+        scenario = example5(sources=3)
+        acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+        cost = SimpleCostFunction.from_schema(scenario.schema)
+        proof = padded_proof(scenario)
+        before = cost.plan_cost(plan_from_proof(acc, proof))
+        after = cost.plan_cost(
+            plan_from_proof(acc, minimize_proof(acc, proof))
+        )
+        assert after < before
+
+    def test_already_minimal_proof_unchanged(self):
+        scenario = example2()
+        acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+        result = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+        )
+        minimal = minimize_proof(acc, result.best_proof)
+        assert len(minimal.exposures) == len(
+            result.best_proof.exposures
+        )
+
+    def test_minimized_proof_still_valid(self):
+        scenario = example5(sources=3)
+        acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
+        minimal = minimize_proof(acc, padded_proof(scenario))
+        assert proof_is_valid(acc, minimal)
+
+
+class TestIterativeDeepening:
+    def test_finds_minimum_access_depth(self):
+        scenario = example2()
+        result, depth = find_best_plan_iterative(
+            scenario.schema, scenario.query, max_accesses=6
+        )
+        assert result.found
+        assert depth == 4  # Example 2's chain needs exactly 4 accesses
+
+    def test_shallow_query_found_at_depth_one(self):
+        schema = (
+            SchemaBuilder("s").relation("R", 1).free_access("R").build()
+        )
+        result, depth = find_best_plan_iterative(
+            schema, cq([], [("R", ["?x"])])
+        )
+        assert result.found and depth == 1
+
+    def test_unanswerable_reports_last_level(self):
+        schema = SchemaBuilder("s").relation("H", 1).build()
+        result, depth = find_best_plan_iterative(
+            schema, cq([], [("H", ["?x"])]), max_accesses=3
+        )
+        assert not result.found
+        assert depth == 3
+        assert result.exhausted  # certified at the final level too

@@ -1,0 +1,69 @@
+"""Tests for saturation-completeness tracking (certified negatives)."""
+
+import pytest
+
+from repro.chase.engine import ChaseResult
+from repro.planner.proof_to_plan import SaturationLog
+
+
+class TestSaturationLog:
+    def test_starts_complete(self):
+        assert SaturationLog().complete
+
+    def test_complete_result_keeps_flag(self):
+        log = SaturationLog()
+        log.absorb(ChaseResult(reached_fixpoint=True))
+        assert log.complete
+
+    def test_blocked_result_clears_flag(self):
+        log = SaturationLog()
+        log.absorb(ChaseResult(reached_fixpoint=True, blocked=1))
+        assert not log.complete
+
+    def test_truncated_result_clears_flag(self):
+        log = SaturationLog()
+        log.absorb(ChaseResult(reached_fixpoint=True, depth_truncated=2))
+        assert not log.complete
+
+    def test_budget_stop_clears_flag(self):
+        log = SaturationLog()
+        log.absorb(ChaseResult(reached_fixpoint=False))
+        assert not log.complete
+
+    def test_flag_is_sticky(self):
+        log = SaturationLog()
+        log.absorb(ChaseResult(reached_fixpoint=False))
+        log.absorb(ChaseResult(reached_fixpoint=True))
+        assert not log.complete
+
+
+class TestExhaustionSemantics:
+    def test_blocking_disables_certification(self):
+        """A guarded cyclic schema saturates under blocking: the search
+        still works, but a failed run must NOT claim exhaustion."""
+        from repro.chase.blocking import BlockingPolicy
+        from repro.chase.engine import ChasePolicy
+        from repro.logic.queries import cq
+        from repro.planner.search import SearchOptions, find_best_plan
+        from repro.schema.core import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt_r", "R", inputs=[0])
+            .tgd("R(x, y) -> R(y, z)")
+            .build()
+        )
+        query = cq([], [("R", ["?x", "?y"])])
+        result = find_best_plan(
+            schema,
+            query,
+            SearchOptions(
+                max_accesses=3,
+                chase_policy=ChasePolicy(
+                    blocking=BlockingPolicy(enabled=True)
+                ),
+            ),
+        )
+        assert not result.found
+        assert not result.exhausted  # blocking happened somewhere

@@ -1,0 +1,139 @@
+"""Search edge cases: repeated variables, constants, nullary relations,
+multiple methods per relation, and queries already satisfied."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.logic.queries import cq
+from repro.logic.terms import Constant
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.schema.core import SchemaBuilder
+
+
+class TestRepeatedVariables:
+    def test_repeated_variable_in_query(self):
+        schema = (
+            SchemaBuilder("s").relation("R", 2).free_access("R").build()
+        )
+        query = cq(["?x"], [("R", ["?x", "?x"])], name="Qr")
+        result = find_best_plan(schema, query)
+        assert result.found
+        instance = Instance({"R": [("a", "a"), ("a", "b")]})
+        out = result.best_plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset({(Constant("a"),)})
+
+    def test_repeated_variable_through_constraint(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("Hidden", 2)
+            .relation("Keys", 1)
+            .access("mt_h", "Hidden", inputs=[0])
+            .free_access("Keys")
+            .tgd("Hidden(x, y) -> Keys(x)")
+            .build()
+        )
+        query = cq(["?x"], [("Hidden", ["?x", "?x"])], name="Qd")
+        result = find_best_plan(schema, query)
+        assert result.found
+        instance = Instance(
+            {"Hidden": [("a", "a"), ("b", "c")], "Keys": [("a",), ("b",)]}
+        )
+        out = result.best_plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset({(Constant("a"),)})
+
+
+class TestConstantsInQueries:
+    def test_constant_only_access_input(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt_r", "R", inputs=[0])
+            .constant("key")
+            .build()
+        )
+        query = cq(["?v"], [("R", ["key", "?v"])], name="Qc")
+        result = find_best_plan(schema, query)
+        assert result.found
+        instance = Instance({"R": [("key", "1"), ("other", "2")]})
+        out = result.best_plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset({(Constant("1"),)})
+
+    def test_constant_filter_on_output_position(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .free_access("R")
+            .constant("tag")
+            .build()
+        )
+        query = cq(["?x"], [("R", ["?x", "tag"])], name="Qt")
+        result = find_best_plan(schema, query)
+        instance = Instance({"R": [("a", "tag"), ("b", "no")]})
+        out = result.best_plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset({(Constant("a"),)})
+
+
+class TestMultipleMethods:
+    def test_cheapest_method_chosen(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt_exp", "R", inputs=[], cost=10.0)
+            .access("mt_cheap", "R", inputs=[], cost=1.0)
+            .build()
+        )
+        query = cq([], [("R", ["?x", "?y"])])
+        result = find_best_plan(schema, query)
+        assert result.best_plan.methods_used() == ("mt_cheap",)
+        assert result.best_cost == pytest.approx(1.0)
+
+    def test_keyed_method_used_when_scan_missing(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("Keys", 1)
+            .relation("R", 2)
+            .free_access("Keys")
+            .access("mt_keyed", "R", inputs=[0])
+            .tgd("R(x, y) -> Keys(x)")
+            .build()
+        )
+        query = cq(["?x", "?y"], [("R", ["?x", "?y"])])
+        result = find_best_plan(schema, query)
+        assert result.found
+        assert "mt_keyed" in result.best_plan.methods_used()
+
+
+class TestDegenerateShapes:
+    def test_nullary_relation(self):
+        schema = (
+            SchemaBuilder("s").relation("Flag", 0).free_access("Flag").build()
+        )
+        query = cq([], [("Flag", [])], name="Qf")
+        result = find_best_plan(schema, query)
+        assert result.found
+        yes = Instance()
+        yes.add("Flag", ())
+        out = result.best_plan.run(InMemorySource(schema, yes))
+        assert not out.is_empty
+        out2 = result.best_plan.run(InMemorySource(schema, Instance()))
+        assert out2.is_empty
+
+    def test_two_atom_query_same_relation(self):
+        schema = (
+            SchemaBuilder("s").relation("E", 2).free_access("E").build()
+        )
+        query = cq(
+            ["?x", "?z"],
+            [("E", ["?x", "?y"]), ("E", ["?y", "?z"])],
+            name="Qp",
+        )
+        result = find_best_plan(schema, query, SearchOptions(max_accesses=3))
+        assert result.found
+        instance = Instance({"E": [("a", "b"), ("b", "c")]})
+        out = result.best_plan.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset(
+            {(Constant("a"), Constant("c"))}
+        )
+        # A single free scan suffices for both atoms (access reuse).
+        assert len(result.best_plan.access_commands) == 1

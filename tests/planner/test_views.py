@@ -1,0 +1,159 @@
+"""Tests for Theorem 6: CQ rewriting over views via the chase."""
+
+import pytest
+
+from repro.data.source import InMemorySource
+from repro.logic.containment import is_equivalent
+from repro.logic.queries import cq
+from repro.planner.views import (
+    ViewDefinition,
+    rewrite_over_views,
+    views_schema,
+)
+from repro.scenarios import view_stack_scenario
+from repro.schema.core import Relation, SchemaError
+
+
+BASE = [
+    Relation("R", 2, ("x", "y")),
+    Relation("S", 2, ("y", "z")),
+]
+
+
+def schema_with(*views):
+    return views_schema(BASE, list(views))
+
+
+V_R = ViewDefinition("VR", cq(["?x", "?y"], [("R", ["?x", "?y"])], name="dR"))
+V_S = ViewDefinition("VS", cq(["?y", "?z"], [("S", ["?y", "?z"])], name="dS"))
+V_JOIN = ViewDefinition(
+    "VJ",
+    cq(["?x", "?z"], [("R", ["?x", "?y"]), ("S", ["?y", "?z"])], name="dJ"),
+)
+
+
+class TestSchemaConstruction:
+    def test_views_get_free_access_base_hidden(self):
+        schema = schema_with(V_R)
+        assert schema.methods_of("VR")
+        assert not schema.methods_of("R")
+
+    def test_two_constraints_per_view(self):
+        schema = schema_with(V_R)
+        names = {tgd.name for tgd in schema.constraints}
+        assert names == {"def->VR", "VR->def"}
+
+    def test_name_collision_rejected(self):
+        bad = ViewDefinition("R", cq(["?x", "?y"], [("R", ["?x", "?y"])]))
+        with pytest.raises(SchemaError):
+            schema_with(bad)
+
+
+class TestRewriting:
+    def test_identity_view_rewrites(self):
+        schema = schema_with(V_R)
+        result = rewrite_over_views(
+            schema, cq(["?x", "?y"], [("R", ["?x", "?y"])], name="Q")
+        )
+        assert result.rewritable
+        assert result.rewriting.relations() == {"VR"}
+
+    def test_join_query_from_two_views(self):
+        schema = schema_with(V_R, V_S)
+        query = cq(
+            ["?x", "?z"],
+            [("R", ["?x", "?y"]), ("S", ["?y", "?z"])],
+            name="Q",
+        )
+        result = rewrite_over_views(schema, query)
+        assert result.rewritable
+        assert result.rewriting.relations() <= {"VR", "VS"}
+
+    def test_join_view_alone_insufficient_for_projection_of_middle(self):
+        # Query asks for the join variable y; VJ projects it away.
+        schema = schema_with(V_JOIN)
+        query = cq(
+            ["?y"],
+            [("R", ["?x", "?y"]), ("S", ["?y", "?z"])],
+            name="Qy",
+        )
+        result = rewrite_over_views(schema, query)
+        assert not result.rewritable
+
+    def test_join_view_sufficient_for_projected_query(self):
+        schema = schema_with(V_JOIN)
+        query = cq(
+            ["?x", "?z"],
+            [("R", ["?x", "?y"]), ("S", ["?y", "?z"])],
+            name="Q",
+        )
+        result = rewrite_over_views(schema, query)
+        assert result.rewritable
+        assert result.rewriting.relations() == {"VJ"}
+
+    def test_unrelated_view_cannot_rewrite(self):
+        schema = schema_with(V_S)
+        query = cq(["?x", "?y"], [("R", ["?x", "?y"])], name="Q")
+        assert not rewrite_over_views(schema, query).rewritable
+
+    def test_rewriting_semantically_correct_on_data(self):
+        """The rewriting evaluated over view data equals Q over base data."""
+        scenario = view_stack_scenario(2)
+        result = rewrite_over_views(scenario.schema, scenario.query)
+        assert result.rewritable
+        instance = scenario.instance(0)
+        truth = instance.evaluate(scenario.query)
+        via_views = instance.evaluate(result.rewriting)
+        assert via_views == truth
+
+    def test_plan_executes_on_materialized_views(self):
+        scenario = view_stack_scenario(2)
+        result = rewrite_over_views(scenario.schema, scenario.query)
+        instance = scenario.instance(1)
+        out = result.plan.run(InMemorySource(scenario.schema, instance))
+        assert set(out.rows) == instance.evaluate(scenario.query)
+
+    def test_missing_closing_view_not_rewritable(self):
+        scenario = view_stack_scenario(2, include_closing_view=False)
+        result = rewrite_over_views(scenario.schema, scenario.query)
+        assert not result.rewritable
+
+
+class TestViewsWithAccessPatterns:
+    """The Deutsch-Ludäscher-Nash setting: views carrying binding patterns."""
+
+    def test_restricted_view_blocks_direct_plan(self):
+        # VR requires its first position as input; nothing seeds it.
+        schema = views_schema(BASE, [V_R], view_inputs={"VR": [0]})
+        query = cq(["?x", "?y"], [("R", ["?x", "?y"])], name="Q")
+        assert not rewrite_over_views(schema, query).rewritable
+
+    def test_free_view_feeds_restricted_view(self):
+        # VS is free and exposes y values; VR needs... VR's inputs come
+        # from the shared join variable, so the chain works when the
+        # query joins through it.
+        schema = views_schema(
+            BASE, [V_R, V_S], view_inputs={"VR": []}
+        )
+        query = cq(
+            ["?x", "?z"],
+            [("R", ["?x", "?y"]), ("S", ["?y", "?z"])],
+            name="Q",
+        )
+        result = rewrite_over_views(schema, query)
+        assert result.rewritable
+
+    def test_constant_seeds_restricted_view(self):
+        from repro.logic.terms import Constant
+
+        schema = views_schema(
+            BASE,
+            [V_R],
+            constants=[Constant("k")],
+            view_inputs={"VR": [0]},
+        )
+        query = cq(["?y"], [("R", ["k", "?y"])], name="Qk")
+        result = rewrite_over_views(schema, query)
+        assert result.rewritable
+        # The plan probes VR with the constant.
+        assert result.plan.methods_used() == ("mt_VR",)

@@ -1,0 +1,149 @@
+"""Unit tests for access and middleware command semantics."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import AccessViolation, InMemorySource
+from repro.logic.terms import Constant
+from repro.plans.commands import (
+    AccessCommand,
+    MiddlewareCommand,
+    identity_output_map,
+)
+from repro.plans.expressions import (
+    NamedTable,
+    Project,
+    Scan,
+    Singleton,
+)
+from repro.schema.core import SchemaBuilder
+
+
+A, B = Constant("a"), Constant("b")
+
+
+@pytest.fixture
+def source():
+    schema = (
+        SchemaBuilder("s")
+        .relation("R", 3)
+        .access("mt_key", "R", inputs=[0])
+        .access("mt_scan", "R", inputs=[])
+        .build()
+    )
+    instance = Instance(
+        {
+            "R": [
+                ("a", "1", "x"),
+                ("a", "2", "y"),
+                ("b", "3", "x"),
+            ]
+        }
+    )
+    return InMemorySource(schema, instance)
+
+
+class TestAccessCommand:
+    def test_free_access_collects_everything(self, source):
+        command = AccessCommand(
+            "T", "mt_scan", Singleton(), (), identity_output_map(("p0", "p1", "p2"))
+        )
+        env = {}
+        table = command.execute(env, source)
+        assert len(table) == 3
+        assert env["T"] is table
+
+    def test_keyed_access_per_input_row(self, source):
+        env = {"IN": NamedTable.from_rows(["k"], [(A,), (B,)])}
+        command = AccessCommand(
+            "T",
+            "mt_key",
+            Scan("IN"),
+            ("k",),
+            identity_output_map(("p0", "p1", "p2")),
+        )
+        table = command.execute(env, source)
+        assert len(table) == 3
+        assert source.total_invocations == 2
+
+    def test_constant_input_binding(self, source):
+        command = AccessCommand(
+            "T",
+            "mt_key",
+            Singleton(),
+            (Constant("a"),),
+            identity_output_map(("p0", "p1", "p2")),
+        )
+        table = command.execute({}, source)
+        assert len(table) == 2
+
+    def test_input_rows_deduplicated_by_projection(self, source):
+        env = {
+            "IN": NamedTable.from_rows(
+                ["k", "junk"], [(A, Constant("j1")), (A, Constant("j2"))]
+            )
+        }
+        command = AccessCommand(
+            "T",
+            "mt_key",
+            Scan("IN"),
+            ("k",),
+            identity_output_map(("p0", "p1", "p2")),
+        )
+        command.execute(env, source)
+        assert source.total_invocations == 1  # projection deduplicates
+
+    def test_empty_input_no_access(self, source):
+        env = {"IN": NamedTable.empty(["k"])}
+        command = AccessCommand(
+            "T",
+            "mt_key",
+            Scan("IN"),
+            ("k",),
+            identity_output_map(("p0", "p1", "p2")),
+        )
+        table = command.execute(env, source)
+        assert table.is_empty
+        assert source.total_invocations == 0
+
+    def test_output_duplication(self, source):
+        # b_out maps position 0 to two attributes.
+        command = AccessCommand(
+            "T",
+            "mt_scan",
+            Singleton(),
+            (),
+            (("k1", (0,)), ("k2", (0,)), ("v", (2,))),
+        )
+        table = command.execute({}, source)
+        for row in table.rows:
+            assert row[0] == row[1]
+
+    def test_output_equality_filter(self, source):
+        # One attribute fed by positions 1 and 2: keeps rows where they agree.
+        command = AccessCommand(
+            "T", "mt_scan", Singleton(), (), (("same", (1, 2)),)
+        )
+        table = command.execute({}, source)
+        assert table.is_empty  # no row has equal 2nd and 3rd columns
+
+    def test_wrong_input_arity_raises(self, source):
+        command = AccessCommand(
+            "T", "mt_key", Singleton(), (), identity_output_map(("p0", "p1", "p2"))
+        )
+        with pytest.raises(AccessViolation):
+            command.execute({}, source)
+
+
+class TestMiddlewareCommand:
+    def test_assigns_expression_result(self, source):
+        env = {"IN": NamedTable.from_rows(["k"], [(A,), (B,)])}
+        command = MiddlewareCommand("OUT", Project(Scan("IN"), ("k",)))
+        table = command.execute(env, source)
+        assert env["OUT"] is table
+        assert len(table) == 2
+
+    def test_no_access_cost(self, source):
+        env = {"IN": NamedTable.from_rows(["k"], [(A,)])}
+        MiddlewareCommand("OUT", Scan("IN")).execute(env, source)
+        assert source.total_invocations == 0

@@ -1,0 +1,184 @@
+"""Unit tests for RA expressions and NamedTable semantics."""
+
+import pytest
+
+from repro.logic.terms import Constant
+from repro.plans.expressions import (
+    Difference,
+    EqAttr,
+    EqConst,
+    EvaluationError,
+    Join,
+    NamedTable,
+    NeqAttr,
+    NeqConst,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Singleton,
+    Union,
+)
+
+
+A, B, C, D = (Constant(v) for v in "abcd")
+
+
+def table(attrs, rows):
+    return NamedTable.from_rows(attrs, rows)
+
+
+@pytest.fixture
+def env():
+    return {
+        "R": table(["x", "y"], [(A, B), (A, C), (B, C)]),
+        "S": table(["y", "z"], [(B, D), (C, D)]),
+        "T": table(["x", "y"], [(A, B)]),
+    }
+
+
+class TestNamedTable:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(EvaluationError):
+            NamedTable(("x", "x"), frozenset())
+
+    def test_row_width_checked(self):
+        with pytest.raises(EvaluationError):
+            NamedTable(("x",), frozenset({(A, B)}))
+
+    def test_singleton(self):
+        t = NamedTable.singleton()
+        assert t.attributes == ()
+        assert len(t) == 1
+
+    def test_project_deduplicates(self):
+        t = table(["x", "y"], [(A, B), (A, C)])
+        assert len(t.project(["x"])) == 1
+
+    def test_project_reorders(self):
+        t = table(["x", "y"], [(A, B)])
+        assert t.project(["y", "x"]).rows == frozenset({(B, A)})
+
+    def test_unknown_column(self):
+        with pytest.raises(EvaluationError):
+            table(["x"], []).column("zz")
+
+    def test_rename(self):
+        t = table(["x"], [(A,)]).rename({"x": "u"})
+        assert t.attributes == ("u",)
+
+
+class TestScanProjectSelect:
+    def test_scan(self, env):
+        assert Scan("R").evaluate(env) is env["R"]
+
+    def test_scan_unknown_table(self, env):
+        with pytest.raises(EvaluationError):
+            Scan("ZZ").evaluate(env)
+
+    def test_project(self, env):
+        result = Project(Scan("R"), ("x",)).evaluate(env)
+        assert result.rows == frozenset({(A,), (B,)})
+
+    def test_project_unknown_attr_fails(self, env):
+        with pytest.raises(EvaluationError):
+            Project(Scan("R"), ("zz",)).evaluate(env)
+
+    def test_select_eq_const(self, env):
+        result = Select(Scan("R"), (EqConst("x", A),)).evaluate(env)
+        assert len(result) == 2
+
+    def test_select_eq_attr(self, env):
+        t = {"U": table(["x", "y"], [(A, A), (A, B)])}
+        result = Select(Scan("U"), (EqAttr("x", "y"),)).evaluate(t)
+        assert result.rows == frozenset({(A, A)})
+
+    def test_select_neq(self, env):
+        result = Select(Scan("R"), (NeqConst("x", A),)).evaluate(env)
+        assert result.rows == frozenset({(B, C)})
+
+    def test_select_conjunction(self, env):
+        result = Select(
+            Scan("R"), (EqConst("x", A), EqConst("y", C))
+        ).evaluate(env)
+        assert result.rows == frozenset({(A, C)})
+
+
+class TestJoin:
+    def test_natural_join_on_shared_attr(self, env):
+        result = Join(Scan("R"), Scan("S")).evaluate(env)
+        assert result.attributes == ("x", "y", "z")
+        assert result.rows == frozenset(
+            {(A, B, D), (A, C, D), (B, C, D)}
+        )
+
+    def test_join_no_shared_attrs_is_product(self, env):
+        t = {
+            "L": table(["x"], [(A,), (B,)]),
+            "M": table(["y"], [(C,)]),
+        }
+        result = Join(Scan("L"), Scan("M")).evaluate(t)
+        assert len(result) == 2
+
+    def test_join_with_singleton_identity(self, env):
+        result = Join(Scan("R"), Singleton()).evaluate(env)
+        assert result.rows == env["R"].rows
+
+    def test_join_all_attrs_shared_is_intersection(self, env):
+        result = Join(Scan("R"), Scan("T")).evaluate(env)
+        assert result.rows == frozenset({(A, B)})
+
+
+class TestUnionDifference:
+    def test_union(self, env):
+        result = Union(Scan("R"), Scan("T")).evaluate(env)
+        assert result.rows == env["R"].rows
+
+    def test_union_reorders_right(self):
+        env = {
+            "L": table(["x", "y"], [(A, B)]),
+            "M": table(["y", "x"], [(C, D)]),
+        }
+        result = Union(Scan("L"), Scan("M")).evaluate(env)
+        assert (D, C) in result.rows
+
+    def test_union_mismatch_rejected(self, env):
+        with pytest.raises(EvaluationError):
+            Union(Scan("R"), Scan("S")).evaluate(env)
+
+    def test_difference(self, env):
+        result = Difference(Scan("R"), Scan("T")).evaluate(env)
+        assert result.rows == frozenset({(A, C), (B, C)})
+
+    def test_difference_mismatch_rejected(self, env):
+        with pytest.raises(EvaluationError):
+            Difference(Scan("R"), Scan("S")).evaluate(env)
+
+
+class TestClassificationFlags:
+    def test_spj_expression_flags(self, env):
+        expr = Project(Select(Join(Scan("R"), Scan("S")), ()), ("x",))
+        assert not expr.uses_union
+        assert not expr.uses_difference
+        assert not expr.uses_inequality
+
+    def test_union_flag_propagates(self):
+        expr = Project(Union(Scan("R"), Scan("T")), ("x",))
+        assert expr.uses_union
+
+    def test_difference_flag_propagates(self):
+        expr = Select(Difference(Scan("R"), Scan("T")), ())
+        assert expr.uses_difference
+
+    def test_inequality_flag(self):
+        expr = Select(Scan("R"), (NeqAttr("x", "y"),))
+        assert expr.uses_inequality
+
+    def test_tables_read(self):
+        expr = Union(Join(Scan("R"), Scan("S")), Scan("T"))
+        assert expr.tables_read() == {"R", "S", "T"}
+
+    def test_rename_expression(self, env):
+        expr = Rename(Scan("R"), (("x", "u"),))
+        assert expr.evaluate(env).attributes == ("u", "y")
+        assert expr.attributes({"R": ("x", "y")}) == ("u", "y")

@@ -1,0 +1,98 @@
+"""Unit tests for the Literal expression and expression edge cases."""
+
+import pytest
+
+from repro.logic.terms import Constant
+from repro.plans.expressions import (
+    EvaluationError,
+    Join,
+    Literal,
+    NamedTable,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Singleton,
+    Union,
+)
+
+
+A, B = Constant("a"), Constant("b")
+
+
+class TestLiteral:
+    def test_evaluates_to_its_table(self):
+        table = NamedTable.from_rows(["v"], [(A,), (B,)])
+        assert Literal(table).evaluate({}) is table
+
+    def test_reads_no_tables(self):
+        table = NamedTable.from_rows(["v"], [(A,)])
+        assert Literal(table).tables_read() == frozenset()
+
+    def test_static_attributes(self):
+        table = NamedTable.from_rows(["x", "y"], [])
+        assert Literal(table).attributes({}) == ("x", "y")
+
+    def test_composes_with_operators(self):
+        lit = Literal(NamedTable.from_rows(["v"], [(A,), (B,)]))
+        expr = Union(lit, Literal(NamedTable.from_rows(["v"], [(A,)])))
+        assert len(expr.evaluate({})) == 2
+
+    def test_join_with_scan(self):
+        lit = Literal(NamedTable.from_rows(["x"], [(A,)]))
+        env = {"T": NamedTable.from_rows(["x", "y"], [(A, B), (B, A)])}
+        result = Join(Scan("T"), lit).evaluate(env)
+        assert result.rows == frozenset({(A, B)})
+
+    def test_no_flags(self):
+        lit = Literal(NamedTable.from_rows(["v"], []))
+        assert not lit.uses_union
+        assert not lit.uses_difference
+        assert not lit.uses_inequality
+
+
+class TestExpressionEdges:
+    def test_empty_projection_of_nonempty_table(self):
+        env = {"T": NamedTable.from_rows(["x"], [(A,)])}
+        result = Project(Scan("T"), ()).evaluate(env)
+        assert len(result) == 1  # the zero-attr TRUE row
+
+    def test_empty_projection_of_empty_table(self):
+        env = {"T": NamedTable.empty(["x"])}
+        result = Project(Scan("T"), ()).evaluate(env)
+        assert result.is_empty
+
+    def test_select_on_empty(self):
+        env = {"T": NamedTable.empty(["x"])}
+        from repro.plans.expressions import EqConst
+
+        result = Select(Scan("T"), (EqConst("x", A),)).evaluate(env)
+        assert result.is_empty
+
+    def test_rename_to_same_name_noop(self):
+        env = {"T": NamedTable.from_rows(["x"], [(A,)])}
+        result = Rename(Scan("T"), ()).evaluate(env)
+        assert result.attributes == ("x",)
+
+    def test_singleton_join_identity_both_sides(self):
+        env = {"T": NamedTable.from_rows(["x"], [(A,)])}
+        left = Join(Singleton(), Scan("T")).evaluate(env)
+        right = Join(Scan("T"), Singleton()).evaluate(env)
+        assert left.rows == right.rows == env["T"].rows
+
+    def test_static_attributes_propagate(self):
+        schema = {"T": ("x", "y")}
+        expr = Project(
+            Rename(Scan("T"), (("x", "u"),)), ("u",)
+        )
+        assert expr.attributes(schema) == ("u",)
+
+    def test_static_attribute_error(self):
+        schema = {"T": ("x", "y")}
+        with pytest.raises(EvaluationError):
+            Project(Scan("T"), ("zz",)).attributes(schema)
+
+    def test_union_static_check(self):
+        schema = {"T": ("x",), "U": ("y",)}
+        with pytest.raises(EvaluationError):
+            Union(Scan("T"), Scan("U")).attributes(schema)

@@ -1,0 +1,146 @@
+"""Unit tests for plan validation, execution and classification."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.logic.terms import Constant
+from repro.plans.commands import (
+    AccessCommand,
+    MiddlewareCommand,
+    identity_output_map,
+)
+from repro.plans.expressions import (
+    Difference,
+    Join,
+    Project,
+    Scan,
+    Select,
+    Singleton,
+    Union,
+)
+from repro.plans.plan import Plan, PlanKind, PlanValidationError
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def source():
+    schema = (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .relation("S", 2)
+        .free_access("R")
+        .free_access("S")
+        .build()
+    )
+    instance = Instance(
+        {"R": [("a", "1"), ("b", "2")], "S": [("a", "1"), ("c", "3")]}
+    )
+    return InMemorySource(schema, instance)
+
+
+def scan_r(target="TR"):
+    return AccessCommand(
+        target, "mt_R", Singleton(), (), identity_output_map(("x", "y"))
+    )
+
+
+def scan_s(target="TS"):
+    return AccessCommand(
+        target, "mt_S", Singleton(), (), identity_output_map(("x", "y"))
+    )
+
+
+class TestValidation:
+    def test_read_before_write_rejected(self):
+        with pytest.raises(PlanValidationError):
+            Plan(
+                (MiddlewareCommand("T", Scan("MISSING")),),
+                "T",
+            )
+
+    def test_missing_output_table_rejected(self):
+        with pytest.raises(PlanValidationError):
+            Plan((scan_r(),), "NOPE")
+
+    def test_valid_sequence_accepted(self):
+        plan = Plan(
+            (scan_r(), MiddlewareCommand("T", Scan("TR"))), "T"
+        )
+        assert plan.output_table == "T"
+
+
+class TestExecution:
+    def test_run_returns_output_table(self, source):
+        plan = Plan((scan_r(),), "TR")
+        table = plan.run(source)
+        assert len(table) == 2
+
+    def test_run_with_env_exposes_temporaries(self, source):
+        plan = Plan(
+            (scan_r(), MiddlewareCommand("T", Project(Scan("TR"), ("x",)))),
+            "T",
+        )
+        out, env = plan.run_with_env(source)
+        assert set(env) == {"TR", "T"}
+        assert len(out) == 2
+
+    def test_join_pipeline(self, source):
+        plan = Plan(
+            (
+                scan_r(),
+                scan_s(),
+                MiddlewareCommand("J", Join(Scan("TR"), Scan("TS"))),
+            ),
+            "J",
+        )
+        assert plan.run(source).rows == frozenset(
+            {(Constant("a"), Constant("1"))}
+        )
+
+
+class TestClassification:
+    def test_spj_plan(self, source):
+        plan = Plan(
+            (scan_r(), MiddlewareCommand("T", Select(Scan("TR"), ()))), "T"
+        )
+        assert plan.kind is PlanKind.SPJ
+
+    def test_uspj_plan(self, source):
+        plan = Plan(
+            (
+                scan_r(),
+                scan_s(),
+                MiddlewareCommand("T", Union(Scan("TR"), Scan("TS"))),
+            ),
+            "T",
+        )
+        assert plan.kind is PlanKind.USPJ
+
+    def test_uspj_neg_plan(self, source):
+        plan = Plan(
+            (
+                scan_r(),
+                scan_s(),
+                MiddlewareCommand("T", Difference(Scan("TR"), Scan("TS"))),
+            ),
+            "T",
+        )
+        assert plan.kind is PlanKind.USPJ_NEG
+
+    def test_methods_used_in_order_with_repeats(self, source):
+        plan = Plan((scan_r("T1"), scan_s("T2"), scan_r("T3")), "T3")
+        assert plan.methods_used() == ("mt_R", "mt_S", "mt_R")
+
+    def test_access_vs_middleware_partition(self, source):
+        plan = Plan(
+            (scan_r(), MiddlewareCommand("T", Scan("TR"))), "T"
+        )
+        assert len(plan.access_commands) == 1
+        assert len(plan.middleware_commands) == 1
+
+    def test_describe_lists_commands(self, source):
+        plan = Plan((scan_r(),), "TR", name="demo")
+        text = plan.describe()
+        assert "demo" in text
+        assert "mt_R" in text

@@ -1,0 +1,97 @@
+"""Tests for the union-of-plans combinator (the U of USPJ plans)."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.logic.queries import cq
+from repro.logic.terms import Constant
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.plans.plan import PlanKind
+from repro.plans.tools import union_plans
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def two_source_schema():
+    """Two freely accessible copies of the same logical feed."""
+    return (
+        SchemaBuilder("s")
+        .relation("FeedA", 2)
+        .relation("FeedB", 2)
+        .free_access("FeedA")
+        .free_access("FeedB")
+        .build()
+    )
+
+
+class TestUnionPlans:
+    def test_union_of_single_plan_is_identity_semantics(
+        self, two_source_schema
+    ):
+        query = cq(["?x", "?y"], [("FeedA", ["?x", "?y"])])
+        plan = find_best_plan(two_source_schema, query).best_plan
+        combined = union_plans([plan])
+        instance = Instance({"FeedA": [("a", "1")], "FeedB": []})
+        a = plan.run(InMemorySource(two_source_schema, instance))
+        b = combined.run(InMemorySource(two_source_schema, instance))
+        assert a.rows == set(b.rows) == b.rows
+
+    def test_union_merges_two_feeds(self, two_source_schema):
+        plan_a = find_best_plan(
+            two_source_schema,
+            cq(["?x", "?y"], [("FeedA", ["?x", "?y"])], name="QA"),
+        ).best_plan
+        plan_b = find_best_plan(
+            two_source_schema,
+            cq(["?x", "?y"], [("FeedB", ["?x", "?y"])], name="QB"),
+        ).best_plan
+        # Align output attribute names: rename B's outputs to A's.
+        combined = union_plans([plan_a, _realign(plan_b, plan_a)])
+        instance = Instance(
+            {"FeedA": [("a", "1")], "FeedB": [("b", "2"), ("a", "1")]}
+        )
+        out = combined.run(InMemorySource(two_source_schema, instance))
+        assert len(out) == 2
+        assert combined.kind is PlanKind.USPJ
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            union_plans([])
+
+    def test_temporary_tables_renamed_apart(self, two_source_schema):
+        query = cq(["?x", "?y"], [("FeedA", ["?x", "?y"])])
+        plan = find_best_plan(two_source_schema, query).best_plan
+        combined = union_plans([plan, plan])
+        targets = [c.target for c in combined.commands]
+        assert len(targets) == len(set(targets))
+
+    def test_union_of_complete_plans_complete(self, two_source_schema):
+        """Both branches answer the same query: union stays complete."""
+        query = cq(["?x", "?y"], [("FeedA", ["?x", "?y"])], name="Q")
+        plan = find_best_plan(two_source_schema, query).best_plan
+        combined = union_plans([plan, plan])
+        instance = Instance({"FeedA": [("a", "1"), ("b", "2")]})
+        out = combined.run(InMemorySource(two_source_schema, instance))
+        assert set(out.rows) == instance.evaluate(query)
+
+
+def _realign(plan, reference):
+    """Rename plan's output table attrs to match the reference plan.
+
+    Both plans here project canonical nulls named after their query; a
+    rename middleware is appended.
+    """
+    from repro.plans.commands import MiddlewareCommand
+    from repro.plans.expressions import Rename, Scan
+    from repro.plans.plan import Plan
+
+    ref_attrs = reference.commands[-1].expr.attrs
+    own_attrs = plan.commands[-1].expr.attrs
+    mapping = tuple(zip(own_attrs, ref_attrs))
+    commands = plan.commands + (
+        MiddlewareCommand(
+            "T_aligned", Rename(Scan(plan.output_table), mapping)
+        ),
+    )
+    return Plan(commands, "T_aligned", name=plan.name)

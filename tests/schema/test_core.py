@@ -1,0 +1,157 @@
+"""Unit tests for relations, access methods and schemas."""
+
+import pytest
+
+from repro.logic.dependencies import parse_tgd
+from repro.logic.queries import cq
+from repro.schema.core import (
+    AccessMethod,
+    Relation,
+    Schema,
+    SchemaBuilder,
+    SchemaError,
+)
+
+
+class TestRelation:
+    def test_default_attribute_names(self):
+        assert Relation("R", 3).attributes == ("a0", "a1", "a2")
+
+    def test_explicit_attributes(self):
+        r = Relation("R", 2, ("key", "val"))
+        assert r.attributes == ("key", "val")
+
+    def test_attribute_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation("R", 2, ("only_one",))
+
+    def test_negative_arity(self):
+        with pytest.raises(SchemaError):
+            Relation("R", -1)
+
+
+class TestAccessMethod:
+    def test_free_method(self):
+        assert AccessMethod("mt", "R", ()).is_free
+
+    def test_input_positions_deduplicated_rejected(self):
+        with pytest.raises(SchemaError):
+            AccessMethod("mt", "R", (0, 0))
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(SchemaError):
+            AccessMethod("mt", "R", (-1,))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SchemaError):
+            AccessMethod("mt", "R", (), cost=-1.0)
+
+
+class TestSchema:
+    def build(self):
+        return (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .relation("S", 1)
+            .access("mt_r", "R", inputs=[0])
+            .tgd("R(x, y) -> S(y)")
+            .build()
+        )
+
+    def test_lookups(self):
+        schema = self.build()
+        assert schema.relation("R").arity == 2
+        assert schema.method("mt_r").input_positions == (0,)
+        assert schema.methods_of("R") == (schema.method("mt_r"),)
+        assert schema.methods_of("S") == ()
+
+    def test_unknown_lookups_raise(self):
+        schema = self.build()
+        with pytest.raises(SchemaError):
+            schema.relation("T")
+        with pytest.raises(SchemaError):
+            schema.method("nope")
+        with pytest.raises(SchemaError):
+            schema.methods_of("T")
+
+    def test_hidden_and_accessible_partition(self):
+        schema = self.build()
+        assert [r.name for r in schema.accessible_relations()] == ["R"]
+        assert [r.name for r in schema.hidden_relations()] == ["S"]
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Relation("R", 1), Relation("R", 2)])
+
+    def test_duplicate_method_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Relation("R", 1)],
+                [AccessMethod("mt", "R", ()), AccessMethod("mt", "R", (0,))],
+            )
+
+    def test_method_on_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Relation("R", 1)], [AccessMethod("mt", "T", ())])
+
+    def test_method_position_beyond_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Relation("R", 1)], [AccessMethod("mt", "R", (3,))])
+
+    def test_constraint_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Relation("R", 1), Relation("S", 1)],
+                constraints=[parse_tgd("R(x, y) -> S(x)")],
+            )
+
+    def test_constraint_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Relation("R", 1)],
+                constraints=[parse_tgd("R(x) -> T(x)")],
+            )
+
+    def test_validate_query(self):
+        schema = self.build()
+        schema.validate_query(cq([], [("R", ["?x", "?y"])]))
+        with pytest.raises(SchemaError):
+            schema.validate_query(cq([], [("R", ["?x"])]))
+
+    def test_guardedness_flags(self):
+        schema = self.build()
+        assert schema.has_only_guarded_constraints
+        assert schema.has_only_inclusion_dependencies
+
+    def test_describe_mentions_everything(self):
+        text = self.build().describe()
+        assert "R/2" in text
+        assert "mt_r" in text
+        assert "no access" in text  # S has no method
+
+
+class TestSchemaBuilder:
+    def test_free_access_shorthand(self):
+        schema = SchemaBuilder("s").relation("R", 1).free_access("R").build()
+        assert schema.method("mt_R").is_free
+
+    def test_constant(self):
+        schema = (
+            SchemaBuilder("s").relation("R", 1).constant("smith").build()
+        )
+        assert len(schema.constants) == 1
+
+    def test_tgd_accepts_tgd_object(self):
+        tgd = parse_tgd("R(x) -> S(x)")
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 1)
+            .relation("S", 1)
+            .tgd(tgd)
+            .build()
+        )
+        assert schema.constraints == (tgd,)
+
+    def test_tgd_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder("s").tgd(42)

@@ -1,0 +1,82 @@
+"""Tests for schema JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.scenarios import example1, example2
+from repro.schema.serialize import schema_from_dict, schema_to_dict
+
+
+def roundtrip(schema):
+    return schema_from_dict(json.loads(json.dumps(schema_to_dict(schema))))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("factory", [example1, example2])
+    def test_structure_preserved(self, factory):
+        schema = factory().schema
+        restored = roundtrip(schema)
+        assert restored.name == schema.name
+        assert {r.name for r in restored.relations} == {
+            r.name for r in schema.relations
+        }
+        assert {m.name for m in restored.methods} == {
+            m.name for m in schema.methods
+        }
+        assert len(restored.constraints) == len(schema.constraints)
+
+    def test_method_details_preserved(self):
+        schema = example1().schema
+        restored = roundtrip(schema)
+        original = schema.method("mt_prof")
+        copy = restored.method("mt_prof")
+        assert copy.input_positions == original.input_positions
+        assert copy.cost == original.cost
+
+    def test_constants_preserved(self):
+        restored = roundtrip(example1().schema)
+        assert [c.value for c in restored.constants] == ["smith"]
+
+    def test_constraints_semantically_identical(self):
+        schema = example2().schema
+        restored = roundtrip(schema)
+        for original, copy in zip(schema.constraints, restored.constraints):
+            assert [a.relation for a in original.body] == [
+                a.relation for a in copy.body
+            ]
+            assert [a.relation for a in original.head] == [
+                a.relation for a in copy.head
+            ]
+            # Join structure preserved: same variable-position pattern.
+            assert original.frontier() == copy.frontier() or len(
+                original.frontier()
+            ) == len(copy.frontier())
+
+    def test_planning_equivalent_after_roundtrip(self):
+        """The restored schema plans the same query with the same cost."""
+        from repro.planner.search import find_best_plan
+
+        scenario = example1()
+        restored = roundtrip(scenario.schema)
+        original = find_best_plan(scenario.schema, scenario.query)
+        copied = find_best_plan(restored, scenario.query)
+        assert original.best_cost == copied.best_cost
+        assert (
+            original.best_plan.methods_used()
+            == copied.best_plan.methods_used()
+        )
+
+    def test_constraint_with_constant_serializes(self):
+        from repro.schema.core import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .relation("S", 1)
+            .tgd("R(x, 'tag') -> S(x)")
+            .build()
+        )
+        restored = roundtrip(schema)
+        body_atom = restored.constraints[0].body[0]
+        assert body_atom.terms[1].value == "tag"
