@@ -35,6 +35,8 @@ def test_scaling_sources(benchmark, k):
         pruned_cost=result.stats.pruned_by_cost,
         pruned_domination=result.stats.pruned_by_domination,
         best_cost=result.best_cost,
+        chase_triggers=result.stats.chase.triggers_enumerated,
+        chase_rounds=result.stats.chase.rounds,
     )
 
 
@@ -56,4 +58,6 @@ def test_scaling_chain_length(benchmark, length):
         benchmark,
         nodes=result.stats.nodes_created,
         accesses=len(result.best_plan.access_commands),
+        chase_triggers=result.stats.chase.triggers_enumerated,
+        chase_rounds=result.stats.chase.rounds,
     )

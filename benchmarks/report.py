@@ -1,16 +1,22 @@
-"""Render a pytest-benchmark JSON file into the EXPERIMENTS.md tables.
+"""Render benchmark JSON files into the EXPERIMENTS.md tables.
 
 Usage::
 
     python -m pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/report.py bench.json > experiment_tables.md
 
-Groups rows by benchmark module, prints one markdown table per module
-with mean/stddev timings and every ``extra_info`` measurement.
+    python benchmarks/bench_chase.py            # writes BENCH_chase.json
+    python benchmarks/report.py --chase-json BENCH_chase.json
+
+The default mode groups pytest-benchmark rows by module and prints one
+markdown table per module with mean/stddev timings and every
+``extra_info`` measurement.  ``--chase-json`` instead renders the
+naive-vs-semi-naive comparison report emitted by ``bench_chase.py``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from collections import OrderedDict
@@ -76,9 +82,53 @@ def _time(seconds: float) -> str:
     return f"{seconds:.2f} s"
 
 
+def render_chase(report: Dict) -> str:
+    """Markdown table for a ``bench_chase.py`` comparison report."""
+    lines = [
+        f"### chase evaluation: naive vs semi-naive ({report['mode']})",
+        "",
+        "| workload | naive triggers | semi-naive triggers | reduction"
+        " | naive time | semi-naive time | speedup | facts |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for row in report["workloads"]:
+        naive, semi = row["naive"], row["semi_naive"]
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["workload"],
+                    str(naive["triggers_enumerated"]),
+                    str(semi["triggers_enumerated"]),
+                    f"{row['trigger_reduction']:.1f}x",
+                    _time(naive["wall_time"]),
+                    _time(semi["wall_time"]),
+                    f"{row['speedup']:.1f}x",
+                    str(naive["facts"]),
+                ]
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench.json"
-    print(render(load(path)))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path", nargs="?", default="bench.json",
+        help="pytest-benchmark JSON file",
+    )
+    parser.add_argument(
+        "--chase-json", metavar="PATH",
+        help="render a bench_chase.py comparison report instead",
+    )
+    args = parser.parse_args()
+    if args.chase_json:
+        with open(args.chase_json) as handle:
+            print(render_chase(json.load(handle)))
+        return 0
+    print(render(load(args.path)))
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.chase.firing import (
     FiringResult,
     Trigger,
     find_triggers,
+    find_triggers_delta,
     fire_trigger,
 )
 from repro.chase.engine import (
@@ -22,6 +23,7 @@ from repro.chase.engine import (
     chase_to_fixpoint,
     saturate,
 )
+from repro.chase.stats import ChaseStats
 from repro.chase.blocking import BagTree, BlockingPolicy
 from repro.chase.reasoning import (
     certain_answer_holds,
@@ -35,6 +37,7 @@ __all__ = [
     "ChaseConfiguration",
     "ChasePolicy",
     "ChaseResult",
+    "ChaseStats",
     "FiringResult",
     "NonTerminatingChaseError",
     "Provenance",
@@ -43,6 +46,7 @@ __all__ = [
     "chase_to_fixpoint",
     "entails_under_constraints",
     "find_triggers",
+    "find_triggers_delta",
     "fire_trigger",
     "is_contained_under",
     "saturate",

@@ -78,6 +78,21 @@ class ChaseConfiguration:
         """The underlying indexed fact store."""
         return self._index
 
+    @property
+    def generation(self) -> int:
+        """Monotone insertion counter (facts are never removed).
+
+        Semi-naive chase evaluation records a generation watermark and
+        later asks :meth:`facts_since` for the delta of facts added past
+        it; see :mod:`repro.chase.engine`.
+        """
+        return self._index.generation
+
+    def facts_since(self, generation: int) -> Tuple[Atom, ...]:
+        """Facts added after ``generation``, oldest first (a stable
+        snapshot -- safe to iterate while firing rules)."""
+        return self._index.facts_since(generation)
+
     def __contains__(self, fact: Atom) -> bool:
         return fact in self._index
 
@@ -123,7 +138,7 @@ class ChaseConfiguration:
         configuration-homomorphism checks in domination pruning."""
         return tuple(
             sorted(
-                (relation, len(self._index.facts_of(relation)))
+                (relation, self._index.size_of(relation))
                 for relation in self._index.relations()
             )
         )

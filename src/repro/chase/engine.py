@@ -10,10 +10,40 @@ three safety valves:
 The result reports whether a genuine fixpoint was reached or the run was
 truncated; callers that need completeness guarantees (Theorem 6 view
 rewriting, decision procedures for guarded schemas) check that flag.
+
+Evaluation strategies
+---------------------
+
+``ChasePolicy.strategy`` selects how candidate matches are enumerated:
+
+* ``"semi-naive"`` (default): delta-driven.  The engine keeps a per-rule
+  generation watermark into the configuration's append-only fact log and,
+  on each pass, only searches for matches whose body image touches a fact
+  added after the rule's watermark (:func:`find_triggers_delta`).  A match
+  among exclusively-old facts was enumerable in an earlier pass, where it
+  was fired, head-filtered, or suppressed -- all permanent outcomes, so
+  skipping it is sound.  Saturations that *resume* an already-saturated
+  configuration (the planner's per-node eager saturation) pass
+  ``since_generation`` so even the first pass is delta-restricted.
+* ``"naive"``: re-enumerate every body homomorphism of every rule over
+  the entire configuration each round -- the textbook loop, kept as the
+  differential-testing oracle.
+
+Both strategies stream triggers: enumeration and firing interleave, and
+the restricted-chase head filter inside the trigger generators runs when
+each trigger is requested, i.e. immediately before it is fired.  The
+engine therefore needs no second ``head_satisfied`` check (contrast
+:func:`repro.chase.firing.fire_all_once`, which materialises a round up
+front and must re-verify).
+
+Every run returns a :class:`ChaseStats` on its :class:`ChaseResult`:
+rounds, triggers enumerated/filtered/fired, join effort, and wall time
+split between trigger search and firing.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -25,11 +55,17 @@ from repro.chase.firing import (
     Trigger,
     _tgd_of,
     find_triggers,
+    find_triggers_delta,
     head_satisfied,
 )
+from repro.chase.stats import ChaseStats
 from repro.logic.atoms import Atom, Substitution
 from repro.logic.dependencies import TGD
 from repro.logic.terms import NullFactory
+
+SEMI_NAIVE = "semi-naive"
+NAIVE = "naive"
+_STRATEGIES = (SEMI_NAIVE, NAIVE)
 
 
 class NonTerminatingChaseError(RuntimeError):
@@ -38,13 +74,21 @@ class NonTerminatingChaseError(RuntimeError):
 
 @dataclass
 class ChasePolicy:
-    """Termination and blocking controls for one chase run."""
+    """Termination, blocking, and evaluation controls for one chase run."""
 
     max_firings: int = 100_000
     max_depth: Optional[int] = None
     blocking: Optional[BlockingPolicy] = None
     raise_on_budget: bool = False
     restricted: bool = True
+    strategy: str = SEMI_NAIVE
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown chase strategy {self.strategy!r}; "
+                f"expected one of {_STRATEGIES}"
+            )
 
     def for_saturation(self) -> "ChasePolicy":
         """A copy suitable for eager free-rule saturation in the planner."""
@@ -54,6 +98,7 @@ class ChasePolicy:
             blocking=self.blocking,
             raise_on_budget=False,
             restricted=self.restricted,
+            strategy=self.strategy,
         )
 
 
@@ -66,6 +111,7 @@ class ChaseResult:
     blocked: int = 0
     depth_truncated: int = 0
     new_facts: Tuple[Atom, ...] = ()
+    stats: ChaseStats = field(default_factory=ChaseStats)
 
     @property
     def is_complete(self) -> bool:
@@ -83,23 +129,64 @@ def chase_to_fixpoint(
     nulls: NullFactory,
     policy: Optional[ChasePolicy] = None,
     bag_tree: Optional[BagTree] = None,
+    since_generation: int = 0,
 ) -> ChaseResult:
-    """Fire rules in place until fixpoint (or a safety valve trips)."""
+    """Fire rules in place until fixpoint (or a safety valve trips).
+
+    ``since_generation`` (semi-naive only) declares that the configuration
+    was already saturated under these rules up to that fact-log
+    generation: the first pass then restricts trigger search to matches
+    touching the facts added since.  Callers must only pass a non-zero
+    value when the prior saturation genuinely reached a fixpoint with the
+    same rule set; resuming a *truncated* saturation this way may leave
+    old-fact triggers unfired (such runs are already flagged
+    ``is_complete=False``, so certified-negative reasoning is unaffected).
+    """
     policy = policy or ChasePolicy()
     if policy.blocking is not None and bag_tree is None:
         bag_tree = policy.blocking.fresh_tree(list(config))
+    delta_mode = policy.strategy == SEMI_NAIVE
+    stats = ChaseStats(strategy=policy.strategy, runs=1)
     firings = 0
     blocked = 0
     truncated = 0
     all_new: List[Atom] = []
     suppressed: Set[Tuple[str, Tuple[Atom, ...]]] = set()
+    # Per-rule watermark into the fact log: a pass over a rule only looks
+    # for matches touching facts newer than its watermark.
+    marks = [since_generation if delta_mode else 0] * len(rules)
     progress = True
     while progress:
         progress = False
-        for rule in rules:
-            for trigger in list(
-                find_triggers(rule, config, policy.restricted)
-            ):
+        stats.rounds += 1
+        for slot, rule in enumerate(rules):
+            current_generation = config.generation
+            if delta_mode:
+                if marks[slot] >= current_generation:
+                    continue  # nothing new since this rule's last pass
+                triggers = find_triggers_delta(
+                    rule,
+                    config,
+                    marks[slot],
+                    policy.restricted,
+                    stats=stats,
+                )
+                marks[slot] = current_generation
+            else:
+                triggers = find_triggers(
+                    rule,
+                    config,
+                    policy.restricted,
+                    snapshot=True,
+                    stats=stats,
+                )
+            iterator = iter(triggers)
+            while True:
+                tick = time.perf_counter()
+                trigger = next(iterator, None)
+                stats.time_search += time.perf_counter() - tick
+                if trigger is None:
+                    break
                 if firings >= policy.max_firings:
                     if policy.raise_on_budget:
                         raise NonTerminatingChaseError(
@@ -111,19 +198,22 @@ def chase_to_fixpoint(
                         blocked=blocked,
                         depth_truncated=truncated,
                         new_facts=tuple(all_new),
+                        stats=stats,
                     )
                 if trigger.key() in suppressed:
                     continue
-                # Re-verify: an earlier firing this round may satisfy it.
-                if policy.restricted and head_satisfied(
-                    trigger.tgd, trigger.homomorphism, config
-                ):
-                    continue
-                outcome = _fire_checked(
+                # No head re-check here: the generators above filter
+                # satisfied heads at yield time, and nothing fires
+                # between the yield and this point.
+                tick = time.perf_counter()
+                outcome, added = _fire_checked(
                     trigger, config, nulls, policy, bag_tree
                 )
+                stats.time_fire += time.perf_counter() - tick
                 if outcome == "fired":
                     firings += 1
+                    stats.triggers_fired += 1
+                    all_new.extend(added)
                     progress = True
                 elif outcome == "blocked":
                     blocked += 1
@@ -137,6 +227,7 @@ def chase_to_fixpoint(
         blocked=blocked,
         depth_truncated=truncated,
         new_facts=tuple(all_new),
+        stats=stats,
     )
 
 
@@ -146,7 +237,7 @@ def _fire_checked(
     nulls: NullFactory,
     policy: ChasePolicy,
     bag_tree: Optional[BagTree],
-) -> str:
+) -> Tuple[str, Tuple[Atom, ...]]:
     """Fire one trigger subject to depth and blocking checks."""
     tgd = trigger.tgd
     trigger_facts = trigger.body_image()
@@ -154,7 +245,7 @@ def _fire_checked(
         (config.depth(f) for f in trigger_facts if f in config), default=0
     )
     if policy.max_depth is not None and depth > policy.max_depth:
-        return "depth"
+        return "depth", ()
     binding = trigger.homomorphism
     has_existentials = bool(tgd.existential_variables())
     for variable in sorted(tgd.existential_variables(), key=lambda v: v.name):
@@ -166,17 +257,17 @@ def _fire_checked(
         and bag_tree is not None
         and not policy.blocking.allows(bag_tree, trigger_facts, candidate)
     ):
-        return "blocked"
+        return "blocked", ()
     provenance = Provenance(
         rule=tgd.name, trigger_facts=trigger_facts, depth=depth
     )
-    added_any = False
+    added: List[Atom] = []
     for fact in candidate:
         if config.add(fact, provenance):
-            added_any = True
+            added.append(fact)
     if has_existentials and bag_tree is not None:
         bag_tree.register_firing(trigger_facts, candidate)
-    return "fired" if added_any else "noop"
+    return ("fired" if added else "noop"), tuple(added)
 
 
 def saturate(
@@ -185,11 +276,16 @@ def saturate(
     nulls: NullFactory,
     policy: Optional[ChasePolicy] = None,
     bag_tree: Optional[BagTree] = None,
+    since_generation: int = 0,
 ) -> ChaseResult:
     """Eager saturation: alias of :func:`chase_to_fixpoint`.
 
     Named separately because the planner uses it for the "fire cost-free
     rules immediately" discipline of eager proofs (Section 4), where the
-    rule set excludes accessibility axioms.
+    rule set excludes accessibility axioms.  The planner threads
+    ``since_generation`` so each per-node re-saturation only joins
+    through the freshly exposed facts.
     """
-    return chase_to_fixpoint(config, rules, nulls, policy, bag_tree)
+    return chase_to_fixpoint(
+        config, rules, nulls, policy, bag_tree, since_generation
+    )

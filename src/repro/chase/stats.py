@@ -1,0 +1,84 @@
+"""Instrumentation for chase runs.
+
+:class:`ChaseStats` is the per-run (and aggregable) measurement record of
+the fixpoint engine: how many rounds the run took, how many candidate
+matches were enumerated versus actually fired, how hard the backtracking
+join worked, and where the wall time went (trigger search vs. firing).
+
+The planner aggregates one instance across the many per-node saturations
+of an Algorithm 1 search (see ``SaturationLog``), which is what the CLI
+and the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.homomorphisms import HomStats
+
+
+@dataclass
+class ChaseStats:
+    """Counters and timings for one (or several merged) chase runs.
+
+    * ``rounds`` -- sweeps over the rule list until no rule fired;
+    * ``triggers_enumerated`` -- body homomorphisms produced by trigger
+      search, *before* the restricted-chase head filter;
+    * ``triggers_filtered`` -- enumerated matches discarded because their
+      head was already satisfied;
+    * ``triggers_fired`` -- firings that added at least one fact;
+    * ``hom`` -- backtracking-join effort (candidate scans, dead ends);
+    * ``time_search`` / ``time_fire`` -- wall seconds spent enumerating
+      triggers vs. firing them (depth check, blocking check, insertion);
+    * ``runs`` -- how many chase runs were merged into this record.
+    """
+
+    strategy: str = ""
+    rounds: int = 0
+    triggers_enumerated: int = 0
+    triggers_filtered: int = 0
+    triggers_fired: int = 0
+    hom: HomStats = field(default_factory=HomStats)
+    time_search: float = 0.0
+    time_fire: float = 0.0
+    # 0 for a fresh aggregate; the engine stamps 1 on each run's record.
+    runs: int = 0
+
+    def absorb(self, other: "ChaseStats") -> None:
+        """Accumulate another run's counters into this aggregate."""
+        if not self.strategy:
+            self.strategy = other.strategy
+        self.rounds += other.rounds
+        self.triggers_enumerated += other.triggers_enumerated
+        self.triggers_filtered += other.triggers_filtered
+        self.triggers_fired += other.triggers_fired
+        self.hom.absorb(other.hom)
+        self.time_search += other.time_search
+        self.time_fire += other.time_fire
+        self.runs += other.runs
+
+    def as_dict(self) -> dict:
+        """A JSON-ready flat rendering (used by benchmark reports)."""
+        return {
+            "strategy": self.strategy,
+            "rounds": self.rounds,
+            "triggers_enumerated": self.triggers_enumerated,
+            "triggers_filtered": self.triggers_filtered,
+            "triggers_fired": self.triggers_fired,
+            "hom_candidates_scanned": self.hom.candidates_scanned,
+            "hom_backtracks": self.hom.backtracks,
+            "time_search": self.time_search,
+            "time_fire": self.time_fire,
+            "runs": self.runs,
+        }
+
+    def summary(self) -> str:
+        """A one-line human rendering for CLI output."""
+        return (
+            f"{self.strategy or 'chase'}: {self.rounds} rounds, "
+            f"{self.triggers_fired}/{self.triggers_enumerated} "
+            f"triggers fired/enumerated, "
+            f"{self.hom.candidates_scanned} candidates scanned "
+            f"({self.time_search * 1e3:.1f} ms search, "
+            f"{self.time_fire * 1e3:.1f} ms fire, {self.runs} runs)"
+        )

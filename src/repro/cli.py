@@ -67,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("schema")
     check.add_argument("query")
     check.add_argument("--max-accesses", type=int, default=6)
+    for command in (demo, plan, check):
+        command.add_argument(
+            "--chase-strategy",
+            choices=["semi-naive", "naive"],
+            default="semi-naive",
+            help="chase evaluation strategy for per-node saturation "
+                 "(naive is the slow reference oracle)",
+        )
+        command.add_argument(
+            "--chase-stats",
+            action="store_true",
+            help="print aggregated chase instrumentation after planning",
+        )
     return parser
 
 
@@ -89,8 +102,12 @@ def _demo(args) -> int:
     result = find_best_plan(
         scenario.schema,
         scenario.query,
-        SearchOptions(max_accesses=args.max_accesses),
+        SearchOptions(
+            max_accesses=args.max_accesses,
+            chase_policy=_chase_policy(args, scenario.schema),
+        ),
     )
+    _print_chase_stats(args, result)
     if not result.found:
         print("no complete plan exists within the access budget")
         return 2
@@ -116,6 +133,18 @@ def _demo(args) -> int:
     return 0 if complete else 1
 
 
+def _chase_policy(args, schema):
+    """The schema-appropriate chase policy with the requested strategy."""
+    policy = default_policy_for(schema)
+    policy.strategy = args.chase_strategy
+    return policy
+
+
+def _print_chase_stats(args, result) -> None:
+    if args.chase_stats:
+        print(f"chase [{result.stats.chase.summary()}]\n")
+
+
 def _plan(args, check_only: bool) -> int:
     with open(args.schema) as handle:
         schema = schema_from_dict(json.load(handle))
@@ -125,9 +154,10 @@ def _plan(args, check_only: bool) -> int:
         query,
         SearchOptions(
             max_accesses=args.max_accesses,
-            chase_policy=default_policy_for(schema),
+            chase_policy=_chase_policy(args, schema),
         ),
     )
+    _print_chase_stats(args, result)
     if not result.found:
         print("not answerable within the access budget")
         return 2

@@ -84,33 +84,53 @@ class AccessiblePart:
 
 
 def accessible_part(schema: Schema, instance: Instance) -> AccessiblePart:
-    """Compute ``AccPart(I)`` by the paper's fixpoint iteration."""
+    """Compute ``AccPart(I)`` by the paper's fixpoint iteration.
+
+    The iteration is delta-driven: each method keeps a worklist of rows
+    it has not yet returned, and each round only re-examines those, then
+    propagates accessibility from the rows accessed *this* round (the
+    defining axioms) instead of rescanning everything accessed so far.
+    Round boundaries match the naive formulation -- values exposed in a
+    round only unlock accesses from the next round on -- so the reported
+    ``rounds`` count is unchanged.
+    """
     accessible: Set[Constant] = set(schema.constants)
     accessed: Dict[str, Set[Tuple[Constant, ...]]] = {
         relation.name: set() for relation in schema.relations
+    }
+    # Per-method worklist of rows not yet returned through that method.
+    pending: Dict[str, List[Tuple[Constant, ...]]] = {
+        method.name: list(instance.tuples(method.relation))
+        for method in schema.methods
     }
     rounds = 0
     changed = True
     while changed:
         changed = False
         rounds += 1
+        newly_accessed: List[Tuple[Constant, ...]] = []
         for method in schema.methods:
             relation = method.relation
-            for row in instance.tuples(relation):
+            still_pending: List[Tuple[Constant, ...]] = []
+            for row in pending[method.name]:
                 if row in accessed[relation]:
                     continue
                 if all(
                     row[p] in accessible for p in method.input_positions
                 ):
                     accessed[relation].add(row)
+                    newly_accessed.append(row)
                     changed = True
-        # Defining axioms: all positions of accessed facts become accessible.
-        for rows in accessed.values():
-            for row in rows:
-                for value in row:
-                    if value not in accessible:
-                        accessible.add(value)
-                        changed = True
+                else:
+                    still_pending.append(row)
+            pending[method.name] = still_pending
+        # Defining axioms: all positions of accessed facts become
+        # accessible.  Only this round's rows can contribute new values.
+        for row in newly_accessed:
+            for value in row:
+                if value not in accessible:
+                    accessible.add(value)
+                    changed = True
     return AccessiblePart(
         accessed={r: frozenset(v) for r, v in accessed.items()},
         accessible_values=frozenset(accessible),

@@ -26,9 +26,11 @@ from repro.logic.dependencies import (
 )
 from repro.logic.homomorphisms import (
     FactIndex,
+    HomStats,
     extend_homomorphism,
     find_homomorphism,
     find_homomorphisms,
+    find_homomorphisms_through,
 )
 from repro.logic.containment import (
     is_contained_in,
@@ -41,6 +43,7 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "FactIndex",
+    "HomStats",
     "Null",
     "NullFactory",
     "Substitution",
@@ -51,6 +54,7 @@ __all__ = [
     "extend_homomorphism",
     "find_homomorphism",
     "find_homomorphisms",
+    "find_homomorphisms_through",
     "fresh_null",
     "inclusion_dependency",
     "is_contained_in",

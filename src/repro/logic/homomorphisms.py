@@ -13,10 +13,21 @@ The search is a classical backtracking join: at each step we pick the
 pattern atom with the fewest unbound mappable terms (a cheap fail-first
 heuristic) and scan only the candidate facts selected through a per-relation
 index keyed by (position, term).
+
+Two entry points drive the chase engine's semi-naive evaluation:
+
+* :func:`find_homomorphisms_through` seeds the join at a fixed
+  (pattern atom, fact) pivot, which is how delta-driven trigger search
+  only enumerates matches that touch at least one newly derived fact;
+* the ``snapshot`` flag makes candidate scans iterate over immutable
+  copies, so a consumer may *add* facts to the index between yielded
+  homomorphisms (streaming trigger firing) without invalidating the
+  generators' iteration state.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -33,20 +44,44 @@ from repro.logic.atoms import Atom, Substitution
 from repro.logic.terms import Constant, Null, Term, Variable
 
 
+@dataclass
+class HomStats:
+    """Instrumentation counters for backtracking-join search.
+
+    ``candidates_scanned`` counts facts examined as potential images of a
+    pattern atom; ``backtracks`` counts the scans that clashed with the
+    current binding (dead ends the join had to back out of).
+    """
+
+    candidates_scanned: int = 0
+    backtracks: int = 0
+
+    def absorb(self, other: "HomStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.candidates_scanned += other.candidates_scanned
+        self.backtracks += other.backtracks
+
+
 class FactIndex:
     """An indexed collection of facts.
 
     Facts are grouped by relation name and indexed by every
     ``(position, term)`` pair, which makes candidate selection during
     backtracking proportional to the number of actually-matching facts.
+
+    The index also keeps an append-only insertion log: every fact gets a
+    monotonically increasing *generation* (its position in the log), and
+    :meth:`facts_since` returns the suffix added after a given generation.
+    This is the delta that semi-naive chase evaluation joins through.
     """
 
-    __slots__ = ("_by_relation", "_by_position", "_size")
+    __slots__ = ("_by_relation", "_by_position", "_log", "_facts_of_cache")
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._by_relation: Dict[str, Set[Atom]] = {}
         self._by_position: Dict[Tuple[str, int, Term], Set[Atom]] = {}
-        self._size = 0
+        self._log: List[Atom] = []
+        self._facts_of_cache: Dict[str, FrozenSet[Atom]] = {}
         for fact in facts:
             self.add(fact)
 
@@ -59,11 +94,25 @@ class FactIndex:
         for position, term in enumerate(fact.terms):
             key = (fact.relation, position, term)
             self._by_position.setdefault(key, set()).add(fact)
-        self._size += 1
+        self._log.append(fact)
+        self._facts_of_cache.pop(fact.relation, None)
         return True
 
+    @property
+    def generation(self) -> int:
+        """Number of facts ever inserted (facts are never removed)."""
+        return len(self._log)
+
+    def facts_since(self, generation: int) -> Tuple[Atom, ...]:
+        """The facts inserted after ``generation``, in insertion order.
+
+        The returned tuple is a stable snapshot: further insertions do not
+        affect it, so callers may fire rules while iterating the delta.
+        """
+        return tuple(self._log[generation:])
+
     def __len__(self) -> int:
-        return self._size
+        return len(self._log)
 
     def __contains__(self, fact: Atom) -> bool:
         return fact in self._by_relation.get(fact.relation, ())
@@ -77,17 +126,39 @@ class FactIndex:
         return self._by_relation.keys()
 
     def facts_of(self, relation: str) -> FrozenSet[Atom]:
-        """The indexed facts of one relation."""
-        return frozenset(self._by_relation.get(relation, ()))
+        """The indexed facts of one relation.
+
+        The frozenset is cached per relation and invalidated on insertion,
+        so repeated queries between mutations share one snapshot.
+        """
+        cached = self._facts_of_cache.get(relation)
+        if cached is None:
+            cached = frozenset(self._by_relation.get(relation, ()))
+            self._facts_of_cache[relation] = cached
+        return cached
+
+    def size_of(self, relation: str) -> int:
+        """Number of facts of one relation, without materialising a set."""
+        return len(self._by_relation.get(relation, ()))
 
     def candidates(
-        self, atom: Atom, binding: Substitution, map_nulls: bool
+        self,
+        atom: Atom,
+        binding: Substitution,
+        map_nulls: bool,
+        snapshot: bool = False,
     ) -> Iterable[Atom]:
         """Facts that could match ``atom`` under the current binding.
 
         Uses the most selective available (position, term) index entry;
         falls back to the full relation bucket when every position of the
         atom is still unbound.
+
+        Without ``snapshot`` the *live* index set is returned -- cheap, but
+        callers must not mutate the index while iterating it.  With
+        ``snapshot=True`` an immutable tuple copy is returned, which is what
+        streaming trigger enumeration uses so rule firings may insert facts
+        between yielded matches.
         """
         bucket = self._by_relation.get(atom.relation)
         if not bucket:
@@ -102,14 +173,16 @@ class FactIndex:
                 return ()
             if best is None or len(entry) < len(best):
                 best = entry
-        return best if best is not None else bucket
+        chosen = best if best is not None else bucket
+        return tuple(chosen) if snapshot else chosen
 
     def copy(self) -> "FactIndex":
         """An independent copy of the index."""
         clone = FactIndex.__new__(FactIndex)
         clone._by_relation = {k: set(v) for k, v in self._by_relation.items()}
         clone._by_position = {k: set(v) for k, v in self._by_position.items()}
-        clone._size = self._size
+        clone._log = list(self._log)
+        clone._facts_of_cache = dict(self._facts_of_cache)
         return clone
 
 
@@ -153,6 +226,8 @@ def find_homomorphisms(
     index: FactIndex,
     binding: Optional[Substitution] = None,
     map_nulls: bool = False,
+    snapshot: bool = False,
+    stats: Optional[HomStats] = None,
 ) -> Iterator[Substitution]:
     """All homomorphisms of ``atoms`` into ``index`` extending ``binding``.
 
@@ -162,7 +237,42 @@ def find_homomorphisms(
     """
     start = binding if binding is not None else Substitution()
     remaining = list(atoms)
-    yield from _search(remaining, index, start, map_nulls)
+    yield from _search(remaining, index, start, map_nulls, snapshot, stats)
+
+
+def find_homomorphisms_through(
+    atoms: Sequence[Atom],
+    index: FactIndex,
+    pivot_atom: Atom,
+    pivot_fact: Atom,
+    binding: Optional[Substitution] = None,
+    map_nulls: bool = False,
+    snapshot: bool = False,
+    stats: Optional[HomStats] = None,
+) -> Iterator[Substitution]:
+    """Homomorphisms of ``atoms`` whose ``pivot_atom`` maps onto ``pivot_fact``.
+
+    The semi-naive entry point: the pivot is bound *first*, so the
+    backtracking join only explores matches whose image contains the pivot
+    fact.  ``pivot_atom`` must be one of ``atoms``; one occurrence of it is
+    consumed by the pivot, the remaining atoms are joined against the full
+    index as usual.
+    """
+    remaining = list(atoms)
+    try:
+        remaining.remove(pivot_atom)
+    except ValueError:
+        raise ValueError(
+            f"pivot atom {pivot_atom!r} is not among the pattern atoms"
+        ) from None
+    start = binding if binding is not None else Substitution()
+    seeded = extend_homomorphism(pivot_atom, pivot_fact, start, map_nulls)
+    if seeded is None:
+        if stats is not None:
+            stats.candidates_scanned += 1
+            stats.backtracks += 1
+        return
+    yield from _search(remaining, index, seeded, map_nulls, snapshot, stats)
 
 
 def _search(
@@ -170,6 +280,8 @@ def _search(
     index: FactIndex,
     binding: Substitution,
     map_nulls: bool,
+    snapshot: bool = False,
+    stats: Optional[HomStats] = None,
 ) -> Iterator[Substitution]:
     if not remaining:
         yield binding
@@ -177,10 +289,14 @@ def _search(
     position = _pick_atom(remaining, binding, map_nulls)
     atom = remaining[position]
     rest = remaining[:position] + remaining[position + 1:]
-    for fact in index.candidates(atom, binding, map_nulls):
+    for fact in index.candidates(atom, binding, map_nulls, snapshot):
+        if stats is not None:
+            stats.candidates_scanned += 1
         extended = extend_homomorphism(atom, fact, binding, map_nulls)
         if extended is not None:
-            yield from _search(rest, index, extended, map_nulls)
+            yield from _search(rest, index, extended, map_nulls, snapshot, stats)
+        elif stats is not None:
+            stats.backtracks += 1
 
 
 def _pick_atom(

@@ -18,11 +18,12 @@ them costs no extra access command).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chase.configuration import ChaseConfiguration, Provenance
 from repro.chase.engine import ChasePolicy, saturate
+from repro.chase.stats import ChaseStats
 from repro.logic.atoms import Atom, Substitution
 from repro.logic.homomorphisms import find_homomorphism
 from repro.logic.queries import ConjunctiveQuery
@@ -62,19 +63,23 @@ class ChaseProof:
 
 @dataclass
 class SaturationLog:
-    """Aggregated completeness of every saturation in a run.
+    """Aggregated completeness and cost of every saturation in a run.
 
     Complete saturations everywhere mean the explored proof space is the
     *whole* bounded proof space: a failed search is then a certified
-    negative for the given access budget.
+    negative for the given access budget.  ``stats`` accumulates the
+    chase instrumentation of all per-node saturations, which is what the
+    CLI and benchmarks report for one planning run.
     """
 
     complete: bool = True
+    stats: ChaseStats = field(default_factory=ChaseStats)
 
     def absorb(self, result) -> None:
-        """Merge one chase result's completeness into the log."""
+        """Merge one chase result's completeness and stats into the log."""
         if not result.is_complete:
             self.complete = False
+        self.stats.absorb(result.stats)
 
 
 @dataclass
@@ -132,6 +137,10 @@ def fire_access(
     _check_inputs_accessible(config, fact, method)
     exposed: List[Atom] = []
     new_state = state
+    # The configuration arrives saturated under the free rules (the
+    # eager-proof invariant), so the re-saturation below only needs to
+    # join through the accessed facts added here: record the watermark.
+    pre_generation = config.generation
     to_expose = (
         _induced_facts(config, fact, method)
         if expose_induced
@@ -160,6 +169,7 @@ def fire_access(
         list(acc_schema.free_rules),
         nulls,
         policy.for_saturation() if policy else None,
+        since_generation=pre_generation,
     )
     if log is not None:
         log.absorb(result)

@@ -239,6 +239,9 @@ def _apply_step(
         trigger_facts=(step.fact,),
         depth=0,
     )
+    # The DFS keeps every configuration saturated under the free rules,
+    # so re-saturation only needs to join through the facts added here.
+    pre_generation = config.generation
     config.add(accessed, provenance)
     if step.negative:
         # Accessed_R(x) -> R(x): the verified fact joins the original side.
@@ -248,4 +251,5 @@ def _apply_step(
         list(acc.free_rules),
         nulls,
         policy.for_saturation() if policy else None,
+        since_generation=pre_generation,
     )

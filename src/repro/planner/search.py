@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.chase.configuration import ChaseConfiguration
 from repro.chase.engine import ChasePolicy
+from repro.chase.stats import ChaseStats
 from repro.cost.functions import (
     CostFunction,
     CountingCostFunction,
@@ -96,6 +97,8 @@ class SearchStats:
     pruned_by_domination: int = 0
     pruned_by_depth: int = 0
     best_cost_history: List[float] = field(default_factory=list)
+    # Aggregated instrumentation of every per-node chase saturation.
+    chase: ChaseStats = field(default_factory=ChaseStats)
 
 
 @dataclass
@@ -243,6 +246,7 @@ class _Searcher:
             self._run_best_first(root)
         else:
             self._run_dfs(root)
+        self.stats.chase = self.saturation_log.stats
         return SearchResult(
             best_plan=self.best_plan,
             best_cost=self.best_cost,

@@ -5,9 +5,11 @@ import pytest
 from repro.logic.atoms import Atom, Substitution
 from repro.logic.homomorphisms import (
     FactIndex,
+    HomStats,
     extend_homomorphism,
     find_homomorphism,
     find_homomorphisms,
+    find_homomorphisms_through,
     has_homomorphism,
 )
 from repro.logic.terms import Constant, Null, Variable
@@ -171,3 +173,159 @@ class TestFindHomomorphisms:
         )
         assert len(homs) == 1
         assert homs[0][N1] == A
+
+
+class TestGenerationLog:
+    def test_generation_and_facts_since(self):
+        index = FactIndex()
+        assert index.generation == 0
+        index.add(Atom("R", (A,)))
+        index.add(Atom("R", (B,)))
+        assert index.generation == 2
+        assert index.facts_since(0) == (Atom("R", (A,)), Atom("R", (B,)))
+        assert index.facts_since(1) == (Atom("R", (B,)),)
+        assert index.facts_since(2) == ()
+
+    def test_duplicates_do_not_advance_generation(self):
+        index = index_of(Atom("R", (A,)))
+        index.add(Atom("R", (A,)))
+        assert index.generation == 1
+
+    def test_facts_since_is_stable_snapshot(self):
+        index = index_of(Atom("R", (A,)))
+        delta = index.facts_since(0)
+        index.add(Atom("R", (B,)))
+        assert delta == (Atom("R", (A,)),)
+
+    def test_copy_preserves_log(self):
+        index = index_of(Atom("R", (A,)))
+        clone = index.copy()
+        clone.add(Atom("R", (B,)))
+        assert clone.facts_since(0) == (Atom("R", (A,)), Atom("R", (B,)))
+        assert index.facts_since(0) == (Atom("R", (A,)),)
+
+
+class TestFactsOfCaching:
+    def test_cached_view_shared_between_calls(self):
+        index = index_of(Atom("R", (A,)))
+        assert index.facts_of("R") is index.facts_of("R")
+
+    def test_cache_invalidated_on_add(self):
+        index = index_of(Atom("R", (A,)))
+        before = index.facts_of("R")
+        index.add(Atom("R", (B,)))
+        after = index.facts_of("R")
+        assert before == frozenset({Atom("R", (A,))})
+        assert after == frozenset({Atom("R", (A,)), Atom("R", (B,))})
+
+    def test_size_of(self):
+        index = index_of(Atom("R", (A,)), Atom("R", (B,)), Atom("S", (A,)))
+        assert index.size_of("R") == 2
+        assert index.size_of("S") == 1
+        assert index.size_of("T") == 0
+
+
+class TestSnapshotCandidates:
+    def test_snapshot_returns_immutable_copy(self):
+        index = index_of(Atom("R", (A,)))
+        snap = index.candidates(Atom("R", (X,)), Substitution(), False, True)
+        assert isinstance(snap, tuple)
+        index.add(Atom("R", (B,)))
+        assert snap == (Atom("R", (A,)),)
+
+    def test_streaming_search_survives_insertion(self):
+        index = index_of(Atom("R", (A,)), Atom("R", (B,)))
+        seen = []
+        for hom in find_homomorphisms(
+            [Atom("R", (X,))], index, snapshot=True
+        ):
+            seen.append(hom[X])
+            index.add(Atom("R", (C,)))  # mutate mid-stream: must not blow up
+        assert set(seen) == {A, B}
+
+
+class TestFindHomomorphismsThrough:
+    def test_pivot_restricts_matches(self):
+        index = index_of(Atom("R", (A, B)), Atom("R", (B, C)))
+        homs = list(
+            find_homomorphisms_through(
+                [Atom("R", (X, Y))], index, Atom("R", (X, Y)), Atom("R", (B, C))
+            )
+        )
+        assert len(homs) == 1
+        assert homs[0][X] == B and homs[0][Y] == C
+
+    def test_pivot_joins_remaining_atoms(self):
+        index = index_of(
+            Atom("R", (A, B)), Atom("S", (B, C)), Atom("S", (B, A))
+        )
+        pattern = [Atom("R", (X, Y)), Atom("S", (Y, Z))]
+        homs = list(
+            find_homomorphisms_through(
+                pattern, index, pattern[0], Atom("R", (A, B))
+            )
+        )
+        assert {h[Z] for h in homs} == {A, C}
+
+    def test_pivot_clash_yields_nothing(self):
+        index = index_of(Atom("R", (A, A)))
+        pattern = [Atom("R", (X, X))]
+        homs = list(
+            find_homomorphisms_through(
+                pattern, index, pattern[0], Atom("R", (A, A))
+            )
+        )
+        assert len(homs) == 1
+        clashing = list(
+            find_homomorphisms_through(
+                [Atom("R", (X, X))],
+                index_of(Atom("R", (A, B))),
+                Atom("R", (X, X)),
+                Atom("R", (A, B)),
+            )
+        )
+        assert clashing == []
+
+    def test_pivot_must_be_a_pattern_atom(self):
+        index = index_of(Atom("R", (A,)))
+        with pytest.raises(ValueError):
+            list(
+                find_homomorphisms_through(
+                    [Atom("R", (X,))], index, Atom("S", (X,)), Atom("R", (A,))
+                )
+            )
+
+    def test_agrees_with_unrestricted_search(self):
+        index = index_of(
+            Atom("R", (A, B)), Atom("R", (B, C)), Atom("S", (B, C))
+        )
+        pattern = [Atom("R", (X, Y)), Atom("S", (Y, Z))]
+        unrestricted = {
+            tuple(sorted(h.items(), key=repr))
+            for h in find_homomorphisms(pattern, index)
+        }
+        through = set()
+        for atom in pattern:
+            for fact in index.facts_of(atom.relation):
+                for h in find_homomorphisms_through(
+                    pattern, index, atom, fact
+                ):
+                    through.add(tuple(sorted(h.items(), key=repr)))
+        assert through == unrestricted
+
+
+class TestHomStats:
+    def test_counts_candidate_scans_and_backtracks(self):
+        index = index_of(Atom("R", (A, B)), Atom("R", (B, C)))
+        stats = HomStats()
+        # Both positions unbound: the full bucket is scanned, and the
+        # repeated variable makes every candidate clash.
+        list(find_homomorphisms([Atom("R", (X, X))], index, stats=stats))
+        assert stats.candidates_scanned == 2
+        assert stats.backtracks == 2
+
+    def test_absorb_accumulates(self):
+        left = HomStats(candidates_scanned=3, backtracks=1)
+        left.absorb(HomStats(candidates_scanned=2, backtracks=2))
+        assert left.candidates_scanned == 5
+        assert left.backtracks == 3
