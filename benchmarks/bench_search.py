@@ -1,0 +1,189 @@
+"""SEARCH: Algorithm 1 hot-loop throughput, baseline vs incremental.
+
+Two surfaces:
+
+* pytest-benchmark series (``pytest benchmarks/bench_search.py``):
+  planning time on the k-sources family under the unoptimized baseline
+  (naive domination scan, full candidate rescans, full cost recompute,
+  deep configuration copies) and the incremental hot loop (fingerprint
+  domination index, inherited candidates, delta cost, copy-on-write
+  forks);
+* a standalone comparison runner (``python benchmarks/bench_search.py``)
+  that plans every point under three modes -- ``baseline`` (naive),
+  ``linear`` (the prefiltered scan the incremental registry replaced)
+  and ``incremental`` -- and writes the machine-readable
+  ``BENCH_search.json`` (rendered by ``report.py --search-json``):
+  wall time, domination-check breakdowns, candidate inheritance counts
+  and the derived homomorphism-call reduction and speedup, with
+  equivalence of ``best_cost``, ``pruned_by_domination`` and
+  ``exhausted`` asserted across all modes (plus one non-timed
+  ``differential`` run per point asserting per-check agreement of the
+  fingerprint index with the linear oracle).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import redundant_sources
+
+# The unoptimized reference: linear domination scan with a full
+# homomorphism per registered node, full candidate/cost recomputation,
+# deep configuration copies.
+BASELINE = dict(
+    domination_index="naive",
+    incremental_candidates=False,
+    incremental_cost=False,
+    cow_configs=False,
+)
+# The pre-overhaul implementation: linear scan with the relation-subset
+# prefilter, everything else recomputed from scratch.
+LINEAR = dict(
+    domination_index="linear",
+    incremental_candidates=False,
+    incremental_cost=False,
+    cow_configs=False,
+)
+# The incremental hot loop (the defaults).
+INCREMENTAL = dict()
+
+MODES = {
+    "baseline": BASELINE,
+    "linear": LINEAR,
+    "incremental": INCREMENTAL,
+}
+
+
+def _options(k, overrides):
+    return SearchOptions(max_accesses=k + 1, **overrides)
+
+
+@pytest.mark.parametrize("mode", list(MODES))
+@pytest.mark.parametrize("k", [3, 4])
+def test_search_modes(benchmark, k, mode):
+    scenario = redundant_sources(k)
+
+    def plan():
+        return find_best_plan(
+            scenario.schema, scenario.query, _options(k, MODES[mode])
+        )
+
+    result = benchmark(plan)
+    assert result.found
+    record(
+        benchmark,
+        mode=mode,
+        nodes=result.stats.nodes_created,
+        best_cost=result.best_cost,
+        dom_hom_calls=result.stats.domination.hom_calls,
+        pruned_domination=result.stats.pruned_by_domination,
+    )
+
+
+# ------------------------------------------------------ standalone comparison
+def _measure(scenario, k, overrides, repeats):
+    """Best-of-``repeats`` wall time plus the final run's search stats."""
+    best_time = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = find_best_plan(
+            scenario.schema, scenario.query, _options(k, overrides)
+        )
+        elapsed = time.perf_counter() - started
+        if best_time is None or elapsed < best_time:
+            best_time = elapsed
+    return {
+        "wall_time": best_time,
+        "best_cost": result.best_cost,
+        "exhausted": result.exhausted,
+        **result.stats.as_dict(),
+    }
+
+
+def run_comparison(ks, repeats=3):
+    """Plan every k under all modes; return the comparison report."""
+    rows = []
+    for k in ks:
+        scenario = redundant_sources(k)
+        entry = {"k": k, "scenario": scenario.name}
+        for mode, overrides in MODES.items():
+            entry[mode] = _measure(scenario, k, overrides, repeats)
+        # Per-check agreement of the fingerprint index with the linear
+        # oracle (raises DominationMismatch on any disagreement).
+        find_best_plan(
+            scenario.schema,
+            scenario.query,
+            _options(k, dict(domination_index="differential")),
+        )
+        base, incr = entry["baseline"], entry["incremental"]
+        # Every mode must explore the same tree and find the same plan.
+        for mode in MODES:
+            other = entry[mode]
+            assert other["best_cost"] == base["best_cost"], (k, mode)
+            assert other["exhausted"] == base["exhausted"], (k, mode)
+            assert other["nodes_created"] == base["nodes_created"], (k, mode)
+            assert (
+                other["pruned_by_domination"]
+                == base["pruned_by_domination"]
+            ), (k, mode)
+        base_homs = base["domination"]["hom_calls"]
+        incr_homs = incr["domination"]["hom_calls"]
+        entry["hom_reduction"] = (
+            base_homs / incr_homs if incr_homs else float("inf")
+        )
+        entry["speedup"] = (
+            base["wall_time"] / incr["wall_time"]
+            if incr["wall_time"]
+            else float("inf")
+        )
+        rows.append(entry)
+    return {
+        "benchmark": "bench_search",
+        "mode": "smoke" if max(ks) <= 4 else "full",
+        "ks": list(ks),
+        "rows": rows,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare baseline vs incremental Algorithm 1 search"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="k <= 4 only (CI)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats per point"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_search.json", help="report destination"
+    )
+    args = parser.parse_args(argv)
+    ks = [3, 4] if args.smoke else [4, 5, 6]
+    report = run_comparison(ks, repeats=args.repeats)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for row in report["rows"]:
+        base, incr = row["baseline"], row["incremental"]
+        print(
+            f"{row['scenario']}: "
+            f"{row['hom_reduction']:.1f}x fewer domination hom calls "
+            f"({base['domination']['hom_calls']} -> "
+            f"{incr['domination']['hom_calls']}), "
+            f"{row['speedup']:.2f}x faster "
+            f"({base['wall_time'] * 1e3:.1f} -> "
+            f"{incr['wall_time'] * 1e3:.1f} ms), "
+            f"best cost {incr['best_cost']}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

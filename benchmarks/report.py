@@ -8,10 +8,15 @@ Usage::
     python benchmarks/bench_chase.py            # writes BENCH_chase.json
     python benchmarks/report.py --chase-json BENCH_chase.json
 
+    python benchmarks/bench_search.py           # writes BENCH_search.json
+    python benchmarks/report.py --search-json BENCH_search.json
+
 The default mode groups pytest-benchmark rows by module and prints one
 markdown table per module with mean/stddev timings and every
 ``extra_info`` measurement.  ``--chase-json`` instead renders the
-naive-vs-semi-naive comparison report emitted by ``bench_chase.py``.
+naive-vs-semi-naive comparison report emitted by ``bench_chase.py``,
+and ``--search-json`` the baseline-vs-incremental search comparison
+emitted by ``bench_search.py``.
 """
 
 from __future__ import annotations
@@ -113,6 +118,40 @@ def render_chase(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_search(report: Dict) -> str:
+    """Markdown table for a ``bench_search.py`` comparison report."""
+    lines = [
+        "### Algorithm 1 search: baseline vs incremental "
+        f"({report['mode']})",
+        "",
+        "| scenario | baseline homs | incremental homs | reduction"
+        " | baseline time | incremental time | speedup"
+        " | best cost | nodes |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in report["rows"]:
+        base, incr = row["baseline"], row["incremental"]
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["scenario"],
+                    str(base["domination"]["hom_calls"]),
+                    str(incr["domination"]["hom_calls"]),
+                    f"{row['hom_reduction']:.1f}x",
+                    _time(base["wall_time"]),
+                    _time(incr["wall_time"]),
+                    f"{row['speedup']:.2f}x",
+                    format_value(incr["best_cost"]),
+                    str(incr["nodes_created"]),
+                ]
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -123,10 +162,18 @@ def main() -> int:
         "--chase-json", metavar="PATH",
         help="render a bench_chase.py comparison report instead",
     )
+    parser.add_argument(
+        "--search-json", metavar="PATH",
+        help="render a bench_search.py comparison report instead",
+    )
     args = parser.parse_args()
     if args.chase_json:
         with open(args.chase_json) as handle:
             print(render_chase(json.load(handle)))
+        return 0
+    if args.search_json:
+        with open(args.search_json) as handle:
+            print(render_search(json.load(handle)))
         return 0
     print(render(load(args.path)))
     return 0

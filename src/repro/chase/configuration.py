@@ -12,8 +12,18 @@ on: every search node owns its own configuration.
 
 from __future__ import annotations
 
+from collections import ChainMap
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    MutableMapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.logic.atoms import Atom
 from repro.logic.homomorphisms import FactIndex
@@ -42,7 +52,7 @@ class ChaseConfiguration:
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._index = FactIndex()
-        self._provenance: Dict[Atom, Provenance] = {}
+        self._provenance: MutableMapping[Atom, Provenance] = {}
         self._accessible: Set[Term] = set()
         initial = Provenance.initial()
         for fact in facts:
@@ -145,7 +155,31 @@ class ChaseConfiguration:
 
     # ----------------------------------------------------------- copies
     def copy(self) -> "ChaseConfiguration":
-        """An independent copy (used when the search tree branches)."""
+        """An independent copy (used when the search tree branches).
+
+        Copy-on-write: the fact index shares the parent's generation-log
+        prefix and every bucket until one side mutates it
+        (:meth:`FactIndex.fork`), and provenance is layered
+        (:class:`collections.ChainMap`) so the copy is O(index keys), not
+        O(total facts x arity).  Writes on either side never leak to the
+        other; a fact re-added on one side shadows the shared provenance.
+        """
+        clone = ChaseConfiguration.__new__(ChaseConfiguration)
+        clone._index = self._index.fork()
+        provenance = self._provenance
+        if isinstance(provenance, ChainMap):
+            clone._provenance = provenance.new_child()
+        else:
+            clone._provenance = ChainMap({}, provenance)
+        clone._accessible = set(self._accessible)
+        return clone
+
+    def deep_copy(self) -> "ChaseConfiguration":
+        """A fully materialised copy sharing no mutable state.
+
+        The pre-copy-on-write behaviour, kept for differential testing
+        and as the baseline mode of the search benchmarks.
+        """
         clone = ChaseConfiguration.__new__(ChaseConfiguration)
         clone._index = self._index.copy()
         clone._provenance = dict(self._provenance)

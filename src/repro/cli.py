@@ -23,6 +23,7 @@ from typing import List, Optional
 from repro.data.source import InMemorySource
 from repro.logic.queries import parse_cq
 from repro.planner.answerability import default_policy_for
+from repro.planner.domination import REGISTRY_KINDS
 from repro.planner.search import SearchOptions, find_best_plan
 from repro.plans.tools import to_sql
 from repro.scenarios import (
@@ -80,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print aggregated chase instrumentation after planning",
         )
+        command.add_argument(
+            "--search-stats",
+            action="store_true",
+            help="print the search hot-loop breakdown after planning "
+                 "(domination checks, candidate inheritance, copy/cost "
+                 "timings)",
+        )
+        command.add_argument(
+            "--domination-index",
+            choices=list(REGISTRY_KINDS),
+            default="fingerprint",
+            help="domination registry: fingerprint (indexed), linear "
+                 "(original prefiltered scan), naive (unoptimized "
+                 "reference), differential (fingerprint checked against "
+                 "linear on every query)",
+        )
     return parser
 
 
@@ -105,9 +122,11 @@ def _demo(args) -> int:
         SearchOptions(
             max_accesses=args.max_accesses,
             chase_policy=_chase_policy(args, scenario.schema),
+            domination_index=args.domination_index,
         ),
     )
     _print_chase_stats(args, result)
+    _print_search_stats(args, result)
     if not result.found:
         print("no complete plan exists within the access budget")
         return 2
@@ -145,6 +164,11 @@ def _print_chase_stats(args, result) -> None:
         print(f"chase [{result.stats.chase.summary()}]\n")
 
 
+def _print_search_stats(args, result) -> None:
+    if args.search_stats:
+        print(f"search stats:\n{result.stats.summary()}\n")
+
+
 def _plan(args, check_only: bool) -> int:
     with open(args.schema) as handle:
         schema = schema_from_dict(json.load(handle))
@@ -155,9 +179,11 @@ def _plan(args, check_only: bool) -> int:
         SearchOptions(
             max_accesses=args.max_accesses,
             chase_policy=_chase_policy(args, schema),
+            domination_index=args.domination_index,
         ),
     )
     _print_chase_stats(args, result)
+    _print_search_stats(args, result)
     if not result.found:
         print("not answerable within the access budget")
         return 2

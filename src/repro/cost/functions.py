@@ -9,6 +9,14 @@ All cost functions expose two entry points:
 Monotonicity (appending commands never decreases cost) is what makes the
 cost-bound pruning of Section 5 sound; :func:`is_monotone_on` provides a
 programmatic spot-check used by the test suite.
+
+Because every search-node expansion only *appends* commands to the
+parent's prefix, cost functions additionally support an incremental
+path: :meth:`CostFunction.cost_state` yields an opaque accumulator and
+:meth:`CostFunction.delta_cost` extends it with the appended commands,
+charging O(|new commands|) per expansion instead of re-walking the whole
+prefix.  The base-class default falls back to a full recompute, so
+third-party cost functions stay correct without opting in.
 """
 
 from __future__ import annotations
@@ -38,6 +46,28 @@ class CostFunction:
     def commands_cost(self, commands: Sequence[Command]) -> float:
         """Monotone cost of a command prefix."""
         raise NotImplementedError
+
+    def cost_state(self) -> object:
+        """The initial opaque accumulator for :meth:`delta_cost`.
+
+        The default state is the command prefix itself, which makes the
+        default ``delta_cost`` a full recompute -- correct for any
+        subclass.  Subclasses override both methods together.
+        """
+        return ()
+
+    def delta_cost(
+        self, state: object, new_commands: Sequence[Command]
+    ) -> Tuple[object, float]:
+        """Charge only the appended commands of a growing prefix.
+
+        Returns ``(next_state, total_cost)`` where ``total_cost`` equals
+        ``commands_cost(prefix + new_commands)``; threading ``next_state``
+        through successive extensions is what lets Algorithm 1 cost each
+        expansion in O(|new_commands|).
+        """
+        commands = tuple(state) + tuple(new_commands)
+        return commands, self.commands_cost(commands)
 
     def plan_cost(self, plan: Plan) -> float:
         """Cost of a complete plan (defaults to its command list)."""
@@ -79,6 +109,17 @@ class SimpleCostFunction(CostFunction):
             if isinstance(c, AccessCommand)
         )
 
+    def cost_state(self) -> float:
+        """Running total; per-method weights are context-free."""
+        return 0.0
+
+    def delta_cost(
+        self, state: float, new_commands: Sequence[Command]
+    ) -> Tuple[float, float]:
+        """O(|new_commands|): add the appended commands' weights."""
+        total = state + self.commands_cost(new_commands)
+        return total, total
+
 
 @dataclass
 class CountingCostFunction(CostFunction):
@@ -89,6 +130,17 @@ class CountingCostFunction(CostFunction):
         return float(
             sum(1 for c in commands if isinstance(c, AccessCommand))
         )
+
+    def cost_state(self) -> float:
+        """Running total; counting is context-free."""
+        return 0.0
+
+    def delta_cost(
+        self, state: float, new_commands: Sequence[Command]
+    ) -> Tuple[float, float]:
+        """O(|new_commands|): count the appended access commands."""
+        total = state + self.commands_cost(new_commands)
+        return total, total
 
 
 @dataclass
@@ -109,6 +161,7 @@ class CardinalityCostFunction(CostFunction):
     per_access: float = 1.0
     per_tuple: float = 0.01
     join_selectivity: float = 0.5
+    select_selectivity: float = 0.5
     default_cardinality: int = 100
 
     def commands_cost(self, commands: Sequence[Command]) -> float:
@@ -116,22 +169,42 @@ class CardinalityCostFunction(CostFunction):
         estimates: Dict[str, float] = {}
         total = 0.0
         for command in commands:
-            if isinstance(command, AccessCommand):
-                fan_in = self._estimate(command.input_expr, estimates)
-                total += self.per_access + self.per_tuple * fan_in
-                # The access's own output size estimate.
-                relation = self._relation_of(command)
-                base = float(
-                    self.relation_cardinality.get(
-                        relation, self.default_cardinality
-                    )
-                )
-                estimates[command.target] = max(1.0, base)
-            else:
-                estimates[command.target] = self._estimate(
-                    command.expr, estimates
-                )
+            total += self._advance(estimates, command)
         return total
+
+    def cost_state(self) -> Tuple[float, Dict[str, float]]:
+        """Running total plus the table-size estimates so far."""
+        return 0.0, {}
+
+    def delta_cost(
+        self,
+        state: Tuple[float, Mapping[str, float]],
+        new_commands: Sequence[Command],
+    ) -> Tuple[Tuple[float, Dict[str, float]], float]:
+        """O(|new_commands|): the estimates dict carries the context."""
+        total, estimates = state
+        estimates = dict(estimates)
+        for command in new_commands:
+            total += self._advance(estimates, command)
+        return (total, estimates), total
+
+    def _advance(
+        self, estimates: Dict[str, float], command: Command
+    ) -> float:
+        """Record the command's output estimate; return its charge."""
+        if isinstance(command, AccessCommand):
+            fan_in = self._estimate(command.input_expr, estimates)
+            # The access's own output size estimate.
+            relation = self._relation_of(command)
+            base = float(
+                self.relation_cardinality.get(
+                    relation, self.default_cardinality
+                )
+            )
+            estimates[command.target] = max(1.0, base)
+            return self.per_access + self.per_tuple * fan_in
+        estimates[command.target] = self._estimate(command.expr, estimates)
+        return 0.0
 
     def _relation_of(self, command: AccessCommand) -> str:
         # Access commands do not carry the relation; the method name is the
@@ -148,7 +221,11 @@ class CardinalityCostFunction(CostFunction):
         if isinstance(expr, (Project, Rename)):
             return self._estimate(expr.child, estimates)
         if isinstance(expr, Select):
-            return max(1.0, 0.5 * self._estimate(expr.child, estimates))
+            return max(
+                1.0,
+                self.select_selectivity
+                * self._estimate(expr.child, estimates),
+            )
         if isinstance(expr, Join):
             left = self._estimate(expr.left, estimates)
             right = self._estimate(expr.right, estimates)

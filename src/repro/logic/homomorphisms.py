@@ -73,35 +73,81 @@ class FactIndex:
     monotonically increasing *generation* (its position in the log), and
     :meth:`facts_since` returns the suffix added after a given generation.
     This is the delta that semi-naive chase evaluation joins through.
+
+    Indexes support two flavours of duplication.  :meth:`copy` is a full
+    deep copy.  :meth:`fork` is copy-on-write: the fork shares the
+    parent's log as an immutable capped prefix segment and shares every
+    per-relation and per-position bucket until one side mutates it
+    (proof-search trees fork a configuration at every node expansion, and
+    most buckets are never touched again on either side).
     """
 
-    __slots__ = ("_by_relation", "_by_position", "_log", "_facts_of_cache")
+    __slots__ = (
+        "_by_relation",
+        "_by_position",
+        "_log",
+        "_log_prefix",
+        "_prefix_len",
+        "_facts_of_cache",
+        "_owned_rel",
+        "_owned_pos",
+    )
 
     def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._by_relation: Dict[str, Set[Atom]] = {}
         self._by_position: Dict[Tuple[str, int, Term], Set[Atom]] = {}
         self._log: List[Atom] = []
+        # Shared, logically immutable (list, capped-length) log segments
+        # inherited from fork ancestors; owners only ever append past the
+        # cap, so reads below it are stable.
+        self._log_prefix: Tuple[Tuple[List[Atom], int], ...] = ()
+        self._prefix_len = 0
         self._facts_of_cache: Dict[str, FrozenSet[Atom]] = {}
+        # None means "owns every bucket" (never forked); a set names the
+        # buckets cloned since the last fork, everything else is shared.
+        self._owned_rel: Optional[Set[str]] = None
+        self._owned_pos: Optional[Set[Tuple[str, int, Term]]] = None
         for fact in facts:
             self.add(fact)
 
     def add(self, fact: Atom) -> bool:
         """Insert a fact; returns False if it was already present."""
-        bucket = self._by_relation.setdefault(fact.relation, set())
-        if fact in bucket:
+        relation = fact.relation
+        bucket = self._by_relation.get(relation)
+        if bucket is None:
+            bucket = set()
+            self._by_relation[relation] = bucket
+            if self._owned_rel is not None:
+                self._owned_rel.add(relation)
+        elif fact in bucket:
             return False
+        elif self._owned_rel is not None and relation not in self._owned_rel:
+            bucket = set(bucket)
+            self._by_relation[relation] = bucket
+            self._owned_rel.add(relation)
         bucket.add(fact)
+        owned_pos = self._owned_pos
         for position, term in enumerate(fact.terms):
-            key = (fact.relation, position, term)
-            self._by_position.setdefault(key, set()).add(fact)
+            key = (relation, position, term)
+            entry = self._by_position.get(key)
+            if entry is None:
+                self._by_position[key] = {fact}
+                if owned_pos is not None:
+                    owned_pos.add(key)
+                continue
+            if owned_pos is not None and key not in owned_pos:
+                entry = set(entry)
+                self._by_position[key] = entry
+                owned_pos.add(key)
+            entry.add(fact)
         self._log.append(fact)
-        self._facts_of_cache.pop(fact.relation, None)
+        self._facts_of_cache.pop(relation, None)
         return True
 
     @property
     def generation(self) -> int:
         """Number of facts ever inserted (facts are never removed)."""
-        return len(self._log)
+        return self._prefix_len + len(self._log)
 
     def facts_since(self, generation: int) -> Tuple[Atom, ...]:
         """The facts inserted after ``generation``, in insertion order.
@@ -109,10 +155,19 @@ class FactIndex:
         The returned tuple is a stable snapshot: further insertions do not
         affect it, so callers may fire rules while iterating the delta.
         """
-        return tuple(self._log[generation:])
+        if generation >= self._prefix_len:
+            return tuple(self._log[generation - self._prefix_len:])
+        out: List[Atom] = []
+        offset = 0
+        for segment, cap in self._log_prefix:
+            if generation < offset + cap:
+                out.extend(segment[max(0, generation - offset):cap])
+            offset += cap
+        out.extend(self._log)
+        return tuple(out)
 
     def __len__(self) -> int:
-        return len(self._log)
+        return self._prefix_len + len(self._log)
 
     def __contains__(self, fact: Atom) -> bool:
         return fact in self._by_relation.get(fact.relation, ())
@@ -140,6 +195,18 @@ class FactIndex:
     def size_of(self, relation: str) -> int:
         """Number of facts of one relation, without materialising a set."""
         return len(self._by_relation.get(relation, ()))
+
+    def facts_with(
+        self, relation: str, position: int, term: Term
+    ) -> Tuple[Atom, ...]:
+        """Facts of ``relation`` holding ``term`` at ``position``.
+
+        A public snapshot view of the per-position index; the planner's
+        incremental candidate generation uses it to find the facts whose
+        access-method inputs just became accessible.
+        """
+        entry = self._by_position.get((relation, position, term))
+        return tuple(entry) if entry else ()
 
     def candidates(
         self,
@@ -177,12 +244,47 @@ class FactIndex:
         return tuple(chosen) if snapshot else chosen
 
     def copy(self) -> "FactIndex":
-        """An independent copy of the index."""
+        """An independent deep copy of the index."""
         clone = FactIndex.__new__(FactIndex)
         clone._by_relation = {k: set(v) for k, v in self._by_relation.items()}
         clone._by_position = {k: set(v) for k, v in self._by_position.items()}
+        # Prefix segments are append-only and capped, so sharing them is
+        # safe even under further mutation of either side.
+        clone._log_prefix = self._log_prefix
+        clone._prefix_len = self._prefix_len
         clone._log = list(self._log)
         clone._facts_of_cache = dict(self._facts_of_cache)
+        clone._owned_rel = None
+        clone._owned_pos = None
+        return clone
+
+    def fork(self) -> "FactIndex":
+        """A copy-on-write copy sharing the log prefix and all buckets.
+
+        After a fork both sides treat every current bucket as shared and
+        clone a bucket the first time they mutate it, so forking costs one
+        dict copy per index instead of one set copy per bucket.  The log
+        is shared as an immutable capped segment; each side appends to its
+        own tail, and :meth:`facts_since` stitches the view together.
+        """
+        clone = FactIndex.__new__(FactIndex)
+        clone._by_relation = dict(self._by_relation)
+        clone._by_position = dict(self._by_position)
+        clone._facts_of_cache = dict(self._facts_of_cache)
+        if self._log:
+            clone._log_prefix = self._log_prefix + (
+                (self._log, len(self._log)),
+            )
+        else:
+            clone._log_prefix = self._log_prefix
+        clone._prefix_len = self._prefix_len + len(self._log)
+        clone._log = []
+        clone._owned_rel = set()
+        clone._owned_pos = set()
+        # The parent's buckets are now shared too: it must clone before
+        # mutating, or the fork would observe the change.
+        self._owned_rel = set()
+        self._owned_pos = set()
         return clone
 
 

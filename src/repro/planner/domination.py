@@ -1,0 +1,397 @@
+"""Fingerprint-indexed domination pruning for Algorithm 1.
+
+Domination (the paper's second "Optimization") discards a freshly
+expanded node when some already-explored node has *at least as many
+useful facts* at no higher cost: a homomorphism from the new node's
+relevant facts (original, inferred-accessible and ``_accessible``
+relations) into the explored node's configuration, fixing the canonical
+constants of the query's free variables.
+
+The check is the search's hot loop: naively it scans every explored node
+and runs a full backtracking-join homomorphism against each.  This
+module makes the scan sublinear with a *signature subsumption* index:
+
+* every configuration gets a cheap canonical **signature** -- the set of
+  relations with at least one relevant fact, plus every *rigid* term
+  occurrence ``(relation, position, term)`` where rigid means a schema
+  constant or a frozen head null (the terms a domination homomorphism
+  must map to themselves);
+* a homomorphism of the candidate's pattern into a target configuration
+  maps each pattern atom to a fact of the *same* relation that agrees
+  with it on every rigid position, so the target's signature necessarily
+  **contains** the candidate's -- signature subsumption is a sound
+  prefilter (it can only admit false positives, never reject a true
+  dominator);
+* the registry keeps an inverted index from signature elements to the
+  nodes whose signatures contain them; candidate dominators are the
+  intersection of the posting lists of the child's signature elements,
+  visited cheapest-cost-first, and the full ``find_homomorphism`` runs
+  only on those survivors.
+
+Per-relation fact *counts* are deliberately not part of the subsumption
+test: homomorphisms need not be injective, so a dominator may hold fewer
+facts of a relation than the pattern it absorbs (several pattern facts
+collapsing onto one image).  Requiring ``count >= count`` would wrongly
+reject such dominators.
+
+:class:`LinearRegistry` preserves the original linear scan as a
+differential-testing oracle, and :class:`DifferentialRegistry` runs both
+side by side, asserting they agree on every single check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.chase.configuration import ChaseConfiguration
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.homomorphisms import find_homomorphism
+from repro.logic.terms import Constant, Null, Term
+from repro.schema.accessible import is_accessed_name
+
+_EPS = 1e-12
+
+SignatureElement = Tuple
+Signature = FrozenSet[SignatureElement]
+
+
+def relevant_facts(config: ChaseConfiguration) -> List[Atom]:
+    """Facts the domination homomorphism must preserve.
+
+    The paper requires preservation of original-schema and
+    inferred-accessible facts; we additionally preserve ``_accessible``
+    facts, which only makes domination *harder* to establish (strictly
+    fewer prunes -- safe).
+    """
+    out: List[Atom] = []
+    for relation in config.relations():
+        if is_accessed_name(relation):
+            continue
+        out.extend(config.facts_of(relation))
+    return out
+
+
+def signature_of(
+    pattern: Sequence[Atom], rigid: FrozenSet[Term]
+) -> Signature:
+    """The canonical signature of a configuration's relevant facts.
+
+    Elements are ``("rel", R)`` per populated relation and
+    ``("occ", R, i, t)`` per rigid term occurrence.  ``rigid`` holds the
+    frozen head nulls; schema constants are always rigid.
+    """
+    elements: Set[SignatureElement] = set()
+    for atom in pattern:
+        elements.add(("rel", atom.relation))
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant) or term in rigid:
+                elements.add(("occ", atom.relation, position, term))
+    return frozenset(elements)
+
+
+@dataclass
+class DominationStats:
+    """Instrumentation of the domination check across one search run.
+
+    * ``checks`` -- how many nodes were tested for domination;
+    * ``registry_scanned`` -- explored nodes a linear scan would have
+      examined (the sum of registry sizes at each check);
+    * ``candidates`` -- nodes surviving the signature-subsumption
+      prefilter (before the cost cutoff);
+    * ``hom_calls`` -- full ``find_homomorphism`` invocations actually
+      run;
+    * ``time_seconds`` -- wall time inside the check.
+    """
+
+    checks: int = 0
+    registry_scanned: int = 0
+    candidates: int = 0
+    hom_calls: int = 0
+    time_seconds: float = 0.0
+
+    @property
+    def hom_calls_avoided(self) -> int:
+        """Homomorphism checks the index saved over a linear scan."""
+        return self.registry_scanned - self.hom_calls
+
+    def as_dict(self) -> dict:
+        """A JSON-ready flat rendering (used by benchmark reports)."""
+        return {
+            "checks": self.checks,
+            "registry_scanned": self.registry_scanned,
+            "candidates": self.candidates,
+            "hom_calls": self.hom_calls,
+            "hom_calls_avoided": self.hom_calls_avoided,
+            "time_seconds": self.time_seconds,
+        }
+
+
+@dataclass
+class _Entry:
+    """One registered (explored, non-pruned) search node."""
+
+    node_id: int
+    cost: float
+    config: ChaseConfiguration
+    signature: Signature
+
+
+class DominationRegistry:
+    """Interface shared by the indexed registry and the linear oracle."""
+
+    def __init__(
+        self, frozen: Substitution, rigid: FrozenSet[Term]
+    ) -> None:
+        # The identity substitution on the frozen head nulls: domination
+        # must preserve the canonical constants of the free variables.
+        self.frozen = frozen
+        self.rigid = rigid
+        self.stats = DominationStats()
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def register(
+        self, node_id: int, cost: float, config: ChaseConfiguration
+    ) -> None:
+        """Admit an explored node as a potential future dominator."""
+        raise NotImplementedError
+
+    def find_dominator(
+        self, cost: float, config: ChaseConfiguration
+    ) -> Optional[int]:
+        """The node id of a dominator of (cost, config), or None."""
+        tick = time.perf_counter()
+        try:
+            return self._find(cost, config)
+        finally:
+            self.stats.time_seconds += time.perf_counter() - tick
+
+    def _find(
+        self, cost: float, config: ChaseConfiguration
+    ) -> Optional[int]:
+        raise NotImplementedError
+
+
+class FingerprintRegistry(DominationRegistry):
+    """Signature-subsumption buckets over an inverted element index."""
+
+    def __init__(
+        self, frozen: Substitution, rigid: FrozenSet[Term]
+    ) -> None:
+        super().__init__(frozen, rigid)
+        self._entries: List[_Entry] = []
+        self._postings: Dict[SignatureElement, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def register(
+        self, node_id: int, cost: float, config: ChaseConfiguration
+    ) -> None:
+        """Index the node under every element of its signature."""
+        signature = signature_of(relevant_facts(config), self.rigid)
+        slot = len(self._entries)
+        self._entries.append(_Entry(node_id, cost, config, signature))
+        for element in signature:
+            self._postings.setdefault(element, []).append(slot)
+
+    def _find(
+        self, cost: float, config: ChaseConfiguration
+    ) -> Optional[int]:
+        self.stats.checks += 1
+        self.stats.registry_scanned += len(self._entries)
+        pattern = relevant_facts(config)
+        signature = signature_of(pattern, self.rigid)
+        survivors = self._subsuming_entries(signature)
+        if not survivors:
+            return None
+        self.stats.candidates += len(survivors)
+        survivors.sort(key=lambda entry: entry.cost)
+        for entry in survivors:
+            if entry.cost > cost + _EPS:
+                break  # cost-sorted: nothing cheaper remains
+            self.stats.hom_calls += 1
+            hom = find_homomorphism(
+                pattern, entry.config.index, self.frozen, map_nulls=True
+            )
+            if hom is not None:
+                return entry.node_id
+        return None
+
+    def _subsuming_entries(self, signature: Signature) -> List[_Entry]:
+        """Entries whose signature contains every element of ``signature``."""
+        if not signature:
+            return list(self._entries)
+        postings: List[List[int]] = []
+        for element in signature:
+            posting = self._postings.get(element)
+            if posting is None:
+                return []
+            postings.append(posting)
+        postings.sort(key=len)
+        slots = set(postings[0])
+        for posting in postings[1:]:
+            slots.intersection_update(posting)
+            if not slots:
+                return []
+        return [self._entries[slot] for slot in slots]
+
+
+class LinearRegistry(DominationRegistry):
+    """The original O(registry) scan, kept as the differential oracle."""
+
+    def __init__(
+        self, frozen: Substitution, rigid: FrozenSet[Term]
+    ) -> None:
+        super().__init__(frozen, rigid)
+        self._entries: List[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def register(
+        self, node_id: int, cost: float, config: ChaseConfiguration
+    ) -> None:
+        """Append the node; signatures are not needed for the scan."""
+        self._entries.append(
+            _Entry(node_id, cost, config, frozenset())
+        )
+
+    def _find(
+        self, cost: float, config: ChaseConfiguration
+    ) -> Optional[int]:
+        self.stats.checks += 1
+        self.stats.registry_scanned += len(self._entries)
+        pattern = relevant_facts(config)
+        pattern_relations = {atom.relation for atom in pattern}
+        for entry in self._entries:
+            if entry.cost > cost + _EPS:
+                continue
+            # Cheap prefilter: a homomorphism needs every relation of the
+            # pattern present in the target configuration.
+            if not pattern_relations <= set(entry.config.relations()):
+                continue
+            self.stats.candidates += 1
+            self.stats.hom_calls += 1
+            hom = find_homomorphism(
+                pattern, entry.config.index, self.frozen, map_nulls=True
+            )
+            if hom is not None:
+                return entry.node_id
+        return None
+
+
+class NaiveRegistry(DominationRegistry):
+    """A full homomorphism check against every cost-eligible node.
+
+    The unoptimized reference point of the search benchmarks: no
+    signature index and no relation prefilter, so ``hom_calls`` measures
+    what domination costs without any indexing.  Prune outcomes are
+    identical to the other registries (the extra homomorphism attempts
+    all fail on entries the prefilters would have skipped).
+    """
+
+    def __init__(
+        self, frozen: Substitution, rigid: FrozenSet[Term]
+    ) -> None:
+        super().__init__(frozen, rigid)
+        self._entries: List[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def register(
+        self, node_id: int, cost: float, config: ChaseConfiguration
+    ) -> None:
+        """Append the node."""
+        self._entries.append(
+            _Entry(node_id, cost, config, frozenset())
+        )
+
+    def _find(
+        self, cost: float, config: ChaseConfiguration
+    ) -> Optional[int]:
+        self.stats.checks += 1
+        self.stats.registry_scanned += len(self._entries)
+        pattern = relevant_facts(config)
+        for entry in self._entries:
+            if entry.cost > cost + _EPS:
+                continue
+            self.stats.candidates += 1
+            self.stats.hom_calls += 1
+            hom = find_homomorphism(
+                pattern, entry.config.index, self.frozen, map_nulls=True
+            )
+            if hom is not None:
+                return entry.node_id
+        return None
+
+
+class DominationMismatch(AssertionError):
+    """The fingerprint index and the linear oracle disagreed."""
+
+
+class DifferentialRegistry(DominationRegistry):
+    """Runs the fingerprint index against the linear oracle on every check.
+
+    Raises :class:`DominationMismatch` the moment the two disagree on
+    whether a dominator exists; reported stats are the fingerprint
+    side's.  Slow by construction -- for tests and audits only.
+    """
+
+    def __init__(
+        self, frozen: Substitution, rigid: FrozenSet[Term]
+    ) -> None:
+        super().__init__(frozen, rigid)
+        self.indexed = FingerprintRegistry(frozen, rigid)
+        self.oracle = LinearRegistry(frozen, rigid)
+        self.stats = self.indexed.stats
+
+    def __len__(self) -> int:
+        return len(self.indexed)
+
+    def register(
+        self, node_id: int, cost: float, config: ChaseConfiguration
+    ) -> None:
+        """Register with both sides."""
+        self.indexed.register(node_id, cost, config)
+        self.oracle.register(node_id, cost, config)
+
+    def find_dominator(
+        self, cost: float, config: ChaseConfiguration
+    ) -> Optional[int]:
+        """Check both sides; any disagreement is a hard error."""
+        fast = self.indexed.find_dominator(cost, config)
+        slow = self.oracle.find_dominator(cost, config)
+        if (fast is None) != (slow is None):
+            raise DominationMismatch(
+                f"fingerprint says dominator={fast!r}, "
+                f"linear oracle says dominator={slow!r} "
+                f"for a node of cost {cost} "
+                f"({len(self.indexed)} registered nodes)"
+            )
+        return fast
+
+
+REGISTRY_KINDS = ("fingerprint", "linear", "naive", "differential")
+
+
+def make_registry(
+    kind: str, frozen: Substitution, rigid: FrozenSet[Term]
+) -> DominationRegistry:
+    """Build the requested registry flavour."""
+    if kind == "fingerprint":
+        return FingerprintRegistry(frozen, rigid)
+    if kind == "linear":
+        return LinearRegistry(frozen, rigid)
+    if kind == "naive":
+        return NaiveRegistry(frozen, rigid)
+    if kind == "differential":
+        return DifferentialRegistry(frozen, rigid)
+    raise ValueError(
+        f"unknown domination index {kind!r}; "
+        f"expected one of {REGISTRY_KINDS}"
+    )

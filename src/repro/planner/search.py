@@ -19,12 +19,30 @@ Pruning (the paper's "Optimizations"):
 Search order follows the paper: depth-first on the leftmost branch, with
 candidates ordered by derivation depth and methods by expected cost; a
 best-first (cheapest partial plan) strategy is also provided.
+
+The hot loop is incremental end to end (see ``docs/theory.md``,
+"Search-state indexing and incrementality"):
+
+* domination queries go through a fingerprint-indexed registry
+  (:mod:`repro.planner.domination`) instead of a linear scan, with the
+  old scan available as a differential oracle (``domination_index``);
+* children inherit the parent's ranked candidate list and extend it only
+  from ``config.facts_since(parent_generation)`` plus facts whose input
+  positions newly became accessible (``incremental_candidates``);
+* monotone cost functions are charged only for the appended commands via
+  :meth:`CostFunction.delta_cost` (``incremental_cost``);
+* configuration forks are copy-on-write (``cow_configs``), sharing the
+  parent's generation-log prefix instead of deep-copying the index.
+
+Each piece can be switched back to the original full recomputation for
+differential testing and the search benchmarks' baseline mode.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -37,9 +55,13 @@ from repro.cost.functions import (
     SimpleCostFunction,
 )
 from repro.logic.atoms import Atom, Substitution
-from repro.logic.homomorphisms import find_homomorphism
 from repro.logic.queries import ConjunctiveQuery
-from repro.logic.terms import Null, NullFactory, Variable
+from repro.logic.terms import Null, NullFactory, Term, Variable
+from repro.planner.domination import (
+    DominationRegistry,
+    DominationStats,
+    make_registry,
+)
 from repro.planner.plan_state import PlanState, PlanningError
 from repro.planner.proof_to_plan import (
     ChaseProof,
@@ -84,6 +106,17 @@ class SearchOptions:
     max_nodes: Optional[int] = None
     stop_on_first: bool = False
     collect_tree: bool = False
+    # Domination registry flavour: "fingerprint" (signature-subsumption
+    # index), "linear" (the original prefiltered scan), "naive" (a full
+    # homomorphism per registered node -- the benchmarks' unoptimized
+    # reference), or "differential" (fingerprint + linear, with
+    # agreement asserted on every check).
+    domination_index: str = "fingerprint"
+    # Incremental hot-loop machinery; each switch falls back to the
+    # original full recomputation when False (baseline/differential mode).
+    incremental_candidates: bool = True
+    incremental_cost: bool = True
+    cow_configs: bool = True
 
 
 @dataclass
@@ -99,6 +132,55 @@ class SearchStats:
     best_cost_history: List[float] = field(default_factory=list)
     # Aggregated instrumentation of every per-node chase saturation.
     chase: ChaseStats = field(default_factory=ChaseStats)
+    # Domination-check breakdown (see repro.planner.domination).
+    domination: DominationStats = field(default_factory=DominationStats)
+    # Candidate generation: pairs inherited from the parent's list vs.
+    # freshly discovered from the configuration delta.
+    candidates_inherited: int = 0
+    candidates_fresh: int = 0
+    # Wall time inside the hot loop's three incremental pieces.
+    time_copy: float = 0.0
+    time_candidates: float = 0.0
+    time_cost: float = 0.0
+
+    def summary(self) -> str:
+        """A human-readable breakdown (printed by ``--search-stats``)."""
+        d = self.domination
+        return "\n".join(
+            [
+                f"nodes: created={self.nodes_created} "
+                f"expanded={self.nodes_expanded} successes={self.successes}",
+                f"pruned: cost={self.pruned_by_cost} "
+                f"domination={self.pruned_by_domination} "
+                f"depth={self.pruned_by_depth}",
+                f"domination checks: {d.checks} "
+                f"(candidates={d.candidates} hom_calls={d.hom_calls} "
+                f"avoided={d.hom_calls_avoided} "
+                f"time={d.time_seconds:.4f}s)",
+                f"candidates: inherited={self.candidates_inherited} "
+                f"fresh={self.candidates_fresh}",
+                f"time: copy={self.time_copy:.4f}s "
+                f"candidates={self.time_candidates:.4f}s "
+                f"cost={self.time_cost:.4f}s",
+            ]
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (used by ``benchmarks/bench_search.py``)."""
+        return {
+            "nodes_created": self.nodes_created,
+            "nodes_expanded": self.nodes_expanded,
+            "successes": self.successes,
+            "pruned_by_cost": self.pruned_by_cost,
+            "pruned_by_domination": self.pruned_by_domination,
+            "pruned_by_depth": self.pruned_by_depth,
+            "domination": self.domination.as_dict(),
+            "candidates_inherited": self.candidates_inherited,
+            "candidates_fresh": self.candidates_fresh,
+            "time_copy": self.time_copy,
+            "time_candidates": self.time_candidates,
+            "time_cost": self.time_cost,
+        }
 
 
 @dataclass
@@ -113,7 +195,44 @@ class SearchNode:
     cost: float
     successful: bool = False
     pruned: Optional[str] = None
-    pending: List[Tuple[Atom, AccessMethod]] = field(default_factory=list)
+    # Full ranked candidate list (rank, fact, method); children inherit
+    # it, so it is never truncated -- ``limit`` caps consumption (beam
+    # search) and ``cursor`` walks it in O(1) per candidate.
+    candidates: List[Tuple[Tuple, Atom, AccessMethod]] = field(
+        default_factory=list
+    )
+    cursor: int = 0
+    limit: Optional[int] = None
+    # Configuration generation at finalize time: children ask
+    # ``facts_since(parent.generation)`` for their candidate delta.
+    generation: int = 0
+    # Opaque CostFunction accumulator threaded through delta_cost.
+    cost_state: object = None
+
+    @property
+    def _end(self) -> int:
+        if self.limit is None:
+            return len(self.candidates)
+        return min(self.limit, len(self.candidates))
+
+    @property
+    def pending(self) -> List[Tuple[Atom, AccessMethod]]:
+        """Remaining (fact, method) candidates, in search order."""
+        return [
+            (fact, method)
+            for _, fact, method in self.candidates[self.cursor : self._end]
+        ]
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any candidate remains to be expanded."""
+        return self.cursor < self._end
+
+    def next_candidate(self) -> Tuple[Atom, AccessMethod]:
+        """Consume and return the next candidate (cursor advance)."""
+        _, fact, method = self.candidates[self.cursor]
+        self.cursor += 1
+        return fact, method
 
     @property
     def depth(self) -> int:
@@ -123,7 +242,7 @@ class SearchNode:
     @property
     def is_terminal(self) -> bool:
         """Successful or out of candidates (Algorithm 1's terminal nodes)."""
-        return self.successful or not self.pending
+        return self.successful or not self.has_pending
 
 
 @dataclass
@@ -205,8 +324,9 @@ class _Searcher:
         self.best_cost = float("inf")
         self.best_proof: Optional[ChaseProof] = None
         self.nodes: List[SearchNode] = []
-        # Domination registry: every non-pruned node explored so far.
-        self._registry: List[SearchNode] = []
+        # Domination registry over every non-pruned node explored so far;
+        # built in _make_root once the frozen head nulls are known.
+        self._registry: Optional[DominationRegistry] = None
         self.saturation_log = SaturationLog()
         self._drained = False
         self._ids = itertools.count()
@@ -215,6 +335,22 @@ class _Searcher:
         self._method_priority = {
             m.name: (self.cost.method_cost(m.name), m.name)
             for m in self.schema.methods
+        }
+        # Accessed relations only: relations without methods can never be
+        # exposed, so candidate generation skips them entirely.
+        self._methods_by_relation: Dict[str, Tuple[AccessMethod, ...]] = {
+            r.name: tuple(self.schema.methods_of(r.name))
+            for r in self.schema.relations
+            if self.schema.methods_of(r.name)
+        }
+        # Input positions a relation's methods read: when a term becomes
+        # accessible, only facts holding it in one of these positions can
+        # turn into new candidates.
+        self._input_positions: Dict[str, Tuple[int, ...]] = {
+            relation: tuple(
+                sorted({p for m in methods for p in m.input_positions})
+            )
+            for relation, methods in self._methods_by_relation.items()
         }
 
     # ------------------------------------------------------------- setup
@@ -227,6 +363,12 @@ class _Searcher:
             log=self.saturation_log,
         )
         self.head_nulls = frozen
+        rigid = frozenset(self.head_nulls.values())
+        self._registry = make_registry(
+            self.options.domination_index,
+            Substitution({null: null for null in rigid}),
+            rigid,
+        )
         root = SearchNode(
             node_id=next(self._ids),
             parent_id=None,
@@ -234,19 +376,26 @@ class _Searcher:
             state=PlanState(),
             exposures=(),
             cost=0.0,
+            cost_state=(
+                self.cost.cost_state()
+                if self.options.incremental_cost
+                else None
+            ),
         )
         self._finalize_node(root)
         return root
 
     # ------------------------------------------------------------- main
     def run(self) -> SearchResult:
-        """Execute every command; returns the output table."""
+        """Drive the chosen search strategy over the bounded proof space
+        and package the best plan found (if any) with its statistics."""
         root = self._make_root()
         if self.options.strategy == "best-first":
             self._run_best_first(root)
         else:
             self._run_dfs(root)
         self.stats.chase = self.saturation_log.stats
+        self.stats.domination = self._registry.stats
         return SearchResult(
             best_plan=self.best_plan,
             best_cost=self.best_cost,
@@ -269,7 +418,7 @@ class _Searcher:
             if node.is_terminal:
                 stack.pop()
                 continue
-            fact, method = node.pending.pop(0)
+            fact, method = node.next_candidate()
             child = self._expand(node, fact, method)
             if child is not None:
                 if self.options.stop_on_first and child.successful:
@@ -287,8 +436,8 @@ class _Searcher:
             _, _, node = heapq.heappop(heap)
             if node.successful:
                 continue
-            while node.pending:
-                fact, method = node.pending.pop(0)
+            while node.has_pending:
+                fact, method = node.next_candidate()
                 child = self._expand(node, fact, method)
                 if child is not None:
                     if self.options.stop_on_first and child.successful:
@@ -310,7 +459,12 @@ class _Searcher:
         self, node: SearchNode, fact: Atom, method: AccessMethod
     ) -> Optional[SearchNode]:
         self.stats.nodes_expanded += 1
-        config = node.config.copy()
+        tick = time.perf_counter()
+        if self.options.cow_configs:
+            config = node.config.copy()
+        else:
+            config = node.config.deep_copy()
+        self.stats.time_copy += time.perf_counter() - tick
         try:
             state, _exposed = fire_access(
                 config,
@@ -328,7 +482,15 @@ class _Searcher:
         if state.access_command_count > self.options.max_accesses:
             self.stats.pruned_by_depth += 1
             return None
-        cost = self.cost.commands_cost(state.commands)
+        tick = time.perf_counter()
+        if self.options.incremental_cost:
+            new_commands = state.commands[len(node.state.commands) :]
+            cost_state, cost = self.cost.delta_cost(
+                node.cost_state, new_commands
+            )
+        else:
+            cost_state, cost = None, self.cost.commands_cost(state.commands)
+        self.stats.time_cost += time.perf_counter() - tick
         child = SearchNode(
             node_id=next(self._ids),
             parent_id=node.node_id,
@@ -336,23 +498,31 @@ class _Searcher:
             state=state,
             exposures=node.exposures + (Exposure(fact, method.name),),
             cost=cost,
+            cost_state=cost_state,
         )
         if self.options.prune_by_cost and cost >= self.best_cost:
             self.stats.pruned_by_cost += 1
             child.pruned = "cost"
             self._record(child)
             return None
-        if self.options.domination and self._is_dominated(child):
+        if (
+            self.options.domination
+            and self._registry.find_dominator(child.cost, child.config)
+            is not None
+        ):
             self.stats.pruned_by_domination += 1
             child.pruned = "domination"
             self._record(child)
             return None
-        self._finalize_node(child)
+        self._finalize_node(child, parent=node)
         return child
 
-    def _finalize_node(self, node: SearchNode) -> None:
+    def _finalize_node(
+        self, node: SearchNode, parent: Optional[SearchNode] = None
+    ) -> None:
         """Success check, candidate generation, registration."""
         self.stats.nodes_created += 1
+        node.generation = node.config.generation
         match = success_match(node.config, self.query, self.head_nulls)
         if match is not None:
             node.successful = True
@@ -368,84 +538,140 @@ class _Searcher:
                 self.best_proof = ChaseProof(self.query, node.exposures)
                 self.stats.best_cost_history.append(plan_cost)
         else:
-            node.pending = self._candidates(node)
+            tick = time.perf_counter()
+            if parent is not None and self.options.incremental_candidates:
+                node.candidates = self._child_candidates(node, parent)
+            else:
+                node.candidates = self._full_candidates(node)
+            if self.options.beam_width is not None:
+                node.limit = self.options.beam_width
+            self.stats.time_candidates += time.perf_counter() - tick
         self._record(node)
-        self._registry.append(node)
+        if self.options.domination:
+            self._registry.register(node.node_id, node.cost, node.config)
 
     def _record(self, node: SearchNode) -> None:
         if self.options.collect_tree:
             self.nodes.append(node)
 
-    def _candidates(
+    # -------------------------------------------------------- candidates
+    def _rank(
+        self, config: ChaseConfiguration, fact: Atom, method: AccessMethod
+    ) -> Tuple:
+        """The node-independent sort key of a candidate pair.
+
+        Derivation depth comes from the fact's provenance, fixed at first
+        insertion and shared down the branch, so a pair ranks identically
+        in every configuration containing the fact -- which is what lets
+        children merge inherited and fresh candidates without re-sorting.
+        """
+        if self.options.candidate_order == "method":
+            return (
+                self._method_priority[method.name],
+                config.depth(fact),
+                repr(fact),
+            )
+        return (
+            config.depth(fact),
+            self._method_priority[method.name],
+            repr(fact),
+        )
+
+    def _full_candidates(
         self, node: SearchNode
-    ) -> List[Tuple[Atom, AccessMethod]]:
-        """Candidate (fact, method) pairs for exposure, in search order."""
-        out: List[Tuple[Atom, AccessMethod, Tuple]] = []
-        for relation in self.schema.relations:
-            methods = self.schema.methods_of(relation.name)
-            if not methods:
-                continue
-            for fact in node.config.facts_of(relation.name):
-                accessed = fact.rename_relation(accessed_name(fact.relation))
-                if accessed in node.config:
+    ) -> List[Tuple[Tuple, Atom, AccessMethod]]:
+        """Candidate (fact, method) pairs for exposure, in search order.
+
+        Full rescan of every accessed relation -- used for the root and
+        as the non-incremental baseline.
+        """
+        config = node.config
+        out: List[Tuple[Tuple, Atom, AccessMethod]] = []
+        for relation, methods in self._methods_by_relation.items():
+            for fact in config.facts_of(relation):
+                accessed = fact.rename_relation(
+                    accessed_name(fact.relation)
+                )
+                if accessed in config:
                     continue
                 for method in methods:
                     if all(
-                        node.config.is_accessible(fact.terms[p])
+                        config.is_accessible(fact.terms[p])
                         for p in method.input_positions
                     ):
-                        if self.options.candidate_order == "method":
-                            rank = (
-                                self._method_priority[method.name],
-                                node.config.depth(fact),
-                                repr(fact),
-                            )
-                        else:
-                            rank = (
-                                node.config.depth(fact),
-                                self._method_priority[method.name],
-                                repr(fact),
-                            )
-                        out.append((fact, method, rank))
-        out.sort(key=lambda item: item[2])
-        candidates = [(fact, method) for fact, method, _ in out]
-        if self.options.beam_width is not None:
-            candidates = candidates[: self.options.beam_width]
-        return candidates
+                        out.append((self._rank(config, fact, method), fact, method))
+        out.sort(key=lambda item: item[0])
+        return out
 
-    # -------------------------------------------------------- domination
-    def _is_dominated(self, child: SearchNode) -> bool:
-        pattern = _relevant_facts(child.config)
-        child_relations = {atom.relation for atom in pattern}
-        frozen = Substitution(
-            {null: null for null in self.head_nulls.values()}
+    def _child_candidates(
+        self, node: SearchNode, parent: SearchNode
+    ) -> List[Tuple[Tuple, Atom, AccessMethod]]:
+        """Incremental candidate generation from the parent's list.
+
+        Sound because configurations only grow along a branch: a pair
+        valid in the parent stays valid in the child unless its fact got
+        an accessed copy (checked during inheritance), and a pair valid
+        in the child but not in the parent must involve either a fact
+        from the delta ``facts_since(parent.generation)`` or a fact whose
+        missing input term became accessible in that delta.
+        """
+        config = node.config
+        inherited: List[Tuple[Tuple, Atom, AccessMethod]] = []
+        seen: Set[Tuple[Atom, str]] = set()
+        for rank, fact, method in parent.candidates:
+            accessed = fact.rename_relation(accessed_name(fact.relation))
+            if accessed in config:
+                continue
+            inherited.append((rank, fact, method))
+            seen.add((fact, method.name))
+        fresh: List[Tuple[Tuple, Atom, AccessMethod]] = []
+        new_terms: List[Term] = []
+        for fact in config.facts_since(parent.generation):
+            if fact.relation == ACCESSIBLE:
+                new_terms.append(fact.terms[0])
+                continue
+            methods = self._methods_by_relation.get(fact.relation)
+            if methods:
+                self._try_candidate(config, fact, methods, seen, fresh)
+        for term in new_terms:
+            for relation, positions in self._input_positions.items():
+                methods = self._methods_by_relation[relation]
+                for position in positions:
+                    for fact in config.index.facts_with(
+                        relation, position, term
+                    ):
+                        self._try_candidate(
+                            config, fact, methods, seen, fresh
+                        )
+        fresh.sort(key=lambda item: item[0])
+        self.stats.candidates_inherited += len(inherited)
+        self.stats.candidates_fresh += len(fresh)
+        # Ranks are node-independent and the inherited list is already
+        # sorted (a filtered subsequence of the parent's), so a linear
+        # merge reproduces the full rescan's order exactly.
+        return list(
+            heapq.merge(inherited, fresh, key=lambda item: item[0])
         )
-        for other in self._registry:
-            if other.cost > child.cost + 1e-12:
+
+    def _try_candidate(
+        self,
+        config: ChaseConfiguration,
+        fact: Atom,
+        methods: Sequence[AccessMethod],
+        seen: Set[Tuple[Atom, str]],
+        out: List[Tuple[Tuple, Atom, AccessMethod]],
+    ) -> None:
+        """Append every fireable (fact, method) pair not seen before."""
+        accessed = fact.rename_relation(accessed_name(fact.relation))
+        if accessed in config:
+            return
+        for method in methods:
+            key = (fact, method.name)
+            if key in seen:
                 continue
-            # Cheap prefilter: a homomorphism needs every relation of the
-            # pattern present in the target configuration.
-            if not child_relations <= set(other.config.relations()):
-                continue
-            hom = find_homomorphism(
-                pattern, other.config.index, frozen, map_nulls=True
-            )
-            if hom is not None:
-                return True
-        return False
-
-
-def _relevant_facts(config: ChaseConfiguration) -> List[Atom]:
-    """Facts the domination homomorphism must preserve.
-
-    The paper requires preservation of original-schema and
-    inferred-accessible facts; we additionally preserve ``_accessible``
-    facts, which only makes domination *harder* to establish (strictly
-    fewer prunes -- safe).
-    """
-    out: List[Atom] = []
-    for relation in config.relations():
-        if is_accessed_name(relation):
-            continue
-        out.extend(config.facts_of(relation))
-    return out
+            if all(
+                config.is_accessible(fact.terms[p])
+                for p in method.input_positions
+            ):
+                seen.add(key)
+                out.append((self._rank(config, fact, method), fact, method))

@@ -1,0 +1,154 @@
+"""Copy-on-write configuration forking: independence and sharing."""
+
+from collections import ChainMap
+
+import pytest
+
+from repro.chase.configuration import ChaseConfiguration, Provenance
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null
+
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+N = Null("n")
+
+
+def config_of(*facts):
+    return ChaseConfiguration(facts)
+
+
+class TestForkIndependence:
+    def test_child_writes_do_not_leak_to_parent(self):
+        parent = config_of(Atom("R", (A,)))
+        child = parent.copy()
+        assert child.add(Atom("R", (B,)))
+        assert child.add(Atom("S", (C,)))
+        assert Atom("R", (B,)) not in parent
+        assert "S" not in set(parent.relations())
+        assert len(parent) == 1
+        assert parent.facts_of("R") == frozenset({Atom("R", (A,))})
+
+    def test_parent_writes_do_not_leak_to_child(self):
+        parent = config_of(Atom("R", (A,)))
+        child = parent.copy()
+        assert parent.add(Atom("R", (B,)))
+        assert Atom("R", (B,)) not in child
+        assert len(child) == 1
+
+    def test_fork_of_fork(self):
+        root = config_of(Atom("R", (A,)))
+        middle = root.copy()
+        middle.add(Atom("R", (B,)))
+        leaf = middle.copy()
+        leaf.add(Atom("R", (C,)))
+        assert len(root) == 1
+        assert len(middle) == 2
+        assert len(leaf) == 3
+        middle.add(Atom("S", (A,)))
+        assert "S" not in set(leaf.relations())
+        assert "S" not in set(root.relations())
+
+    def test_sibling_forks_are_independent(self):
+        parent = config_of(Atom("R", (A,)))
+        left, right = parent.copy(), parent.copy()
+        left.add(Atom("R", (B,)))
+        right.add(Atom("R", (C,)))
+        assert Atom("R", (B,)) not in right
+        assert Atom("R", (C,)) not in left
+
+    def test_accessible_terms_are_independent(self):
+        parent = config_of(Atom("_accessible", (A,)))
+        child = parent.copy()
+        child.add(Atom("_accessible", (B,)))
+        assert child.is_accessible(B)
+        assert not parent.is_accessible(B)
+        assert parent.is_accessible(A) and child.is_accessible(A)
+
+
+class TestForkDeltas:
+    def test_facts_since_spans_the_fork(self):
+        parent = config_of(Atom("R", (A,)))
+        watermark = parent.generation
+        child = parent.copy()
+        child.add(Atom("R", (B,)))
+        child.add(Atom("S", (C,)))
+        assert child.facts_since(watermark) == (
+            Atom("R", (B,)),
+            Atom("S", (C,)),
+        )
+        assert parent.facts_since(watermark) == ()
+
+    def test_generation_carries_over_the_fork(self):
+        parent = config_of(Atom("R", (A,)), Atom("R", (B,)))
+        child = parent.copy()
+        assert child.generation == parent.generation
+        child.add(Atom("R", (C,)))
+        assert child.generation == parent.generation + 1
+
+    def test_delta_from_mid_parent_watermark(self):
+        parent = ChaseConfiguration()
+        parent.add(Atom("R", (A,)))
+        watermark = parent.generation
+        parent.add(Atom("R", (B,)))
+        child = parent.copy()
+        child.add(Atom("R", (C,)))
+        assert child.facts_since(watermark) == (
+            Atom("R", (B,)),
+            Atom("R", (C,)),
+        )
+
+
+class TestForkProvenance:
+    def test_inherited_provenance_readable(self):
+        parent = config_of(Atom("R", (A,)))
+        child = parent.copy()
+        assert child.depth(Atom("R", (A,))) == 0
+        assert child.provenance(Atom("R", (A,))).rule == "<initial>"
+
+    def test_child_provenance_shadows_only_new_facts(self):
+        parent = config_of(Atom("R", (A,)))
+        child = parent.copy()
+        derived = Provenance(
+            rule="r1", trigger_facts=(Atom("R", (A,)),), depth=3
+        )
+        child.add(Atom("S", (B,)), derived)
+        assert child.depth(Atom("S", (B,))) == 3
+        with pytest.raises(KeyError):
+            parent.provenance(Atom("S", (B,)))
+
+    def test_readding_does_not_change_provenance(self):
+        parent = config_of(Atom("R", (A,)))
+        child = parent.copy()
+        assert not child.add(
+            Atom("R", (A,)), Provenance("late", (), depth=9)
+        )
+        assert child.depth(Atom("R", (A,))) == 0
+
+
+class TestDeepCopy:
+    def test_deep_copy_is_independent_both_ways(self):
+        parent = config_of(Atom("R", (A,)))
+        clone = parent.deep_copy()
+        clone.add(Atom("R", (B,)))
+        parent.add(Atom("R", (C,)))
+        assert Atom("R", (B,)) not in parent
+        assert Atom("R", (C,)) not in clone
+
+    def test_deep_copy_flattens_provenance_layers(self):
+        root = config_of(Atom("R", (A,)))
+        forked = root.copy()
+        forked.add(Atom("R", (B,)))
+        flat = forked.deep_copy()
+        assert not isinstance(flat._provenance, ChainMap)
+        assert flat.depth(Atom("R", (A,))) == 0
+
+    def test_deep_copy_and_fork_agree_on_contents(self):
+        parent = config_of(Atom("R", (A,)), Atom("S", (N,)))
+        assert set(parent.copy()) == set(parent.deep_copy()) == set(parent)
+
+    def test_queries_work_across_forks(self):
+        parent = config_of(Atom("R", (A, N)))
+        child = parent.copy()
+        child.add(Atom("R", (B, B)))
+        assert child.nulls() == frozenset({N})
+        assert child.relation_signature() == (("R", 2),)
+        assert parent.relation_signature() == (("R", 1),)

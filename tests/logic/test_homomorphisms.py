@@ -329,3 +329,88 @@ class TestHomStats:
         left.absorb(HomStats(candidates_scanned=2, backtracks=2))
         assert left.candidates_scanned == 5
         assert left.backtracks == 3
+
+
+class TestFactIndexFork:
+    def test_fork_shares_prefix_but_not_writes(self):
+        index = index_of(Atom("R", (A, B)))
+        clone = index.fork()
+        assert clone.add(Atom("R", (B, C)))
+        assert Atom("R", (B, C)) not in index
+        assert index.add(Atom("S", (A,)))
+        assert Atom("S", (A,)) not in clone
+
+    def test_fork_generation_and_facts_since(self):
+        index = index_of(Atom("R", (A, B)))
+        watermark = index.generation
+        clone = index.fork()
+        assert clone.generation == watermark
+        clone.add(Atom("R", (B, C)))
+        clone.add(Atom("S", (A,)))
+        assert clone.facts_since(watermark) == (
+            Atom("R", (B, C)),
+            Atom("S", (A,)),
+        )
+        assert index.facts_since(watermark) == ()
+
+    def test_facts_since_walks_prefix_segments(self):
+        index = FactIndex()
+        index.add(Atom("R", (A,)))
+        watermark = index.generation
+        index.add(Atom("R", (B,)))
+        middle = index.fork()
+        middle.add(Atom("R", (C,)))
+        leaf = middle.fork()
+        leaf.add(Atom("S", (A,)))
+        assert leaf.facts_since(watermark) == (
+            Atom("R", (B,)),
+            Atom("R", (C,)),
+            Atom("S", (A,)),
+        )
+
+    def test_fork_of_fork_isolated_buckets(self):
+        root = index_of(Atom("R", (A, B)))
+        middle = root.fork()
+        middle.add(Atom("R", (A, C)))
+        leaf = middle.fork()
+        leaf.add(Atom("R", (A, A)))
+        assert root.facts_of("R") == frozenset({Atom("R", (A, B))})
+        assert middle.facts_of("R") == frozenset(
+            {Atom("R", (A, B)), Atom("R", (A, C))}
+        )
+        assert len(leaf.facts_of("R")) == 3
+
+    def test_homomorphisms_work_on_forks(self):
+        index = index_of(Atom("R", (A, B)))
+        clone = index.fork()
+        clone.add(Atom("R", (B, C)))
+        pattern = [Atom("R", (X, Y)), Atom("R", (Y, Z))]
+        assert has_homomorphism(pattern, clone)
+        assert not has_homomorphism(pattern, index)
+
+
+class TestFactsWith:
+    def test_lookup_by_relation_position_term(self):
+        index = index_of(
+            Atom("R", (A, B)), Atom("R", (A, C)), Atom("R", (B, A))
+        )
+        assert set(index.facts_with("R", 0, A)) == {
+            Atom("R", (A, B)),
+            Atom("R", (A, C)),
+        }
+        assert index.facts_with("R", 1, A) == (Atom("R", (B, A)),)
+
+    def test_missing_key_returns_empty(self):
+        index = index_of(Atom("R", (A, B)))
+        assert index.facts_with("R", 0, C) == ()
+        assert index.facts_with("S", 0, A) == ()
+
+    def test_sees_facts_through_fork(self):
+        index = index_of(Atom("R", (A, B)))
+        clone = index.fork()
+        clone.add(Atom("R", (A, C)))
+        assert set(clone.facts_with("R", 0, A)) == {
+            Atom("R", (A, B)),
+            Atom("R", (A, C)),
+        }
+        assert index.facts_with("R", 0, A) == (Atom("R", (A, B)),)

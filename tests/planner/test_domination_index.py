@@ -1,0 +1,227 @@
+"""Differential tests: fingerprint-indexed domination vs the oracle.
+
+The fingerprint registry must prune *exactly* the same nodes as the
+original linear scan on every scenario of the library, and the two
+search strategies must agree on the optimum with full pruning on.
+"""
+
+import pytest
+
+from repro.chase.configuration import ChaseConfiguration
+from repro.logic.atoms import Atom, Substitution
+from repro.logic.terms import Constant, Null
+from repro.planner.domination import (
+    FingerprintRegistry,
+    LinearRegistry,
+    NaiveRegistry,
+    make_registry,
+    relevant_facts,
+    signature_of,
+)
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import (
+    example1,
+    example2,
+    example5,
+    redundant_sources,
+    referential_chain,
+    view_stack_scenario,
+    webservices,
+)
+
+SCENARIOS = {
+    "example1": example1,
+    "example2": example2,
+    "example5": example5,
+    "redundant4": lambda: redundant_sources(4),
+    "chain3": lambda: referential_chain(3),
+    "views": view_stack_scenario,
+    "webservices": webservices,
+}
+
+# The baseline: the pre-index implementation recomputing everything.
+FULL_RECOMPUTE = dict(
+    incremental_candidates=False, incremental_cost=False, cow_configs=False
+)
+
+
+def tree_shape(result):
+    """What the search did, node by node (prunes included)."""
+    return [
+        (node.node_id, node.parent_id, node.pruned, node.successful)
+        for node in result.tree
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestFingerprintMatchesOracle:
+    def test_same_nodes_pruned(self, name):
+        scenario = SCENARIOS[name]()
+        oracle = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(
+                domination_index="linear",
+                collect_tree=True,
+                **FULL_RECOMPUTE,
+            ),
+        )
+        indexed = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(domination_index="fingerprint", collect_tree=True),
+        )
+        assert tree_shape(indexed) == tree_shape(oracle)
+        assert indexed.best_cost == oracle.best_cost
+        assert indexed.exhausted == oracle.exhausted
+        assert (
+            indexed.stats.pruned_by_domination
+            == oracle.stats.pruned_by_domination
+        )
+        assert indexed.stats.nodes_created == oracle.stats.nodes_created
+
+    def test_differential_registry_agrees_on_every_check(self, name):
+        scenario = SCENARIOS[name]()
+        # DifferentialRegistry raises DominationMismatch on the first
+        # check where the fingerprint index and the oracle disagree.
+        result = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(domination_index="differential"),
+        )
+        assert result.stats.nodes_created > 0
+
+    def test_naive_scan_prunes_identically(self, name):
+        scenario = SCENARIOS[name]()
+        naive = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(domination_index="naive", collect_tree=True),
+        )
+        indexed = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(domination_index="fingerprint", collect_tree=True),
+        )
+        assert tree_shape(naive) == tree_shape(indexed)
+        # The index only ever *skips* homomorphism attempts.
+        assert (
+            indexed.stats.domination.hom_calls
+            <= naive.stats.domination.hom_calls
+        )
+
+    def test_dfs_and_best_first_agree(self, name):
+        scenario = SCENARIOS[name]()
+        dfs = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(strategy="dfs")
+        )
+        best_first = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(strategy="best-first"),
+        )
+        assert dfs.best_cost == best_first.best_cost
+        assert dfs.exhausted == best_first.exhausted
+
+
+class TestSignature:
+    def test_constants_are_rigid(self):
+        pattern = [Atom("R", (Constant("a"), Null("n")))]
+        signature = signature_of(pattern, frozenset())
+        assert ("rel", "R") in signature
+        assert ("occ", "R", 0, Constant("a")) in signature
+        # Non-rigid nulls contribute no occurrence elements.
+        assert ("occ", "R", 1, Null("n")) not in signature
+
+    def test_frozen_nulls_are_rigid(self):
+        null = Null("h")
+        pattern = [Atom("R", (null,))]
+        assert ("occ", "R", 0, null) in signature_of(
+            pattern, frozenset({null})
+        )
+        assert ("occ", "R", 0, null) not in signature_of(
+            pattern, frozenset()
+        )
+
+    def test_subsumption_is_monotone_in_the_pattern(self):
+        small = [Atom("R", (Constant("a"),))]
+        large = small + [Atom("S", (Constant("b"), Null("n")))]
+        assert signature_of(small, frozenset()) <= signature_of(
+            large, frozenset()
+        )
+
+
+def registry_pair(rigid=frozenset()):
+    frozen = Substitution({null: null for null in rigid})
+    return (
+        FingerprintRegistry(frozen, rigid),
+        LinearRegistry(frozen, rigid),
+    )
+
+
+class TestRegistries:
+    def test_identity_domination(self):
+        config = ChaseConfiguration([Atom("R", (Constant("a"),))])
+        for registry in registry_pair():
+            registry.register(7, 1.0, config)
+            assert registry.find_dominator(1.0, config) == 7
+
+    def test_expensive_entries_never_dominate(self):
+        config = ChaseConfiguration([Atom("R", (Constant("a"),))])
+        for registry in registry_pair():
+            registry.register(7, 5.0, config)
+            assert registry.find_dominator(1.0, config) is None
+
+    def test_missing_relation_blocks_domination(self):
+        small = ChaseConfiguration([Atom("R", (Constant("a"),))])
+        larger = ChaseConfiguration(
+            [Atom("R", (Constant("a"),)), Atom("S", (Constant("b"),))]
+        )
+        for registry in registry_pair():
+            registry.register(1, 0.0, small)
+            assert registry.find_dominator(9.0, larger) is None
+            assert registry.find_dominator(9.0, small) == 1
+
+    def test_rigid_null_must_map_to_itself(self):
+        frozen_null, other = Null("h"), Null("x")
+        target = ChaseConfiguration([Atom("R", (other,))])
+        probe = ChaseConfiguration([Atom("R", (frozen_null,))])
+        # Without rigidity the nulls may collapse: dominated.
+        for registry in registry_pair():
+            registry.register(1, 0.0, target)
+            assert registry.find_dominator(1.0, probe) == 1
+        # With the head null frozen, R(h) has no image: not dominated.
+        for registry in registry_pair(rigid=frozenset({frozen_null})):
+            registry.register(1, 0.0, target)
+            assert registry.find_dominator(1.0, probe) is None
+
+    def test_cheapest_dominator_is_tried_first(self):
+        config = ChaseConfiguration([Atom("R", (Constant("a"),))])
+        frozen = Substitution({})
+        registry = FingerprintRegistry(frozen, frozenset())
+        registry.register(1, 3.0, config)
+        registry.register(2, 1.0, config)
+        assert registry.find_dominator(5.0, config) == 2
+        # Only the (successful) cheapest entry needed a homomorphism.
+        assert registry.stats.hom_calls == 1
+
+    def test_relevant_facts_exclude_accessed_copies(self):
+        config = ChaseConfiguration(
+            [Atom("R", (Constant("a"),)), Atom("Accessed_R", (Constant("a"),))]
+        )
+        assert {atom.relation for atom in relevant_facts(config)} == {"R"}
+
+    def test_make_registry_kinds(self):
+        frozen = Substitution({})
+        assert isinstance(
+            make_registry("fingerprint", frozen, frozenset()),
+            FingerprintRegistry,
+        )
+        assert isinstance(
+            make_registry("linear", frozen, frozenset()), LinearRegistry
+        )
+        assert isinstance(
+            make_registry("naive", frozen, frozenset()), NaiveRegistry
+        )
+        with pytest.raises(ValueError):
+            make_registry("bogus", frozen, frozenset())

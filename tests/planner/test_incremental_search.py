@@ -1,0 +1,168 @@
+"""Incremental hot-loop equivalence: inherited candidates, delta cost,
+copy-on-write forks vs the full-recompute baseline.
+
+Every switch of the incremental machinery must leave the explored tree,
+the candidate lists, the node costs and the reported optimum bit-for-bit
+identical to the original implementation.
+"""
+
+import pytest
+
+from repro.cost.functions import CardinalityCostFunction, SimpleCostFunction
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import (
+    example1,
+    example2,
+    example5,
+    redundant_sources,
+    referential_chain,
+    view_stack_scenario,
+    webservices,
+)
+
+SCENARIOS = {
+    "example1": example1,
+    "example2": example2,
+    "example5": example5,
+    "redundant4": lambda: redundant_sources(4),
+    "chain3": lambda: referential_chain(3),
+    "views": view_stack_scenario,
+    "webservices": webservices,
+}
+
+BASELINE = dict(
+    domination_index="linear",
+    incremental_candidates=False,
+    incremental_cost=False,
+    cow_configs=False,
+)
+
+
+def run(scenario, **overrides):
+    return find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(collect_tree=True, **overrides),
+    )
+
+
+def node_views(result):
+    """Tree structure, costs and full ranked candidate lists per node."""
+    return [
+        (
+            node.node_id,
+            node.parent_id,
+            node.pruned,
+            node.successful,
+            pytest.approx(node.cost),
+            [
+                (repr(fact), method.name)
+                for _, fact, method in node.candidates
+            ],
+        )
+        for node in result.tree
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestIncrementalEquivalence:
+    def test_tree_candidates_and_costs_identical(self, name):
+        scenario = SCENARIOS[name]()
+        baseline = run(scenario, **BASELINE)
+        incremental = run(scenario)
+        assert node_views(incremental) == node_views(baseline)
+        assert incremental.best_cost == baseline.best_cost
+        assert incremental.exhausted == baseline.exhausted
+        for left, right in [
+            (incremental.stats, baseline.stats),
+        ]:
+            assert left.nodes_created == right.nodes_created
+            assert left.nodes_expanded == right.nodes_expanded
+            assert left.successes == right.successes
+            assert left.pruned_by_cost == right.pruned_by_cost
+            assert left.pruned_by_domination == right.pruned_by_domination
+
+    def test_each_switch_alone_is_equivalent(self, name):
+        scenario = SCENARIOS[name]()
+        baseline = run(scenario, **BASELINE)
+        for switch in (
+            "incremental_candidates",
+            "incremental_cost",
+            "cow_configs",
+        ):
+            overrides = dict(BASELINE)
+            overrides.pop(switch)
+            flipped = run(scenario, **overrides)
+            assert node_views(flipped) == node_views(baseline), switch
+
+    def test_incremental_costs_match_full_recompute(self, name):
+        scenario = SCENARIOS[name]()
+        result = run(scenario)
+        cost = SimpleCostFunction.from_schema(scenario.schema)
+        for node in result.tree:
+            assert node.cost == pytest.approx(
+                cost.commands_cost(node.state.commands)
+            )
+
+    def test_best_first_equivalence(self, name):
+        scenario = SCENARIOS[name]()
+        baseline = run(scenario, strategy="best-first", **BASELINE)
+        incremental = run(scenario, strategy="best-first")
+        assert node_views(incremental) == node_views(baseline)
+        assert incremental.best_cost == baseline.best_cost
+
+
+class TestIncrementalWithKnobs:
+    def test_beam_width_equivalence(self):
+        scenario = redundant_sources(4)
+        baseline = run(scenario, beam_width=2, **BASELINE)
+        incremental = run(scenario, beam_width=2)
+        assert node_views(incremental) == node_views(baseline)
+        assert incremental.best_cost == baseline.best_cost
+        assert not incremental.exhausted  # beams forfeit certification
+
+    def test_method_candidate_order_equivalence(self):
+        scenario = example5()
+        baseline = run(scenario, candidate_order="method", **BASELINE)
+        incremental = run(scenario, candidate_order="method")
+        assert node_views(incremental) == node_views(baseline)
+
+    def test_cardinality_cost_delta_path(self):
+        scenario = example5()
+        cost = CardinalityCostFunction(
+            relation_cardinality={"mt_prof": 40}, per_tuple=0.05
+        )
+        baseline = run(scenario, cost=cost, **BASELINE)
+        incremental = run(scenario, cost=cost)
+        assert incremental.best_cost == pytest.approx(baseline.best_cost)
+        for node in incremental.tree:
+            assert node.cost == pytest.approx(
+                cost.commands_cost(node.state.commands)
+            )
+
+    def test_no_cost_bound_equivalence(self):
+        scenario = redundant_sources(4)
+        baseline = run(scenario, prune_by_cost=False, **BASELINE)
+        incremental = run(scenario, prune_by_cost=False)
+        assert node_views(incremental) == node_views(baseline)
+        assert (
+            incremental.stats.pruned_by_domination
+            == baseline.stats.pruned_by_domination
+        )
+
+    def test_candidate_inheritance_is_counted(self):
+        scenario = redundant_sources(4)
+        incremental = run(scenario)
+        baseline = run(scenario, **BASELINE)
+        assert incremental.stats.candidates_inherited > 0
+        assert baseline.stats.candidates_inherited == 0
+        assert baseline.stats.candidates_fresh == 0
+
+    def test_pending_view_consumes_via_cursor(self):
+        scenario = example1()
+        result = run(scenario)
+        for node in result.tree:
+            if node.pruned or node.successful:
+                continue
+            remaining = node.pending
+            assert len(remaining) == len(node.candidates) - node.cursor
