@@ -1,34 +1,60 @@
-"""EXEC: runtime behaviour of competing complete plans.
+"""EXEC: runtime behaviour of competing complete plans and dispatchers.
 
-The paper's introduction argues plan choice matters because the plans
-are *not* algebraic variants of each other: with redundant sources, a
-plan probing after one source pays more probes; a plan intersecting all
-sources pays more bulk accesses.  Series: runtime invocations and
-charged cost of both strategies as source noise (selectivity) varies.
+Two surfaces:
+
+* pytest-benchmark series (``pytest benchmarks/bench_execution.py``):
+  the original best-static vs intersecting plan comparison as source
+  noise varies, plus a dispatcher sweep (naive scan-per-access vs
+  indexed vs indexed+cached) on the same plans;
+* a standalone comparison runner
+  (``python benchmarks/bench_execution.py``) that serves a repeated
+  workload -- several rounds of the best and the intersecting plan over
+  one shared source -- under three dispatchers and writes the
+  machine-readable ``BENCH_exec.json`` (rendered by ``report.py
+  --exec-json``):
+
+  - ``naive``: unindexed source, per-command dispatch, no cache (the
+    pre-runtime reference),
+  - ``runtime``: per-method hash index + shared LRU ``AccessCache``
+    with free hits (dispatch that never reaches the source is neither
+    logged nor charged),
+  - ``runtime_charged``: same, but ``charge_hits=True`` -- every hit is
+    re-logged at full price, so the charged-cost series stays
+    comparable with the naive books.
+
+  Identical result tables are asserted across all three modes for every
+  run of the workload, and ``runtime_charged`` is asserted to reproduce
+  the naive invocation and charged-cost series exactly.
 """
+
+import argparse
+import json
+import sys
+from time import perf_counter
 
 import pytest
 
 from benchmarks.conftest import record
 from repro.data.source import InMemorySource
+from repro.exec import AccessCache, BatchExecutor
 from repro.planner.proof_to_plan import ChaseProof, plan_from_proof
 from repro.planner.search import SearchOptions, find_best_plan
-from repro.scenarios import example5
+from repro.scenarios import example5, redundant_sources
 from repro.schema.accessible import AccessibleSchema, Variant
 
 
-def build_plans(scenario):
+def build_plans(scenario, budget=4):
     """(cheapest-static plan, all-sources plan) for the scenario."""
     best = find_best_plan(
         scenario.schema,
         scenario.query,
-        SearchOptions(max_accesses=4),
+        SearchOptions(max_accesses=budget),
     )
     exhaustive = find_best_plan(
         scenario.schema,
         scenario.query,
         SearchOptions(
-            max_accesses=4,
+            max_accesses=budget,
             prune_by_cost=False,
             domination=False,
             collect_tree=True,
@@ -38,7 +64,7 @@ def build_plans(scenario):
     padded_node = next(
         n
         for n in exhaustive.tree
-        if n.successful and len(n.exposures) == 4
+        if n.successful and len(n.exposures) == budget
     )
     acc = AccessibleSchema(scenario.schema, Variant.FORWARD)
     padded = plan_from_proof(
@@ -89,6 +115,33 @@ def test_execute_intersecting_plan(benchmark, noise):
     )
 
 
+@pytest.mark.parametrize("dispatch", ["naive", "indexed", "indexed+cached"])
+def test_dispatch_modes(benchmark, dispatch):
+    """One shared-source round of both plans under each dispatcher."""
+    scenario = example5(
+        sources=3, professors=20, noise_per_source=80, match_rate=0.3
+    )
+    plans = build_plans(scenario)
+    instance = scenario.instance(0)
+    indexed = dispatch != "naive"
+    with_cache = dispatch == "indexed+cached"
+
+    def run():
+        source = InMemorySource(scenario.schema, instance, indexed=indexed)
+        cache = AccessCache() if with_cache else None
+        for plan in plans:
+            plan.execute(source, cache=cache)
+        return source
+
+    source = benchmark(run)
+    record(
+        benchmark,
+        dispatch=dispatch,
+        invocations=source.total_invocations,
+        runtime_cost=source.charged_cost(),
+    )
+
+
 def test_crossover_shape():
     """Non-timed shape check: with heavy noise the intersecting plan
     makes fewer probe invocations than the single-source plan; with no
@@ -106,3 +159,154 @@ def test_crossover_shape():
     assert src_padded.invocations_of("mt_prof") < src_best.invocations_of(
         "mt_prof"
     )
+
+
+# ------------------------------------------------------ standalone comparison
+def _serve_naive(scenario, plans, rounds):
+    """The reference dispatcher: unindexed scans, no cache."""
+    source = InMemorySource(scenario.schema, scenario.instance(0), indexed=False)
+    outputs = []
+    started = perf_counter()
+    for _ in range(rounds):
+        for plan in plans:
+            outputs.append(plan.run(source))
+    elapsed = perf_counter() - started
+    return {
+        "outputs": outputs,
+        "wall_time": elapsed,
+        "invocations": source.total_invocations,
+        "charged_cost": source.charged_cost(),
+    }
+
+
+def _serve_runtime(scenario, plans, rounds, charge_hits):
+    """The exec runtime: indexed source + shared LRU access cache."""
+    source = InMemorySource(scenario.schema, scenario.instance(0), indexed=True)
+    executor = BatchExecutor(
+        source, cache=AccessCache(charge_hits=charge_hits)
+    )
+    outputs = []
+    started = perf_counter()
+    for _ in range(rounds):
+        for plan in plans:
+            outputs.append(executor.run(plan))
+    elapsed = perf_counter() - started
+    stats = executor.stats
+    return {
+        "outputs": outputs,
+        "wall_time": elapsed,
+        "invocations": source.total_invocations,
+        "charged_cost": source.charged_cost(),
+        "cache": executor.cache.as_dict(),
+        "dispatched": stats.accesses_dispatched,
+        "deduped": stats.accesses_deduped,
+        "cache_hits": stats.cache_hits,
+        "peak_resident_rows": stats.peak_resident_rows,
+    }
+
+
+def _best_of(measure, repeats):
+    """Re-run a measurement, keeping the fastest pass's full entry."""
+    best = None
+    for _ in range(repeats):
+        entry = measure()
+        if best is None or entry["wall_time"] < best["wall_time"]:
+            best = entry
+    return best
+
+
+def run_comparison(ks, rounds=5, repeats=3, noise=80):
+    """Serve the workload under all dispatchers; return the report."""
+    rows = []
+    for k in ks:
+        scenario = redundant_sources(
+            k, professors=25, noise_per_source=noise, match_rate=0.3
+        )
+        plans = build_plans(scenario, budget=k + 1)
+        naive = _best_of(lambda: _serve_naive(scenario, plans, rounds), repeats)
+        runtime = _best_of(
+            lambda: _serve_runtime(scenario, plans, rounds, False), repeats
+        )
+        charged = _serve_runtime(scenario, plans, rounds, True)
+        # Identical result tables across all dispatchers, run by run.
+        for a, b, c in zip(
+            naive["outputs"], runtime["outputs"], charged["outputs"]
+        ):
+            assert a.rows == b.rows == c.rows, k
+        # charge_hits restores the naive accounting exactly.
+        assert charged["invocations"] == naive["invocations"], k
+        assert abs(charged["charged_cost"] - naive["charged_cost"]) < 1e-9, k
+        for entry in (naive, runtime, charged):
+            del entry["outputs"]
+        reduction = (
+            naive["invocations"] / runtime["invocations"]
+            if runtime["invocations"]
+            else float("inf")
+        )
+        speedup = (
+            naive["wall_time"] / runtime["wall_time"]
+            if runtime["wall_time"]
+            else float("inf")
+        )
+        rows.append(
+            {
+                "k": k,
+                "scenario": scenario.name,
+                "rounds": rounds,
+                "plans": len(plans),
+                "naive": naive,
+                "runtime": runtime,
+                "runtime_charged": charged,
+                "invocation_reduction": reduction,
+                "speedup": speedup,
+            }
+        )
+    return {
+        "benchmark": "bench_exec",
+        "mode": "smoke" if max(ks) <= 3 else "full",
+        "ks": list(ks),
+        "rounds": rounds,
+        "rows": rows,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare naive vs indexed+cached plan execution"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="k <= 3 only (CI)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="how many times each plan is served per pass",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per point"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_exec.json", help="report destination"
+    )
+    args = parser.parse_args(argv)
+    ks = [2, 3] if args.smoke else [3, 4, 5]
+    report = run_comparison(ks, rounds=args.rounds, repeats=args.repeats)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for row in report["rows"]:
+        naive, runtime = row["naive"], row["runtime"]
+        print(
+            f"{row['scenario']}: "
+            f"{row['invocation_reduction']:.1f}x fewer source invocations "
+            f"({naive['invocations']} -> {runtime['invocations']}), "
+            f"{row['speedup']:.2f}x faster "
+            f"({naive['wall_time'] * 1e3:.1f} -> "
+            f"{runtime['wall_time'] * 1e3:.1f} ms), "
+            f"{runtime['cache_hits']} cache hits, "
+            f"peak resident rows {runtime['peak_resident_rows']}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

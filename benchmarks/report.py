@@ -11,12 +11,17 @@ Usage::
     python benchmarks/bench_search.py           # writes BENCH_search.json
     python benchmarks/report.py --search-json BENCH_search.json
 
+    python benchmarks/bench_execution.py        # writes BENCH_exec.json
+    python benchmarks/report.py --exec-json BENCH_exec.json
+
 The default mode groups pytest-benchmark rows by module and prints one
 markdown table per module with mean/stddev timings and every
 ``extra_info`` measurement.  ``--chase-json`` instead renders the
 naive-vs-semi-naive comparison report emitted by ``bench_chase.py``,
-and ``--search-json`` the baseline-vs-incremental search comparison
-emitted by ``bench_search.py``.
+``--search-json`` the baseline-vs-incremental search comparison
+emitted by ``bench_search.py``, and ``--exec-json`` the
+naive-vs-runtime dispatcher comparison emitted by
+``bench_execution.py``.
 """
 
 from __future__ import annotations
@@ -152,6 +157,40 @@ def render_search(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_exec(report: Dict) -> str:
+    """Markdown table for a ``bench_execution.py`` comparison report."""
+    lines = [
+        "### plan execution: naive vs indexed+cached runtime "
+        f"({report['mode']}, {report['rounds']} rounds/plan)",
+        "",
+        "| scenario | naive invocations | runtime invocations | reduction"
+        " | naive time | runtime time | speedup"
+        " | cache hits | peak resident rows |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in report["rows"]:
+        naive, runtime = row["naive"], row["runtime"]
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["scenario"],
+                    str(naive["invocations"]),
+                    str(runtime["invocations"]),
+                    f"{row['invocation_reduction']:.1f}x",
+                    _time(naive["wall_time"]),
+                    _time(runtime["wall_time"]),
+                    f"{row['speedup']:.2f}x",
+                    str(runtime["cache_hits"]),
+                    str(runtime["peak_resident_rows"]),
+                ]
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -166,6 +205,10 @@ def main() -> int:
         "--search-json", metavar="PATH",
         help="render a bench_search.py comparison report instead",
     )
+    parser.add_argument(
+        "--exec-json", metavar="PATH",
+        help="render a bench_execution.py comparison report instead",
+    )
     args = parser.parse_args()
     if args.chase_json:
         with open(args.chase_json) as handle:
@@ -174,6 +217,10 @@ def main() -> int:
     if args.search_json:
         with open(args.search_json) as handle:
             print(render_search(json.load(handle)))
+        return 0
+    if args.exec_json:
+        with open(args.exec_json) as handle:
+            print(render_exec(json.load(handle)))
         return 0
     print(render(load(args.path)))
     return 0

@@ -31,7 +31,8 @@ Subpackages: :mod:`repro.logic` (CQs, TGDs, homomorphisms),
 :mod:`repro.schema` (access methods, accessible schemas),
 :mod:`repro.chase` (the chase with blocking), :mod:`repro.plans`
 (RA plans and their semantics), :mod:`repro.data` (access-enforced
-sources, AccPart), :mod:`repro.cost` (cost functions),
+sources, AccPart), :mod:`repro.exec` (the indexed/deduplicated/cached
+execution runtime), :mod:`repro.cost` (cost functions),
 :mod:`repro.planner` (proof-to-plan + Algorithm 1 + views),
 :mod:`repro.fo` (interpolation, executable queries),
 :mod:`repro.scenarios` (the paper's examples).
@@ -63,6 +64,12 @@ from repro.data import (
     accessible_part,
     random_instance,
 )
+from repro.exec import (
+    AccessCache,
+    BatchExecutor,
+    ExecStats,
+    substitute_constants,
+)
 from repro.plans import Plan, PlanKind
 from repro.cost import (
     CardinalityCostFunction,
@@ -84,14 +91,17 @@ from repro.planner import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AccessCache",
     "AccessMethod",
     "AccessibleSchema",
     "Atom",
+    "BatchExecutor",
     "CardinalityCostFunction",
     "ChaseProof",
     "ConjunctiveQuery",
     "Constant",
     "CountingCostFunction",
+    "ExecStats",
     "Exposure",
     "InMemorySource",
     "Instance",
@@ -118,4 +128,5 @@ __all__ = [
     "plan_from_proof",
     "random_instance",
     "rewrite_over_views",
+    "substitute_constants",
 ]

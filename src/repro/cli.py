@@ -21,6 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro.data.source import InMemorySource
+from repro.exec import AccessCache, ExecStats
 from repro.logic.queries import parse_cq
 from repro.planner.answerability import default_policy_for
 from repro.planner.domination import REGISTRY_KINDS
@@ -56,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("scenario", choices=sorted(SCENARIOS))
     demo.add_argument("--max-accesses", type=int, default=6)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--exec-stats",
+        action="store_true",
+        help="print the execution runtime breakdown (per-command timings, "
+             "dispatch dedup, cache hits, peak resident rows)",
+    )
+    demo.add_argument(
+        "--access-cache",
+        action="store_true",
+        help="execute through a shared LRU access cache (repeated "
+             "identical accesses are answered without touching the "
+             "source)",
+    )
 
     plan = sub.add_parser("plan", help="plan a query over a schema file")
     plan.add_argument("schema", help="path to a schema JSON file")
@@ -135,7 +149,9 @@ def _demo(args) -> int:
     print(f"proof: {result.best_proof}\n")
     instance = scenario.instance(args.seed)
     source = InMemorySource(scenario.schema, instance)
-    output = result.best_plan.run(source)
+    cache = AccessCache() if args.access_cache else None
+    exec_stats = ExecStats() if args.exec_stats else None
+    output = result.best_plan.execute(source, cache=cache, stats=exec_stats)
     truth = instance.evaluate(scenario.query)
     complete = (
         bool(output.rows) == bool(truth)
@@ -148,6 +164,10 @@ def _demo(args) -> int:
         f"{source.total_invocations} accesses, "
         f"runtime cost {source.charged_cost():.1f}"
     )
+    if exec_stats is not None:
+        print(f"exec [{exec_stats.summary()}]")
+    if cache is not None:
+        print(f"cache [{cache.summary()}]")
     print(f"complete: {'yes' if complete else 'NO'}")
     return 0 if complete else 1
 

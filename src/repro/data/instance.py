@@ -48,6 +48,7 @@ class Instance:
     ) -> None:
         self._data: Dict[str, Set[Tuple[Constant, ...]]] = {}
         self._index: Optional[FactIndex] = None
+        self._version = 0
         if data:
             for relation, tuples in data.items():
                 for row in tuples:
@@ -61,6 +62,7 @@ class Instance:
             return False
         bucket.add(constants)
         self._index = None
+        self._version += 1
         return True
 
     def add_fact(self, fact: Atom) -> bool:
@@ -68,6 +70,16 @@ class Instance:
         if not fact.is_fact:
             raise InstanceError(f"not ground: {fact!r}")
         return self.add(fact.relation, fact.terms)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumps on every successful insert.
+
+        Derived structures (the fact index, per-method access indexes in
+        :class:`~repro.data.source.InMemorySource`) use it to detect
+        staleness cheaply instead of re-hashing the data.
+        """
+        return self._version
 
     def tuples(self, relation: str) -> FrozenSet[Tuple[Constant, ...]]:
         """The stored tuples of one relation (empty when unknown)."""
@@ -133,6 +145,7 @@ class Instance:
         """An independent deep copy of the stored data."""
         clone = Instance()
         clone._data = {r: set(b) for r, b in self._data.items()}
+        clone._version = self._version
         return clone
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,33 @@
+"""Execution runtime: indexed, deduplicated, cached plan execution.
+
+The planner's job ends with a complete, low-static-cost plan; this
+package makes *running* that plan cheap.  Four cooperating pieces:
+
+* per-method hash indexes inside
+  :class:`~repro.data.source.InMemorySource` (each access is a bucket
+  lookup instead of a relation scan),
+* :class:`AccessCache` -- a bounded LRU memoizing ``(method, inputs)``
+  results across commands, plans and batch runs, with an explicit
+  metering policy (``charge_hits``),
+* the tuned evaluator in :mod:`repro.plans` (deduplicated access
+  dispatch, smaller-side hash joins, selection/projection fusion,
+  temp-table freeing) driven by :meth:`repro.plans.plan.Plan.execute`,
+* :class:`ExecStats` / :class:`BatchExecutor` -- the observability and
+  serving loop around all of it.
+
+See ``docs/theory.md`` ("Execution runtime") for why access
+memoization is sound and how the cache interacts with the paper's
+access-counting cost model.
+"""
+
+from repro.exec.batch import BatchExecutor, substitute_constants
+from repro.exec.cache import AccessCache
+from repro.exec.stats import CommandStats, ExecStats
+
+__all__ = [
+    "AccessCache",
+    "BatchExecutor",
+    "CommandStats",
+    "ExecStats",
+    "substitute_constants",
+]

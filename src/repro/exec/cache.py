@@ -1,0 +1,116 @@
+"""A bounded LRU memo for access results.
+
+The paper (and the result-bounded-interface line of work it cites)
+treats every access as an expensive external call, so the runtime may
+legitimately remember what a call returned: an
+:class:`~repro.data.source.InMemorySource` is *deterministic* -- the
+same ``(method, inputs)`` pair always yields the same tuple set until
+the underlying instance mutates -- which makes memoization sound.  The
+cache watches ``Instance.version`` and drops everything when the data
+changes, so a stale answer is never served.
+
+Metering policy: by default a cache hit is *free* -- it is not
+dispatched to the source, so it is neither logged nor charged.  That is
+the accounting a caching mediator would report (you only pay the remote
+call you actually make).  Constructing with ``charge_hits=True``
+restores the old books: every hit is re-logged as a full-price
+invocation on the source, so ``charged_cost`` and ``total_invocations``
+behave exactly as if the cache were absent (only wall time improves).
+The benchmarks use this to keep their charged-cost series comparable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.data.source import AccessRecord
+from repro.logic.terms import Constant
+
+_Key = Tuple[str, Tuple[Constant, ...]]
+_Rows = FrozenSet[Tuple[Constant, ...]]
+
+
+class AccessCache:
+    """Bounded LRU cache over ``(method, inputs) -> result tuples``."""
+
+    def __init__(self, maxsize: int = 4096, charge_hits: bool = False) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.charge_hits = charge_hits
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._store: "OrderedDict[_Key, _Rows]" = OrderedDict()
+        self._instance_version: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def fetch(
+        self, source, method: str, inputs: Tuple[Constant, ...]
+    ) -> _Rows:
+        """The result of ``source.access(method, inputs)``, memoized.
+
+        On a hit the source is not touched (unless ``charge_hits``, in
+        which case an equivalent :class:`AccessRecord` is appended to
+        the source's log so the accounting matches uncached execution).
+        """
+        version = source.instance.version
+        if version != self._instance_version:
+            self._store.clear()
+            self._instance_version = version
+        key = (method, inputs)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            if self.charge_hits:
+                source.log.append(
+                    AccessRecord(
+                        method=method,
+                        relation=source.schema.method(method).relation,
+                        inputs=inputs,
+                        results=len(cached),
+                    )
+                )
+            return cached
+        self.misses += 1
+        result = source.access(method, inputs)
+        self._store[key] = result
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        return result
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._store.clear()
+        self.hits = self.misses = self.evictions = 0
+        self._instance_version = None
+
+    def summary(self) -> str:
+        """A one-line human-readable digest."""
+        total = self.hits + self.misses
+        rate = self.hits / total if total else 0.0
+        return (
+            f"{len(self._store)}/{self.maxsize} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"({rate:.0%} hit rate), {self.evictions} evictions"
+            + (", hits charged" if self.charge_hits else "")
+        )
+
+    def as_dict(self) -> Dict:
+        """A JSON-able representation (used by the benchmarks)."""
+        return {
+            "maxsize": self.maxsize,
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "charge_hits": self.charge_hits,
+        }
+
+    def __repr__(self) -> str:
+        return f"AccessCache({self.summary()})"

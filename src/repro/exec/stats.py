@@ -1,0 +1,120 @@
+"""Execution instrumentation: per-command and per-run counters.
+
+:class:`ExecStats` is threaded through :meth:`repro.plans.plan.Plan.execute`
+and collects, per command, wall time and row flow, plus the access
+dispatch breakdown the runtime's optimisations act on: how many input
+rows each access command saw, how many *distinct* input tuples were
+actually dispatched (the dedup win), and how many dispatches were
+answered by the :class:`~repro.exec.cache.AccessCache` without touching
+the source (the memoization win).  ``peak_resident_rows`` tracks the
+largest total number of temporary-table rows alive at once, which is
+what the temp-table freeing in ``Plan.execute`` bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CommandStats:
+    """Counters for one executed command."""
+
+    index: int
+    target: str
+    kind: str  # "access" | "middleware"
+    wall_time: float = 0.0
+    rows_in: int = 0
+    rows_out: int = 0
+    dispatched: int = 0  # distinct input tuples sent to dispatch
+    deduped: int = 0  # duplicate input tuples collapsed before dispatch
+    cache_hits: int = 0  # dispatches answered from the AccessCache
+    freed_tables: int = 0  # temp tables released after this command
+
+    def as_dict(self) -> Dict:
+        """A JSON-able representation."""
+        return {
+            "index": self.index,
+            "target": self.target,
+            "kind": self.kind,
+            "wall_time": self.wall_time,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "dispatched": self.dispatched,
+            "deduped": self.deduped,
+            "cache_hits": self.cache_hits,
+            "freed_tables": self.freed_tables,
+        }
+
+
+@dataclass
+class ExecStats:
+    """Aggregated execution statistics for one (or a batch of) plan runs."""
+
+    commands: List[CommandStats] = field(default_factory=list)
+    wall_time: float = 0.0
+    peak_resident_rows: int = 0
+    runs: int = 0
+
+    def command(self, index: int, target: str, kind: str) -> CommandStats:
+        """Open a fresh per-command record and return it."""
+        stats = CommandStats(index=index, target=target, kind=kind)
+        self.commands.append(stats)
+        return stats
+
+    def note_resident(self, rows: int) -> None:
+        """Record the currently resident row total; keeps the maximum."""
+        if rows > self.peak_resident_rows:
+            self.peak_resident_rows = rows
+
+    # ------------------------------------------------------------ totals
+    @property
+    def accesses_dispatched(self) -> int:
+        """Distinct input tuples dispatched across all access commands."""
+        return sum(c.dispatched for c in self.commands)
+
+    @property
+    def accesses_deduped(self) -> int:
+        """Duplicate input tuples collapsed before dispatch."""
+        return sum(c.deduped for c in self.commands)
+
+    @property
+    def cache_hits(self) -> int:
+        """Dispatches short-circuited by the access cache."""
+        return sum(c.cache_hits for c in self.commands)
+
+    @property
+    def source_invocations(self) -> int:
+        """Dispatches that actually reached the source."""
+        return self.accesses_dispatched - self.cache_hits
+
+    @property
+    def rows_out(self) -> int:
+        """Total rows produced across all commands."""
+        return sum(c.rows_out for c in self.commands)
+
+    def summary(self) -> str:
+        """A one-line human-readable digest."""
+        return (
+            f"{self.runs} run(s), {len(self.commands)} commands in "
+            f"{self.wall_time * 1e3:.2f} ms: "
+            f"{self.accesses_dispatched} dispatched "
+            f"({self.accesses_deduped} deduped, "
+            f"{self.cache_hits} cache hits, "
+            f"{self.source_invocations} reached the source), "
+            f"peak resident rows {self.peak_resident_rows}"
+        )
+
+    def as_dict(self) -> Dict:
+        """A JSON-able representation (used by the benchmarks)."""
+        return {
+            "runs": self.runs,
+            "wall_time": self.wall_time,
+            "peak_resident_rows": self.peak_resident_rows,
+            "accesses_dispatched": self.accesses_dispatched,
+            "accesses_deduped": self.accesses_deduped,
+            "cache_hits": self.cache_hits,
+            "source_invocations": self.source_invocations,
+            "commands": [c.as_dict() for c in self.commands],
+        }

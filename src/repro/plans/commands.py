@@ -68,8 +68,24 @@ class AccessCommand:
                 seen[entry] = None
         return tuple(seen)
 
-    def execute(self, env: Dict[str, NamedTable], source) -> NamedTable:
-        """Run the command against a source; returns the produced table."""
+    def execute(
+        self,
+        env: Dict[str, NamedTable],
+        source,
+        cache=None,
+        stats=None,
+    ) -> NamedTable:
+        """Run the command against a source; returns the produced table.
+
+        Dispatch is *deduplicated*: the distinct input-value tuples are
+        collected before any access is made, so an input expression that
+        yields the same binding several times (or binds only constants)
+        costs one invocation per distinct tuple.  With an
+        :class:`~repro.exec.cache.AccessCache` supplied, each distinct
+        tuple is further memoized across commands and plans.  ``stats``
+        (a :class:`~repro.exec.stats.CommandStats`) receives the
+        dispatch breakdown when given.
+        """
         inputs = self.input_expr.evaluate(env)
         try:
             projected = inputs.project(self.input_attrs)
@@ -78,8 +94,8 @@ class AccessCommand:
                 f"access {self.method}: input expression lacks "
                 f"attributes {self.input_attrs}: {exc}"
             ) from exc
-        rows = set()
         columns = {a: i for i, a in enumerate(projected.attributes)}
+        distinct: Dict[Tuple, None] = {}
         for input_row in projected.rows:
             values = tuple(
                 entry
@@ -87,11 +103,30 @@ class AccessCommand:
                 else input_row[columns[entry]]
                 for entry in self.input_binding
             )
-            for accessed in source.access(self.method, values):
+            distinct.setdefault(values, None)
+        rows = set()
+        cache_hits_before = cache.hits if cache is not None else 0
+        for values in distinct:
+            if cache is not None:
+                accessed_rows = cache.fetch(source, self.method, values)
+            else:
+                accessed_rows = source.access(self.method, values)
+            for accessed in accessed_rows:
                 out_row = self._map_output(accessed)
                 if out_row is not None:
                     rows.add(out_row)
+        if stats is not None:
+            # rows_in counts the raw tuples the input expression fed the
+            # access; the projection onto the bound attributes is what
+            # collapses them into the distinct dispatch set.
+            stats.rows_in = len(inputs.rows)
+            stats.dispatched = len(distinct)
+            stats.deduped = len(inputs.rows) - len(distinct)
+            if cache is not None:
+                stats.cache_hits = cache.hits - cache_hits_before
         table = NamedTable(self.output_attrs, frozenset(rows))
+        if stats is not None:
+            stats.rows_out = len(table.rows)
         env[self.target] = table
         return table
 
@@ -120,9 +155,22 @@ class MiddlewareCommand:
     target: str
     expr: Expression
 
-    def execute(self, env: Dict[str, NamedTable], source) -> NamedTable:
-        """Run the command, writing its target table into the env."""
+    def execute(
+        self,
+        env: Dict[str, NamedTable],
+        source,
+        cache=None,
+        stats=None,
+    ) -> NamedTable:
+        """Run the command, writing its target table into the env.
+
+        ``cache`` is accepted for signature parity with
+        :meth:`AccessCommand.execute` and ignored -- middleware commands
+        never touch the source.
+        """
         table = self.expr.evaluate(env)
+        if stats is not None:
+            stats.rows_out = len(table.rows)
         env[self.target] = table
         return table
 

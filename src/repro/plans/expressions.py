@@ -73,11 +73,25 @@ class NamedTable:
         """True when the table has no rows."""
         return not self.rows
 
+    def column_map(self) -> Dict[str, int]:
+        """Attribute -> index map, computed once per table and cached.
+
+        The cache lives outside the dataclass fields (set via
+        ``object.__setattr__`` on the frozen instance), so equality and
+        hashing still consider only ``attributes`` and ``rows``.
+        """
+        try:
+            return self._colmap  # type: ignore[attr-defined]
+        except AttributeError:
+            colmap = {a: i for i, a in enumerate(self.attributes)}
+            object.__setattr__(self, "_colmap", colmap)
+            return colmap
+
     def column(self, attribute: str) -> int:
         """Index of an attribute (raises on unknown names)."""
         try:
-            return self.attributes.index(attribute)
-        except ValueError:
+            return self.column_map()[attribute]
+        except KeyError:
             raise EvaluationError(
                 f"no attribute {attribute!r} in {self.attributes}"
             ) from None
@@ -164,6 +178,43 @@ class NeqConst:
 
 
 Condition = (EqAttr, EqConst, NeqAttr, NeqConst)
+
+
+def _compile_conditions(conditions, attrs: Tuple[str, ...]):
+    """Index-based row predicates for the built-in condition types.
+
+    Returns ``None`` when some condition is not one of the four known
+    classes (the caller must then fall back to ``holds``-based
+    filtering).  Unknown attribute names raise :class:`EvaluationError`,
+    matching what ``holds`` would have raised.
+    """
+    colmap = {a: i for i, a in enumerate(attrs)}
+
+    def _col(name: str) -> int:
+        try:
+            return colmap[name]
+        except KeyError:
+            raise EvaluationError(
+                f"no attribute {name!r} in {attrs}"
+            ) from None
+
+    checks = []
+    for cond in conditions:
+        if isinstance(cond, EqAttr):
+            left, right = _col(cond.left), _col(cond.right)
+            checks.append(lambda row, l=left, r=right: row[l] == row[r])
+        elif isinstance(cond, EqConst):
+            index, value = _col(cond.attribute), cond.value
+            checks.append(lambda row, i=index, v=value: row[i] == v)
+        elif isinstance(cond, NeqAttr):
+            left, right = _col(cond.left), _col(cond.right)
+            checks.append(lambda row, l=left, r=right: row[l] != row[r])
+        elif isinstance(cond, NeqConst):
+            index, value = _col(cond.attribute), cond.value
+            checks.append(lambda row, i=index, v=value: row[i] != v)
+        else:
+            return None
+    return checks
 
 
 # -------------------------------------------------------------- expressions
@@ -300,6 +351,14 @@ class Project(Expression):
 
     def evaluate(self, env: Environment) -> NamedTable:
         """Evaluate against the environment (see :class:`Expression`)."""
+        if isinstance(self.child, Join):
+            return self.child._evaluate_fused(env, (), self.attrs)
+        if isinstance(self.child, Select) and isinstance(
+            self.child.child, Join
+        ):
+            return self.child.child._evaluate_fused(
+                env, self.child.conditions, self.attrs
+            )
         return self.child.evaluate(env).project(self.attrs)
 
     def tables_read(self) -> FrozenSet[str]:
@@ -327,12 +386,25 @@ class Select(Expression):
 
     def evaluate(self, env: Environment) -> NamedTable:
         """Evaluate against the environment (see :class:`Expression`)."""
+        if isinstance(self.child, Join):
+            return self.child._evaluate_fused(env, self.conditions, None)
         table = self.child.evaluate(env)
-        rows = frozenset(
-            row
-            for row in table.rows
-            if all(cond.holds(table, row) for cond in self.conditions)
-        )
+        try:
+            checks = _compile_conditions(self.conditions, table.attributes)
+        except EvaluationError:
+            checks = None
+        if checks is not None:
+            rows = frozenset(
+                row
+                for row in table.rows
+                if all(check(row) for check in checks)
+            )
+        else:
+            rows = frozenset(
+                row
+                for row in table.rows
+                if all(cond.holds(table, row) for cond in self.conditions)
+            )
         return NamedTable(table.attributes, rows)
 
     def tables_read(self) -> FrozenSet[str]:
@@ -371,23 +443,97 @@ class Join(Expression):
 
     def evaluate(self, env: Environment) -> NamedTable:
         """Evaluate against the environment (see :class:`Expression`)."""
+        return self._evaluate_fused(env, (), None)
+
+    def _evaluate_fused(
+        self,
+        env: Environment,
+        conditions: Tuple[object, ...],
+        project_to: Optional[Tuple[str, ...]],
+    ) -> NamedTable:
+        """Hash join with optional fused selection and projection.
+
+        The hash table is built on the *smaller* input; ``conditions``
+        are applied to each joined row before it is materialized, and
+        ``project_to`` (when given) narrows the row in the same pass --
+        so ``σ``/``π`` directly above a join never materialize the full
+        join result.  Semantically identical to evaluating the join and
+        then filtering/projecting.
+        """
         left = self.left.evaluate(env)
         right = self.right.evaluate(env)
         shared = [a for a in right.attributes if a in left.attributes]
         extra = [a for a in right.attributes if a not in left.attributes]
+        out_attrs = left.attributes + tuple(extra)
+        try:
+            checks = _compile_conditions(conditions, out_attrs)
+        except EvaluationError:
+            # Unknown attribute: preserve the unfused (lazy) behaviour,
+            # which only raises when a row is actually checked.
+            checks = None
+        if checks is None:
+            # Unknown condition type or attribute: join, filter via `holds`.
+            table = self._evaluate_fused(env, (), None)
+            rows = frozenset(
+                row
+                for row in table.rows
+                if all(cond.holds(table, row) for cond in conditions)
+            )
+            table = NamedTable(out_attrs, rows)
+            return (
+                table.project(project_to) if project_to is not None else table
+            )
         left_key = [left.column(a) for a in shared]
         right_key = [right.column(a) for a in shared]
         extra_cols = [right.column(a) for a in extra]
-        by_key: Dict[Tuple[Term, ...], List[Tuple[Term, ...]]] = {}
-        for row in right.rows:
-            key = tuple(row[c] for c in right_key)
-            by_key.setdefault(key, []).append(tuple(row[c] for c in extra_cols))
+        out_cols: Optional[List[int]] = None
+        if project_to is not None:
+            colmap = {a: i for i, a in enumerate(out_attrs)}
+            out_cols = []
+            for attr in project_to:
+                if attr not in colmap:
+                    raise EvaluationError(
+                        f"no attribute {attr!r} in {out_attrs}"
+                    )
+                out_cols.append(colmap[attr])
         rows: Set[Tuple[Term, ...]] = set()
-        for row in left.rows:
-            key = tuple(row[c] for c in left_key)
-            for suffix in by_key.get(key, ()):
-                rows.add(row + suffix)
-        return NamedTable(left.attributes + tuple(extra), frozenset(rows))
+
+        def _emit(joined: Tuple[Term, ...]) -> None:
+            if all(check(joined) for check in checks):
+                rows.add(
+                    joined
+                    if out_cols is None
+                    else tuple(joined[c] for c in out_cols)
+                )
+
+        if len(right.rows) <= len(left.rows):
+            # Build on the right, probe with the left (the classic shape).
+            by_key: Dict[Tuple[Term, ...], List[Tuple[Term, ...]]] = {}
+            for row in right.rows:
+                key = tuple(row[c] for c in right_key)
+                by_key.setdefault(key, []).append(
+                    tuple(row[c] for c in extra_cols)
+                )
+            for row in left.rows:
+                key = tuple(row[c] for c in left_key)
+                for suffix in by_key.get(key, ()):
+                    _emit(row + suffix)
+        else:
+            # Left side is smaller: build on it, probe with the right.
+            by_left: Dict[Tuple[Term, ...], List[Tuple[Term, ...]]] = {}
+            for row in left.rows:
+                key = tuple(row[c] for c in left_key)
+                by_left.setdefault(key, []).append(row)
+            for row in right.rows:
+                key = tuple(row[c] for c in right_key)
+                bucket = by_left.get(key)
+                if not bucket:
+                    continue
+                suffix = tuple(row[c] for c in extra_cols)
+                for left_row in bucket:
+                    _emit(left_row + suffix)
+        attributes = out_attrs if project_to is None else tuple(project_to)
+        return NamedTable(attributes, frozenset(rows))
 
     def tables_read(self) -> FrozenSet[str]:
         """Temporary tables this expression scans."""

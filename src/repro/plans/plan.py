@@ -73,11 +73,97 @@ class Plan:
 
     # -------------------------------------------------------- execution
     def run(self, source) -> NamedTable:
-        """Execute every command in sequence; returns the output table."""
+        """Execute every command in sequence; returns the output table.
+
+        This is the plain reference interpreter: no cache, no temp-table
+        freeing, no instrumentation.  :meth:`execute` is the tuned
+        runtime entry point; the two are proven equivalent in
+        ``tests/exec/test_exec_soundness.py``.
+        """
         env: Dict[str, NamedTable] = {}
         for command in self.commands:
             command.execute(env, source)
         return env[self.output_table]
+
+    def execute(
+        self,
+        source,
+        cache=None,
+        stats=None,
+        free_temps: bool = True,
+    ) -> NamedTable:
+        """Run the plan through the execution runtime.
+
+        ``cache``
+            an optional :class:`~repro.exec.cache.AccessCache`; access
+            commands memoize ``(method, inputs)`` results through it
+            (shared caches span commands, plans and batch runs).
+        ``stats``
+            an optional :class:`~repro.exec.stats.ExecStats` collecting
+            per-command wall time, row flow, the dispatch breakdown and
+            the peak number of resident temporary rows.
+        ``free_temps``
+            drop each temporary table from the environment right after
+            its last reader ran (the output table is always kept), so
+            peak intermediate state is bounded by what is still needed
+            rather than by everything ever produced.
+        """
+        from time import perf_counter
+
+        env: Dict[str, NamedTable] = {}
+        last_read = self._last_readers() if free_temps else {}
+        started = perf_counter()
+        for index, command in enumerate(self.commands):
+            command_stats = None
+            if stats is not None:
+                kind = (
+                    "access"
+                    if isinstance(command, AccessCommand)
+                    else "middleware"
+                )
+                command_stats = stats.command(index, command.target, kind)
+            command_started = perf_counter()
+            command.execute(env, source, cache=cache, stats=command_stats)
+            if command_stats is not None:
+                command_stats.wall_time = perf_counter() - command_started
+            if stats is not None:
+                stats.note_resident(
+                    sum(len(table.rows) for table in env.values())
+                )
+            if free_temps:
+                freed = 0
+                for table in [
+                    t
+                    for t, last in last_read.items()
+                    if last <= index and t in env and t != self.output_table
+                ]:
+                    del env[table]
+                    freed += 1
+                if command_stats is not None:
+                    command_stats.freed_tables = freed
+        if stats is not None:
+            stats.wall_time += perf_counter() - started
+            stats.runs += 1
+        return env[self.output_table]
+
+    def _last_readers(self) -> Dict[str, int]:
+        """For each table: the index of the last command reading it.
+
+        Tables never read map to ``-1`` (free immediately after their
+        defining command unless they are the output).
+        """
+        last: Dict[str, int] = {
+            command.target: -1 for command in self.commands
+        }
+        for index, command in enumerate(self.commands):
+            expr = (
+                command.input_expr
+                if isinstance(command, AccessCommand)
+                else command.expr
+            )
+            for table in expr.tables_read():
+                last[table] = index
+        return last
 
     def run_with_env(self, source) -> Tuple[NamedTable, Dict[str, NamedTable]]:
         """Execute and also return the full temporary-table environment."""

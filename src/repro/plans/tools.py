@@ -54,14 +54,19 @@ def eliminate_dead_commands(plan: Plan) -> Plan:
     if nothing reads their table, the access is pure cost and is removed
     (this can only remove accesses, never add them, so the plan stays
     complete whenever it was).
+
+    Redefinitions are handled by *liveness*, not by a seen-target set:
+    keeping a definition of ``T`` removes ``T`` from the needed set
+    (earlier definitions are shadowed), but a kept command between two
+    definitions that reads ``T`` re-adds it, so the earlier definition
+    it actually reads is kept too.
     """
     needed: Set[str] = {plan.output_table}
     kept_reversed: List[Command] = []
-    defined: Set[str] = set()
     for command in reversed(plan.commands):
-        if command.target in needed and command.target not in defined:
+        if command.target in needed:
             kept_reversed.append(command)
-            defined.add(command.target)
+            needed.discard(command.target)
             expr = (
                 command.input_expr
                 if isinstance(command, AccessCommand)

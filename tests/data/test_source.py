@@ -46,6 +46,69 @@ class TestAccess:
             source.access("nope", ())
 
 
+class TestInputCoercion:
+    def test_constant_and_raw_inputs_are_equivalent(self, source):
+        """`inputs` may mix `Constant` values and raw Python values."""
+        via_raw = source.access("mt_key", ("a",))
+        via_constant = source.access("mt_key", (Constant("a"),))
+        assert via_raw == via_constant
+        # Both invocations were logged with the same coerced inputs.
+        assert source.log[0].inputs == source.log[1].inputs == (
+            Constant("a"),
+        )
+
+    def test_arity_error_message_pinned(self, source):
+        with pytest.raises(
+            AccessViolation, match=r"method mt_key needs 1 inputs, got 0"
+        ):
+            source.access("mt_key", ())
+        with pytest.raises(
+            AccessViolation, match=r"method mt_scan needs 0 inputs, got 1"
+        ):
+            source.access("mt_scan", (Constant("a"),))
+
+    def test_uncoercible_input_rejected(self, source):
+        from repro.data.instance import InstanceError
+
+        with pytest.raises(InstanceError):
+            source.access("mt_key", (object(),))
+
+
+class TestMethodIndex:
+    def test_indexed_and_scan_agree(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt_key", "R", inputs=[0], cost=2.0)
+            .access("mt_scan", "R", inputs=[], cost=5.0)
+            .build()
+        )
+        instance = Instance(
+            {"R": [("a", "1"), ("a", "2"), ("b", "3"), ("c", "4")]}
+        )
+        indexed = InMemorySource(schema, instance, indexed=True)
+        scanning = InMemorySource(schema, instance, indexed=False)
+        for key in ("a", "b", "c", "zzz"):
+            assert indexed.access("mt_key", (key,)) == scanning.access(
+                "mt_key", (key,)
+            )
+        assert indexed.access("mt_scan") == scanning.access("mt_scan")
+
+    def test_index_invalidated_on_instance_mutation(self, source):
+        assert len(source.access("mt_key", ("a",))) == 2
+        source.instance.add("R", ("a", "99"))
+        assert len(source.access("mt_key", ("a",))) == 3
+        assert len(source.access("mt_scan")) == 4
+
+    def test_metering_identical_under_index(self, source):
+        source.access("mt_key", ("a",))
+        source.access("mt_key", ("a",))
+        source.access("mt_scan")
+        assert source.total_invocations == 3
+        assert source.charged_cost() == pytest.approx(9.0)
+        assert source.log[0].results == 2
+
+
 class TestMetering:
     def test_log_records_everything(self, source):
         source.access("mt_key", ("a",))

@@ -1,0 +1,128 @@
+"""Tests for batch execution and constant-rebinding of plans."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.exec import AccessCache, BatchExecutor, substitute_constants
+from repro.logic.terms import Constant
+from repro.plans.commands import AccessCommand, MiddlewareCommand, identity_output_map
+from repro.plans.expressions import EqConst, Literal, NamedTable, Scan, Select, Singleton
+from repro.plans.plan import Plan
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .access("mt_R", "R", inputs=[], cost=1.0)
+        .access("mt_key", "R", inputs=[0], cost=2.0)
+        .build()
+    )
+
+
+@pytest.fixture
+def instance():
+    return Instance(
+        {"R": [("a", "1"), ("a", "2"), ("b", "3"), ("c", "4")]}
+    )
+
+
+def keyed_plan(key="a"):
+    """Probe R on a constant key, then filter on a constant value."""
+    return Plan(
+        (
+            AccessCommand(
+                "TR",
+                "mt_key",
+                Singleton(),
+                (Constant(key),),
+                identity_output_map(("k", "v")),
+            ),
+            MiddlewareCommand(
+                "OUT",
+                Select(Scan("TR"), (EqConst("k", Constant(key)),)),
+            ),
+        ),
+        "OUT",
+    )
+
+
+class TestSubstituteConstants:
+    def test_rebinds_access_and_condition(self, schema, instance):
+        plan = keyed_plan("a")
+        rebound = substitute_constants(plan, {"a": "b"})
+        source = InMemorySource(schema, instance)
+        out = rebound.run(source)
+        assert out.rows == frozenset({(Constant("b"), Constant("3"))})
+        assert source.log[0].inputs == (Constant("b"),)
+
+    def test_accepts_constant_keys(self, schema, instance):
+        plan = keyed_plan("a")
+        rebound = substitute_constants(
+            plan, {Constant("a"): Constant("c")}
+        )
+        out = rebound.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset({(Constant("c"), Constant("4"))})
+
+    def test_empty_mapping_is_identity(self):
+        plan = keyed_plan("a")
+        assert substitute_constants(plan, {}) is plan
+
+    def test_rebinds_literal_tables(self, schema, instance):
+        plan = Plan(
+            (
+                MiddlewareCommand(
+                    "OUT",
+                    Literal(
+                        NamedTable.from_rows(("k",), [(Constant("a"),)])
+                    ),
+                ),
+            ),
+            "OUT",
+        )
+        rebound = substitute_constants(plan, {"a": "b"})
+        out = rebound.run(InMemorySource(schema, instance))
+        assert out.rows == frozenset({(Constant("b"),)})
+
+
+class TestBatchExecutor:
+    def test_bindings_sweep_shares_cache(self, schema, instance):
+        source = InMemorySource(schema, instance)
+        executor = BatchExecutor(source, cache=AccessCache())
+        outputs = executor.run_bindings(
+            keyed_plan("a"), [{}, {"a": "b"}, {}, {"a": "b"}]
+        )
+        assert len(outputs) == 4
+        assert outputs[0].rows == outputs[2].rows
+        assert outputs[1].rows == outputs[3].rows
+        # Two distinct probes total; the repeats were cache hits.
+        assert source.total_invocations == 2
+        assert executor.cache.hits == 2
+        assert executor.stats.runs == 4
+
+    def test_run_plans_shares_cache_across_plans(self, schema, instance):
+        source = InMemorySource(schema, instance)
+        executor = BatchExecutor(source, cache=AccessCache())
+        plan = keyed_plan("a")
+        first, second = executor.run_plans([plan, plan])
+        assert first.rows == second.rows
+        assert source.total_invocations == 1
+
+    def test_without_stats(self, schema, instance):
+        executor = BatchExecutor(
+            InMemorySource(schema, instance), collect_stats=False
+        )
+        out = executor.run(keyed_plan("a"))
+        assert len(out.rows) == 2
+        assert executor.stats is None
+        assert "no instrumentation" in executor.summary()
+
+    def test_summary_mentions_cache(self, schema, instance):
+        executor = BatchExecutor(
+            InMemorySource(schema, instance), cache=AccessCache()
+        )
+        executor.run(keyed_plan("a"))
+        assert "cache:" in executor.summary()

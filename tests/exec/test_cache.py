@@ -1,0 +1,115 @@
+"""Unit tests for the bounded LRU access cache and its metering policy."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.exec import AccessCache
+from repro.logic.terms import Constant
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def source():
+    schema = (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .access("mt_key", "R", inputs=[0], cost=2.0)
+        .access("mt_scan", "R", inputs=[], cost=5.0)
+        .build()
+    )
+    instance = Instance({"R": [("a", "1"), ("a", "2"), ("b", "3")]})
+    return InMemorySource(schema, instance)
+
+
+class TestHitMissAccounting:
+    def test_miss_then_hit(self, source):
+        cache = AccessCache()
+        first = cache.fetch(source, "mt_key", (Constant("a"),))
+        second = cache.fetch(source, "mt_key", (Constant("a"),))
+        assert first == second
+        assert len(first) == 2
+        assert cache.misses == 1
+        assert cache.hits == 1
+        # The hit never reached the source.
+        assert source.total_invocations == 1
+
+    def test_distinct_inputs_are_distinct_entries(self, source):
+        cache = AccessCache()
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        cache.fetch(source, "mt_key", (Constant("b"),))
+        cache.fetch(source, "mt_scan", ())
+        assert cache.misses == 3
+        assert cache.hits == 0
+        assert len(cache) == 3
+
+    def test_hits_are_free_by_default(self, source):
+        cache = AccessCache()
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        assert source.total_invocations == 1
+        assert source.charged_cost() == pytest.approx(2.0)
+
+    def test_charge_hits_restores_old_accounting(self, source):
+        cache = AccessCache(charge_hits=True)
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        assert source.total_invocations == 2
+        assert source.charged_cost() == pytest.approx(4.0)
+        # The re-logged record carries the method, inputs and result size.
+        replayed = source.log[-1]
+        assert replayed.method == "mt_key"
+        assert replayed.relation == "R"
+        assert replayed.inputs == (Constant("a"),)
+        assert replayed.results == 2
+
+
+class TestEvictionAndInvalidation:
+    def test_lru_eviction(self, source):
+        cache = AccessCache(maxsize=2)
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        cache.fetch(source, "mt_key", (Constant("b"),))
+        # Touch "a" so "b" is the least recently used entry.
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        cache.fetch(source, "mt_key", (Constant("zzz"),))
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        # "a" survived, "b" was evicted.
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        assert cache.hits == 2
+        cache.fetch(source, "mt_key", (Constant("b"),))
+        assert cache.misses == 4
+
+    def test_instance_mutation_invalidates(self, source):
+        cache = AccessCache()
+        before = cache.fetch(source, "mt_key", (Constant("a"),))
+        assert len(before) == 2
+        source.instance.add("R", ("a", "99"))
+        after = cache.fetch(source, "mt_key", (Constant("a"),))
+        assert len(after) == 3
+        assert cache.misses == 2  # the stale entry was dropped, not served
+
+    def test_clear_resets_everything(self, source):
+        cache = AccessCache()
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == cache.misses == cache.evictions == 0
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AccessCache(maxsize=0)
+
+
+class TestReporting:
+    def test_summary_and_dict(self, source):
+        cache = AccessCache(maxsize=8)
+        cache.fetch(source, "mt_scan", ())
+        cache.fetch(source, "mt_scan", ())
+        assert "1 hits" in cache.summary()
+        data = cache.as_dict()
+        assert data["hits"] == 1
+        assert data["misses"] == 1
+        assert data["maxsize"] == 8
+        assert data["charge_hits"] is False

@@ -1,0 +1,257 @@
+"""Tests for the tuned execution runtime: dedup, freeing, stats."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.exec import AccessCache, ExecStats
+from repro.plans.commands import AccessCommand, MiddlewareCommand, identity_output_map
+from repro.plans.expressions import (
+    Join,
+    NamedTable,
+    Project,
+    Scan,
+    Select,
+    EqConst,
+    Singleton,
+)
+from repro.plans.plan import Plan
+from repro.logic.terms import Constant
+from repro.schema.core import SchemaBuilder
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .relation("S", 2)
+        .access("mt_R", "R", inputs=[], cost=1.0)
+        .access("mt_S", "S", inputs=[0], cost=2.0)
+        .build()
+    )
+
+
+@pytest.fixture
+def instance():
+    return Instance(
+        {
+            "R": [("a", "1"), ("a", "2"), ("b", "3")],
+            "S": [("a", "x"), ("b", "y"), ("c", "z")],
+        }
+    )
+
+
+def chained_plan():
+    """Scan R, probe S once per distinct first column of R."""
+    return Plan(
+        (
+            AccessCommand(
+                "TR", "mt_R", Singleton(), (), identity_output_map(("k", "v"))
+            ),
+            MiddlewareCommand("TK", Project(Scan("TR"), ("k",))),
+            AccessCommand(
+                "TS",
+                "mt_S",
+                Scan("TK"),
+                ("k",),
+                identity_output_map(("k", "w")),
+            ),
+            MiddlewareCommand("OUT", Join(Scan("TR"), Scan("TS"))),
+        ),
+        "OUT",
+    )
+
+
+class TestExecuteEquivalence:
+    def test_execute_matches_run(self, schema, instance):
+        plan = chained_plan()
+        reference = plan.run(InMemorySource(schema, instance, indexed=False))
+        tuned = plan.execute(
+            InMemorySource(schema, instance), cache=AccessCache()
+        )
+        assert tuned.attributes == reference.attributes
+        assert tuned.rows == reference.rows
+
+    def test_no_free_temps_still_matches(self, schema, instance):
+        plan = chained_plan()
+        reference = plan.run(InMemorySource(schema, instance))
+        tuned = plan.execute(
+            InMemorySource(schema, instance), free_temps=False
+        )
+        assert tuned.rows == reference.rows
+
+
+class TestDedupDispatch:
+    def test_duplicate_bindings_dispatch_once(self, schema, instance):
+        # TR has rows (a,1), (a,2), (b,3); probing S on the first column
+        # directly (without an explicit projection) must still dispatch
+        # only the two distinct keys.
+        plan = Plan(
+            (
+                AccessCommand(
+                    "TR",
+                    "mt_R",
+                    Singleton(),
+                    (),
+                    identity_output_map(("k", "v")),
+                ),
+                AccessCommand(
+                    "TS",
+                    "mt_S",
+                    Scan("TR"),
+                    ("k",),
+                    identity_output_map(("k", "w")),
+                ),
+            ),
+            "TS",
+        )
+        source = InMemorySource(schema, instance)
+        stats = ExecStats()
+        plan.execute(source, stats=stats)
+        probe = stats.commands[1]
+        assert probe.rows_in == 3
+        assert probe.dispatched == 2
+        assert probe.deduped == 1
+        assert source.invocations_of("mt_S") == 2
+
+    def test_constant_binding_dispatches_once(self, schema, instance):
+        plan = Plan(
+            (
+                AccessCommand(
+                    "TR",
+                    "mt_R",
+                    Singleton(),
+                    (),
+                    identity_output_map(("k", "v")),
+                ),
+                AccessCommand(
+                    "TS",
+                    "mt_S",
+                    Scan("TR"),
+                    (Constant("a"),),
+                    identity_output_map(("k", "w")),
+                ),
+            ),
+            "TS",
+        )
+        source = InMemorySource(schema, instance)
+        stats = ExecStats()
+        plan.execute(source, stats=stats)
+        # Three input rows all bind the same constant tuple.
+        assert stats.commands[1].dispatched == 1
+        assert stats.commands[1].deduped == 2
+        assert source.invocations_of("mt_S") == 1
+
+
+class TestCacheIntegration:
+    def test_shared_cache_across_runs(self, schema, instance):
+        plan = chained_plan()
+        source = InMemorySource(schema, instance)
+        cache = AccessCache()
+        first = plan.execute(source, cache=cache)
+        invocations_after_first = source.total_invocations
+        second = plan.execute(source, cache=cache)
+        assert first.rows == second.rows
+        # Every access of the second run was served from the cache.
+        assert source.total_invocations == invocations_after_first
+        assert cache.hits > 0
+
+    def test_charge_hits_keeps_invocation_series(self, schema, instance):
+        plan = chained_plan()
+        uncached = InMemorySource(schema, instance)
+        plan.execute(uncached)
+        plan.execute(uncached)
+        charged = InMemorySource(schema, instance)
+        plan.execute(charged, cache=AccessCache(charge_hits=True))
+        plan.execute(charged, cache=AccessCache(charge_hits=True))
+        # Per-run caches with charged hits reproduce the uncached books.
+        assert charged.total_invocations == uncached.total_invocations
+        assert charged.charged_cost() == pytest.approx(
+            uncached.charged_cost()
+        )
+
+
+class TestTempFreeing:
+    def test_intermediates_freed_after_last_reader(self, schema, instance):
+        plan = chained_plan()
+        stats = ExecStats()
+        plan.execute(InMemorySource(schema, instance), stats=stats)
+        # TK's last reader is the TS access (index 2); TR and TS feed the
+        # final join.  Everything except OUT is freed by the end.
+        assert sum(c.freed_tables for c in stats.commands) == 3
+        assert stats.peak_resident_rows > 0
+
+    def test_dead_target_freed_immediately(self, schema, instance):
+        plan = Plan(
+            (
+                AccessCommand(
+                    "TR",
+                    "mt_R",
+                    Singleton(),
+                    (),
+                    identity_output_map(("k", "v")),
+                ),
+                MiddlewareCommand("DEAD", Project(Scan("TR"), ("k",))),
+                MiddlewareCommand("OUT", Scan("TR")),
+            ),
+            "OUT",
+        )
+        stats = ExecStats()
+        output = plan.execute(
+            InMemorySource(schema, instance), stats=stats
+        )
+        assert len(output.rows) == 3
+        # DEAD is never read: released right after it is produced.
+        assert stats.commands[1].freed_tables == 1
+
+    def test_peak_resident_lower_with_freeing(self, schema, instance):
+        plan = chained_plan()
+        kept = ExecStats()
+        plan.execute(
+            InMemorySource(schema, instance), stats=kept, free_temps=False
+        )
+        freed = ExecStats()
+        plan.execute(
+            InMemorySource(schema, instance), stats=freed, free_temps=True
+        )
+        assert freed.peak_resident_rows <= kept.peak_resident_rows
+
+
+class TestStats:
+    def test_stats_shape(self, schema, instance):
+        plan = chained_plan()
+        stats = ExecStats()
+        plan.execute(InMemorySource(schema, instance), stats=stats)
+        assert stats.runs == 1
+        assert len(stats.commands) == len(plan.commands)
+        assert stats.wall_time > 0
+        assert stats.accesses_dispatched == stats.source_invocations
+        data = stats.as_dict()
+        assert data["runs"] == 1
+        assert len(data["commands"]) == 4
+        assert "dispatched" in stats.summary()
+
+    def test_selection_fused_into_join_same_result(self, schema, instance):
+        # σ/π over a join evaluate through the fused path; the plan-level
+        # result must match composing the unfused operators.
+        env = {
+            "A": NamedTable.from_rows(
+                ("k", "v"),
+                [(Constant("a"), Constant("1")), (Constant("b"), Constant("3"))],
+            ),
+            "B": NamedTable.from_rows(
+                ("k", "w"),
+                [(Constant("a"), Constant("x")), (Constant("b"), Constant("y"))],
+            ),
+        }
+        fused = Select(
+            Join(Scan("A"), Scan("B")), (EqConst("w", Constant("x")),)
+        ).evaluate(env)
+        unfused_join = Join(Scan("A"), Scan("B")).evaluate(env)
+        expected = frozenset(
+            row
+            for row in unfused_join.rows
+            if row[unfused_join.column("w")] == Constant("x")
+        )
+        assert fused.rows == expected

@@ -99,6 +99,71 @@ class TestDeadCommandElimination:
         cleaned = eliminate_dead_commands(plan)
         assert len(cleaned.commands) == 3
 
+    def test_redefined_table_keeps_live_earlier_definition(
+        self, simple_source
+    ):
+        """Regression: a redefined target's *earlier* definition must be
+        kept when a command between the two definitions reads it.
+
+        The old backwards walk tracked a seen-target set, so the first
+        ``T`` below was dropped even though ``X := π[x](T)`` reads it --
+        producing a plan that fails def-before-use validation.
+        """
+        schema, source = simple_source
+        plan = Plan(
+            (
+                scan_r("TR"),
+                MiddlewareCommand("T", Scan("TR")),
+                MiddlewareCommand("X", Project(Scan("T"), ("x",))),
+                MiddlewareCommand(
+                    "T",
+                    Select(Scan("TR"), (EqConst("x", Constant("a")),)),
+                ),
+                MiddlewareCommand("OUT", Join(Scan("X"), Scan("T"))),
+            ),
+            "OUT",
+        )
+        cleaned = eliminate_dead_commands(plan)
+        # Every command is live: nothing may be dropped.
+        assert len(cleaned.commands) == len(plan.commands)
+        assert cleaned.run(source).rows == plan.run(source).rows
+
+    def test_redefined_table_drops_shadowed_definition(self, simple_source):
+        """A redefinition with no reader in between shadows the earlier
+        definition, which is then dead and removed."""
+        schema, source = simple_source
+        plan = Plan(
+            (
+                scan_r("TR"),
+                MiddlewareCommand("T", Project(Scan("TR"), ("x",))),
+                MiddlewareCommand("T", Scan("TR")),
+                MiddlewareCommand("OUT", Scan("T")),
+            ),
+            "OUT",
+        )
+        cleaned = eliminate_dead_commands(plan)
+        assert len(cleaned.commands) == 3
+        assert cleaned.run(source).rows == plan.run(source).rows
+
+    def test_self_reading_redefinition_kept(self, simple_source):
+        """``T := σ(T)`` reads its own target: both definitions stay."""
+        schema, source = simple_source
+        plan = Plan(
+            (
+                scan_r("TR"),
+                MiddlewareCommand("T", Scan("TR")),
+                MiddlewareCommand(
+                    "T",
+                    Select(Scan("T"), (EqConst("x", Constant("a")),)),
+                ),
+                MiddlewareCommand("OUT", Scan("T")),
+            ),
+            "OUT",
+        )
+        cleaned = eliminate_dead_commands(plan)
+        assert len(cleaned.commands) == 4
+        assert cleaned.run(source).rows == plan.run(source).rows
+
     def test_search_plans_are_already_lean(self):
         scenario = example1()
         plan = find_best_plan(scenario.schema, scenario.query).best_plan

@@ -27,6 +27,7 @@ class TestTopLevelAPI:
             "repro.data",
             "repro.data.decorators",
             "repro.cost",
+            "repro.exec",
             "repro.planner",
             "repro.planner.inequalities",
             "repro.fo",
@@ -44,6 +45,7 @@ class TestTopLevelAPI:
             "repro.plans",
             "repro.data",
             "repro.cost",
+            "repro.exec",
             "repro.planner",
             "repro.fo",
             "repro.scenarios",
