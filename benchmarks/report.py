@@ -14,6 +14,9 @@ Usage::
     python benchmarks/bench_execution.py        # writes BENCH_exec.json
     python benchmarks/report.py --exec-json BENCH_exec.json
 
+    python benchmarks/bench_faults.py           # writes BENCH_faults.json
+    python benchmarks/report.py --faults-json BENCH_faults.json
+
 The default mode groups pytest-benchmark rows by module and prints one
 markdown table per module with mean/stddev timings and every
 ``extra_info`` measurement.  ``--chase-json`` instead renders the
@@ -191,6 +194,63 @@ def render_exec(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_faults(report: Dict) -> str:
+    """Markdown tables for a ``bench_faults.py`` report."""
+    lines = [
+        "### execution under faults: unprotected vs resilient "
+        f"({report['mode']}, {report['scenario']}, "
+        f"{report['retries']} retries)",
+        "",
+        "| fault rate | unprotected success | resilient success"
+        " | identical answers | mean retries | mean backoff"
+        " | mean simulated latency |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in report["transient"]["rows"]:
+        plain, hard = row["unprotected"], row["resilient"]
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    f"{row['rate']:.1f}",
+                    f"{plain['success_rate']:.0%}",
+                    f"{hard['success_rate']:.0%}",
+                    "yes" if hard["identical_to_reference"] else "NO",
+                    f"{hard['mean_retries']:.1f}",
+                    _time(hard["mean_backoff"]),
+                    _time(hard["mean_sim_latency"]),
+                ]
+            )
+            + " |"
+        )
+    outage = report["outage"]
+    lines += [
+        "",
+        f"### single permanent outage, served via failover "
+        f"({outage['scenario']}: {outage['methods']} methods, "
+        f"success rate {outage['success_rate']:.0%})",
+        "",
+        "| dead method | outcome | failovers | plans tried | answer rows |",
+        "|---|---|---|---|---|",
+    ]
+    for row in outage["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["victim"],
+                    row["outcome"],
+                    str(row["failovers"]),
+                    str(len(row["plans_tried"])),
+                    str(row["rows"]),
+                ]
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -209,7 +269,15 @@ def main() -> int:
         "--exec-json", metavar="PATH",
         help="render a bench_execution.py comparison report instead",
     )
+    parser.add_argument(
+        "--faults-json", metavar="PATH",
+        help="render a bench_faults.py fault/failover report instead",
+    )
     args = parser.parse_args()
+    if args.faults_json:
+        with open(args.faults_json) as handle:
+            print(render_faults(json.load(handle)))
+        return 0
     if args.chase_json:
         with open(args.chase_json) as handle:
             print(render_chase(json.load(handle)))

@@ -64,11 +64,33 @@ from repro.data import (
     accessible_part,
     random_instance,
 )
+from repro.errors import (
+    AccessError,
+    ChaseBudgetExceeded,
+    DeadlineExceeded,
+    MethodOutage,
+    ReproError,
+    TransientAccessError,
+)
 from repro.exec import (
     AccessCache,
     BatchExecutor,
+    BatchItem,
+    BreakerRegistry,
+    CircuitBreaker,
+    Deadline,
     ExecStats,
+    FailoverExecutor,
+    FailoverOutcome,
+    ResilientDispatcher,
+    RetryPolicy,
     substitute_constants,
+)
+from repro.faults import (
+    FaultInjectingSource,
+    FaultPolicy,
+    FaultStats,
+    VirtualClock,
 )
 from repro.plans import Plan, PlanKind
 from repro.cost import (
@@ -92,30 +114,48 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessCache",
+    "AccessError",
     "AccessMethod",
     "AccessibleSchema",
     "Atom",
     "BatchExecutor",
+    "BatchItem",
+    "BreakerRegistry",
     "CardinalityCostFunction",
+    "ChaseBudgetExceeded",
     "ChaseProof",
+    "CircuitBreaker",
     "ConjunctiveQuery",
     "Constant",
     "CountingCostFunction",
+    "Deadline",
+    "DeadlineExceeded",
     "ExecStats",
     "Exposure",
+    "FailoverExecutor",
+    "FailoverOutcome",
+    "FaultInjectingSource",
+    "FaultPolicy",
+    "FaultStats",
     "InMemorySource",
     "Instance",
+    "MethodOutage",
     "Null",
     "Plan",
     "PlanKind",
     "Relation",
+    "ReproError",
+    "ResilientDispatcher",
+    "RetryPolicy",
     "Schema",
     "SchemaBuilder",
     "SearchOptions",
     "SearchResult",
     "SimpleCostFunction",
     "TGD",
+    "TransientAccessError",
     "Variable",
+    "VirtualClock",
     "accessible_part",
     "accessible_schema",
     "cq",

@@ -17,6 +17,7 @@ from repro.chase.firing import (
     fire_trigger,
 )
 from repro.chase.engine import (
+    ChaseBudgetExceeded,
     ChasePolicy,
     ChaseResult,
     NonTerminatingChaseError,
@@ -34,6 +35,7 @@ from repro.chase.reasoning import (
 __all__ = [
     "BagTree",
     "BlockingPolicy",
+    "ChaseBudgetExceeded",
     "ChaseConfiguration",
     "ChasePolicy",
     "ChaseResult",

@@ -59,6 +59,7 @@ from repro.chase.firing import (
     head_satisfied,
 )
 from repro.chase.stats import ChaseStats
+from repro.errors import ChaseBudgetExceeded, NonTerminatingChaseError
 from repro.logic.atoms import Atom, Substitution
 from repro.logic.dependencies import TGD
 from repro.logic.terms import NullFactory
@@ -68,13 +69,22 @@ NAIVE = "naive"
 _STRATEGIES = (SEMI_NAIVE, NAIVE)
 
 
-class NonTerminatingChaseError(RuntimeError):
-    """Raised when the firing budget is exhausted and the policy says raise."""
-
-
 @dataclass
 class ChasePolicy:
-    """Termination, blocking, and evaluation controls for one chase run."""
+    """Termination, blocking, and evaluation controls for one chase run.
+
+    ``max_firings`` is the soft budget: when it trips the run returns a
+    truncated (``reached_fixpoint=False``) result, or raises
+    :class:`NonTerminatingChaseError` under ``raise_on_budget``.
+
+    ``max_steps`` / ``max_seconds`` are the *hard* fail-fast budgets for
+    non-terminating TGD sets: ``max_steps`` bounds the total number of
+    triggers the engine processes (fired, filtered or suppressed) and
+    ``max_seconds`` bounds wall-clock time.  Tripping either raises
+    :class:`~repro.errors.ChaseBudgetExceeded` carrying the partial
+    :class:`ChaseStats`, so a hung saturation surfaces as a structured
+    error instead of stalling the planner.
+    """
 
     max_firings: int = 100_000
     max_depth: Optional[int] = None
@@ -82,6 +92,8 @@ class ChasePolicy:
     raise_on_budget: bool = False
     restricted: bool = True
     strategy: str = SEMI_NAIVE
+    max_steps: Optional[int] = None
+    max_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in _STRATEGIES:
@@ -89,6 +101,10 @@ class ChasePolicy:
                 f"unknown chase strategy {self.strategy!r}; "
                 f"expected one of {_STRATEGIES}"
             )
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be positive when given")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive when given")
 
     def for_saturation(self) -> "ChasePolicy":
         """A copy suitable for eager free-rule saturation in the planner."""
@@ -99,6 +115,8 @@ class ChasePolicy:
             raise_on_budget=False,
             restricted=self.restricted,
             strategy=self.strategy,
+            max_steps=self.max_steps,
+            max_seconds=self.max_seconds,
         )
 
 
@@ -147,6 +165,8 @@ def chase_to_fixpoint(
         bag_tree = policy.blocking.fresh_tree(list(config))
     delta_mode = policy.strategy == SEMI_NAIVE
     stats = ChaseStats(strategy=policy.strategy, runs=1)
+    budget_started = time.perf_counter()
+    steps = 0
     firings = 0
     blocked = 0
     truncated = 0
@@ -187,6 +207,25 @@ def chase_to_fixpoint(
                 stats.time_search += time.perf_counter() - tick
                 if trigger is None:
                     break
+                steps += 1
+                if policy.max_steps is not None and steps > policy.max_steps:
+                    raise ChaseBudgetExceeded(
+                        f"chase exceeded {policy.max_steps} trigger steps "
+                        f"({firings} firings, {stats.rounds} rounds)",
+                        stats=stats,
+                        steps=steps,
+                        elapsed=time.perf_counter() - budget_started,
+                    )
+                if policy.max_seconds is not None:
+                    elapsed = time.perf_counter() - budget_started
+                    if elapsed > policy.max_seconds:
+                        raise ChaseBudgetExceeded(
+                            f"chase exceeded {policy.max_seconds}s wall clock "
+                            f"({steps} steps, {firings} firings)",
+                            stats=stats,
+                            steps=steps,
+                            elapsed=elapsed,
+                        )
                 if firings >= policy.max_firings:
                     if policy.raise_on_budget:
                         raise NonTerminatingChaseError(

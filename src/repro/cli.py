@@ -21,7 +21,17 @@ import sys
 from typing import List, Optional
 
 from repro.data.source import InMemorySource
-from repro.exec import AccessCache, ExecStats
+from repro.errors import ReproError
+from repro.exec import (
+    AccessCache,
+    BreakerRegistry,
+    Deadline,
+    ExecStats,
+    FailoverExecutor,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.faults import FaultInjectingSource, FaultPolicy, VirtualClock
 from repro.logic.queries import parse_cq
 from repro.planner.answerability import default_policy_for
 from repro.planner.domination import REGISTRY_KINDS
@@ -69,6 +79,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute through a shared LRU access cache (repeated "
              "identical accesses are answered without touching the "
              "source)",
+    )
+    demo.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject a deterministic mix of transient faults "
+             "(unavailable / timeout / rate-limit) on fraction P of the "
+             "distinct accesses",
+    )
+    demo.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault schedule (same seed = same failures)",
+    )
+    demo.add_argument(
+        "--outage",
+        action="append",
+        default=[],
+        metavar="METHOD",
+        help="declare an access method permanently down (repeatable)",
+    )
+    demo.add_argument(
+        "--retry",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each faulted access up to N times with exponential "
+             "backoff and deterministic jitter (0 = fail fast)",
+    )
+    demo.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="overall plan deadline in (simulated) seconds; expiry "
+             "aborts execution with DeadlineExceeded",
+    )
+    demo.add_argument(
+        "--failover",
+        action="store_true",
+        help="serve the query through the failover executor: when a "
+             "method dies (breaker opens / hard outage), re-plan over "
+             "the surviving methods and fall back to the next-cheapest "
+             "plan, or to a marked partial answer",
     )
 
     plan = sub.add_parser("plan", help="plan a query over a schema file")
@@ -149,21 +205,73 @@ def _demo(args) -> int:
     print(f"proof: {result.best_proof}\n")
     instance = scenario.instance(args.seed)
     source = InMemorySource(scenario.schema, instance)
+    clock = VirtualClock()
+    faulty = bool(args.fault_rate) or bool(args.outage)
+    if faulty:
+        policy = FaultPolicy.transient(args.fault_rate, seed=args.fault_seed)
+        if args.outage:
+            policy = FaultPolicy(
+                seed=policy.seed,
+                unavailable_rate=policy.unavailable_rate,
+                timeout_rate=policy.timeout_rate,
+                rate_limit_rate=policy.rate_limit_rate,
+                outages={method: 0 for method in args.outage},
+            )
+        source = FaultInjectingSource(source, policy, clock=clock)
+    resilience = None
+    if faulty or args.retry or args.deadline is not None or args.failover:
+        resilience = ResilientDispatcher(
+            retry=RetryPolicy(
+                max_attempts=args.retry + 1, seed=args.fault_seed
+            ),
+            breakers=BreakerRegistry(clock=clock),
+            deadline=(
+                Deadline(args.deadline, clock=clock)
+                if args.deadline is not None
+                else None
+            ),
+            sleep=clock.sleep,
+        )
     cache = AccessCache() if args.access_cache else None
     exec_stats = ExecStats() if args.exec_stats else None
-    output = result.best_plan.execute(source, cache=cache, stats=exec_stats)
     truth = instance.evaluate(scenario.query)
+    if args.failover:
+        executor = FailoverExecutor(
+            scenario.schema,
+            source,
+            resilience=resilience,
+            cache=cache,
+            stats=exec_stats,
+        )
+        outcome = executor.run(scenario.query)
+        print(f"failover outcome: {outcome.describe()}")
+        if not outcome.ok:
+            return 1
+        output = outcome.table
+    else:
+        try:
+            output = result.best_plan.execute(
+                source, cache=cache, stats=exec_stats, resilience=resilience
+            )
+        except ReproError as error:
+            print(f"execution FAILED: {error}")
+            return 1
     complete = (
         bool(output.rows) == bool(truth)
         if scenario.query.is_boolean
         else set(output.rows) == truth
     )
+    inner = source.inner if faulty else source
     print(
         f"executed on a generated instance ({instance.size()} tuples): "
         f"{len(output.rows)} answer rows, "
-        f"{source.total_invocations} accesses, "
-        f"runtime cost {source.charged_cost():.1f}"
+        f"{inner.total_invocations} accesses, "
+        f"runtime cost {inner.charged_cost():.1f}"
     )
+    if faulty:
+        print(f"faults [{source.stats.summary()}]")
+    if resilience is not None:
+        print(f"resilience [{resilience.summary()}]")
     if exec_stats is not None:
         print(f"exec [{exec_stats.summary()}]")
     if cache is not None:

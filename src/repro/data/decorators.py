@@ -20,15 +20,8 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.data.instance import _to_constant
+from repro.errors import AccessBudgetExceeded, SourceUnavailable
 from repro.logic.terms import Constant
-
-
-class AccessBudgetExceeded(RuntimeError):
-    """A budgeted source refused an access beyond its allowance."""
-
-
-class SourceUnavailable(RuntimeError):
-    """An injected failure from :class:`FlakySource`."""
 
 
 class _Wrapper:
@@ -93,12 +86,18 @@ class BudgetedSource(_Wrapper):
             and self.invocations + 1 > self.max_invocations
         ):
             raise AccessBudgetExceeded(
-                f"invocation budget {self.max_invocations} exhausted"
+                f"invocation budget {self.max_invocations} exhausted",
+                method=method_name,
+                relation=self.schema.method(method_name).relation,
+                inputs=tuple(inputs),
             )
         if self.max_cost is not None and self.spent + cost > self.max_cost:
             raise AccessBudgetExceeded(
                 f"cost budget {self.max_cost} exhausted "
-                f"(spent {self.spent}, next access costs {cost})"
+                f"(spent {self.spent}, next access costs {cost})",
+                method=method_name,
+                relation=self.schema.method(method_name).relation,
+                inputs=tuple(inputs),
             )
         self.invocations += 1
         self.spent += cost
@@ -128,7 +127,9 @@ class FlakySource(_Wrapper):
             and self.predicate(method_name, tuple(inputs))
         ):
             raise SourceUnavailable(
-                f"injected failure on call #{index} ({method_name})"
+                f"injected failure on call #{index}",
+                method=method_name,
+                inputs=tuple(inputs),
             )
         return self.inner.access(method_name, inputs)
 

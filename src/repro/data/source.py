@@ -25,15 +25,12 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.data.instance import Instance, _to_constant
+from repro.errors import AccessViolation
 from repro.logic.terms import Constant
 from repro.schema.core import AccessMethod, Schema, SchemaError
 
 # Per-method index: input-position value tuple -> matching relation rows.
 _MethodIndex = Dict[Tuple[Constant, ...], FrozenSet[Tuple[Constant, ...]]]
-
-
-class AccessViolation(RuntimeError):
-    """Raised when data is requested in a way the schema forbids."""
 
 
 @dataclass(frozen=True)
@@ -73,7 +70,10 @@ class InMemorySource:
         if len(values) != len(method.input_positions):
             raise AccessViolation(
                 f"method {method_name} needs {len(method.input_positions)} "
-                f"inputs, got {len(values)}"
+                f"inputs, got {len(values)}",
+                method=method_name,
+                relation=method.relation,
+                inputs=values,
             )
         if self.indexed:
             matching = self._method_index(method).get(values, frozenset())

@@ -1,0 +1,212 @@
+"""The structured exception hierarchy for the whole reproduction.
+
+Historically each layer raised its own ad-hoc ``RuntimeError`` subclass
+(``AccessViolation`` in the data layer, ``EvaluationError`` in the plan
+evaluator, ``PlanningError`` in the planner, ...).  This module is the
+one place those types live now, arranged so callers can catch at the
+right altitude:
+
+* :class:`ReproError` -- everything raised by this package on purpose.
+  It subclasses :class:`RuntimeError` so pre-existing ``except
+  RuntimeError`` call sites keep working.
+* :class:`AccessError` -- anything that went wrong *talking to a
+  source*.  Every instance carries the offending ``method``,
+  ``relation`` and ``inputs`` so a failure deep inside a plan run can be
+  reported (and acted on -- see :mod:`repro.exec.resilience`) without
+  re-deriving the context from a message string.
+* :class:`TransientAccessError` -- the retryable subset (the paper's
+  sources are remote services: they time out, rate-limit, and come
+  back).  :class:`~repro.exec.resilience.RetryPolicy` retries exactly
+  these by default; everything else is permanent.
+
+The old names remain importable from their original modules
+(``repro.data.source.AccessViolation``,
+``repro.data.decorators.SourceUnavailable``, ...) as aliases of the
+classes here, so no existing import or ``except`` clause breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class ReproError(RuntimeError):
+    """Base class of every deliberate error raised by this package."""
+
+
+# ------------------------------------------------------------ access layer
+class AccessError(ReproError):
+    """A failure while invoking an access method on a source.
+
+    ``method``, ``relation`` and ``inputs`` identify the exact access
+    that failed; the rendered message always includes whatever context
+    was supplied.  ``attempts`` is filled in by the retry machinery when
+    an error is re-raised after its last allowed attempt.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        method: Optional[str] = None,
+        relation: Optional[str] = None,
+        inputs: Optional[Sequence[object]] = None,
+        attempts: Optional[int] = None,
+    ) -> None:
+        self.method = method
+        self.relation = relation
+        self.inputs = tuple(inputs) if inputs is not None else None
+        self.attempts = attempts
+        context = self.context()
+        super().__init__(f"{message} [{context}]" if context else message)
+
+    def context(self) -> str:
+        """The ``key=value`` rendering of whatever context is known."""
+        parts = []
+        if self.method is not None:
+            parts.append(f"method={self.method}")
+        if self.relation is not None:
+            parts.append(f"relation={self.relation}")
+        if self.inputs is not None:
+            parts.append(f"inputs={tuple(self.inputs)!r}")
+        if self.attempts is not None:
+            parts.append(f"attempts={self.attempts}")
+        return ", ".join(parts)
+
+
+class AccessViolation(AccessError):
+    """Data was requested in a way the schema forbids (caller bug)."""
+
+
+class AccessBudgetExceeded(AccessError):
+    """A budgeted source refused an access beyond its allowance."""
+
+
+class MethodOutage(AccessError):
+    """A hard, permanent outage of one access method.  Not retryable."""
+
+
+class CircuitOpen(AccessError):
+    """An access was refused because the method's circuit breaker is open.
+
+    Raised *without* touching the source: the breaker has seen enough
+    consecutive failures that further calls are presumed wasted until
+    the recovery window elapses.
+    """
+
+
+class TransientAccessError(AccessError):
+    """A failure that may not recur: retrying the same access is sensible."""
+
+
+class SourceUnavailable(TransientAccessError):
+    """The source did not answer (connection refused, 5xx, injected)."""
+
+
+class AccessTimeout(TransientAccessError):
+    """The access took longer than the caller was willing to wait."""
+
+
+class RateLimited(TransientAccessError):
+    """The source refused the access because of call-rate policing."""
+
+
+class ResultTruncated(TransientAccessError):
+    """The source answered with a truncated (result-bounded) tuple set.
+
+    ``rows`` carries the partial answer, so a caller that cannot retry
+    may still choose to accept it (explicitly, never silently).
+    """
+
+    def __init__(self, message: str, *, rows=frozenset(), **context) -> None:
+        super().__init__(message, **context)
+        self.rows = rows
+
+
+# -------------------------------------------------------------- exec layer
+class ExecutionError(ReproError):
+    """A failure while evaluating a plan or relational expression."""
+
+
+class DeadlineExceeded(ExecutionError):
+    """The overall plan deadline expired before execution finished."""
+
+
+class PlanFailed(ExecutionError):
+    """A plan run gave up: retries exhausted or a permanent access error.
+
+    ``cause`` is the final :class:`AccessError`; ``plan`` names the plan.
+    """
+
+    def __init__(
+        self, message: str, *, plan: Optional[str] = None, cause=None
+    ) -> None:
+        self.plan = plan
+        self.cause = cause
+        super().__init__(message)
+
+
+class NoViablePlan(ExecutionError):
+    """Failover ran out of alternatives: no plan avoids the dead methods.
+
+    ``dead_methods`` names the methods planning had to avoid.
+    """
+
+    def __init__(
+        self, message: str, *, dead_methods: Tuple[str, ...] = ()
+    ) -> None:
+        self.dead_methods = tuple(dead_methods)
+        super().__init__(message)
+
+
+# ------------------------------------------------------------- chase layer
+class ChaseError(ReproError):
+    """A failure inside the chase engine."""
+
+
+class NonTerminatingChaseError(ChaseError):
+    """The firing budget was exhausted and the policy said raise."""
+
+
+class ChaseBudgetExceeded(ChaseError):
+    """A chase step/wall-clock budget tripped before fixpoint.
+
+    Carries the partial :class:`~repro.chase.stats.ChaseStats` (as
+    ``stats``) plus the step count and elapsed seconds at the moment the
+    budget tripped, so the caller can report how far the run got.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stats=None,
+        steps: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        self.stats = stats
+        self.steps = steps
+        self.elapsed = elapsed
+        super().__init__(message)
+
+
+__all__ = [
+    "AccessBudgetExceeded",
+    "AccessError",
+    "AccessTimeout",
+    "AccessViolation",
+    "ChaseBudgetExceeded",
+    "ChaseError",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "ExecutionError",
+    "MethodOutage",
+    "NoViablePlan",
+    "NonTerminatingChaseError",
+    "PlanFailed",
+    "RateLimited",
+    "ReproError",
+    "ResultTruncated",
+    "SourceUnavailable",
+    "TransientAccessError",
+]

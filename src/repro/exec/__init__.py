@@ -13,21 +13,46 @@ package makes *running* that plan cheap.  Four cooperating pieces:
   dispatch, smaller-side hash joins, selection/projection fusion,
   temp-table freeing) driven by :meth:`repro.plans.plan.Plan.execute`,
 * :class:`ExecStats` / :class:`BatchExecutor` -- the observability and
-  serving loop around all of it.
+  serving loop around all of it,
+* the fault-tolerance stack (:mod:`repro.exec.resilience`):
+  :class:`RetryPolicy` (exponential backoff, deterministic jitter),
+  :class:`Deadline`, per-method :class:`CircuitBreaker`\\ s, all driven
+  by a :class:`ResilientDispatcher` threaded through
+  :meth:`Plan.execute <repro.plans.plan.Plan.execute>`,
+* :class:`FailoverExecutor` (:mod:`repro.exec.failover`) -- when a
+  method dies mid-plan, re-plan the query over the surviving methods
+  and fall back to the next-cheapest viable plan, or return an
+  explicitly marked partial answer from the accessible part.
 
-See ``docs/theory.md`` ("Execution runtime") for why access
-memoization is sound and how the cache interacts with the paper's
-access-counting cost model.
+See ``docs/theory.md`` ("Execution runtime", "Fault model and degraded
+access") for why access memoization is sound and what degraded
+execution guarantees.
 """
 
-from repro.exec.batch import BatchExecutor, substitute_constants
+from repro.exec.batch import BatchExecutor, BatchItem, substitute_constants
 from repro.exec.cache import AccessCache
+from repro.exec.failover import FailoverExecutor, FailoverOutcome
+from repro.exec.resilience import (
+    BreakerRegistry,
+    CircuitBreaker,
+    Deadline,
+    ResilientDispatcher,
+    RetryPolicy,
+)
 from repro.exec.stats import CommandStats, ExecStats
 
 __all__ = [
     "AccessCache",
     "BatchExecutor",
+    "BatchItem",
+    "BreakerRegistry",
+    "CircuitBreaker",
     "CommandStats",
+    "Deadline",
     "ExecStats",
+    "FailoverExecutor",
+    "FailoverOutcome",
+    "ResilientDispatcher",
+    "RetryPolicy",
     "substitute_constants",
 ]

@@ -18,8 +18,10 @@ re-planning.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.exec.cache import AccessCache
 from repro.exec.stats import ExecStats
 from repro.logic.terms import Constant
@@ -120,6 +122,26 @@ def _sub_condition(condition, subst: Dict[Constant, Constant]):
     return condition
 
 
+@dataclass(frozen=True)
+class BatchItem:
+    """The structured per-plan result of a batch run: table or error."""
+
+    index: int
+    plan: str
+    table: Optional[NamedTable] = None
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this plan produced a table."""
+        return self.table is not None
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"BatchItem(#{self.index} {self.plan}: {len(self.table.rows)} rows)"
+        return f"BatchItem(#{self.index} {self.plan}: FAILED {self.error!r})"
+
+
 class BatchExecutor:
     """Run plans repeatedly over one shared source, index and cache."""
 
@@ -128,18 +150,30 @@ class BatchExecutor:
         source,
         cache: Optional[AccessCache] = None,
         collect_stats: bool = True,
+        resilience=None,
     ) -> None:
         self.source = source
         self.cache = cache
         self.stats = ExecStats() if collect_stats else None
+        self.resilience = resilience
+        self.failed = 0
 
     def run(
         self, plan: Plan, bindings: Optional[Mapping[object, object]] = None
     ) -> NamedTable:
-        """Execute one plan (optionally rebound) through the shared state."""
+        """Execute one plan (optionally rebound) through the shared state.
+
+        Errors propagate to the caller; :meth:`run_plans` is the
+        error-isolating batch surface.
+        """
         if bindings:
             plan = substitute_constants(plan, bindings)
-        return plan.execute(self.source, cache=self.cache, stats=self.stats)
+        return plan.execute(
+            self.source,
+            cache=self.cache,
+            stats=self.stats,
+            resilience=self.resilience,
+        )
 
     def run_bindings(
         self, plan: Plan, bindings_list: Sequence[Mapping[object, object]]
@@ -147,9 +181,30 @@ class BatchExecutor:
         """One plan over many parameter bindings (shared cache across runs)."""
         return [self.run(plan, bindings) for bindings in bindings_list]
 
-    def run_plans(self, plans: Sequence[Plan]) -> List[NamedTable]:
-        """Many plans over the shared source/cache."""
-        return [self.run(plan) for plan in plans]
+    def run_plans(self, plans: Sequence[Plan]) -> List[BatchItem]:
+        """Many plans over the shared source/cache, errors isolated.
+
+        One failing plan no longer aborts the batch: each plan yields a
+        :class:`BatchItem` carrying either its result table or the
+        error it died with (any deliberate :class:`~repro.errors.
+        ReproError` -- access faults, evaluation errors, expired
+        deadlines).  Failures are tallied in :attr:`failed` and shown
+        by :meth:`summary`.
+        """
+        items: List[BatchItem] = []
+        for index, plan in enumerate(plans):
+            try:
+                table = self.run(plan)
+            except ReproError as error:
+                self.failed += 1
+                items.append(
+                    BatchItem(index=index, plan=plan.name, error=error)
+                )
+            else:
+                items.append(
+                    BatchItem(index=index, plan=plan.name, table=table)
+                )
+        return items
 
     def summary(self) -> str:
         """Digest of the aggregated stats (and cache, when present)."""
@@ -158,4 +213,6 @@ class BatchExecutor:
             parts.append(self.stats.summary())
         if self.cache is not None:
             parts.append(f"cache: {self.cache.summary()}")
+        if self.failed:
+            parts.append(f"{self.failed} plan run(s) FAILED")
         return "; ".join(parts) or "no instrumentation collected"

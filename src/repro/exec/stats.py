@@ -31,6 +31,8 @@ class CommandStats:
     deduped: int = 0  # duplicate input tuples collapsed before dispatch
     cache_hits: int = 0  # dispatches answered from the AccessCache
     freed_tables: int = 0  # temp tables released after this command
+    retries: int = 0  # dispatches re-attempted after a transient fault
+    faults: int = 0  # transient faults seen (retried or given up on)
 
     def as_dict(self) -> Dict:
         """A JSON-able representation."""
@@ -45,6 +47,8 @@ class CommandStats:
             "deduped": self.deduped,
             "cache_hits": self.cache_hits,
             "freed_tables": self.freed_tables,
+            "retries": self.retries,
+            "faults": self.faults,
         }
 
 
@@ -56,6 +60,11 @@ class ExecStats:
     wall_time: float = 0.0
     peak_resident_rows: int = 0
     runs: int = 0
+    # Resilience counters: breaker trips are synced from the dispatcher's
+    # registry after each run; failovers are incremented by the
+    # FailoverExecutor when it re-plans around a dead method.
+    breaker_trips: int = 0
+    failovers: int = 0
 
     def command(self, index: int, target: str, kind: str) -> CommandStats:
         """Open a fresh per-command record and return it."""
@@ -94,8 +103,25 @@ class ExecStats:
         """Total rows produced across all commands."""
         return sum(c.rows_out for c in self.commands)
 
+    @property
+    def retries(self) -> int:
+        """Dispatches re-attempted after transient faults, across commands."""
+        return sum(c.retries for c in self.commands)
+
+    @property
+    def faults(self) -> int:
+        """Transient faults seen across commands (retried or not)."""
+        return sum(c.faults for c in self.commands)
+
     def summary(self) -> str:
         """A one-line human-readable digest."""
+        resilience = ""
+        if self.faults or self.breaker_trips or self.failovers:
+            resilience = (
+                f", {self.faults} faults / {self.retries} retries, "
+                f"{self.breaker_trips} breaker trips, "
+                f"{self.failovers} failovers"
+            )
         return (
             f"{self.runs} run(s), {len(self.commands)} commands in "
             f"{self.wall_time * 1e3:.2f} ms: "
@@ -104,6 +130,7 @@ class ExecStats:
             f"{self.cache_hits} cache hits, "
             f"{self.source_invocations} reached the source), "
             f"peak resident rows {self.peak_resident_rows}"
+            + resilience
         )
 
     def as_dict(self) -> Dict:
@@ -116,5 +143,9 @@ class ExecStats:
             "accesses_deduped": self.accesses_deduped,
             "cache_hits": self.cache_hits,
             "source_invocations": self.source_invocations,
+            "retries": self.retries,
+            "faults": self.faults,
+            "breaker_trips": self.breaker_trips,
+            "failovers": self.failovers,
             "commands": [c.as_dict() for c in self.commands],
         }

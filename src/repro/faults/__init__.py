@@ -1,0 +1,32 @@
+"""Deterministic fault injection for access-method sources.
+
+The paper's sources are remote services, and remote services fail:
+they go down transiently, time out, police call rates, truncate result
+sets, and sometimes die outright.  This package simulates all of that
+*reproducibly*: :class:`FaultInjectingSource` wraps any source exposing
+``access(method, inputs)`` and injects failures according to a
+:class:`FaultPolicy` whose schedule is a pure function of ``(seed,
+method, inputs, attempt)`` -- the same seed always produces the same
+failures in the same places, so every fault scenario in the tests and
+benchmarks is replayable bit for bit.
+
+The injected errors are the structured :mod:`repro.errors` types
+(:class:`~repro.errors.SourceUnavailable`,
+:class:`~repro.errors.AccessTimeout`, :class:`~repro.errors.RateLimited`,
+:class:`~repro.errors.ResultTruncated`,
+:class:`~repro.errors.MethodOutage`), which is exactly what the
+resilience layer (:mod:`repro.exec.resilience`) retries, breaks and
+fails over on.  :class:`VirtualClock` lets latency injection and
+retry backoff run in simulated time, so fault tests are instant.
+"""
+
+from repro.faults.clock import VirtualClock
+from repro.faults.policy import FaultPolicy, FaultStats
+from repro.faults.source import FaultInjectingSource
+
+__all__ = [
+    "FaultInjectingSource",
+    "FaultPolicy",
+    "FaultStats",
+    "VirtualClock",
+]

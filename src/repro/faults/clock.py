@@ -1,0 +1,44 @@
+"""A manually advanced clock for simulated time.
+
+Fault scenarios are about *time*: injected latency, backoff waits,
+breaker recovery windows, plan deadlines.  Running them against the wall
+clock would make the test suite slow and flaky -- so every time-aware
+component in the resilience stack takes an injectable clock, and this is
+the injectable clock: reading it costs nothing, and time only passes
+when something explicitly :meth:`advance`\\ s it (injected source
+latency, simulated backoff sleeps).
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock.
+
+    Use the instance itself as the ``clock`` callable (``clock()``
+    returns the current simulated time) and :meth:`sleep` as the
+    ``sleep`` callable (it advances instead of blocking).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        """The current simulated time, in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; negative advances are refused."""
+        if seconds < 0:
+            raise ValueError("clock cannot go backwards")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """A sleep that advances simulated time instead of blocking."""
+        self.advance(seconds)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.3f}s)"

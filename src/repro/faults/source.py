@@ -1,0 +1,151 @@
+"""The fault-injecting source wrapper.
+
+:class:`FaultInjectingSource` composes like the decorators in
+:mod:`repro.data.decorators`: it delegates everything to the wrapped
+source and intercepts ``access``.  Each interception consults the
+:class:`~repro.faults.policy.FaultPolicy` schedule:
+
+* a permanently-out method refuses with
+  :class:`~repro.errors.MethodOutage` *without* touching the backend;
+* a key scheduled for a transient kind fails its first ``burst``
+  attempts with the matching error
+  (:class:`~repro.errors.SourceUnavailable`,
+  :class:`~repro.errors.AccessTimeout`,
+  :class:`~repro.errors.RateLimited`), again without touching the
+  backend -- the failed call is not logged or charged, matching a
+  request that never got an answer;
+* a key scheduled for truncation *does* reach the backend (the call was
+  made and paid for) but raises :class:`~repro.errors.ResultTruncated`
+  carrying only ``truncation_keep`` rows, so a result-bounded interface
+  is visible to the caller rather than silently incomplete;
+* everything else is delivered, with ``policy.latency`` seconds accrued
+  on the optional :class:`~repro.faults.clock.VirtualClock`.
+
+Attempt counting is per ``(method, inputs)`` key, so retrying the same
+access walks through the burst deterministically while other keys are
+unaffected -- the property the differential fault tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.data.instance import _to_constant
+from repro.errors import (
+    AccessTimeout,
+    MethodOutage,
+    RateLimited,
+    ResultTruncated,
+    SourceUnavailable,
+)
+from repro.faults.clock import VirtualClock
+from repro.faults.policy import (
+    KIND_RATE_LIMIT,
+    KIND_TIMEOUT,
+    KIND_TRUNCATION,
+    KIND_UNAVAILABLE,
+    FaultPolicy,
+    FaultStats,
+)
+from repro.logic.terms import Constant
+
+_Key = Tuple[str, Tuple[Constant, ...]]
+
+
+class FaultInjectingSource:
+    """Wrap any source with a seeded, deterministic fault schedule."""
+
+    def __init__(
+        self,
+        inner,
+        policy: FaultPolicy,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy
+        self.clock = clock
+        self.stats = FaultStats()
+        self._attempts: Dict[_Key, int] = {}
+        self._method_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------- delegation
+    @property
+    def schema(self):
+        """The wrapped source's schema."""
+        return self.inner.schema
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    # ----------------------------------------------------------- access
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke a method through the fault schedule.
+
+        Raises the scheduled :mod:`repro.errors` type when the schedule
+        says so; otherwise returns the wrapped source's answer.
+        """
+        values = tuple(_to_constant(v) for v in inputs)
+        key = (method_name, values)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        invocation = self._method_calls.get(method_name, 0)
+        self._method_calls[method_name] = invocation + 1
+        self.stats.calls += 1
+
+        relation = self._relation_of(method_name)
+        if self.policy.is_out(method_name, invocation):
+            self.stats.outage_refusals += 1
+            raise MethodOutage(
+                f"method is hard-down (invocation #{invocation})",
+                method=method_name,
+                relation=relation,
+                inputs=values,
+            )
+        kind = self.policy.kind_for(method_name, values)
+        if kind is not None and attempt < self.policy.burst:
+            if kind == KIND_TRUNCATION:
+                rows = self.inner.access(method_name, values)
+                kept = frozenset(sorted(rows)[: self.policy.truncation_keep])
+                self.stats.injected[kind] += 1
+                raise ResultTruncated(
+                    f"result truncated to {len(kept)} of {len(rows)} rows "
+                    f"(attempt {attempt})",
+                    rows=kept,
+                    method=method_name,
+                    relation=relation,
+                    inputs=values,
+                )
+            self.stats.injected[kind] += 1
+            error = {
+                KIND_UNAVAILABLE: SourceUnavailable,
+                KIND_TIMEOUT: AccessTimeout,
+                KIND_RATE_LIMIT: RateLimited,
+            }[kind]
+            raise error(
+                f"injected {kind} fault (attempt {attempt})",
+                method=method_name,
+                relation=relation,
+                inputs=values,
+            )
+        if self.policy.latency:
+            self.stats.injected_latency += self.policy.latency
+            if self.clock is not None:
+                self.clock.advance(self.policy.latency)
+        self.stats.delivered += 1
+        return self.inner.access(method_name, values)
+
+    def _relation_of(self, method_name: str) -> Optional[str]:
+        try:
+            return self.schema.method(method_name).relation
+        except Exception:
+            return None
+
+    # ------------------------------------------------------- inspection
+    def reset_faults(self) -> None:
+        """Forget attempt history and stats (the schedule is unchanged)."""
+        self.stats = FaultStats()
+        self._attempts.clear()
+        self._method_calls.clear()
+
+    def __repr__(self) -> str:
+        return f"FaultInjectingSource({self.inner!r}, {self.stats.summary()})"

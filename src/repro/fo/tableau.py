@@ -45,10 +45,11 @@ from repro.fo.formulas import (
 )
 from repro.logic.atoms import Atom, Substitution
 from repro.logic.dependencies import TGD
+from repro.errors import ReproError
 from repro.logic.terms import Constant, Term, Variable
 
 
-class ProofNotFound(RuntimeError):
+class ProofNotFound(ReproError):
     """No closed tableau was found within the search budget."""
 
 

@@ -49,10 +49,11 @@ from repro.plans.expressions import (
     Singleton,
 )
 from repro.plans.plan import Plan
+from repro.errors import ReproError
 from repro.schema.core import AccessMethod
 
 
-class PlanningError(RuntimeError):
+class PlanningError(ReproError):
     """Raised when a plan step is requested that the state cannot honour."""
 
 

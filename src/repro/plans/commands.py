@@ -74,6 +74,7 @@ class AccessCommand:
         source,
         cache=None,
         stats=None,
+        resilience=None,
     ) -> NamedTable:
         """Run the command against a source; returns the produced table.
 
@@ -84,7 +85,10 @@ class AccessCommand:
         :class:`~repro.exec.cache.AccessCache` supplied, each distinct
         tuple is further memoized across commands and plans.  ``stats``
         (a :class:`~repro.exec.stats.CommandStats`) receives the
-        dispatch breakdown when given.
+        dispatch breakdown when given.  ``resilience`` (a
+        :class:`~repro.exec.resilience.ResilientDispatcher`) wraps each
+        dispatch in retry/backoff, circuit-breaker and deadline checks;
+        without it a failing access propagates immediately.
         """
         inputs = self.input_expr.evaluate(env)
         try:
@@ -106,8 +110,20 @@ class AccessCommand:
             distinct.setdefault(values, None)
         rows = set()
         cache_hits_before = cache.hits if cache is not None else 0
+        retries_before = resilience.retries if resilience is not None else 0
+        faults_before = resilience.faults if resilience is not None else 0
         for values in distinct:
-            if cache is not None:
+            if resilience is not None:
+                if cache is not None:
+                    fetch = lambda v=values: cache.fetch(
+                        source, self.method, v
+                    )
+                else:
+                    fetch = lambda v=values: source.access(self.method, v)
+                accessed_rows = resilience.call(
+                    fetch, self.method, inputs=values
+                )
+            elif cache is not None:
                 accessed_rows = cache.fetch(source, self.method, values)
             else:
                 accessed_rows = source.access(self.method, values)
@@ -124,6 +140,9 @@ class AccessCommand:
             stats.deduped = len(inputs.rows) - len(distinct)
             if cache is not None:
                 stats.cache_hits = cache.hits - cache_hits_before
+            if resilience is not None:
+                stats.retries = resilience.retries - retries_before
+                stats.faults = resilience.faults - faults_before
         table = NamedTable(self.output_attrs, frozenset(rows))
         if stats is not None:
             stats.rows_out = len(table.rows)
@@ -161,12 +180,13 @@ class MiddlewareCommand:
         source,
         cache=None,
         stats=None,
+        resilience=None,
     ) -> NamedTable:
         """Run the command, writing its target table into the env.
 
-        ``cache`` is accepted for signature parity with
-        :meth:`AccessCommand.execute` and ignored -- middleware commands
-        never touch the source.
+        ``cache`` and ``resilience`` are accepted for signature parity
+        with :meth:`AccessCommand.execute` and ignored -- middleware
+        commands never touch the source.
         """
         table = self.expr.evaluate(env)
         if stats is not None:

@@ -23,10 +23,11 @@ from typing import (
     Tuple,
 )
 
+from repro.errors import ExecutionError
 from repro.logic.terms import Constant, Term
 
 
-class EvaluationError(RuntimeError):
+class EvaluationError(ExecutionError):
     """Raised when an expression is evaluated against an unfit environment."""
 
 

@@ -91,6 +91,7 @@ class Plan:
         cache=None,
         stats=None,
         free_temps: bool = True,
+        resilience=None,
     ) -> NamedTable:
         """Run the plan through the execution runtime.
 
@@ -107,6 +108,12 @@ class Plan:
             its last reader ran (the output table is always kept), so
             peak intermediate state is bounded by what is still needed
             rather than by everything ever produced.
+        ``resilience``
+            an optional
+            :class:`~repro.exec.resilience.ResilientDispatcher`: every
+            access dispatch then runs under its retry/backoff policy,
+            per-method circuit breakers and overall plan deadline, and
+            the deadline is also re-checked between commands.
         """
         from time import perf_counter
 
@@ -114,6 +121,8 @@ class Plan:
         last_read = self._last_readers() if free_temps else {}
         started = perf_counter()
         for index, command in enumerate(self.commands):
+            if resilience is not None:
+                resilience.check_deadline(f"command #{index}")
             command_stats = None
             if stats is not None:
                 kind = (
@@ -123,7 +132,13 @@ class Plan:
                 )
                 command_stats = stats.command(index, command.target, kind)
             command_started = perf_counter()
-            command.execute(env, source, cache=cache, stats=command_stats)
+            command.execute(
+                env,
+                source,
+                cache=cache,
+                stats=command_stats,
+                resilience=resilience,
+            )
             if command_stats is not None:
                 command_stats.wall_time = perf_counter() - command_started
             if stats is not None:
@@ -144,6 +159,10 @@ class Plan:
         if stats is not None:
             stats.wall_time += perf_counter() - started
             stats.runs += 1
+            if resilience is not None:
+                # The registry total is monotone, so assignment is safe
+                # even when one dispatcher spans many plan runs.
+                stats.breaker_trips = resilience.breaker_trips
         return env[self.output_table]
 
     def _last_readers(self) -> Dict[str, int]:

@@ -207,6 +207,29 @@ class Schema:
             if not self._methods_by_relation[r.name]
         )
 
+    def without_methods(self, names: Iterable[str]) -> "Schema":
+        """A copy of this schema with the named access methods removed.
+
+        Relations, constants and constraints are untouched: the data and
+        its semantics have not changed, only our *access* to it -- this
+        is the "schema minus the dead methods" the failover executor
+        re-plans against when a source goes down.  Unknown method names
+        raise :class:`SchemaError`.
+        """
+        drop = set(names)
+        unknown = drop - set(self._methods)
+        if unknown:
+            raise SchemaError(
+                f"cannot drop unknown methods {sorted(unknown)}"
+            )
+        return Schema(
+            self.relations,
+            [m for m in self.methods if m.name not in drop],
+            self.constants,
+            self.constraints,
+            name=self.name,
+        )
+
     # ------------------------------------------------------- properties
     @property
     def has_only_guarded_constraints(self) -> bool:

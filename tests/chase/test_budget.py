@@ -1,0 +1,79 @@
+"""Hard chase budgets: step and wall-clock caps that fail fast."""
+
+import pytest
+
+from repro.chase.engine import ChasePolicy, chase_to_fixpoint
+from repro.errors import ChaseBudgetExceeded
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import parse_tgd
+from repro.logic.terms import Constant, NullFactory
+
+
+def diverging_config():
+    """The classic non-terminating existential cycle."""
+    from repro.chase.configuration import ChaseConfiguration
+
+    rules = [parse_tgd("R(x, y) -> R(y, z)")]
+    config = ChaseConfiguration([Atom("R", (Constant("a"), Constant("b")))])
+    return config, rules
+
+
+class TestStepBudget:
+    def test_max_steps_raises_with_partial_stats(self):
+        config, rules = diverging_config()
+        policy = ChasePolicy(max_steps=20)
+        with pytest.raises(ChaseBudgetExceeded) as excinfo:
+            chase_to_fixpoint(config, rules, NullFactory("t"), policy)
+        error = excinfo.value
+        assert error.steps == 21  # the step that crossed the cap
+        assert error.stats is not None
+        assert error.elapsed >= 0
+        assert "20" in str(error)
+
+    def test_max_steps_does_not_bite_a_terminating_chase(self):
+        rules = [parse_tgd("R(x) -> S(x)"), parse_tgd("S(x) -> T(x)")]
+        from repro.chase.configuration import ChaseConfiguration
+
+        config = ChaseConfiguration([Atom("R", (Constant("a"),))])
+        policy = ChasePolicy(max_steps=100)
+        result = chase_to_fixpoint(config, rules, NullFactory("t"), policy)
+        assert result.reached_fixpoint
+
+
+class TestWallClockBudget:
+    def test_max_seconds_raises_on_a_diverging_chase(self):
+        config, rules = diverging_config()
+        policy = ChasePolicy(max_firings=10**9, max_seconds=1e-4)
+        with pytest.raises(ChaseBudgetExceeded) as excinfo:
+            chase_to_fixpoint(config, rules, NullFactory("t"), policy)
+        assert excinfo.value.elapsed > 1e-4
+
+    def test_generous_budget_does_not_bite(self):
+        rules = [parse_tgd("R(x) -> S(x)")]
+        from repro.chase.configuration import ChaseConfiguration
+
+        config = ChaseConfiguration([Atom("R", (Constant("a"),))])
+        policy = ChasePolicy(max_seconds=60.0)
+        result = chase_to_fixpoint(config, rules, NullFactory("t"), policy)
+        assert result.reached_fixpoint
+
+
+class TestPolicyPlumbing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChasePolicy(max_steps=0)
+        with pytest.raises(ValueError):
+            ChasePolicy(max_seconds=-1.0)
+
+    def test_for_saturation_keeps_the_budgets(self):
+        policy = ChasePolicy(max_steps=7, max_seconds=2.5)
+        derived = policy.for_saturation()
+        assert derived.max_steps == 7
+        assert derived.max_seconds == 2.5
+
+    def test_budget_error_is_importable_from_chase_package(self):
+        from repro.chase import ChaseBudgetExceeded as FromChase
+        from repro.errors import ReproError
+
+        assert FromChase is ChaseBudgetExceeded
+        assert issubclass(FromChase, ReproError)

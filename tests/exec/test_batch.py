@@ -108,8 +108,37 @@ class TestBatchExecutor:
         executor = BatchExecutor(source, cache=AccessCache())
         plan = keyed_plan("a")
         first, second = executor.run_plans([plan, plan])
-        assert first.rows == second.rows
+        assert first.ok and second.ok
+        assert first.table.rows == second.table.rows
         assert source.total_invocations == 1
+        assert executor.failed == 0
+
+    def test_run_plans_isolates_per_plan_failures(self, schema, instance):
+        # Wrong arity: this plan dies with an AccessViolation at runtime.
+        broken = Plan(
+            (
+                AccessCommand(
+                    "TR",
+                    "mt_key",
+                    Singleton(),
+                    (),
+                    identity_output_map(("k", "v")),
+                ),
+            ),
+            "TR",
+        )
+        executor = BatchExecutor(InMemorySource(schema, instance))
+        items = executor.run_plans([keyed_plan("a"), broken, keyed_plan("b")])
+        assert [item.ok for item in items] == [True, False, True]
+        assert items[1].table is None
+        assert "needs 1 inputs" in str(items[1].error)
+        assert items[1].index == 1
+        # The failure did not poison the neighbours.
+        assert len(items[0].table.rows) == 2
+        assert len(items[2].table.rows) == 1
+        assert executor.failed == 1
+        assert "1 plan run(s) FAILED" in executor.summary()
+        assert "FAILED" in repr(items[1])
 
     def test_without_stats(self, schema, instance):
         executor = BatchExecutor(

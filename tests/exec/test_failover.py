@@ -1,0 +1,176 @@
+"""Proof-driven failover: re-planning around dead access methods."""
+
+import pytest
+
+from repro.data.source import InMemorySource
+from repro.errors import DeadlineExceeded, NoViablePlan
+from repro.exec import (
+    BreakerRegistry,
+    Deadline,
+    ExecStats,
+    FailoverExecutor,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.faults import FaultInjectingSource, FaultPolicy, VirtualClock
+from repro.scenarios import example1, example5
+
+
+def wrap(scenario, policy, clock=None, seed=0):
+    inner = InMemorySource(scenario.schema, scenario.instance(seed))
+    return FaultInjectingSource(inner, policy, clock=clock)
+
+
+def dispatcher(clock=None, retries=2, deadline=None):
+    clock = clock or VirtualClock()
+    return ResilientDispatcher(
+        retry=RetryPolicy(max_attempts=retries + 1),
+        breakers=BreakerRegistry(clock=clock),
+        deadline=deadline,
+        sleep=clock.sleep,
+    )
+
+
+def reference_rows(scenario):
+    """The fault-free answer via the normal planner/executor path."""
+    from repro.planner.search import find_best_plan
+
+    result = find_best_plan(scenario.schema, scenario.query)
+    assert result.found
+    source = InMemorySource(scenario.schema, scenario.instance(0))
+    return result.best_plan.execute(source).rows
+
+
+class TestFailover:
+    def test_healthy_run_needs_no_failover(self):
+        scenario = example5()
+        executor = FailoverExecutor(
+            scenario.schema,
+            InMemorySource(scenario.schema, scenario.instance(0)),
+        )
+        outcome = executor.run(scenario.query)
+        assert outcome.complete and outcome.ok and not outcome.partial
+        assert outcome.failovers == 0
+        assert len(outcome.plans_tried) == 1
+        assert outcome.dead_methods == ()
+        assert outcome.static_cost is not None
+        assert "complete" in outcome.describe()
+
+    def test_outage_fails_over_to_next_cheapest_plan(self):
+        scenario = example5()
+        source = wrap(scenario, FaultPolicy.outage("mt_udirect1"))
+        stats = ExecStats()
+        executor = FailoverExecutor(
+            scenario.schema, source, resilience=dispatcher(), stats=stats
+        )
+        outcome = executor.run(scenario.query)
+        assert outcome.complete
+        assert outcome.failovers == 1
+        assert outcome.dead_methods == ("mt_udirect1",)
+        assert len(outcome.plans_tried) == 2
+        assert outcome.plans_tried[1].endswith("~failover1")
+        assert stats.failovers == 1
+        # The failover plan computes the same certain answers.
+        assert outcome.table.rows == reference_rows(scenario)
+
+    def test_transient_faults_do_not_trigger_failover(self):
+        scenario = example5()
+        source = wrap(scenario, FaultPolicy.transient(0.4, seed=1))
+        executor = FailoverExecutor(
+            scenario.schema, source, resilience=dispatcher(retries=3)
+        )
+        outcome = executor.run(scenario.query)
+        assert outcome.complete
+        assert outcome.failovers == 0
+        assert outcome.table.rows == reference_rows(scenario)
+
+    def test_dead_method_stays_dead_across_queries(self):
+        scenario = example5()
+        source = wrap(scenario, FaultPolicy.outage("mt_udirect1"))
+        executor = FailoverExecutor(
+            scenario.schema, source, resilience=dispatcher()
+        )
+        first = executor.run(scenario.query)
+        assert first.failovers == 1
+        second = executor.run(scenario.query)
+        # The second serving plans around the known-dead method directly.
+        assert second.complete
+        assert second.failovers == 0
+        assert len(second.plans_tried) == 1
+        assert second.plans_tried[0].endswith("~failover1")
+
+    def test_cascading_outages_keep_failing_over(self):
+        scenario = example5()
+        source = wrap(
+            scenario,
+            FaultPolicy(
+                seed=0, outages={"mt_udirect1": 0, "mt_udirect2": 0}
+            ),
+        )
+        executor = FailoverExecutor(
+            scenario.schema, source, resilience=dispatcher()
+        )
+        outcome = executor.run(scenario.query)
+        assert outcome.complete
+        assert outcome.failovers == 2
+        assert set(outcome.dead_methods) == {"mt_udirect1", "mt_udirect2"}
+        assert outcome.table.rows == reference_rows(scenario)
+
+
+class TestPartialAnswers:
+    def test_partial_answer_when_no_plan_survives(self):
+        scenario = example1()
+        source = wrap(scenario, FaultPolicy.outage("mt_udir"))
+        executor = FailoverExecutor(
+            scenario.schema, source, resilience=dispatcher()
+        )
+        outcome = executor.run(scenario.query)
+        # mt_prof needs an eid input nobody can supply: no full plan.
+        assert not outcome.complete
+        assert outcome.partial and outcome.ok
+        assert outcome.dead_methods == ("mt_udir",)
+        assert outcome.table.rows == frozenset()
+        assert "PARTIAL" in outcome.describe()
+        assert isinstance(outcome.error, NoViablePlan)
+
+    def test_allow_partial_false_reports_failure(self):
+        scenario = example1()
+        source = wrap(scenario, FaultPolicy.outage("mt_udir"))
+        executor = FailoverExecutor(
+            scenario.schema,
+            source,
+            resilience=dispatcher(),
+            allow_partial=False,
+        )
+        outcome = executor.run(scenario.query)
+        assert not outcome.ok
+        assert isinstance(outcome.error, NoViablePlan)
+        assert "FAILED" in outcome.describe()
+
+    def test_all_methods_dead_raises_no_viable_plan_with_context(self):
+        scenario = example1()
+        executor = FailoverExecutor(
+            scenario.schema,
+            InMemorySource(scenario.schema, scenario.instance(0)),
+        )
+        executor.dead_methods = ["mt_prof", "mt_udir"]
+        with pytest.raises(NoViablePlan) as excinfo:
+            executor._plan(scenario.query)
+        assert excinfo.value.dead_methods == ("mt_prof", "mt_udir")
+
+
+class TestDeadlines:
+    def test_expired_deadline_aborts_without_failover(self):
+        scenario = example5()
+        clock = VirtualClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        executor = FailoverExecutor(
+            scenario.schema,
+            InMemorySource(scenario.schema, scenario.instance(0)),
+            resilience=dispatcher(clock=clock, deadline=deadline),
+        )
+        outcome = executor.run(scenario.query)
+        assert not outcome.ok
+        assert isinstance(outcome.error, DeadlineExceeded)
+        assert outcome.failovers == 0

@@ -1,0 +1,260 @@
+"""Retry policy, deadlines, breaker state machine, and the dispatcher."""
+
+import pytest
+
+from repro.errors import (
+    AccessViolation,
+    CircuitOpen,
+    DeadlineExceeded,
+    MethodOutage,
+    SourceUnavailable,
+)
+from repro.exec.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerRegistry,
+    CircuitBreaker,
+    Deadline,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.faults import VirtualClock
+
+
+class FlakyFetch:
+    """A thunk that fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, value="rows", error=SourceUnavailable):
+        self.failures = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"flake #{self.calls}", method="mt")
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0
+        )
+        delays = [policy.delay(n, "mt", ("a",)) for n in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5, seed=9)
+        once = policy.delay(1, "mt", ("a",))
+        assert once == policy.delay(1, "mt", ("a",))
+        assert 1.0 <= once <= 1.5
+        assert once != policy.delay(2, "mt", ("a",))
+        assert once != RetryPolicy(
+            base_delay=1.0, max_delay=1.0, jitter=0.5, seed=10
+        ).delay(1, "mt", ("a",))
+
+    def test_should_retry_respects_cap_and_kind(self):
+        policy = RetryPolicy(max_attempts=3)
+        transient = SourceUnavailable("down")
+        assert policy.should_retry(transient, 1)
+        assert policy.should_retry(transient, 2)
+        assert not policy.should_retry(transient, 3)
+        assert not policy.should_retry(AccessViolation("bad arity"), 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestDeadline:
+    def test_expiry_on_a_virtual_clock(self):
+        clock = VirtualClock()
+        deadline = Deadline(10.0, clock=clock)
+        deadline.check("setup")
+        assert deadline.remaining() == 10.0
+        clock.advance(9.0)
+        assert not deadline.expired
+        clock.advance(1.5)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="during access mt_x"):
+            deadline.check("access mt_x")
+
+    def test_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0, clock=VirtualClock())
+
+
+class TestCircuitBreaker:
+    def make(self, clock=None, **kwargs):
+        return CircuitBreaker(
+            "mt", clock=clock or VirtualClock(), **kwargs
+        )
+
+    def test_trips_at_threshold_not_before(self):
+        breaker = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = self.make(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_half_opens_after_recovery_then_closes(self):
+        clock = VirtualClock()
+        breaker = self.make(
+            clock=clock, failure_threshold=1, recovery_time=30.0
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+        clock.advance(29.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe is let through
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_retrips_immediately(self):
+        clock = VirtualClock()
+        breaker = self.make(
+            clock=clock, failure_threshold=3, recovery_time=5.0
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one probe failure is enough
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+
+    def test_forced_open_never_half_opens(self):
+        clock = VirtualClock()
+        breaker = self.make(clock=clock, recovery_time=1.0)
+        breaker.record_failure(permanent=True)
+        assert breaker.state == OPEN and breaker.forced
+        clock.advance(1000.0)
+        assert not breaker.allow()
+        error = breaker.refuse(("a",))
+        assert isinstance(error, CircuitOpen)
+        assert "hard outage" in str(error)
+
+    def test_registry_shares_settings_and_counts_trips(self):
+        registry = BreakerRegistry(failure_threshold=1, clock=VirtualClock())
+        assert registry.for_method("mt_a") is registry.for_method("mt_a")
+        registry.for_method("mt_a").record_failure()
+        registry.for_method("mt_b").record_failure()
+        assert registry.open_methods() == ("mt_a", "mt_b")
+        assert registry.trips == 2
+
+
+class TestResilientDispatcher:
+    def test_retries_until_success(self):
+        dispatcher = ResilientDispatcher(retry=RetryPolicy(max_attempts=4))
+        fetch = FlakyFetch(failures=2)
+        assert dispatcher.call(fetch, "mt") == "rows"
+        assert fetch.calls == 3
+        assert dispatcher.retries == 2
+        assert dispatcher.faults == 2
+        assert dispatcher.giveups == 0
+        assert dispatcher.backoff_waited > 0
+
+    def test_gives_up_past_the_attempt_cap(self):
+        dispatcher = ResilientDispatcher(retry=RetryPolicy(max_attempts=2))
+        fetch = FlakyFetch(failures=5)
+        with pytest.raises(SourceUnavailable) as excinfo:
+            dispatcher.call(fetch, "mt")
+        assert fetch.calls == 2
+        assert excinfo.value.attempts == 2
+        assert dispatcher.giveups == 1
+
+    def test_no_policy_means_fail_fast(self):
+        dispatcher = ResilientDispatcher()
+        with pytest.raises(SourceUnavailable):
+            dispatcher.call(FlakyFetch(failures=1), "mt")
+        assert dispatcher.retries == 0
+
+    def test_permanent_errors_are_never_retried(self):
+        dispatcher = ResilientDispatcher(retry=RetryPolicy(max_attempts=9))
+        fetch = FlakyFetch(failures=5, error=MethodOutage)
+        with pytest.raises(MethodOutage):
+            dispatcher.call(fetch, "mt")
+        assert fetch.calls == 1
+
+    def test_backoff_that_overruns_the_deadline_aborts(self):
+        clock = VirtualClock()
+        dispatcher = ResilientDispatcher(
+            retry=RetryPolicy(max_attempts=4, base_delay=5.0, jitter=0.0),
+            deadline=Deadline(1.0, clock=clock),
+            sleep=clock.sleep,
+        )
+        with pytest.raises(DeadlineExceeded, match="would overrun"):
+            dispatcher.call(FlakyFetch(failures=1), "mt")
+        assert dispatcher.giveups == 1
+
+    def test_expired_deadline_refuses_before_fetching(self):
+        clock = VirtualClock()
+        dispatcher = ResilientDispatcher(deadline=Deadline(1.0, clock=clock))
+        clock.advance(2.0)
+        fetch = FlakyFetch(failures=0)
+        with pytest.raises(DeadlineExceeded):
+            dispatcher.call(fetch, "mt")
+        assert fetch.calls == 0
+
+    def test_breaker_opens_and_fails_fast(self):
+        dispatcher = ResilientDispatcher(
+            breakers=BreakerRegistry(
+                failure_threshold=2, clock=VirtualClock()
+            )
+        )
+        for _ in range(2):
+            with pytest.raises(SourceUnavailable):
+                dispatcher.call(FlakyFetch(failures=1), "mt")
+        fetch = FlakyFetch(failures=0)
+        with pytest.raises(CircuitOpen):
+            dispatcher.call(fetch, "mt")
+        assert fetch.calls == 0  # refused before touching the source
+        assert dispatcher.breaker_trips == 1
+
+    def test_outage_force_opens_the_breaker(self):
+        dispatcher = ResilientDispatcher(
+            breakers=BreakerRegistry(
+                failure_threshold=99, clock=VirtualClock()
+            )
+        )
+        with pytest.raises(MethodOutage):
+            dispatcher.call(FlakyFetch(failures=1, error=MethodOutage), "mt")
+        assert dispatcher.breakers.for_method("mt").forced
+        with pytest.raises(CircuitOpen):
+            dispatcher.call(FlakyFetch(failures=0), "mt")
+
+    def test_sleep_receives_the_backoff(self):
+        clock = VirtualClock()
+        dispatcher = ResilientDispatcher(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.5, jitter=0.0),
+            sleep=clock.sleep,
+        )
+        dispatcher.call(FlakyFetch(failures=1), "mt")
+        assert clock.now() == pytest.approx(0.5)
+        assert dispatcher.backoff_waited == pytest.approx(0.5)
+
+    def test_summary_mentions_every_counter(self):
+        dispatcher = ResilientDispatcher(retry=RetryPolicy(max_attempts=2))
+        dispatcher.call(FlakyFetch(failures=1), "mt")
+        text = dispatcher.summary()
+        assert "1 retries" in text
+        assert "1 faults seen" in text
+        assert "breaker trips" in text

@@ -63,3 +63,56 @@ class TestReport:
 
     def test_format_value_float_precision(self):
         assert format_value(0.123456) == "0.1235"
+
+
+class TestFaultsRenderer:
+    def test_render_faults_tables(self):
+        from benchmarks.report import render_faults
+
+        report = {
+            "mode": "smoke",
+            "scenario": "example5[3]",
+            "retries": 4,
+            "transient": {
+                "trials": 5,
+                "rows": [
+                    {
+                        "rate": 0.2,
+                        "unprotected": {
+                            "success_rate": 0.0,
+                            "mean_sim_latency": 0.1,
+                        },
+                        "resilient": {
+                            "success_rate": 1.0,
+                            "identical_to_reference": True,
+                            "mean_retries": 3.2,
+                            "mean_backoff": 0.25,
+                            "mean_sim_latency": 0.35,
+                        },
+                    }
+                ],
+            },
+            "outage": {
+                "scenario": "example5[3]",
+                "methods": 4,
+                "complete": 3,
+                "partial": 1,
+                "failed": 0,
+                "success_rate": 0.75,
+                "served_rate": 1.0,
+                "rows": [
+                    {
+                        "victim": "mt_udirect1",
+                        "outcome": "complete",
+                        "failovers": 1,
+                        "plans_tried": ["Q5", "Q5~failover1"],
+                        "rows": 1,
+                    }
+                ],
+            },
+        }
+        text = render_faults(report)
+        assert "unprotected vs resilient" in text
+        assert "| 0.2 | 0% | 100% | yes | 3.2 |" in text
+        assert "success rate 75%" in text
+        assert "| mt_udirect1 | complete | 1 | 2 | 1 |" in text

@@ -1,0 +1,115 @@
+"""The consolidated error hierarchy: altitudes, context, old aliases."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error_and_runtime_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+            assert issubclass(cls, RuntimeError), name
+
+    def test_transient_kinds_are_access_errors(self):
+        for cls in (
+            errors.SourceUnavailable,
+            errors.AccessTimeout,
+            errors.RateLimited,
+            errors.ResultTruncated,
+        ):
+            assert issubclass(cls, errors.TransientAccessError)
+            assert issubclass(cls, errors.AccessError)
+
+    def test_permanent_kinds_are_not_transient(self):
+        for cls in (
+            errors.MethodOutage,
+            errors.AccessViolation,
+            errors.CircuitOpen,
+            errors.AccessBudgetExceeded,
+        ):
+            assert issubclass(cls, errors.AccessError)
+            assert not issubclass(cls, errors.TransientAccessError)
+
+    def test_catching_access_error_catches_all_source_failures(self):
+        with pytest.raises(errors.AccessError):
+            raise errors.SourceUnavailable("down", method="mt")
+        with pytest.raises(errors.AccessError):
+            raise errors.MethodOutage("dead", method="mt")
+
+
+class TestContext:
+    def test_message_carries_method_relation_inputs(self):
+        error = errors.AccessTimeout(
+            "too slow", method="mt_prof", relation="Profinfo", inputs=("e1",)
+        )
+        assert error.method == "mt_prof"
+        assert error.relation == "Profinfo"
+        assert error.inputs == ("e1",)
+        text = str(error)
+        assert "too slow" in text
+        assert "method=mt_prof" in text
+        assert "relation=Profinfo" in text
+        assert "inputs=('e1',)" in text
+
+    def test_context_free_message_is_unwrapped(self):
+        assert str(errors.AccessError("plain")) == "plain"
+
+    def test_truncation_carries_partial_rows(self):
+        error = errors.ResultTruncated(
+            "cut", rows=frozenset({(1,)}), method="mt"
+        )
+        assert error.rows == frozenset({(1,)})
+
+    def test_chase_budget_carries_partial_stats(self):
+        marker = object()
+        error = errors.ChaseBudgetExceeded(
+            "over", stats=marker, steps=7, elapsed=1.5
+        )
+        assert error.stats is marker
+        assert error.steps == 7
+        assert error.elapsed == 1.5
+
+
+class TestAliases:
+    def test_old_import_locations_still_work(self):
+        from repro.chase.engine import NonTerminatingChaseError
+        from repro.data.decorators import (
+            AccessBudgetExceeded,
+            SourceUnavailable,
+        )
+        from repro.data.source import AccessViolation
+
+        assert AccessViolation is errors.AccessViolation
+        assert SourceUnavailable is errors.SourceUnavailable
+        assert AccessBudgetExceeded is errors.AccessBudgetExceeded
+        assert NonTerminatingChaseError is errors.NonTerminatingChaseError
+
+    def test_rebased_layer_errors(self):
+        from repro.chase import ChaseBudgetExceeded
+        from repro.planner.plan_state import PlanningError
+        from repro.plans.expressions import EvaluationError
+
+        assert ChaseBudgetExceeded is errors.ChaseBudgetExceeded
+        assert issubclass(EvaluationError, errors.ExecutionError)
+        assert issubclass(PlanningError, errors.ReproError)
+
+    def test_source_violation_now_carries_context(self):
+        from repro.data.instance import Instance
+        from repro.data.source import InMemorySource
+        from repro.schema.core import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .relation("R", 2)
+            .access("mt_key", "R", inputs=[0])
+            .build()
+        )
+        source = InMemorySource(schema, Instance({"R": [("a", "b")]}))
+        with pytest.raises(
+            errors.AccessViolation, match=r"method mt_key needs 1 inputs"
+        ) as excinfo:
+            source.access("mt_key", ())
+        assert excinfo.value.method == "mt_key"
+        assert excinfo.value.relation == "R"
