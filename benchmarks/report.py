@@ -17,6 +17,9 @@ Usage::
     python benchmarks/bench_faults.py           # writes BENCH_faults.json
     python benchmarks/report.py --faults-json BENCH_faults.json
 
+    python benchmarks/bench_service.py          # writes BENCH_service.json
+    python benchmarks/report.py --service-json BENCH_service.json
+
 The default mode groups pytest-benchmark rows by module and prints one
 markdown table per module with mean/stddev timings and every
 ``extra_info`` measurement.  ``--chase-json`` instead renders the
@@ -251,6 +254,63 @@ def render_faults(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_service(report: Dict) -> str:
+    """Markdown tables for a ``bench_service.py`` report."""
+    lines = [
+        "### concurrent serving: throughput and latency vs workers "
+        f"({report['mode']}, {report['scenario']}, "
+        f"{report['throughput']['requests']} requests, "
+        f"{report['access_latency'] * 1e3:.0f} ms access latency)",
+        "",
+        "| workers | throughput | speedup | p50 latency | p95 latency"
+        " | p99 latency | identical answers |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in report["throughput"]["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    str(row["workers"]),
+                    f"{row['throughput_rps']:.1f} req/s",
+                    f"{row['speedup']:.2f}x",
+                    _time(row["p50_latency"]),
+                    _time(row["p95_latency"]),
+                    _time(row["p99_latency"]),
+                    "yes" if row["identical_to_reference"] else "NO",
+                ]
+            )
+            + " |"
+        )
+    lines += [
+        "",
+        "### load shedding under burst overload "
+        "(served + shed + rejected == submitted, asserted)",
+        "",
+        "| offered load | submitted | served | shed (queued)"
+        " | rejected at door | shed rate | all accounted |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in report["shedding"]["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    f"{row['offered_multiplier']:.1f}x",
+                    str(row["submitted"]),
+                    str(row["served"]),
+                    str(row["shed_queued"]),
+                    str(row["rejected_at_door"]),
+                    f"{row['shed_rate']:.0%}",
+                    "yes" if row["all_accounted"] else "NO",
+                ]
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -273,7 +333,15 @@ def main() -> int:
         "--faults-json", metavar="PATH",
         help="render a bench_faults.py fault/failover report instead",
     )
+    parser.add_argument(
+        "--service-json", metavar="PATH",
+        help="render a bench_service.py concurrency report instead",
+    )
     args = parser.parse_args()
+    if args.service_json:
+        with open(args.service_json) as handle:
+            print(render_service(json.load(handle)))
+        return 0
     if args.faults_json:
         with open(args.faults_json) as handle:
             print(render_faults(json.load(handle)))

@@ -32,7 +32,9 @@ Subpackages: :mod:`repro.logic` (CQs, TGDs, homomorphisms),
 :mod:`repro.chase` (the chase with blocking), :mod:`repro.plans`
 (RA plans and their semantics), :mod:`repro.data` (access-enforced
 sources, AccPart), :mod:`repro.exec` (the indexed/deduplicated/cached
-execution runtime), :mod:`repro.cost` (cost functions),
+execution runtime), :mod:`repro.service` (the concurrent query service
+with admission control and overload shedding),
+:mod:`repro.cost` (cost functions),
 :mod:`repro.planner` (proof-to-plan + Algorithm 1 + views),
 :mod:`repro.fo` (interpolation, executable queries),
 :mod:`repro.scenarios` (the paper's examples).
@@ -70,6 +72,9 @@ from repro.errors import (
     DeadlineExceeded,
     MethodOutage,
     ReproError,
+    RowBudgetExceeded,
+    ServiceOverloaded,
+    ServiceStopped,
     TransientAccessError,
 )
 from repro.exec import (
@@ -83,8 +88,19 @@ from repro.exec import (
     FailoverExecutor,
     FailoverOutcome,
     ResilientDispatcher,
+    ResourceBudget,
     RetryPolicy,
     substitute_constants,
+)
+from repro.service import (
+    PRIORITY_BEST_EFFORT,
+    PRIORITY_HIGH,
+    PRIORITY_NORMAL,
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ServiceHealth,
+    Ticket,
 )
 from repro.faults import (
     FaultInjectingSource,
@@ -141,18 +157,30 @@ __all__ = [
     "Instance",
     "MethodOutage",
     "Null",
+    "PRIORITY_BEST_EFFORT",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
     "Plan",
     "PlanKind",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
     "Relation",
     "ReproError",
     "ResilientDispatcher",
+    "ResourceBudget",
     "RetryPolicy",
+    "RowBudgetExceeded",
     "Schema",
     "SchemaBuilder",
     "SearchOptions",
     "SearchResult",
+    "ServiceHealth",
+    "ServiceOverloaded",
+    "ServiceStopped",
     "SimpleCostFunction",
     "TGD",
+    "Ticket",
     "TransientAccessError",
     "Variable",
     "VirtualClock",

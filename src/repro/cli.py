@@ -5,6 +5,10 @@ Subcommands:
 * ``demo <scenario>`` -- run a built-in scenario end to end (plan, show
   the plan, execute it on generated data, verify completeness).
   Scenarios: example1, example2, example5, chain, views.
+* ``serve-demo <scenario> --workers N`` -- plan a scenario, then serve
+  a burst of concurrent requests (mixed priorities, per-request
+  deadlines and budgets) through a :class:`~repro.service.QueryService`
+  and print the per-request outcomes and the service health snapshot.
 * ``plan <schema.json> <query>`` -- plan a Datalog-style query over a
   schema file (the :mod:`repro.schema.serialize` JSON format), printing
   the best plan, its proof, and optionally SQL (``--sql``).
@@ -127,6 +131,29 @@ def build_parser() -> argparse.ArgumentParser:
              "plan, or to a marked partial answer",
     )
 
+    serve = sub.add_parser(
+        "serve-demo",
+        help="serve a burst of concurrent requests through QueryService",
+    )
+    serve.add_argument("scenario", choices=sorted(SCENARIOS))
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=24,
+                       help="how many requests to fire at once")
+    serve.add_argument("--max-queue", type=int, default=8,
+                       help="admission queue capacity (small values shed)")
+    serve.add_argument("--latency", type=float, default=0.002,
+                       metavar="SECONDS",
+                       help="simulated per-access source latency")
+    serve.add_argument("--budget-rows", type=int, default=None,
+                       metavar="N",
+                       help="per-request result-row budget (overflowing "
+                            "answers degrade to marked partial results)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline, measured from submission")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-accesses", type=int, default=6)
+
     plan = sub.add_parser("plan", help="plan a query over a schema file")
     plan.add_argument("schema", help="path to a schema JSON file")
     plan.add_argument("query", help="e.g. \"q(x) :- R(x, y)\"")
@@ -138,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("schema")
     check.add_argument("query")
     check.add_argument("--max-accesses", type=int, default=6)
-    for command in (demo, plan, check):
+    for command in (demo, serve, plan, check):
         command.add_argument(
             "--chase-strategy",
             choices=["semi-naive", "naive"],
@@ -175,6 +202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
         return _demo(args)
+    if args.command == "serve-demo":
+        return _serve_demo(args)
     if args.command == "plan":
         return _plan(args, check_only=False)
     if args.command == "check":
@@ -278,6 +307,82 @@ def _demo(args) -> int:
         print(f"cache [{cache.summary()}]")
     print(f"complete: {'yes' if complete else 'NO'}")
     return 0 if complete else 1
+
+
+def _serve_demo(args) -> int:
+    from repro.data.decorators import LatencySource
+    from repro.exec.budget import ResourceBudget
+    from repro.errors import ServiceOverloaded
+    from repro.service import (
+        PRIORITY_CLASSES,
+        PRIORITY_NAMES,
+        QueryService,
+    )
+
+    scenario = SCENARIOS[args.scenario]()
+    result = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=args.max_accesses,
+            chase_policy=_chase_policy(args, scenario.schema),
+            domination_index=args.domination_index,
+        ),
+    )
+    if not result.found:
+        print("no complete plan exists within the access budget")
+        return 2
+    plan = result.best_plan
+    print(plan.describe())
+    instance = scenario.instance(args.seed)
+    source = InMemorySource(scenario.schema, instance)
+    if args.latency:
+        source = LatencySource(source, args.latency)
+    budget = (
+        ResourceBudget(max_result_rows=args.budget_rows)
+        if args.budget_rows is not None
+        else None
+    )
+    service = QueryService(
+        source,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache=AccessCache(),
+        retry=RetryPolicy(),
+        default_deadline=args.deadline,
+        default_budget=budget,
+    )
+    print(
+        f"\nserving {args.requests} requests on {args.workers} workers "
+        f"(queue {args.max_queue}, per-access latency {args.latency}s)\n"
+    )
+    with service:
+        tickets = []
+        for index in range(args.requests):
+            priority = PRIORITY_CLASSES[index % len(PRIORITY_CLASSES)]
+            try:
+                tickets.append(
+                    (
+                        priority,
+                        service.submit(plan, priority=priority),
+                    )
+                )
+            except ServiceOverloaded as error:
+                print(
+                    f"q{index + 1} ({PRIORITY_NAMES[priority]}): SHED at "
+                    f"admission -- {error} "
+                    f"(retry after {error.retry_after:.3f}s)"
+                )
+        for priority, ticket in tickets:
+            response = ticket.result(timeout=60)
+            print(f"{PRIORITY_NAMES[priority]:>11}: {response.describe()}")
+        health = service.health()
+    print(f"\nhealth: {health.summary()}")
+    if health.cache:
+        print(f"cache: hits={health.cache['hits']} "
+              f"misses={health.cache['misses']} "
+              f"stampedes collapsed={health.cache['stampedes_collapsed']}")
+    return 0
 
 
 def _chase_policy(args, schema):

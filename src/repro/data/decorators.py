@@ -13,10 +13,17 @@ InMemorySource` or another decorator):
   runtime frugality in tests.
 * :class:`FlakySource` -- fails deterministically on chosen invocation
   indices, for failure-injection testing of harness code.
+* :class:`LatencySource` -- adds a fixed real-time delay per access,
+  modelling remote-call latency; this is what makes worker threads in a
+  :class:`~repro.service.QueryService` overlap usefully (the sleep
+  releases the GIL), so the service benchmark measures real concurrency
+  wins rather than pure-Python contention.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.data.instance import _to_constant
@@ -131,6 +138,35 @@ class FlakySource(_Wrapper):
                 method=method_name,
                 inputs=tuple(inputs),
             )
+        return self.inner.access(method_name, inputs)
+
+
+class LatencySource(_Wrapper):
+    """Delay every access by a fixed latency (default: real sleep).
+
+    ``sleep`` is injectable for tests; the production default
+    ``time.sleep`` releases the GIL, so concurrent workers genuinely
+    overlap their waits.  The call counter is lock-protected -- this
+    wrapper is meant to sit under a multi-threaded service.
+    """
+
+    def __init__(self, inner, latency: float, sleep: Callable[[float], None] = time.sleep) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        super().__init__(inner)
+        self.latency = latency
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.slept = 0.0
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        if self.latency:
+            self._sleep(self.latency)
+        with self._lock:
+            self.calls += 1
+            self.slept += self.latency
         return self.inner.access(method_name, inputs)
 
 

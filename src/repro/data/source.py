@@ -21,6 +21,7 @@ Metering is identical either way: the index changes how an access is
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -55,6 +56,10 @@ class InMemorySource:
         self.log: List[AccessRecord] = []
         self._indexes: Dict[str, _MethodIndex] = {}
         self._indexed_version = instance.version
+        # Guards the lazy index build (check-version/clear/build) and the
+        # metering log, so one source can serve many worker threads; the
+        # single-threaded path just pays one uncontended acquisition.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------ access
     def access(
@@ -79,14 +84,15 @@ class InMemorySource:
             matching = self._method_index(method).get(values, frozenset())
         else:
             matching = self._scan(method, values)
-        self.log.append(
-            AccessRecord(
-                method=method_name,
-                relation=method.relation,
-                inputs=values,
-                results=len(matching),
+        with self._lock:
+            self.log.append(
+                AccessRecord(
+                    method=method_name,
+                    relation=method.relation,
+                    inputs=values,
+                    results=len(matching),
+                )
             )
-        )
         return matching
 
     def _scan(
@@ -103,44 +109,65 @@ class InMemorySource:
         )
 
     def _method_index(self, method: AccessMethod) -> _MethodIndex:
-        """The (lazily built, staleness-checked) index of one method."""
-        if self.instance.version != self._indexed_version:
-            self._indexes.clear()
-            self._indexed_version = self.instance.version
-        index = self._indexes.get(method.name)
-        if index is None:
-            buckets: Dict[Tuple[Constant, ...], Set[Tuple[Constant, ...]]] = {}
-            positions = method.input_positions
-            for row in self.instance.tuples(method.relation):
-                buckets.setdefault(
-                    tuple(row[p] for p in positions), set()
-                ).add(row)
-            index = {key: frozenset(rows) for key, rows in buckets.items()}
-            self._indexes[method.name] = index
-        return index
+        """The (lazily built, staleness-checked) index of one method.
+
+        The whole check-version / clear / build / install sequence runs
+        under the source lock, so concurrent first accesses to a method
+        build its index exactly once and never observe a half-cleared
+        index map.
+        """
+        with self._lock:
+            if self.instance.version != self._indexed_version:
+                self._indexes.clear()
+                self._indexed_version = self.instance.version
+            index = self._indexes.get(method.name)
+            if index is None:
+                buckets: Dict[
+                    Tuple[Constant, ...], Set[Tuple[Constant, ...]]
+                ] = {}
+                positions = method.input_positions
+                for row in self.instance.tuples(method.relation):
+                    buckets.setdefault(
+                        tuple(row[p] for p in positions), set()
+                    ).add(row)
+                index = {
+                    key: frozenset(rows) for key, rows in buckets.items()
+                }
+                self._indexes[method.name] = index
+            return index
 
     # ---------------------------------------------------------- metering
     def reset_log(self) -> None:
         """Clear the access log and counters."""
-        self.log.clear()
+        with self._lock:
+            self.log.clear()
 
     @property
     def total_invocations(self) -> int:
         """Every logged call, including repeats."""
         return len(self.log)
 
+    def _log_snapshot(self) -> Tuple[AccessRecord, ...]:
+        """A point-in-time copy of the log, safe against appenders."""
+        with self._lock:
+            return tuple(self.log)
+
     def distinct_accesses(self) -> FrozenSet[Tuple[str, Tuple[Constant, ...]]]:
         """The set of (method, inputs) pairs -- Theorem 8's access measure."""
-        return frozenset((rec.method, rec.inputs) for rec in self.log)
+        return frozenset(
+            (rec.method, rec.inputs) for rec in self._log_snapshot()
+        )
 
     def invocations_of(self, method_name: str) -> int:
         """Logged invocation count for one method."""
-        return sum(1 for rec in self.log if rec.method == method_name)
+        return sum(
+            1 for rec in self._log_snapshot() if rec.method == method_name
+        )
 
     def charged_cost(self, per_method: Optional[Dict[str, float]] = None) -> float:
         """Total runtime cost: per-method weight (default: declared cost)."""
         total = 0.0
-        for record in self.log:
+        for record in self._log_snapshot():
             if per_method is not None and record.method in per_method:
                 total += per_method[record.method]
             else:

@@ -159,6 +159,62 @@ class NoViablePlan(ExecutionError):
         super().__init__(message)
 
 
+class RowBudgetExceeded(ExecutionError):
+    """A per-request row budget tripped during plan execution.
+
+    ``kind`` says which budget ("result" or "resident"); ``rows`` is the
+    observed row count and ``budget`` the configured ceiling.  Raised by
+    :meth:`Plan.execute <repro.plans.plan.Plan.execute>` when a
+    :class:`~repro.exec.budget.ResourceBudget` forbids the overflow
+    (resident-row overflows are always errors; result-row overflows only
+    with ``on_result_overflow="error"`` -- the default degrades to a
+    deterministically truncated, explicitly marked partial answer).
+    """
+
+    def __init__(
+        self, message: str, *, kind: str = "result", rows: int = 0,
+        budget: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.rows = rows
+        self.budget = budget
+        super().__init__(message)
+
+
+# ----------------------------------------------------------- service layer
+class ServiceError(ReproError):
+    """A failure of the concurrent query service itself."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control refused (or shed) a request: the queue is full.
+
+    ``queue_depth`` is the depth observed at rejection time and
+    ``retry_after`` a best-effort hint (seconds) for when capacity is
+    expected -- derived from the observed mean service time, never a
+    promise.  ``shed`` distinguishes a queued request evicted by a
+    higher-priority arrival (True) from a request rejected at the door
+    (False).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int = 0,
+        retry_after: Optional[float] = None,
+        shed: bool = False,
+    ) -> None:
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+        self.shed = shed
+        super().__init__(message)
+
+
+class ServiceStopped(ServiceError):
+    """A request was submitted to a draining or stopped service."""
+
+
 # ------------------------------------------------------------- chase layer
 class ChaseError(ReproError):
     """A failure inside the chase engine."""
@@ -207,6 +263,10 @@ __all__ = [
     "RateLimited",
     "ReproError",
     "ResultTruncated",
+    "RowBudgetExceeded",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceStopped",
     "SourceUnavailable",
     "TransientAccessError",
 ]

@@ -14,6 +14,9 @@ package makes *running* that plan cheap.  Four cooperating pieces:
   temp-table freeing) driven by :meth:`repro.plans.plan.Plan.execute`,
 * :class:`ExecStats` / :class:`BatchExecutor` -- the observability and
   serving loop around all of it,
+* :class:`ResourceBudget` (:mod:`repro.exec.budget`) -- per-request
+  row/access/cost ceilings threaded through ``Plan.execute``; result
+  overflow degrades to an explicitly marked partial answer,
 * the fault-tolerance stack (:mod:`repro.exec.resilience`):
   :class:`RetryPolicy` (exponential backoff, deterministic jitter),
   :class:`Deadline`, per-method :class:`CircuitBreaker`\\ s, all driven
@@ -30,6 +33,7 @@ execution guarantees.
 """
 
 from repro.exec.batch import BatchExecutor, BatchItem, substitute_constants
+from repro.exec.budget import ResourceBudget
 from repro.exec.cache import AccessCache
 from repro.exec.failover import FailoverExecutor, FailoverOutcome
 from repro.exec.resilience import (
@@ -53,6 +57,7 @@ __all__ = [
     "FailoverExecutor",
     "FailoverOutcome",
     "ResilientDispatcher",
+    "ResourceBudget",
     "RetryPolicy",
     "substitute_constants",
 ]

@@ -181,7 +181,9 @@ class BatchExecutor:
         """One plan over many parameter bindings (shared cache across runs)."""
         return [self.run(plan, bindings) for bindings in bindings_list]
 
-    def run_plans(self, plans: Sequence[Plan]) -> List[BatchItem]:
+    def run_plans(
+        self, plans: Sequence[Plan], workers: Optional[int] = None
+    ) -> List[BatchItem]:
         """Many plans over the shared source/cache, errors isolated.
 
         One failing plan no longer aborts the batch: each plan yields a
@@ -190,7 +192,19 @@ class BatchExecutor:
         ReproError` -- access faults, evaluation errors, expired
         deadlines).  Failures are tallied in :attr:`failed` and shown
         by :meth:`summary`.
+
+        ``workers`` > 1 runs the batch through a temporary
+        :class:`~repro.service.QueryService` pool over the *same*
+        source and cache (the runtime is thread-safe), preserving item
+        order and per-plan failure isolation; results are identical to
+        the sequential default.  The batch dispatcher's retry policy,
+        breakers and sleep carry over (each plan run gets its own
+        forked counters); a batch-wide deadline does not -- deadlines
+        are per-request in the service, so pass one per submit there
+        instead.
         """
+        if workers is not None and workers > 1 and len(plans) > 1:
+            return self._run_plans_concurrent(plans, workers)
         items: List[BatchItem] = []
         for index, plan in enumerate(plans):
             try:
@@ -204,6 +218,43 @@ class BatchExecutor:
                 items.append(
                     BatchItem(index=index, plan=plan.name, table=table)
                 )
+        return items
+
+    def _run_plans_concurrent(
+        self, plans: Sequence[Plan], workers: int
+    ) -> List[BatchItem]:
+        # Imported lazily: repro.service imports this module for
+        # substitute_constants.
+        from repro.service import QueryService
+
+        dispatcher = self.resilience
+        service = QueryService(
+            self.source,
+            workers=workers,
+            max_queue=len(plans),
+            cache=self.cache,
+            retry=dispatcher.retry if dispatcher is not None else None,
+            breakers=dispatcher.breakers if dispatcher is not None else None,
+            sleep=dispatcher.sleep if dispatcher is not None else None,
+            collect_stats=self.stats is not None,
+            name="batch",
+        )
+        with service:
+            tickets = [service.submit(plan) for plan in plans]
+            responses = [ticket.result() for ticket in tickets]
+        items: List[BatchItem] = []
+        for index, (plan, response) in enumerate(zip(plans, responses)):
+            if response.ok:
+                items.append(
+                    BatchItem(index=index, plan=plan.name, table=response.table)
+                )
+            else:
+                self.failed += 1
+                items.append(
+                    BatchItem(index=index, plan=plan.name, error=response.error)
+                )
+        if self.stats is not None and service.stats is not None:
+            self.stats.merge(service.stats)
         return items
 
     def summary(self) -> str:

@@ -17,10 +17,25 @@ restores the old books: every hit is re-logged as a full-price
 invocation on the source, so ``charged_cost`` and ``total_invocations``
 behave exactly as if the cache were absent (only wall time improves).
 The benchmarks use this to keep their charged-cost series comparable.
+Each cached entry carries the method's relation name resolved at miss
+time, so charging a hit never re-touches schema state -- a hit is pure
+cache reads plus one log append.
+
+Concurrency: every structural mutation (the version-triggered clear,
+the LRU insert/evict/reorder, the counters) happens under one internal
+lock, so the cache may be shared by every worker of a
+:class:`~repro.service.QueryService`.  Misses are *single-flight*: the
+first thread to miss a key fetches from the source outside the lock
+while later threads for the same key wait on its completion, so a
+stampede of identical requests costs one source invocation -- the same
+"identical accesses are paid once" contract the sequential runtime
+gives.  Single-threaded callers see identical semantics to the PR 3
+cache; the only addition is one uncontended lock acquisition per fetch.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Optional, Tuple
 
@@ -29,6 +44,19 @@ from repro.logic.terms import Constant
 
 _Key = Tuple[str, Tuple[Constant, ...]]
 _Rows = FrozenSet[Tuple[Constant, ...]]
+# Cached value: the rows plus the relation name hoisted at miss time
+# (so charge_hits never re-reads schema state on a hit).
+_Entry = Tuple[str, _Rows]
+
+
+class _InFlight:
+    """One in-progress fetch other threads can wait on."""
+
+    __slots__ = ("event", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.failed = False
 
 
 class AccessCache:
@@ -42,8 +70,11 @@ class AccessCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._store: "OrderedDict[_Key, _Rows]" = OrderedDict()
+        self.stampedes_collapsed = 0
+        self._store: "OrderedDict[_Key, _Entry]" = OrderedDict()
+        self._inflight: Dict[_Key, _InFlight] = {}
         self._instance_version: Optional[int] = None
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -56,39 +87,76 @@ class AccessCache:
         On a hit the source is not touched (unless ``charge_hits``, in
         which case an equivalent :class:`AccessRecord` is appended to
         the source's log so the accounting matches uncached execution).
+        Concurrent misses of the same key collapse into one source
+        invocation; the waiters count as hits (they never reached the
+        source), except that a waiter whose fetcher failed retries the
+        fetch itself so errors are seen by everyone who asked.
         """
-        version = source.instance.version
-        if version != self._instance_version:
-            self._store.clear()
-            self._instance_version = version
         key = (method, inputs)
-        cached = self._store.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._store.move_to_end(key)
-            if self.charge_hits:
-                source.log.append(
-                    AccessRecord(
-                        method=method,
-                        relation=source.schema.method(method).relation,
-                        inputs=inputs,
-                        results=len(cached),
+        waited = False
+        while True:
+            with self._lock:
+                version = source.instance.version
+                if version != self._instance_version:
+                    self._store.clear()
+                    self._instance_version = version
+                entry = self._store.get(key)
+                if entry is not None:
+                    self.hits += 1
+                    if waited:
+                        self.stampedes_collapsed += 1
+                    self._store.move_to_end(key)
+                    relation, rows = entry
+                    charge = self.charge_hits
+                else:
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        flight = _InFlight()
+                        self._inflight[key] = flight
+                        self.misses += 1
+                        break  # this thread is the fetcher
+            if entry is not None:
+                if charge:
+                    source.log.append(
+                        AccessRecord(
+                            method=method,
+                            relation=relation,
+                            inputs=inputs,
+                            results=len(rows),
+                        )
                     )
-                )
-            return cached
-        self.misses += 1
-        result = source.access(method, inputs)
-        self._store[key] = result
-        if len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
-            self.evictions += 1
+                return rows
+            # Another thread is fetching this key: wait, then re-check.
+            flight.event.wait()
+            waited = not flight.failed
+        try:
+            result = source.access(method, inputs)
+            relation = source.schema.method(method).relation
+        except BaseException:
+            with self._lock:
+                flight.failed = True
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        with self._lock:
+            # Only install if no instance mutation invalidated this fetch
+            # while it was in flight.
+            if source.instance.version == self._instance_version:
+                self._store[key] = (relation, result)
+                if len(self._store) > self.maxsize:
+                    self._store.popitem(last=False)
+                    self.evictions += 1
+            self._inflight.pop(key, None)
+        flight.event.set()
         return result
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._store.clear()
-        self.hits = self.misses = self.evictions = 0
-        self._instance_version = None
+        with self._lock:
+            self._store.clear()
+            self.hits = self.misses = self.evictions = 0
+            self.stampedes_collapsed = 0
+            self._instance_version = None
 
     def summary(self) -> str:
         """A one-line human-readable digest."""
@@ -109,6 +177,7 @@ class AccessCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "stampedes_collapsed": self.stampedes_collapsed,
             "charge_hits": self.charge_hits,
         }
 

@@ -32,6 +32,7 @@ layer up, in :mod:`repro.exec.failover`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple, Type
@@ -127,7 +128,15 @@ class Deadline:
 
 
 class CircuitBreaker:
-    """Closed / open / half-open breaker for one access method."""
+    """Closed / open / half-open breaker for one access method.
+
+    State transitions are serialized by an internal lock, so one
+    breaker may be shared by every worker of a concurrent service; the
+    allow/record protocol itself stays check-then-report (two calls),
+    which is the standard breaker contract -- a probe admitted by one
+    thread may overlap another thread's failure report, and the state
+    machine is correct under any interleaving of reports.
+    """
 
     def __init__(
         self,
@@ -152,40 +161,45 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._probe_successes = 0
         self._opened_at = 0.0
+        self._lock = threading.Lock()
 
     def allow(self) -> bool:
         """Whether a call may proceed now (may move open -> half-open)."""
-        if self.state == OPEN:
-            if self.forced:
+        with self._lock:
+            if self.state == OPEN:
+                if self.forced:
+                    return False
+                if self.clock() - self._opened_at >= self.recovery_time:
+                    self.state = HALF_OPEN
+                    self._probe_successes = 0
+                    return True
                 return False
-            if self.clock() - self._opened_at >= self.recovery_time:
-                self.state = HALF_OPEN
-                self._probe_successes = 0
-                return True
-            return False
-        return True
+            return True
 
     def record_success(self) -> None:
         """Feed back a successful call."""
-        if self.state == HALF_OPEN:
-            self._probe_successes += 1
-            if self._probe_successes >= self.half_open_successes:
-                self.state = CLOSED
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_successes:
+                    self.state = CLOSED
+                    self._consecutive_failures = 0
+            else:
                 self._consecutive_failures = 0
-        else:
-            self._consecutive_failures = 0
 
     def record_failure(self, permanent: bool = False) -> None:
         """Feed back a failed call; ``permanent`` force-opens."""
-        self._consecutive_failures += 1
-        if permanent:
-            self.forced = True
-        if self.state == HALF_OPEN or permanent or (
-            self._consecutive_failures >= self.failure_threshold
-        ):
-            self._trip()
+        with self._lock:
+            self._consecutive_failures += 1
+            if permanent:
+                self.forced = True
+            if self.state == HALF_OPEN or permanent or (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
 
     def _trip(self) -> None:
+        # Caller holds self._lock.
         if self.state != OPEN:
             self.trips += 1
         self.state = OPEN
@@ -220,35 +234,45 @@ class BreakerRegistry:
         self.half_open_successes = half_open_successes
         self.clock = clock
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
 
     def for_method(self, method: str) -> CircuitBreaker:
         """The breaker guarding one method (created on first use)."""
-        breaker = self._breakers.get(method)
-        if breaker is None:
-            breaker = CircuitBreaker(
-                method,
-                failure_threshold=self.failure_threshold,
-                recovery_time=self.recovery_time,
-                half_open_successes=self.half_open_successes,
-                clock=self.clock,
-            )
-            self._breakers[method] = breaker
-        return breaker
+        with self._lock:
+            breaker = self._breakers.get(method)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    method,
+                    failure_threshold=self.failure_threshold,
+                    recovery_time=self.recovery_time,
+                    half_open_successes=self.half_open_successes,
+                    clock=self.clock,
+                )
+                self._breakers[method] = breaker
+            return breaker
+
+    def _snapshot(self) -> Tuple[Tuple[str, CircuitBreaker], ...]:
+        with self._lock:
+            return tuple(self._breakers.items())
 
     def open_methods(self) -> Tuple[str, ...]:
         """Methods whose breaker is currently open, sorted."""
         return tuple(
             sorted(
                 name
-                for name, breaker in self._breakers.items()
+                for name, breaker in self._snapshot()
                 if breaker.state == OPEN
             )
         )
 
+    def states(self) -> Dict[str, str]:
+        """Method -> breaker state, a point-in-time health snapshot."""
+        return {name: breaker.state for name, breaker in self._snapshot()}
+
     @property
     def trips(self) -> int:
         """Total breaker trips across all methods."""
-        return sum(b.trips for b in self._breakers.values())
+        return sum(b.trips for _, b in self._snapshot())
 
     def __repr__(self) -> str:
         return (
@@ -266,6 +290,14 @@ class ResilientDispatcher:
     simulations and benchmarks -- pass ``time.sleep`` (or a
     :meth:`VirtualClock.sleep <repro.faults.clock.VirtualClock.sleep>`)
     when waiting matters.
+
+    A dispatcher's *counters* are plain attributes and therefore
+    per-request state: concurrent callers must not share one dispatcher.
+    The shareable parts -- the (locked) breaker registry, the frozen
+    retry policy, the sleep callable -- are exactly what :meth:`fork`
+    carries into a fresh per-request dispatcher, which is how the
+    :class:`~repro.service.QueryService` and the concurrent batch path
+    give every request its own counters over one breaker state.
     """
 
     retry: Optional[RetryPolicy] = None
@@ -277,6 +309,20 @@ class ResilientDispatcher:
     faults: int = 0
     giveups: int = 0
     backoff_waited: float = 0.0
+
+    def fork(self, deadline: Optional[Deadline] = None) -> "ResilientDispatcher":
+        """A fresh dispatcher sharing policy and breakers, own counters.
+
+        ``deadline`` overrides the per-request deadline (``None`` keeps
+        this dispatcher's, which is correct when one deadline is meant
+        to cover a whole batch).
+        """
+        return ResilientDispatcher(
+            retry=self.retry,
+            breakers=self.breakers,
+            deadline=deadline if deadline is not None else self.deadline,
+            sleep=self.sleep,
+        )
 
     def check_deadline(self, doing: str = "execution") -> None:
         """Deadline check usable between commands, not just per access."""

@@ -77,6 +77,27 @@ class ExecStats:
         if rows > self.peak_resident_rows:
             self.peak_resident_rows = rows
 
+    def merge(self, other: "ExecStats") -> None:
+        """Fold another run's stats into this one (service aggregation).
+
+        Additive counters (runs, wall time, per-command records,
+        failovers) sum; ``peak_resident_rows`` takes the maximum -- the
+        peaks of two requests do not stack unless they were resident
+        simultaneously, which per-request tracking cannot see;
+        ``breaker_trips`` also takes the maximum because each request
+        snapshots the *same* monotone registry-wide total.  The service
+        serializes merges under its own lock; this method itself is not
+        thread-safe.
+        """
+        self.commands.extend(other.commands)
+        self.wall_time += other.wall_time
+        self.runs += other.runs
+        if other.peak_resident_rows > self.peak_resident_rows:
+            self.peak_resident_rows = other.peak_resident_rows
+        if other.breaker_trips > self.breaker_trips:
+            self.breaker_trips = other.breaker_trips
+        self.failovers += other.failovers
+
     # ------------------------------------------------------------ totals
     @property
     def accesses_dispatched(self) -> int:

@@ -11,6 +11,8 @@ latency, simulated backoff sleeps).
 
 from __future__ import annotations
 
+import threading
+
 
 class VirtualClock:
     """A monotonically advancing simulated clock.
@@ -22,6 +24,9 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        # Advances are read-modify-write; lock them so concurrent
+        # simulated sleeps never lose time.
+        self._lock = threading.Lock()
 
     def __call__(self) -> float:
         return self._now
@@ -34,7 +39,8 @@ class VirtualClock:
         """Move time forward; negative advances are refused."""
         if seconds < 0:
             raise ValueError("clock cannot go backwards")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     def sleep(self, seconds: float) -> None:
         """A sleep that advances simulated time instead of blocking."""

@@ -28,6 +28,7 @@ unaffected -- the property the differential fault tests rely on.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.data.instance import _to_constant
@@ -67,6 +68,10 @@ class FaultInjectingSource:
         self.stats = FaultStats()
         self._attempts: Dict[_Key, int] = {}
         self._method_calls: Dict[str, int] = {}
+        # Guards the attempt/invocation counters and stats, so the
+        # schedule replays deterministically per key even when many
+        # service workers hammer the same wrapper.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------- delegation
     @property
@@ -86,15 +91,17 @@ class FaultInjectingSource:
         """
         values = tuple(_to_constant(v) for v in inputs)
         key = (method_name, values)
-        attempt = self._attempts.get(key, 0)
-        self._attempts[key] = attempt + 1
-        invocation = self._method_calls.get(method_name, 0)
-        self._method_calls[method_name] = invocation + 1
-        self.stats.calls += 1
+        with self._lock:
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+            invocation = self._method_calls.get(method_name, 0)
+            self._method_calls[method_name] = invocation + 1
+            self.stats.calls += 1
 
         relation = self._relation_of(method_name)
         if self.policy.is_out(method_name, invocation):
-            self.stats.outage_refusals += 1
+            with self._lock:
+                self.stats.outage_refusals += 1
             raise MethodOutage(
                 f"method is hard-down (invocation #{invocation})",
                 method=method_name,
@@ -106,7 +113,8 @@ class FaultInjectingSource:
             if kind == KIND_TRUNCATION:
                 rows = self.inner.access(method_name, values)
                 kept = frozenset(sorted(rows)[: self.policy.truncation_keep])
-                self.stats.injected[kind] += 1
+                with self._lock:
+                    self.stats.injected[kind] += 1
                 raise ResultTruncated(
                     f"result truncated to {len(kept)} of {len(rows)} rows "
                     f"(attempt {attempt})",
@@ -115,7 +123,8 @@ class FaultInjectingSource:
                     relation=relation,
                     inputs=values,
                 )
-            self.stats.injected[kind] += 1
+            with self._lock:
+                self.stats.injected[kind] += 1
             error = {
                 KIND_UNAVAILABLE: SourceUnavailable,
                 KIND_TIMEOUT: AccessTimeout,
@@ -128,10 +137,12 @@ class FaultInjectingSource:
                 inputs=values,
             )
         if self.policy.latency:
-            self.stats.injected_latency += self.policy.latency
+            with self._lock:
+                self.stats.injected_latency += self.policy.latency
             if self.clock is not None:
                 self.clock.advance(self.policy.latency)
-        self.stats.delivered += 1
+        with self._lock:
+            self.stats.delivered += 1
         return self.inner.access(method_name, values)
 
     def _relation_of(self, method_name: str) -> Optional[str]:

@@ -92,6 +92,7 @@ class Plan:
         stats=None,
         free_temps: bool = True,
         resilience=None,
+        budget=None,
     ) -> NamedTable:
         """Run the plan through the execution runtime.
 
@@ -114,6 +115,15 @@ class Plan:
             access dispatch then runs under its retry/backoff policy,
             per-method circuit breakers and overall plan deadline, and
             the deadline is also re-checked between commands.
+        ``budget``
+            an optional :class:`~repro.exec.budget.ResourceBudget`.
+            After every command the resident-row total is checked
+            against ``max_resident_rows`` (overflow raises
+            :class:`~repro.errors.RowBudgetExceeded`), and the final
+            output is passed through ``budget.admit_result`` -- which
+            either truncates it to a deterministic prefix (recording
+            the dropped rows, so the caller can mark the answer
+            partial) or raises, per the budget's overflow policy.
         """
         from time import perf_counter
 
@@ -141,10 +151,12 @@ class Plan:
             )
             if command_stats is not None:
                 command_stats.wall_time = perf_counter() - command_started
-            if stats is not None:
-                stats.note_resident(
-                    sum(len(table.rows) for table in env.values())
-                )
+            if stats is not None or budget is not None:
+                resident = sum(len(table.rows) for table in env.values())
+                if stats is not None:
+                    stats.note_resident(resident)
+                if budget is not None:
+                    budget.check_resident(resident)
             if free_temps:
                 freed = 0
                 for table in [
@@ -156,6 +168,9 @@ class Plan:
                     freed += 1
                 if command_stats is not None:
                     command_stats.freed_tables = freed
+        output = env[self.output_table]
+        if budget is not None:
+            output = budget.admit_result(output)
         if stats is not None:
             stats.wall_time += perf_counter() - started
             stats.runs += 1
@@ -163,7 +178,7 @@ class Plan:
                 # The registry total is monotone, so assignment is safe
                 # even when one dispatcher spans many plan runs.
                 stats.breaker_trips = resilience.breaker_trips
-        return env[self.output_table]
+        return output
 
     def _last_readers(self) -> Dict[str, int]:
         """For each table: the index of the last command reading it.

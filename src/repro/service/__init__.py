@@ -1,0 +1,42 @@
+"""The concurrent query service (admission, shedding, governance).
+
+Public surface of :mod:`repro.service`:
+
+* :class:`~repro.service.service.QueryService` -- the bounded worker
+  pool serving plan runs over one shared, lock-protected runtime.
+* :class:`~repro.service.request.QueryRequest` /
+  :class:`~repro.service.request.QueryResponse` /
+  :class:`~repro.service.request.Ticket` -- one serving's input,
+  explicitly marked outcome, and thread-safe future.
+* :class:`~repro.service.admission.AdmissionQueue` -- bounded
+  priority-aware admission with load shedding and preemption.
+* The priority classes ``PRIORITY_HIGH`` / ``PRIORITY_NORMAL`` /
+  ``PRIORITY_BEST_EFFORT``.
+"""
+
+from repro.service.admission import AdmissionQueue
+from repro.service.request import (
+    PRIORITY_BEST_EFFORT,
+    PRIORITY_CLASSES,
+    PRIORITY_HIGH,
+    PRIORITY_NAMES,
+    PRIORITY_NORMAL,
+    QueryRequest,
+    QueryResponse,
+    Ticket,
+)
+from repro.service.service import QueryService, ServiceHealth
+
+__all__ = [
+    "AdmissionQueue",
+    "PRIORITY_BEST_EFFORT",
+    "PRIORITY_CLASSES",
+    "PRIORITY_HIGH",
+    "PRIORITY_NAMES",
+    "PRIORITY_NORMAL",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ServiceHealth",
+    "Ticket",
+]

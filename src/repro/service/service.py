@@ -1,0 +1,506 @@
+"""The concurrent query service: a bounded worker pool over one runtime.
+
+:class:`QueryService` is the serving loop the ROADMAP's "heavy traffic"
+north star needs: many clients submit plan runs concurrently, a fixed
+pool of worker threads executes them over *shared* runtime state (one
+:class:`~repro.data.source.InMemorySource` with its per-method indexes,
+one :class:`~repro.exec.cache.AccessCache`, one
+:class:`~repro.exec.resilience.BreakerRegistry`), and the service stays
+correct and responsive no matter the offered load:
+
+* **admission control** -- a bounded priority queue
+  (:class:`~repro.service.admission.AdmissionQueue`); overload is shed
+  fast with typed :class:`~repro.errors.ServiceOverloaded` errors
+  carrying queue depth and a retry-after hint, and high-priority
+  arrivals may preempt queued best-effort work.
+* **per-request governance** -- each request runs under its own
+  :class:`~repro.exec.resilience.Deadline` (measured from *submission*,
+  so time spent queued counts) and
+  :class:`~repro.exec.budget.ResourceBudget` (row budgets inside
+  :meth:`Plan.execute <repro.plans.plan.Plan.execute>`, access/cost
+  budgets via :class:`~repro.data.decorators.BudgetedSource`), so one
+  pathological request degrades to a typed error or an explicitly
+  marked partial answer instead of starving the pool.
+* **isolation of mutable state** -- workers share only lock-protected
+  structures; every request gets its own
+  :class:`~repro.exec.resilience.ResilientDispatcher` (forked over the
+  shared breakers) and its own :class:`~repro.exec.stats.ExecStats`,
+  merged into the service aggregate under the service lock.
+* **lifecycle** -- :meth:`start` / :meth:`drain` / :meth:`shutdown`
+  with the drain guarantee (in-flight and queued requests finish, new
+  ones are rejected) and a :meth:`health` snapshot for operators.
+
+Soundness of the sharing is argued in ``docs/theory.md`` ("Concurrent
+serving"): memoization and breaker state are *monotone observations* of
+a deterministic source, so interleaving requests cannot change any
+request's answer -- the differential test suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional
+
+from repro.data.decorators import BudgetedSource
+from repro.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    ReproError,
+    ServiceOverloaded,
+    ServiceStopped,
+)
+from repro.exec.batch import substitute_constants
+from repro.exec.budget import ResourceBudget
+from repro.exec.cache import AccessCache
+from repro.exec.resilience import (
+    BreakerRegistry,
+    Deadline,
+    ResilientDispatcher,
+    RetryPolicy,
+    Sleep,
+)
+from repro.exec.stats import ExecStats
+from repro.plans.plan import Plan
+from repro.service.admission import AdmissionQueue
+from repro.service.request import (
+    PRIORITY_NORMAL,
+    QueryRequest,
+    QueryResponse,
+    Ticket,
+)
+
+#: retry-after floor when the service has not served anything yet.
+_DEFAULT_SERVICE_TIME = 0.05
+
+
+@dataclass
+class ServiceHealth:
+    """A point-in-time operational snapshot of a :class:`QueryService`."""
+
+    running: bool
+    accepting: bool
+    workers: int
+    queue_depth: int
+    queue_capacity: int
+    in_flight: int
+    served: int
+    completed: int
+    partial: int
+    failed: int
+    shed: int
+    rejected: int
+    preempted: int
+    mean_service_time: float
+    breakers: Dict[str, str]
+    cache: Optional[Dict]
+    stats: Optional[Dict]
+
+    def summary(self) -> str:
+        """A one-line human-readable digest."""
+        open_breakers = [
+            method for method, state in self.breakers.items()
+            if state != "closed"
+        ]
+        return (
+            f"{'running' if self.running else 'stopped'}"
+            f"{'' if self.accepting else ' (draining)'}: "
+            f"{self.in_flight} in flight, "
+            f"{self.queue_depth}/{self.queue_capacity} queued, "
+            f"{self.served} served "
+            f"({self.completed} complete / {self.partial} partial / "
+            f"{self.failed} failed), {self.shed} shed"
+            + (f", breakers not closed: {open_breakers}" if open_breakers else "")
+        )
+
+    def as_dict(self) -> Dict:
+        """A JSON-able representation."""
+        return {
+            "running": self.running,
+            "accepting": self.accepting,
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "in_flight": self.in_flight,
+            "served": self.served,
+            "completed": self.completed,
+            "partial": self.partial,
+            "failed": self.failed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "preempted": self.preempted,
+            "mean_service_time": self.mean_service_time,
+            "breakers": dict(self.breakers),
+            "cache": self.cache,
+            "stats": self.stats,
+        }
+
+
+class QueryService:
+    """Serve plan runs concurrently over one shared, locked runtime."""
+
+    def __init__(
+        self,
+        source,
+        *,
+        workers: int = 4,
+        max_queue: int = 64,
+        cache: Optional[AccessCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        breakers: Optional[BreakerRegistry] = None,
+        default_deadline: Optional[float] = None,
+        default_budget: Optional[ResourceBudget] = None,
+        collect_stats: bool = True,
+        clock=time.monotonic,
+        sleep: Optional[Sleep] = None,
+        name: str = "service",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker count must be positive")
+        self.source = source
+        self.workers = workers
+        self.cache = cache
+        self.retry = retry
+        self.breakers = breakers if breakers is not None else BreakerRegistry(
+            clock=clock
+        )
+        self.default_deadline = default_deadline
+        self.default_budget = default_budget
+        self.clock = clock
+        self.sleep = sleep
+        self.name = name
+        self.stats: Optional[ExecStats] = ExecStats() if collect_stats else None
+        self._queue = AdmissionQueue(max_queue)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._accepting = False
+        self._ids = itertools.count(1)
+        self._in_flight = 0
+        self._served = 0
+        self._completed = 0
+        self._partial = 0
+        self._failed = 0
+        self._shed = 0
+        self._mean_service_time = 0.0
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "QueryService":
+        """Spawn the worker pool and begin accepting requests."""
+        with self._lock:
+            if self._running:
+                return self
+            self._queue.reopen()
+            self._running = True
+            self._accepting = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"{self.name}-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: finish queued + in-flight work, reject new.
+
+        Returns True when everything finished within ``timeout``.
+        """
+        return self.shutdown(drain=True, timeout=timeout)
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> bool:
+        """Stop the service; with ``drain=False`` queued work is shed.
+
+        Already-executing requests always run to completion (their
+        tickets resolve); with ``drain=False`` still-queued tickets are
+        resolved with a typed :class:`ServiceStopped` error instead of
+        executing.  Returns True when every worker exited in time.
+        """
+        with self._lock:
+            self._accepting = False
+        if not drain:
+            for ticket in self._queue.evict_all():
+                self._resolve_shed(
+                    ticket,
+                    ServiceStopped(
+                        "service stopped before this request was served"
+                    ),
+                )
+        self._queue.close()
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        finished = True
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+            finished = finished and not thread.is_alive()
+        with self._lock:
+            self._running = not finished
+        return finished
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # ---------------------------------------------------------- submission
+    def submit(
+        self,
+        plan: Plan,
+        *,
+        bindings: Optional[Mapping[object, object]] = None,
+        priority: int = PRIORITY_NORMAL,
+        deadline: Optional[float] = None,
+        budget: Optional[ResourceBudget] = None,
+        request_id: Optional[str] = None,
+    ) -> Ticket:
+        """Admit one request; returns its :class:`Ticket` immediately.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` (fast, typed,
+        with queue depth and retry-after hint) when admission control
+        sheds the request at the door, and
+        :class:`~repro.errors.ServiceStopped` when the service is not
+        accepting.  A lower-priority ticket preempted by this admission
+        is resolved with the same typed overload error -- every
+        submitted request is accounted for.
+        """
+        with self._lock:
+            if not (self._running and self._accepting):
+                raise ServiceStopped(
+                    f"service {self.name!r} is not accepting requests"
+                )
+            rid = request_id or f"q{next(self._ids)}"
+        if budget is None and self.default_budget is not None:
+            budget = self.default_budget.fresh()
+        seconds = deadline if deadline is not None else self.default_deadline
+        request = QueryRequest(
+            plan=plan,
+            bindings=bindings,
+            priority=priority,
+            deadline_seconds=seconds,
+            budget=budget,
+            request_id=rid,
+            submitted_at=self.clock(),
+        )
+        ticket = Ticket(request)
+        ticket.deadline = (
+            Deadline(seconds, clock=self.clock) if seconds is not None else None
+        )
+        try:
+            evicted = self._queue.offer(
+                ticket, retry_after=self._retry_after_hint()
+            )
+        except ServiceOverloaded:
+            with self._lock:
+                self._shed += 1
+            raise
+        if evicted is not None:
+            depth = self._queue.depth()
+            self._resolve_shed(
+                evicted,
+                ServiceOverloaded(
+                    "request shed from the admission queue by a "
+                    "higher-priority arrival",
+                    queue_depth=depth,
+                    retry_after=self._retry_after_hint(),
+                    shed=True,
+                ),
+            )
+        return ticket
+
+    def serve(
+        self,
+        plan: Plan,
+        *,
+        timeout: Optional[float] = None,
+        **kwargs,
+    ) -> QueryResponse:
+        """Submit and block for the response (convenience wrapper)."""
+        return self.submit(plan, **kwargs).result(timeout)
+
+    # ------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._queue.take()
+            if ticket is None:
+                return
+            with self._lock:
+                self._in_flight += 1
+            try:
+                response = self._execute(ticket)
+            except Exception as error:  # never leave a ticket hanging
+                response = QueryResponse(
+                    ticket.request.request_id,
+                    error=(
+                        error
+                        if isinstance(error, ReproError)
+                        else ExecutionError(
+                            f"unexpected worker failure: {error!r}"
+                        )
+                    ),
+                )
+            ticket.resolve(response)
+            self._account(response)
+
+    def _execute(self, ticket: Ticket) -> QueryResponse:
+        request = ticket.request
+        queue_wait = max(0.0, self.clock() - request.submitted_at)
+        deadline: Optional[Deadline] = ticket.deadline
+        stats = ExecStats() if self.stats is not None else None
+        if deadline is not None and deadline.expired:
+            return QueryResponse(
+                request.request_id,
+                error=DeadlineExceeded(
+                    f"deadline of {request.deadline_seconds}s expired "
+                    f"after {queue_wait:.3f}s in the admission queue"
+                ),
+                stats=stats,
+                queue_wait=queue_wait,
+            )
+        plan = request.plan
+        if request.bindings:
+            plan = substitute_constants(plan, request.bindings)
+        source = self.source
+        budget = request.budget
+        if budget is not None and (
+            budget.max_accesses is not None or budget.max_cost is not None
+        ):
+            source = BudgetedSource(
+                source,
+                max_invocations=budget.max_accesses,
+                max_cost=budget.max_cost,
+            )
+        dispatcher = ResilientDispatcher(
+            retry=self.retry,
+            breakers=self.breakers,
+            deadline=deadline,
+            sleep=self.sleep,
+        )
+        started = perf_counter()
+        try:
+            table = plan.execute(
+                source,
+                cache=self.cache,
+                stats=stats,
+                resilience=dispatcher,
+                budget=budget,
+            )
+        except ReproError as error:
+            return QueryResponse(
+                request.request_id,
+                error=error,
+                stats=stats,
+                queue_wait=queue_wait,
+                wall_time=perf_counter() - started,
+            )
+        truncated = budget.truncated_rows if budget is not None else 0
+        return QueryResponse(
+            request.request_id,
+            table=table,
+            complete=truncated == 0,
+            partial=truncated > 0,
+            truncated_rows=truncated,
+            stats=stats,
+            queue_wait=queue_wait,
+            wall_time=perf_counter() - started,
+        )
+
+    def _account(self, response: QueryResponse) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            self._served += 1
+            if response.complete:
+                self._completed += 1
+            elif response.partial:
+                self._partial += 1
+            else:
+                self._failed += 1
+            if response.wall_time:
+                # EWMA feeding the retry-after hint.
+                if self._mean_service_time:
+                    self._mean_service_time = (
+                        0.8 * self._mean_service_time
+                        + 0.2 * response.wall_time
+                    )
+                else:
+                    self._mean_service_time = response.wall_time
+            if self.stats is not None and response.stats is not None:
+                self.stats.merge(response.stats)
+            self._idle.notify_all()
+
+    def _resolve_shed(self, ticket: Ticket, error: ReproError) -> None:
+        ticket.resolve(
+            QueryResponse(ticket.request.request_id, error=error)
+        )
+        with self._lock:
+            self._shed += 1
+
+    def _retry_after_hint(self) -> float:
+        with self._lock:
+            mean = self._mean_service_time or _DEFAULT_SERVICE_TIME
+            waiting = self._queue.depth() + self._in_flight
+        return max(mean, waiting * mean / self.workers)
+
+    # ---------------------------------------------------------- inspection
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or in flight (for tests/drains)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._idle:
+            while self._in_flight or self._queue.depth():
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining if remaining is not None else 0.1)
+        return True
+
+    @property
+    def shed_count(self) -> int:
+        """Requests shed so far (door rejections + preemptions + stop)."""
+        with self._lock:
+            return self._shed
+
+    def health(self) -> ServiceHealth:
+        """A point-in-time snapshot of queue, pool, breakers and cache."""
+        with self._lock:
+            return ServiceHealth(
+                running=self._running,
+                accepting=self._accepting,
+                workers=self.workers,
+                queue_depth=self._queue.depth(),
+                queue_capacity=self._queue.capacity,
+                in_flight=self._in_flight,
+                served=self._served,
+                completed=self._completed,
+                partial=self._partial,
+                failed=self._failed,
+                shed=self._shed,
+                rejected=self._queue.rejected,
+                preempted=self._queue.preempted,
+                mean_service_time=self._mean_service_time,
+                breakers=self.breakers.states(),
+                cache=self.cache.as_dict() if self.cache is not None else None,
+                stats=self.stats.as_dict() if self.stats is not None else None,
+            )
+
+    def __repr__(self) -> str:
+        return f"QueryService({self.name}: {self.health().summary()})"

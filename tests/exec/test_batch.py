@@ -155,3 +155,85 @@ class TestBatchExecutor:
         )
         executor.run(keyed_plan("a"))
         assert "cache:" in executor.summary()
+
+
+class TestConcurrentRunPlans:
+    """The ``workers=`` path must be indistinguishable from sequential."""
+
+    def broken_plan(self):
+        # Wrong arity: dies with an AccessViolation at runtime.
+        return Plan(
+            (
+                AccessCommand(
+                    "TR",
+                    "mt_key",
+                    Singleton(),
+                    (),
+                    identity_output_map(("k", "v")),
+                ),
+            ),
+            "TR",
+        )
+
+    def test_workers_match_sequential_results(self, schema, instance):
+        plans = [keyed_plan(k) for k in ("a", "b", "c", "a", "b")]
+        sequential = BatchExecutor(
+            InMemorySource(schema, instance)
+        ).run_plans(plans)
+        concurrent = BatchExecutor(
+            InMemorySource(schema, instance), cache=AccessCache()
+        ).run_plans(plans, workers=4)
+        assert [item.plan for item in concurrent] == [
+            item.plan for item in sequential
+        ]
+        assert [item.index for item in concurrent] == list(range(len(plans)))
+        for seq, par in zip(sequential, concurrent):
+            assert par.ok and seq.ok
+            assert par.table.rows == seq.table.rows
+
+    def test_workers_preserve_failure_isolation(self, schema, instance):
+        plans = [keyed_plan("a"), self.broken_plan(), keyed_plan("b")]
+        executor = BatchExecutor(InMemorySource(schema, instance))
+        items = executor.run_plans(plans, workers=3)
+        assert [item.ok for item in items] == [True, False, True]
+        assert "needs 1 inputs" in str(items[1].error)
+        assert executor.failed == 1
+        assert len(items[0].table.rows) == 2
+        assert len(items[2].table.rows) == 1
+
+    def test_workers_merge_stats_into_the_batch_aggregate(
+        self, schema, instance
+    ):
+        executor = BatchExecutor(InMemorySource(schema, instance))
+        executor.run_plans([keyed_plan("a"), keyed_plan("b")], workers=2)
+        assert executor.stats.runs == 2
+        assert executor.stats.accesses_dispatched == 2
+
+    def test_workers_one_takes_the_sequential_path(self, schema, instance):
+        executor = BatchExecutor(InMemorySource(schema, instance))
+        items = executor.run_plans([keyed_plan("a")], workers=1)
+        assert items[0].ok
+
+    def test_scenario_library_equality(self):
+        from repro.planner.search import SearchOptions, find_best_plan
+        from repro.scenarios import example1, example2, example5
+
+        for factory, budget in (
+            (example1, 3), (example2, 4), (example5, 4),
+        ):
+            scenario = factory()
+            result = find_best_plan(
+                scenario.schema,
+                scenario.query,
+                SearchOptions(max_accesses=budget),
+            )
+            assert result.found, scenario.name
+            plans = [result.best_plan] * 4
+            source = InMemorySource(scenario.schema, scenario.instance(0))
+            sequential = BatchExecutor(source).run_plans(plans)
+            concurrent = BatchExecutor(
+                source, cache=AccessCache()
+            ).run_plans(plans, workers=4)
+            for seq, par in zip(sequential, concurrent):
+                assert seq.ok and par.ok, scenario.name
+                assert par.table.rows == seq.table.rows, scenario.name

@@ -113,3 +113,164 @@ class TestReporting:
         assert data["misses"] == 1
         assert data["maxsize"] == 8
         assert data["charge_hits"] is False
+
+
+class _CountingSchema:
+    """Schema proxy counting ``method()`` lookups (stale-read regression)."""
+
+    def __init__(self, schema):
+        self._schema = schema
+        self.method_lookups = 0
+
+    def method(self, name):
+        self.method_lookups += 1
+        return self._schema.method(name)
+
+    def __getattr__(self, name):
+        return getattr(self._schema, name)
+
+
+class TestHitsNeverTouchSchema:
+    """Regression: a charged hit replays from the cached entry alone.
+
+    ``charge_hits`` used to re-read ``source.schema.method(method)`` on
+    every hit to recover the relation name for the replayed log record;
+    the relation is now hoisted into the entry at miss time, so a hit
+    is pure cache reads plus one log append.
+    """
+
+    def test_charged_hit_does_not_read_schema(self, source):
+        source.schema = _CountingSchema(source.schema)
+        cache = AccessCache(charge_hits=True)
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        lookups_after_miss = source.schema.method_lookups
+        assert lookups_after_miss >= 1  # the miss hoisted the relation
+        for _ in range(5):
+            cache.fetch(source, "mt_key", (Constant("a"),))
+        assert source.schema.method_lookups == lookups_after_miss
+        # The replayed records still carry the hoisted relation.
+        assert source.log[-1].relation == "R"
+        assert source.total_invocations == 6
+
+    def test_uncharged_hit_does_not_read_schema_either(self, source):
+        source.schema = _CountingSchema(source.schema)
+        cache = AccessCache()
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        lookups_after_miss = source.schema.method_lookups
+        cache.fetch(source, "mt_key", (Constant("a"),))
+        assert source.schema.method_lookups == lookups_after_miss
+
+
+class TestConcurrency:
+    def test_stampede_collapses_to_one_invocation(self, source):
+        import threading
+
+        class SlowSource:
+            def __init__(self, inner):
+                self.inner = inner
+                self.started = threading.Event()
+                self.release = threading.Event()
+
+            @property
+            def schema(self):
+                return self.inner.schema
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def access(self, method, inputs=()):
+                self.started.set()
+                assert self.release.wait(10)
+                return self.inner.access(method, inputs)
+
+        slow = SlowSource(source)
+        cache = AccessCache()
+        results = []
+
+        def fetch():
+            results.append(cache.fetch(slow, "mt_key", (Constant("a"),)))
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        threads[0].start()
+        assert slow.started.wait(10)
+        for thread in threads[1:]:
+            thread.start()
+        # Give the waiters time to park on the in-flight fetch, then
+        # release the single source call.
+        import time
+
+        time.sleep(0.05)
+        slow.release.set()
+        for thread in threads:
+            thread.join(10)
+            assert not thread.is_alive()
+        assert len(results) == 8
+        assert all(rows == results[0] for rows in results)
+        # One miss reached the source; everyone else was served from it.
+        assert source.total_invocations == 1
+        assert cache.misses == 1
+        assert cache.hits == 7
+        assert cache.stampedes_collapsed >= 1
+
+    def test_failed_fetch_propagates_and_waiters_retry(self, source):
+        import threading
+
+        class FailOnceSource:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            @property
+            def schema(self):
+                return self.inner.schema
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def access(self, method, inputs=()):
+                with self._lock:
+                    self.calls += 1
+                    first = self.calls == 1
+                if first:
+                    raise RuntimeError("boom")
+                return self.inner.access(method, inputs)
+
+        flaky = FailOnceSource(source)
+        cache = AccessCache()
+        with pytest.raises(RuntimeError):
+            cache.fetch(flaky, "mt_key", (Constant("a"),))
+        # The failure was not cached: the next fetch retries the source.
+        rows = cache.fetch(flaky, "mt_key", (Constant("a"),))
+        assert len(rows) == 2
+        assert flaky.calls == 2
+
+    def test_many_threads_many_keys_consistent_accounting(self, source):
+        import threading
+
+        cache = AccessCache(maxsize=4)
+        keys = [(Constant("a"),), (Constant("b"),), (Constant("c"),)]
+        fetches_per_thread = 30
+        errors = []
+
+        def hammer(seed):
+            try:
+                for i in range(fetches_per_thread):
+                    key = keys[(seed + i) % len(keys)]
+                    rows = cache.fetch(source, "mt_key", key)
+                    assert isinstance(rows, frozenset)
+            except Exception as error:
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+            assert not thread.is_alive()
+        assert not errors
+        assert cache.hits + cache.misses == 8 * fetches_per_thread
+        assert cache.misses == source.total_invocations

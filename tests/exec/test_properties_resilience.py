@@ -1,0 +1,109 @@
+"""Property tests pinning the determinism the service stack relies on.
+
+Concurrent serving is only debuggable because every "random-looking"
+decision is a pure seeded function: retry backoff jitter and fault
+schedules replay identically across runs, processes, and thread
+interleavings.  These properties pin that contract:
+
+* :class:`~repro.exec.resilience.RetryPolicy` backoff never exceeds
+  ``max_delay * (1 + jitter)``, is never negative, and is a
+  deterministic function of (seed, method, inputs, attempt);
+* :class:`~repro.faults.policy.FaultPolicy` schedules are pure: the
+  same key always draws the same fault kind, rate 0 never fires,
+  rate 1 always fires, and distinct seeds give independent schedules.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.resilience import RetryPolicy
+from repro.faults.policy import (
+    TRANSIENT_KINDS,
+    FaultPolicy,
+    unit_interval,
+)
+from repro.logic.terms import Constant
+
+methods = st.text(
+    alphabet="abcdefgh_", min_size=1, max_size=8
+).map(lambda s: f"mt_{s}")
+inputs_strategy = st.tuples(
+    *[st.sampled_from([Constant("a"), Constant("b"), Constant("c")])]
+).map(tuple) | st.just(())
+attempts = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestRetryPolicyBackoff:
+    @given(
+        seed=seeds,
+        method=methods,
+        attempt=attempts,
+        base=st.floats(min_value=0.001, max_value=1.0),
+        cap=st.floats(min_value=0.001, max_value=5.0),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_delay_is_bounded(self, seed, method, attempt, base, cap, jitter):
+        policy = RetryPolicy(
+            base_delay=base, max_delay=cap, jitter=jitter, seed=seed
+        )
+        delay = policy.delay(attempt, method, ())
+        assert delay >= 0.0
+        # The jitter stretches the capped delay by at most its factor.
+        assert delay <= cap * (1.0 + jitter) + 1e-12
+
+    @given(seed=seeds, method=methods, attempt=attempts)
+    @settings(max_examples=200, deadline=None)
+    def test_delay_is_deterministic_per_seed(self, seed, method, attempt):
+        first = RetryPolicy(seed=seed).delay(attempt, method, ())
+        second = RetryPolicy(seed=seed).delay(attempt, method, ())
+        assert first == second
+
+    @given(method=methods, attempt=attempts)
+    @settings(max_examples=100, deadline=None)
+    def test_delay_grows_until_the_cap(self, method, attempt):
+        policy = RetryPolicy(
+            base_delay=0.01, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        raw = 0.01 * 2.0 ** (attempt - 1)
+        assert policy.delay(attempt, method, ()) == min(raw, 0.5)
+
+
+class TestFaultPolicyDeterminism:
+    @given(seed=seeds, method=methods, inputs=inputs_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_schedule_is_pure(self, seed, method, inputs):
+        policy = FaultPolicy.transient(0.5, seed=seed)
+        assert policy.kind_for(method, inputs) == policy.kind_for(
+            method, inputs
+        )
+
+    @given(seed=seeds, method=methods, inputs=inputs_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_rate_zero_never_fires(self, seed, method, inputs):
+        policy = FaultPolicy(seed=seed)
+        assert policy.kind_for(method, inputs) is None
+
+    @given(seed=seeds, method=methods, inputs=inputs_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_rate_one_always_fires_a_known_kind(self, seed, method, inputs):
+        policy = FaultPolicy(seed=seed, unavailable_rate=1.0)
+        assert policy.kind_for(method, inputs) in TRANSIENT_KINDS
+
+    @given(method=methods, inputs=inputs_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_unit_interval_is_stable_and_in_range(self, method, inputs):
+        draw = unit_interval(7, method, inputs)
+        assert 0.0 <= draw < 1.0
+        assert draw == unit_interval(7, method, inputs)
+
+    @given(seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_two_seeds_eventually_disagree(self, seed):
+        """Different seeds give different schedules on *some* key."""
+        a = FaultPolicy.transient(0.5, seed=seed)
+        b = FaultPolicy.transient(0.5, seed=seed + 1)
+        keys = [(f"mt_{i}", ()) for i in range(64)]
+        assert any(
+            a.kind_for(m, i) != b.kind_for(m, i) for m, i in keys
+        )

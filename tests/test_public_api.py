@@ -33,6 +33,7 @@ class TestTopLevelAPI:
             "repro.fo",
             "repro.fo.normalize",
             "repro.scenarios",
+            "repro.service",
             "repro.cli",
         ]:
             importlib.import_module(module)
@@ -49,6 +50,7 @@ class TestTopLevelAPI:
             "repro.planner",
             "repro.fo",
             "repro.scenarios",
+            "repro.service",
         ]:
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", ()):
