@@ -194,6 +194,30 @@ def render_exec(report: Dict) -> str:
             + " |"
         )
     lines.append("")
+    if report.get("columnar_rows"):
+        lines += [
+            "### executor backends: interpreter vs columnar "
+            "(row-heavy workloads, differential-verified)",
+            "",
+            "| rows/relation | answer rows | interpreter time"
+            " | columnar time | speedup |",
+            "|---|---|---|---|---|",
+        ]
+        for row in report["columnar_rows"]:
+            lines.append(
+                "| "
+                + " | ".join(
+                    [
+                        str(row["rows_per_relation"]),
+                        str(row["answer_rows"]),
+                        _time(row["interpreter"]["wall_time"]),
+                        _time(row["columnar"]["wall_time"]),
+                        f"{row['executor_speedup']:.1f}x",
+                    ]
+                )
+                + " |"
+            )
+        lines.append("")
     return "\n".join(lines)
 
 

@@ -123,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
              "aborts execution with DeadlineExceeded",
     )
     demo.add_argument(
+        "--executor",
+        choices=["interpreter", "columnar", "differential"],
+        default="interpreter",
+        help="execution backend: the tuple-at-a-time interpreter "
+             "(default), the vectorized columnar backend over the plan "
+             "IR, or differential (run both, assert identical answers)",
+    )
+    demo.add_argument(
         "--failover",
         action="store_true",
         help="serve the query through the failover executor: when a "
@@ -153,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline, measured from submission")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--max-accesses", type=int, default=6)
+    serve.add_argument(
+        "--executor",
+        choices=["interpreter", "columnar", "differential"],
+        default="interpreter",
+        help="execution backend used by the worker pool",
+    )
 
     plan = sub.add_parser("plan", help="plan a query over a schema file")
     plan.add_argument("schema", help="path to a schema JSON file")
@@ -280,7 +294,11 @@ def _demo(args) -> int:
     else:
         try:
             output = result.best_plan.execute(
-                source, cache=cache, stats=exec_stats, resilience=resilience
+                source,
+                cache=cache,
+                stats=exec_stats,
+                resilience=resilience,
+                executor=args.executor,
             )
         except ReproError as error:
             print(f"execution FAILED: {error}")
@@ -351,6 +369,7 @@ def _serve_demo(args) -> int:
         retry=RetryPolicy(),
         default_deadline=args.deadline,
         default_budget=budget,
+        executor=args.executor,
     )
     print(
         f"\nserving {args.requests} requests on {args.workers} workers "

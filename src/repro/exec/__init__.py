@@ -25,7 +25,13 @@ package makes *running* that plan cheap.  Four cooperating pieces:
 * :class:`FailoverExecutor` (:mod:`repro.exec.failover`) -- when a
   method dies mid-plan, re-plan the query over the surviving methods
   and fall back to the next-cheapest viable plan, or return an
-  explicitly marked partial answer from the accessible part.
+  explicitly marked partial answer from the accessible part,
+* the columnar backend (:mod:`repro.exec.columnar`) -- plans compiled
+  via the serializable IR (:mod:`repro.plans.ir`) to vectorized numpy
+  execution, selected with ``Plan.execute(..., executor="columnar")``
+  (or ``"differential"`` to run both backends and assert identical
+  answers).  Kept out of this namespace so the interpreter path never
+  imports numpy.
 
 See ``docs/theory.md`` ("Execution runtime", "Fault model and degraded
 access") for why access memoization is sound and what degraded

@@ -151,11 +151,13 @@ class BatchExecutor:
         cache: Optional[AccessCache] = None,
         collect_stats: bool = True,
         resilience=None,
+        executor: str = "interpreter",
     ) -> None:
         self.source = source
         self.cache = cache
         self.stats = ExecStats() if collect_stats else None
         self.resilience = resilience
+        self.executor = executor
         self.failed = 0
 
     def run(
@@ -173,6 +175,7 @@ class BatchExecutor:
             cache=self.cache,
             stats=self.stats,
             resilience=self.resilience,
+            executor=self.executor,
         )
 
     def run_bindings(
@@ -238,6 +241,7 @@ class BatchExecutor:
             sleep=dispatcher.sleep if dispatcher is not None else None,
             collect_stats=self.stats is not None,
             name="batch",
+            executor=self.executor,
         )
         with service:
             tickets = [service.submit(plan) for plan in plans]

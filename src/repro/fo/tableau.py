@@ -148,11 +148,15 @@ class _Branch:
     # Universal formulas available for gamma, with used instantiations.
     universals: List[Tuple[Signed, Set[Tuple[Term, ...]]]]
     terms: Set[Term]
+    # FIFO head of ``pending``: entries before it are consumed.  An
+    # integer cursor keeps dequeuing O(1) where a ``pop(0)`` drain
+    # would shift the whole tail on every expansion step.
+    cursor: int = 0
 
     def copy(self) -> "_Branch":
-        """An independent copy."""
+        """An independent copy (already-consumed pending entries drop)."""
         return _Branch(
-            pending=list(self.pending),
+            pending=self.pending[self.cursor:],
             literals=dict(self.literals),
             universals=[(s, set(used)) for s, used in self.universals],
             terms=set(self.terms),
@@ -261,7 +265,7 @@ class TableauProver:
         closure = self._find_closure(branch)
         if closure is not None:
             return closure
-        if branch.pending:
+        if branch.cursor < len(branch.pending):
             return self._expand(branch)
         return self._gamma(branch)
 
@@ -283,7 +287,8 @@ class TableauProver:
         return None
 
     def _expand(self, branch: _Branch) -> Formula:
-        signed = branch.pending.pop(0)
+        signed = branch.pending[branch.cursor]
+        branch.cursor += 1
         formula, side = signed.formula, signed.side
         if isinstance(formula, Top):
             if side == RIGHT:

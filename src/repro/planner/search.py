@@ -618,9 +618,11 @@ class _Searcher:
         config = node.config
         inherited: List[Tuple[Tuple, Atom, AccessMethod]] = []
         seen: Set[Tuple[Atom, str]] = set()
+        dropped = False
         for rank, fact, method in parent.candidates:
             accessed = fact.rename_relation(accessed_name(fact.relation))
             if accessed in config:
+                dropped = True
                 continue
             inherited.append((rank, fact, method))
             seen.add((fact, method.name))
@@ -648,7 +650,15 @@ class _Searcher:
         self.stats.candidates_fresh += len(fresh)
         # Ranks are node-independent and the inherited list is already
         # sorted (a filtered subsequence of the parent's), so a linear
-        # merge reproduces the full rescan's order exactly.
+        # merge reproduces the full rescan's order exactly.  Candidate
+        # lists are never mutated after construction (nodes walk them by
+        # integer cursor), so when nothing was filtered and nothing is
+        # fresh the parent's list can be shared by reference -- deep
+        # branches stop paying an O(n) copy per child.
+        if not fresh:
+            return parent.candidates if not dropped else inherited
+        if not inherited:
+            return fresh
         return list(
             heapq.merge(inherited, fresh, key=lambda item: item[0])
         )

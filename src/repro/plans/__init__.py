@@ -28,6 +28,7 @@ from repro.plans.expressions import (
     Union,
 )
 from repro.plans.commands import AccessCommand, Command, MiddlewareCommand
+from repro.plans.ir import PlanIR, PlanIRError, ir_to_plan, plan_to_ir
 from repro.plans.plan import Plan, PlanKind, PlanValidationError
 
 __all__ = [
@@ -45,6 +46,8 @@ __all__ = [
     "NeqAttr",
     "NeqConst",
     "Plan",
+    "PlanIR",
+    "PlanIRError",
     "PlanKind",
     "PlanValidationError",
     "Project",
@@ -53,4 +56,6 @@ __all__ = [
     "Select",
     "Singleton",
     "Union",
+    "ir_to_plan",
+    "plan_to_ir",
 ]

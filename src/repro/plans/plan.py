@@ -93,6 +93,7 @@ class Plan:
         free_temps: bool = True,
         resilience=None,
         budget=None,
+        executor: str = "interpreter",
     ) -> NamedTable:
         """Run the plan through the execution runtime.
 
@@ -124,7 +125,45 @@ class Plan:
             either truncates it to a deterministic prefix (recording
             the dropped rows, so the caller can mark the answer
             partial) or raises, per the budget's overflow policy.
+        ``executor``
+            which backend runs the plan.  ``"interpreter"`` (the
+            default) is the tuple-at-a-time runtime below;
+            ``"columnar"`` compiles the plan to its serializable IR and
+            executes it vectorized over numpy column arrays
+            (:mod:`repro.exec.columnar`; same answers, same stats and
+            budget accounting, much faster on row-heavy plans);
+            ``"differential"`` runs both and raises unless their sorted
+            answers are byte-identical -- the interpreter stays the
+            oracle.  The compiled form is cached on the plan, so
+            repeated ``executor="columnar"`` runs pay compilation once.
         """
+        if executor != "interpreter":
+            # Imported lazily: repro.exec imports repro.plans.
+            from repro.exec import columnar as _columnar
+
+            if executor == "columnar":
+                return _columnar.compile_columnar(self).execute(
+                    source,
+                    cache=cache,
+                    stats=stats,
+                    free_temps=free_temps,
+                    resilience=resilience,
+                    budget=budget,
+                )
+            if executor == "differential":
+                return _columnar.execute_differential(
+                    self,
+                    source,
+                    cache=cache,
+                    stats=stats,
+                    free_temps=free_temps,
+                    resilience=resilience,
+                    budget=budget,
+                )
+            raise ValueError(
+                f"unknown executor {executor!r} "
+                "(expected 'interpreter', 'columnar' or 'differential')"
+            )
         from time import perf_counter
 
         env: Dict[str, NamedTable] = {}

@@ -225,7 +225,13 @@ def _sql_condition(condition) -> str:
 
 # -------------------------------------------------------- serialization
 def plan_to_dict(plan: Plan) -> Dict:
-    """A JSON-able representation of a plan."""
+    """A JSON-able representation of a plan.
+
+    A convenience dump for inspection and ad-hoc persistence.  For the
+    *canonical*, version-stamped wire format (sorted literal rows,
+    key-sorted JSON, stable fingerprints — what the columnar backend
+    compiles from) use :mod:`repro.plans.ir` instead.
+    """
     return {
         "name": plan.name,
         "output_table": plan.output_table,

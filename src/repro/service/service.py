@@ -157,12 +157,14 @@ class QueryService:
         clock=time.monotonic,
         sleep: Optional[Sleep] = None,
         name: str = "service",
+        executor: str = "interpreter",
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
         self.source = source
         self.workers = workers
         self.cache = cache
+        self.executor = executor
         self.retry = retry
         self.breakers = breakers if breakers is not None else BreakerRegistry(
             clock=clock
@@ -398,6 +400,7 @@ class QueryService:
                 stats=stats,
                 resilience=dispatcher,
                 budget=budget,
+                executor=self.executor,
             )
         except ReproError as error:
             return QueryResponse(

@@ -123,3 +123,37 @@ class TestPlanExecuteWiring:
 
     def test_no_budget_is_the_fast_path(self, source):
         assert len(scan_plan().execute(source).rows) == 6
+
+
+class TestColumnarBudgetParity:
+    """Truncation must be backend-independent: same sorted prefix, same
+    ``truncated_rows`` -- the columnar executor routes its decoded
+    output through the identical ``admit_result`` path."""
+
+    def test_same_prefix_and_truncated_count(self, source):
+        interp_budget = ResourceBudget(max_result_rows=2)
+        columnar_budget = ResourceBudget(max_result_rows=2)
+        interp = scan_plan().execute(source, budget=interp_budget)
+        columnar = scan_plan().execute(
+            source, budget=columnar_budget, executor="columnar"
+        )
+        assert columnar.rows == interp.rows
+        assert columnar_budget.truncated_rows == interp_budget.truncated_rows == 4
+        full = scan_plan().execute(source)
+        assert columnar.rows == frozenset(sorted(full.rows)[:2])
+
+    def test_differential_checks_truncation_too(self, source):
+        budget = ResourceBudget(max_result_rows=2)
+        out = scan_plan().execute(
+            source, budget=budget, executor="differential"
+        )
+        assert len(out.rows) == 2
+        assert budget.truncated_rows == 4
+
+    def test_resident_budget_aborts_columnar_too(self, source):
+        with pytest.raises(RowBudgetExceeded):
+            scan_plan().execute(
+                source,
+                budget=ResourceBudget(max_resident_rows=2),
+                executor="columnar",
+            )

@@ -3,14 +3,21 @@
 The runtime counterpart of the PR 1/2 differential oracles: for every
 scenario in :mod:`repro.scenarios` whose query has a complete plan, the
 plan executed over an :class:`InMemorySource` -- naive scan, indexed,
-cached, indexed+cached, with and without temp freeing -- returns exactly
+cached, indexed+cached, with and without temp freeing, and through the
+columnar and differential executors -- returns exactly
 ``Instance.evaluate(query)``.
 """
 
 import pytest
 
 from repro.data.source import InMemorySource
-from repro.exec import AccessCache
+from repro.exec import (
+    AccessCache,
+    BreakerRegistry,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.faults import FaultInjectingSource, FaultPolicy, VirtualClock
 from repro.planner.search import SearchOptions, find_best_plan
 from repro.scenarios import (
     example1,
@@ -68,20 +75,82 @@ def test_every_execution_mode_is_complete(name, factory, budget):
             indexed=True, cache=AccessCache(charge_hits=True)
         ),
     }
-    for mode, config in modes.items():
-        source = InMemorySource(
-            scenario.schema, instance, indexed=config["indexed"]
-        )
-        output = plan.execute(source, cache=config["cache"])
-        assert output.attributes == naive.attributes, mode
-        assert output.rows == naive.rows, mode
-        assert _answers(scenario, output) == truth, mode
+    for executor in ("interpreter", "columnar", "differential"):
+        for mode, config in modes.items():
+            source = InMemorySource(
+                scenario.schema, instance, indexed=config["indexed"]
+            )
+            output = plan.execute(
+                source, cache=config["cache"], executor=executor
+            )
+            assert output.attributes == naive.attributes, (executor, mode)
+            assert output.rows == naive.rows, (executor, mode)
+            assert _answers(scenario, output) == truth, (executor, mode)
 
     # Temp freeing must not change the output either.
-    unfreed = plan.execute(
-        InMemorySource(scenario.schema, instance), free_temps=False
+    for executor in ("interpreter", "columnar"):
+        unfreed = plan.execute(
+            InMemorySource(scenario.schema, instance),
+            free_temps=False,
+            executor=executor,
+        )
+        assert unfreed.rows == naive.rows, executor
+
+
+@pytest.mark.parametrize(
+    "name,factory,budget", SCENARIOS, ids=[s[0] for s in SCENARIOS]
+)
+def test_executors_agree_under_injected_faults(name, factory, budget):
+    """Fault schedules are keyed by (method, inputs), not dispatch
+    order, so columnar's different access ordering must not change the
+    answer -- every executor retries through the same transients."""
+    scenario = factory()
+    result = find_best_plan(
+        scenario.schema, scenario.query, SearchOptions(max_accesses=budget)
     )
-    assert unfreed.rows == naive.rows
+    if not result.found:
+        pytest.skip(f"{name}: no complete plan within {budget} accesses")
+    plan = result.best_plan
+    instance = scenario.instance(0)
+    reference = plan.execute(InMemorySource(scenario.schema, instance))
+    for executor in ("interpreter", "columnar", "differential"):
+        clock = VirtualClock()
+        source = FaultInjectingSource(
+            InMemorySource(scenario.schema, instance),
+            FaultPolicy.transient(0.3, seed=11),
+            clock=clock,
+        )
+        dispatcher = ResilientDispatcher(
+            retry=RetryPolicy(max_attempts=6, seed=11),
+            breakers=BreakerRegistry(clock=clock),
+            sleep=clock.sleep,
+        )
+        output = plan.execute(
+            source, resilience=dispatcher, executor=executor
+        )
+        assert output.rows == reference.rows, executor
+
+
+@pytest.mark.parametrize(
+    "name,factory,budget", SCENARIOS, ids=[s[0] for s in SCENARIOS]
+)
+def test_differential_with_charged_cache(name, factory, budget):
+    """charge_hits metering must not break differential agreement."""
+    scenario = factory()
+    result = find_best_plan(
+        scenario.schema, scenario.query, SearchOptions(max_accesses=budget)
+    )
+    if not result.found:
+        pytest.skip(f"{name}: no complete plan within {budget} accesses")
+    plan = result.best_plan
+    instance = scenario.instance(0)
+    reference = plan.execute(InMemorySource(scenario.schema, instance))
+    output = plan.execute(
+        InMemorySource(scenario.schema, instance),
+        cache=AccessCache(charge_hits=True),
+        executor="differential",
+    )
+    assert output.rows == reference.rows
 
 
 @pytest.mark.parametrize("seed", [1, 2])

@@ -1,0 +1,282 @@
+"""The plan IR: canonical JSON round-trips, golden files, fingerprints.
+
+Every plan must lower to a JSON document (:func:`plan_to_ir` /
+:class:`PlanIR`) and come back as an *identically-executing* plan --
+the interchange contract the columnar backend and any future
+out-of-process tier rely on.  The golden files under
+``tests/plans/golden/`` pin the canonical serialization: a byte-level
+change there is a wire-format break and must bump ``IR_VERSION``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.logic.terms import Constant, Null
+from repro.plans.commands import (
+    AccessCommand,
+    MiddlewareCommand,
+    identity_output_map,
+)
+from repro.plans.expressions import (
+    Difference,
+    EqAttr,
+    EqConst,
+    Join,
+    Literal,
+    NamedTable,
+    NeqAttr,
+    NeqConst,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Singleton,
+    Union,
+)
+from repro.plans.ir import (
+    IR_VERSION,
+    PlanIR,
+    PlanIRError,
+    condition_from_ir,
+    condition_to_ir,
+    expr_from_ir,
+    expr_to_ir,
+    ir_to_plan,
+    plan_to_ir,
+    term_from_ir,
+    term_to_ir,
+)
+from repro.plans.plan import Plan
+from repro.schema.core import SchemaBuilder
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .relation("R", 2)
+        .relation("S", 2)
+        .access("mt_R", "R", inputs=[], cost=1.0)
+        .access("mt_S", "S", inputs=[0], cost=2.0)
+        .build()
+    )
+
+
+@pytest.fixture
+def source(schema):
+    instance = Instance(
+        {
+            "R": [("a", "1"), ("b", "2"), ("c", "1")],
+            "S": [("a", "left"), ("b", "right"), ("z", "none")],
+        }
+    )
+    return InMemorySource(schema, instance)
+
+
+def kitchen_sink_plan() -> Plan:
+    """One plan exercising every IR construct."""
+    lit = Literal(
+        NamedTable(
+            ("x", "v"),
+            frozenset({(Constant("extra"), Constant("row"))}),
+        )
+    )
+    return Plan(
+        (
+            AccessCommand(
+                "T_R", "mt_R", Singleton(), (), identity_output_map(("x", "y"))
+            ),
+            AccessCommand(
+                "T_S",
+                "mt_S",
+                Project(Scan("T_R"), ("x",)),
+                ("x",),
+                identity_output_map(("x", "v")),
+            ),
+            MiddlewareCommand(
+                "T_J",
+                Project(
+                    Select(
+                        Join(
+                            Scan("T_R"),
+                            Rename(Scan("T_S"), (("v", "w"),)),
+                        ),
+                        (
+                            NeqConst("w", Constant("none")),
+                            EqAttr("x", "x"),
+                        ),
+                    ),
+                    ("x", "w"),
+                ),
+            ),
+            MiddlewareCommand(
+                "OUT",
+                Difference(
+                    Union(
+                        Rename(Scan("T_J"), (("w", "v"),)),
+                        lit,
+                    ),
+                    Rename(
+                        Select(
+                            Scan("T_J"), (EqConst("x", Constant("zzz")),)
+                        ),
+                        (("w", "v"),),
+                    ),
+                ),
+            ),
+        ),
+        "OUT",
+        name="kitchen-sink",
+    )
+
+
+class TestTermRoundTrip:
+    @pytest.mark.parametrize(
+        "term",
+        [
+            Constant("a"),
+            Constant(7),
+            Constant(2.5),
+            Constant(True),
+            Null("n3"),
+        ],
+    )
+    def test_round_trip(self, term):
+        assert term_from_ir(term_to_ir(term)) == term
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanIRError):
+            term_from_ir({"k": "variable", "v": "x"})
+
+
+class TestConditionRoundTrip:
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            EqAttr("a", "b"),
+            NeqAttr("a", "b"),
+            EqConst("a", Constant("v")),
+            NeqConst("a", Constant(3)),
+        ],
+    )
+    def test_round_trip(self, condition):
+        assert condition_from_ir(condition_to_ir(condition)) == condition
+
+    def test_custom_condition_rejected(self):
+        class Weird:
+            def holds(self, table, row):
+                return True
+
+        with pytest.raises(PlanIRError):
+            condition_to_ir(Weird())
+
+
+class TestExpressionRoundTrip:
+    def test_every_operator(self):
+        for command in kitchen_sink_plan().commands:
+            expr = (
+                command.input_expr
+                if isinstance(command, AccessCommand)
+                else command.expr
+            )
+            assert expr_from_ir(expr_to_ir(expr)) == expr
+
+    def test_literal_rows_are_sorted_in_ir(self):
+        lit = Literal(
+            NamedTable(
+                ("x",),
+                frozenset({(Constant(c),) for c in "dbca"}),
+            )
+        )
+        ir = expr_to_ir(lit)
+        values = [row[0]["v"] for row in ir["rows"]]
+        assert values == sorted(values)
+
+
+class TestPlanRoundTrip:
+    def test_ir_reconstructs_equal_plan(self):
+        plan = kitchen_sink_plan()
+        assert ir_to_plan(plan_to_ir(plan)) == plan
+
+    def test_json_round_trip_executes_identically(self, source):
+        plan = kitchen_sink_plan()
+        text = PlanIR.from_plan(plan).to_json(indent=2)
+        revived = PlanIR.from_json(text).to_plan()
+        assert revived == plan
+        assert revived.execute(source).rows == plan.execute(source).rows
+        assert (
+            revived.execute(source, executor="columnar").rows
+            == plan.execute(source).rows
+        )
+
+    def test_fingerprint_is_stable_and_discriminating(self):
+        plan = kitchen_sink_plan()
+        a = PlanIR.from_plan(plan).fingerprint()
+        b = PlanIR.from_plan(kitchen_sink_plan()).fingerprint()
+        assert a == b
+        other = Plan(plan.commands, "T_J", name="kitchen-sink")
+        assert PlanIR.from_plan(other).fingerprint() != a
+
+    def test_version_mismatch_rejected(self):
+        plan = kitchen_sink_plan()
+        ir = plan_to_ir(plan)
+        ir["version"] = IR_VERSION + 1
+        with pytest.raises(PlanIRError):
+            ir_to_plan(ir)
+        with pytest.raises(PlanIRError):
+            PlanIR.from_json(json.dumps(ir))
+
+    def test_not_a_plan_document_rejected(self):
+        with pytest.raises(PlanIRError):
+            PlanIR.from_json(json.dumps({"hello": "world"}))
+
+
+class TestGoldenFiles:
+    """Byte-level pins of the canonical wire format."""
+
+    def test_kitchen_sink_matches_golden(self):
+        golden = (GOLDEN / "kitchen_sink.json").read_text()
+        current = PlanIR.from_plan(kitchen_sink_plan()).to_json(indent=2)
+        assert current == golden.rstrip("\n"), (
+            "canonical plan IR serialization changed -- if intentional, "
+            "bump IR_VERSION and regenerate tests/plans/golden/"
+        )
+
+    def test_golden_revives_and_executes(self, source):
+        plan = PlanIR.from_json(
+            (GOLDEN / "kitchen_sink.json").read_text()
+        ).to_plan()
+        reference = kitchen_sink_plan().execute(source)
+        assert plan.execute(source).rows == reference.rows
+        assert (
+            plan.execute(source, executor="differential").rows
+            == reference.rows
+        )
+
+
+class TestSearchPlansSerialize:
+    """Every planner-produced plan must round-trip through JSON."""
+
+    def test_scenario_plans_round_trip(self):
+        from repro.planner.search import SearchOptions, find_best_plan
+        from repro.scenarios import example1, example2, example5
+
+        for factory, budget in [(example1, 3), (example2, 4), (example5, 4)]:
+            scenario = factory()
+            result = find_best_plan(
+                scenario.schema,
+                scenario.query,
+                SearchOptions(max_accesses=budget),
+            )
+            assert result.found
+            plan = result.best_plan
+            revived = PlanIR.from_json(
+                PlanIR.from_plan(plan).to_json()
+            ).to_plan()
+            assert revived == plan
