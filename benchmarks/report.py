@@ -20,6 +20,9 @@ Usage::
     python benchmarks/bench_service.py          # writes BENCH_service.json
     python benchmarks/report.py --service-json BENCH_service.json
 
+    python benchmarks/bench_parallel.py         # writes BENCH_parallel.json
+    python benchmarks/report.py --parallel-json BENCH_parallel.json
+
 The default mode groups pytest-benchmark rows by module and prints one
 markdown table per module with mean/stddev timings and every
 ``extra_info`` measurement.  ``--chase-json`` instead renders the
@@ -335,6 +338,98 @@ def render_service(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_parallel(report: Dict) -> str:
+    """Markdown tables for a ``bench_parallel.py`` report."""
+    scaling = report["scaling"]
+    floor = report["scaling_floor"]
+    cpu_note = (
+        f"{report['cpu_count']} cores"
+        + (", cpu-limited: scaling floor waived" if report["cpu_limited"]
+           else "")
+    )
+    lines = [
+        "### process execution tier: CPU-bound scaling past the GIL "
+        f"({report['mode']}, {scaling['requests']} requests, "
+        f"{scaling['rows_per_relation']} rows/relation, {cpu_note})",
+        "",
+        "| tier | workers | throughput | speedup | identical answers |",
+        "|---|---|---|---|---|",
+    ]
+    for row in scaling["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["tier"],
+                    str(row["workers"]),
+                    f"{row['throughput_rps']:.2f} req/s",
+                    f"{row['speedup']:.2f}x",
+                    "yes" if row["identical_to_reference"] else "NO",
+                ]
+            )
+            + " |"
+        )
+    if floor["required"]:
+        lines.append(
+            f"\nspeedup floor: >= {floor['min_speedup']:.1f}x at "
+            f"{floor['workers']} workers, achieved "
+            f"{floor['achieved']:.2f}x "
+            f"({'held' if floor['held'] else 'VIOLATED'})"
+        )
+    else:
+        lines.append(f"\nspeedup floor: waived ({floor['reason']})")
+    cache = report["plan_cache"]
+    lines += [
+        "",
+        "### fingerprint-keyed plan cache: repeated queries skip the "
+        "search",
+        "",
+        "| distinct queries | submissions | searches run"
+        " | search eliminated | cold plan | warm plan"
+        " | restart searches (disk tier) |",
+        "|---|---|---|---|---|---|---|",
+        "| "
+        + " | ".join(
+            [
+                str(cache["distinct_queries"]),
+                str(cache["submissions"]),
+                str(cache["searches_run"]),
+                f"{cache['search_eliminated']:.1%}",
+                f"{cache['cold_plan_ms']:.2f} ms",
+                f"{cache['warm_plan_ms']:.4f} ms",
+                str(cache["restart"].get("searches_after_restart", "-")),
+            ]
+        )
+        + " |",
+    ]
+    sharding = report["sharding"]
+    lines += [
+        "",
+        "### sharded source: partial scans merge to identical answers "
+        f"({sharding['shards']} shards, "
+        f"{sharding['rows_per_relation']} rows/relation, "
+        f"partition sizes {sharding['partition_sizes']})",
+        "",
+        "| scan | wall time | identical answers | metered accesses |",
+        "|---|---|---|---|",
+    ]
+    for row in sharding["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    "parallel" if row["parallel_scan"] else "serial",
+                    _time(row["wall_time"]),
+                    "yes" if row["identical_to_reference"] else "NO",
+                    str(row["invocations"]),
+                ]
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -361,7 +456,15 @@ def main() -> int:
         "--service-json", metavar="PATH",
         help="render a bench_service.py concurrency report instead",
     )
+    parser.add_argument(
+        "--parallel-json", metavar="PATH",
+        help="render a bench_parallel.py process-tier report instead",
+    )
     args = parser.parse_args()
+    if args.parallel_json:
+        with open(args.parallel_json) as handle:
+            print(render_parallel(json.load(handle)))
+        return 0
     if args.service_json:
         with open(args.service_json) as handle:
             print(render_service(json.load(handle)))

@@ -167,6 +167,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="interpreter",
         help="execution backend used by the worker pool",
     )
+    serve.add_argument(
+        "--worker-tier",
+        choices=["none", "thread", "process"],
+        default="none",
+        help="execution tier: none (in-service threads), thread "
+             "(ThreadWorkerPool behind the WorkerPool interface), or "
+             "process (ProcessPoolExecutor -- ships plan IR to spawned "
+             "workers and scales CPU-bound serving past the GIL)",
+    )
+    serve.add_argument(
+        "--tier-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count of the process/thread execution tier",
+    )
+    serve.add_argument(
+        "--plan-cache",
+        action="store_true",
+        help="plan each request through a fingerprint-keyed PlanCache "
+             "(repeated queries skip the proof search entirely)",
+    )
+    serve.add_argument(
+        "--plan-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist cached plans as JSON files under DIR (implies "
+             "--plan-cache); a restarted service re-reads them from disk",
+    )
 
     plan = sub.add_parser("plan", help="plan a query over a schema file")
     plan.add_argument("schema", help="path to a schema JSON file")
@@ -331,31 +360,46 @@ def _serve_demo(args) -> int:
     from repro.data.decorators import LatencySource
     from repro.exec.budget import ResourceBudget
     from repro.errors import ServiceOverloaded
+    from repro.planner import PlanCache
     from repro.service import (
         PRIORITY_CLASSES,
         PRIORITY_NAMES,
+        ProcessWorkerPool,
         QueryService,
+        ThreadWorkerPool,
     )
 
     scenario = SCENARIOS[args.scenario]()
-    result = find_best_plan(
-        scenario.schema,
-        scenario.query,
-        SearchOptions(
-            max_accesses=args.max_accesses,
-            chase_policy=_chase_policy(args, scenario.schema),
-            domination_index=args.domination_index,
-        ),
+    search_options = SearchOptions(
+        max_accesses=args.max_accesses,
+        chase_policy=_chase_policy(args, scenario.schema),
+        domination_index=args.domination_index,
     )
-    if not result.found:
-        print("no complete plan exists within the access budget")
-        return 2
-    plan = result.best_plan
-    print(plan.describe())
+    use_plan_cache = args.plan_cache or args.plan_cache_dir is not None
+    plan_cache = (
+        PlanCache(directory=args.plan_cache_dir) if use_plan_cache else None
+    )
+    plan = None
+    if not use_plan_cache:
+        result = find_best_plan(scenario.schema, scenario.query,
+                                search_options)
+        if not result.found:
+            print("no complete plan exists within the access budget")
+            return 2
+        plan = result.best_plan
+        print(plan.describe())
     instance = scenario.instance(args.seed)
     source = InMemorySource(scenario.schema, instance)
     if args.latency:
         source = LatencySource(source, args.latency)
+    if args.worker_tier == "process":
+        worker_pool = ProcessWorkerPool.for_source(
+            source, workers=args.tier_workers
+        )
+    elif args.worker_tier == "thread":
+        worker_pool = ThreadWorkerPool(source, workers=args.tier_workers)
+    else:
+        worker_pool = None
     budget = (
         ResourceBudget(max_result_rows=args.budget_rows)
         if args.budget_rows is not None
@@ -370,22 +414,29 @@ def _serve_demo(args) -> int:
         default_deadline=args.deadline,
         default_budget=budget,
         executor=args.executor,
+        worker_pool=worker_pool,
+        plan_cache=plan_cache,
     )
+    tier = args.worker_tier if worker_pool is not None else "in-service"
     print(
         f"\nserving {args.requests} requests on {args.workers} workers "
-        f"(queue {args.max_queue}, per-access latency {args.latency}s)\n"
+        f"(queue {args.max_queue}, per-access latency {args.latency}s, "
+        f"execution tier {tier})\n"
     )
     with service:
         tickets = []
         for index in range(args.requests):
             priority = PRIORITY_CLASSES[index % len(PRIORITY_CLASSES)]
             try:
-                tickets.append(
-                    (
-                        priority,
-                        service.submit(plan, priority=priority),
+                if use_plan_cache:
+                    ticket = service.submit_query(
+                        scenario.query,
+                        search_options=search_options,
+                        priority=priority,
                     )
-                )
+                else:
+                    ticket = service.submit(plan, priority=priority)
+                tickets.append((priority, ticket))
             except ServiceOverloaded as error:
                 print(
                     f"q{index + 1} ({PRIORITY_NAMES[priority]}): SHED at "
@@ -401,6 +452,13 @@ def _serve_demo(args) -> int:
         print(f"cache: hits={health.cache['hits']} "
               f"misses={health.cache['misses']} "
               f"stampedes collapsed={health.cache['stampedes_collapsed']}")
+    if health.plan_cache is not None:
+        print(f"plan cache: hits={health.plan_cache['hits']} "
+              f"misses={health.plan_cache['misses']} "
+              f"disk hits={health.plan_cache['disk_hits']} "
+              f"searches run={health.planned}")
+    if health.worker_tier is not None:
+        print(f"worker tier: {health.worker_tier}")
     return 0
 
 

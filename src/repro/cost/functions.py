@@ -88,6 +88,18 @@ class CostFunction:
         )
         return self.commands_cost([probe])
 
+    def identity(self) -> Dict[str, object]:
+        """A JSON-able description of this cost model and its knobs.
+
+        Two cost functions with equal identities must assign equal
+        costs to every plan -- that is the contract that lets the
+        identity participate in plan-cache keys (a cached best plan is
+        only best *relative to* the cost model that picked it).  The
+        base implementation covers kind-only cost functions; subclasses
+        with knobs override and include every knob, key-sorted.
+        """
+        return {"kind": type(self).__name__}
+
 
 @dataclass
 class SimpleCostFunction(CostFunction):
@@ -119,6 +131,17 @@ class SimpleCostFunction(CostFunction):
         """O(|new_commands|): add the appended commands' weights."""
         total = state + self.commands_cost(new_commands)
         return total, total
+
+    def identity(self) -> Dict[str, object]:
+        """Kind plus the full per-method weight table and default."""
+        return {
+            "kind": type(self).__name__,
+            "per_method": {
+                name: float(self.per_method[name])
+                for name in sorted(self.per_method)
+            },
+            "default": float(self.default),
+        }
 
 
 @dataclass
@@ -187,6 +210,21 @@ class CardinalityCostFunction(CostFunction):
         for command in new_commands:
             total += self._advance(estimates, command)
         return (total, estimates), total
+
+    def identity(self) -> Dict[str, object]:
+        """Kind plus every estimator knob, key-sorted."""
+        return {
+            "kind": type(self).__name__,
+            "relation_cardinality": {
+                name: int(self.relation_cardinality[name])
+                for name in sorted(self.relation_cardinality)
+            },
+            "per_access": float(self.per_access),
+            "per_tuple": float(self.per_tuple),
+            "join_selectivity": float(self.join_selectivity),
+            "select_selectivity": float(self.select_selectivity),
+            "default_cardinality": int(self.default_cardinality),
+        }
 
     def _advance(
         self, estimates: Dict[str, float], command: Command

@@ -11,7 +11,14 @@ constraint-satisfying instances for tests and benchmarks.
 """
 
 from repro.data.instance import Instance, InstanceError
-from repro.data.source import AccessRecord, AccessViolation, InMemorySource
+from repro.data.source import (
+    AccessRecord,
+    AccessViolation,
+    InMemorySource,
+    ShardedInMemorySource,
+    partition_instance,
+    shard_of,
+)
 from repro.data.accessible_part import AccessiblePart, accessible_part
 from repro.data.generators import (
     InstanceGenerator,
@@ -27,7 +34,10 @@ __all__ = [
     "Instance",
     "InstanceError",
     "InstanceGenerator",
+    "ShardedInMemorySource",
     "accessible_part",
+    "partition_instance",
     "random_instance",
     "repair_instance",
+    "shard_of",
 ]

@@ -148,6 +148,29 @@ class Instance:
         clone._version = self._version
         return clone
 
+    # ---------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, list]:
+        """A canonical JSON-able dump: relation -> sorted value rows.
+
+        Cell values are the raw scalars behind the stored constants
+        (instances hold ground data only), and both relations and rows
+        are emitted in sorted order, so equal instances serialize to
+        equal bytes -- which is what lets a worker process rehydrate
+        "the same source" from a spec instead of receiving pickles.
+        """
+        return {
+            relation: sorted(
+                [cell.value for cell in row] for row in bucket
+            )
+            for relation, bucket in sorted(self._data.items())
+            if bucket
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[Sequence[object]]]) -> "Instance":
+        """Rebuild an instance serialized by :meth:`to_dict`."""
+        return cls(data)
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Instance):
             mine = {r: b for r, b in self._data.items() if b}

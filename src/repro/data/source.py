@@ -21,7 +21,10 @@ Metering is identical either way: the index changes how an access is
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
+from concurrent.futures import Executor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -80,10 +83,7 @@ class InMemorySource:
                 relation=method.relation,
                 inputs=values,
             )
-        if self.indexed:
-            matching = self._method_index(method).get(values, frozenset())
-        else:
-            matching = self._scan(method, values)
+        matching = self._lookup(method, values)
         with self._lock:
             self.log.append(
                 AccessRecord(
@@ -94,6 +94,19 @@ class InMemorySource:
                 )
             )
         return matching
+
+    def _lookup(
+        self, method: AccessMethod, values: Tuple[Constant, ...]
+    ) -> FrozenSet[Tuple[Constant, ...]]:
+        """Answer one access *without* logging it.
+
+        The logging/metering in :meth:`access` stays at the outermost
+        source, so composite sources (sharding below) can delegate the
+        data question to sub-sources while still charging one access.
+        """
+        if self.indexed:
+            return self._method_index(method).get(values, frozenset())
+        return self._scan(method, values)
 
     def _scan(
         self, method: AccessMethod, values: Tuple[Constant, ...]
@@ -178,4 +191,127 @@ class InMemorySource:
         return (
             f"InMemorySource({self.schema.name}, "
             f"{self.instance.size()} tuples, {len(self.log)} accesses)"
+        )
+
+
+# ------------------------------------------------------------------ sharding
+def shard_of(relation: str, row: Sequence[Constant], shards: int) -> int:
+    """Deterministic shard index of one tuple.
+
+    Uses BLAKE2b over a canonical JSON encoding of the raw cell values,
+    *not* Python's builtin ``hash`` -- the builtin is salted per process,
+    and shard assignment must agree between the parent and any worker
+    process that rehydrates the same data.
+    """
+    payload = json.dumps(
+        [
+            relation,
+            [
+                cell.value if isinstance(cell, Constant) else cell
+                for cell in row
+            ],
+        ],
+        separators=(",", ":"),
+        default=str,
+    )
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+def partition_instance(instance: Instance, shards: int) -> Tuple[Instance, ...]:
+    """Hash-partition an instance into ``shards`` disjoint instances.
+
+    Every tuple lands in exactly one partition (keyed by
+    :func:`shard_of`), so the union of the partitions equals the
+    original instance and any per-partition scan results can be merged
+    by plain set union without double counting.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    parts = [Instance() for _ in range(shards)]
+    for relation in instance.relations():
+        for row in instance.tuples(relation):
+            parts[shard_of(relation, row, shards)].add(relation, row)
+    return tuple(parts)
+
+
+class ShardedInMemorySource(InMemorySource):
+    """An :class:`InMemorySource` whose data is hash-partitioned.
+
+    Answering an access becomes a *parallel partial scan*: each shard
+    answers the access over its own partition (using its own per-method
+    index) and the partial results are merged by set union.  This is
+    sound because the partitions are disjoint and
+
+    ``access(m, v) over R  ==  U_i access(m, v) over R_i``
+
+    holds for selection-style accesses -- the merge point restores set
+    semantics exactly like the columnar dedup boundary.  Note the whole
+    *plan* is never run per shard (that would lose cross-shard join
+    pairs); only individual accesses fan out.
+
+    Metering is unchanged: one logical access is logged and charged
+    once at this source, never per shard.  Pass a
+    ``concurrent.futures`` executor as ``pool`` to scan partitions
+    concurrently; by default shards are scanned inline.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        instance: Instance,
+        shards: int = 4,
+        indexed: bool = True,
+        pool: Optional["Executor"] = None,
+    ) -> None:
+        super().__init__(schema, instance, indexed=indexed)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.pool = pool
+        self._partitions: Tuple[InMemorySource, ...] = ()
+        self._partition_version = -1
+        self._repartition()
+
+    def _repartition(self) -> None:
+        self._partitions = tuple(
+            InMemorySource(self.schema, part, indexed=self.indexed)
+            for part in partition_instance(self.instance, self.shards)
+        )
+        self._partition_version = self.instance.version
+
+    @property
+    def partitions(self) -> Tuple[InMemorySource, ...]:
+        """The shard sub-sources (rebuilt lazily after mutations)."""
+        with self._lock:
+            if self.instance.version != self._partition_version:
+                self._repartition()
+            return self._partitions
+
+    def _lookup(
+        self, method: AccessMethod, values: Tuple[Constant, ...]
+    ) -> FrozenSet[Tuple[Constant, ...]]:
+        partitions = self.partitions
+        if len(partitions) == 1:
+            return partitions[0]._lookup(method, values)
+        if self.pool is not None:
+            futures = [
+                self.pool.submit(part._lookup, method, values)
+                for part in partitions
+            ]
+            partials = [future.result() for future in futures]
+        else:
+            partials = [
+                part._lookup(method, values) for part in partitions
+            ]
+        merged: Set[Tuple[Constant, ...]] = set()
+        for partial in partials:
+            merged |= partial
+        return frozenset(merged)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedInMemorySource({self.schema.name}, "
+            f"{self.instance.size()} tuples, {self.shards} shards, "
+            f"{len(self.log)} accesses)"
         )

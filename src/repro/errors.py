@@ -215,6 +215,21 @@ class ServiceStopped(ServiceError):
     """A request was submitted to a draining or stopped service."""
 
 
+class WorkerCrashed(ServiceError):
+    """A worker process died while (or before) executing a request.
+
+    Raised by the process worker tier when the pool reports a broken
+    worker (killed, segfaulted, OOM-ed).  The affected request fails
+    with this typed error instead of hanging; the pool itself is
+    recreated so subsequent requests are served by fresh workers.
+    ``restarts`` counts pool recreations observed so far.
+    """
+
+    def __init__(self, message: str, *, restarts: int = 0) -> None:
+        self.restarts = restarts
+        super().__init__(message)
+
+
 # ------------------------------------------------------------- chase layer
 class ChaseError(ReproError):
     """A failure inside the chase engine."""
@@ -269,4 +284,5 @@ __all__ = [
     "ServiceStopped",
     "SourceUnavailable",
     "TransientAccessError",
+    "WorkerCrashed",
 ]

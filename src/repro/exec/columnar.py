@@ -632,7 +632,7 @@ class _CAccess:
                     for entry in self.binding
                 )
             )
-        rows = set()
+        batches = []
         cache_hits_before = cache.hits if cache is not None else 0
         retries_before = resilience.retries if resilience is not None else 0
         faults_before = resilience.faults if resilience is not None else 0
@@ -651,10 +651,7 @@ class _CAccess:
                 accessed_rows = cache.fetch(source, self.method, values)
             else:
                 accessed_rows = source.access(self.method, values)
-            for accessed in accessed_rows:
-                out_row = self._map_output(accessed)
-                if out_row is not None:
-                    rows.add(out_row)
+            batches.append(accessed_rows)
         if stats is not None:
             stats.rows_in = inputs.nrows
             stats.dispatched = len(bindings)
@@ -664,20 +661,51 @@ class _CAccess:
             if resilience is not None:
                 stats.retries = resilience.retries - retries_before
                 stats.faults = resilience.faults - faults_before
-        out_attrs = tuple(attr for attr, _ in self.output_map)
-        table = codec.encode_rows(out_attrs, rows)
+        table = self._encode_output(batches, codec)
         if stats is not None:
             stats.rows_out = table.nrows
         env[self.target] = table
 
-    def _map_output(self, accessed) -> Optional[Tuple[Term, ...]]:
-        out: List[Term] = []
-        for _attr, positions in self.output_map:
-            values = {accessed[p] for p in positions}
-            if len(values) != 1:
-                return None  # equality filter failed
-            out.append(next(iter(values)))
-        return tuple(out)
+    def _encode_output(self, batches, codec) -> _ColTable:
+        """Batch-map the accessed tuples into the output column table.
+
+        The per-row path this replaces built a Python value set per
+        output attribute per accessed row (the repeated-position
+        equality filter), inserted mapped tuples into a Python set, and
+        then re-interned every cell in ``encode_rows``.  Here each
+        *referenced source position* is interned exactly once into an
+        int64 code array, the equality filter is a vectorized mask over
+        those arrays, and set semantics are restored by the same
+        ``_dedup`` grouping the middleware boundary uses.
+        """
+        rows: List[Tuple[Term, ...]] = []
+        for batch in batches:
+            rows.extend(batch)
+        if not self.output_map:
+            # Boolean access: any surviving row witnesses the empty tuple.
+            return _ColTable((), (), 1 if rows else 0)
+        positions = sorted(
+            {p for _attr, ps in self.output_map for p in ps}
+        )
+        code = codec.code
+        arrays = {
+            p: np.asarray([code(row[p]) for row in rows], dtype=np.int64)
+            for p in positions
+        }
+        # A repeated output position (attr <- positions p0, p1, ...) is an
+        # equality filter: the row survives only when all agree.
+        mask = None
+        for _attr, ps in self.output_map:
+            for extra in ps[1:]:
+                eq = arrays[ps[0]] == arrays[extra]
+                mask = eq if mask is None else mask & eq
+        columns = tuple(
+            arrays[ps[0]][mask] if mask is not None else arrays[ps[0]]
+            for _attr, ps in self.output_map
+        )
+        kept = int(columns[0].shape[0])
+        out_attrs = tuple(attr for attr, _ in self.output_map)
+        return _dedup(_ColTable(out_attrs, columns, kept))
 
 
 class _CMiddleware:

@@ -51,6 +51,24 @@ class CommandStats:
             "faults": self.faults,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CommandStats":
+        """Inverse of :meth:`as_dict` (cross-process stats shipping)."""
+        return cls(
+            index=int(data["index"]),
+            target=str(data["target"]),
+            kind=str(data["kind"]),
+            wall_time=float(data.get("wall_time", 0.0)),
+            rows_in=int(data.get("rows_in", 0)),
+            rows_out=int(data.get("rows_out", 0)),
+            dispatched=int(data.get("dispatched", 0)),
+            deduped=int(data.get("deduped", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            freed_tables=int(data.get("freed_tables", 0)),
+            retries=int(data.get("retries", 0)),
+            faults=int(data.get("faults", 0)),
+        )
+
 
 @dataclass
 class ExecStats:
@@ -170,3 +188,27 @@ class ExecStats:
             "failovers": self.failovers,
             "commands": [c.as_dict() for c in self.commands],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExecStats":
+        """Inverse of :meth:`as_dict`.
+
+        Worker processes serialize their per-request stats with
+        ``as_dict()`` (plain JSON survives any executor transport); the
+        parent rebuilds them here and folds them into the service totals
+        with the existing :meth:`merge`.  The derived totals
+        (dispatched, cache hits, ...) are recomputed from the command
+        records rather than trusted from the payload.
+        """
+        stats = cls(
+            commands=[
+                CommandStats.from_dict(entry)
+                for entry in data.get("commands", ())
+            ],
+            wall_time=float(data.get("wall_time", 0.0)),
+            peak_resident_rows=int(data.get("peak_resident_rows", 0)),
+            runs=int(data.get("runs", 0)),
+            breaker_trips=int(data.get("breaker_trips", 0)),
+            failovers=int(data.get("failovers", 0)),
+        )
+        return stats

@@ -15,6 +15,12 @@
 """
 
 from repro.planner.plan_state import PlanningError, PlanState
+from repro.planner.plan_cache import (
+    CachedPlan,
+    PlanCache,
+    canonical_query_text,
+    plan_cache_key,
+)
 from repro.planner.proof_to_plan import (
     ChaseProof,
     Exposure,
@@ -63,7 +69,9 @@ from repro.planner.ra_from_proof import (
 __all__ = [
     "Answerability",
     "BackwardStep",
+    "CachedPlan",
     "ChaseProof",
+    "PlanCache",
     "Exposure",
     "PlanState",
     "PlanningError",
@@ -75,6 +83,8 @@ __all__ = [
     "Inequality",
     "answerability_witness",
     "brute_force_plan",
+    "canonical_query_text",
+    "plan_cache_key",
     "decide_answerability",
     "find_any_plan",
     "find_best_plan_iterative",

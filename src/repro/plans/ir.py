@@ -226,6 +226,35 @@ def expr_from_ir(obj: Mapping[str, Any]) -> Expression:
     raise PlanIRError(f"unknown expression op {op!r}")
 
 
+# ------------------------------------------------------------------ tables
+def table_to_ir(table: NamedTable) -> Dict[str, Any]:
+    """Encode an answer table (attributes + sorted rows).
+
+    This is how worker processes ship results back to the service: the
+    rows are emitted in sorted order, so equal tables serialize to equal
+    bytes and the parent's merge of several workers' answers is
+    deterministic regardless of which worker finished first.
+    """
+    return {
+        "attrs": list(table.attributes),
+        "rows": [
+            [term_to_ir(cell) for cell in row]
+            for row in sorted(table.rows)
+        ],
+    }
+
+
+def table_from_ir(obj: Mapping[str, Any]) -> NamedTable:
+    """Decode a table encoded by :func:`table_to_ir`."""
+    return NamedTable(
+        tuple(obj["attrs"]),
+        frozenset(
+            tuple(term_from_ir(cell) for cell in row)
+            for row in obj["rows"]
+        ),
+    )
+
+
 # --------------------------------------------------------------- commands
 def command_to_ir(command: Command) -> Dict[str, Any]:
     """Encode an access or middleware command."""

@@ -230,6 +230,17 @@ class Schema:
             name=self.name,
         )
 
+    def fingerprint(self) -> str:
+        """Stable BLAKE2b content hash of this schema's serialization.
+
+        Delegates to :func:`repro.schema.serialize.schema_fingerprint`
+        (imported lazily to avoid a core<->serialize import cycle).
+        Used as one component of plan-cache keys.
+        """
+        from repro.schema.serialize import schema_fingerprint
+
+        return schema_fingerprint(self)
+
     # ------------------------------------------------------- properties
     @property
     def has_only_guarded_constraints(self) -> bool:

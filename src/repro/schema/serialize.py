@@ -18,6 +18,8 @@ files human-editable.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List
 
 from repro.logic.atoms import Atom
@@ -82,6 +84,28 @@ def schema_from_dict(data: Dict) -> Schema:
         constraints,
         name=data.get("name", "S"),
     )
+
+
+def schema_fingerprint(schema: Schema) -> str:
+    """A stable content hash of a schema.
+
+    BLAKE2b over the key-sorted, separator-canonical JSON encoding of
+    :func:`schema_to_dict`.  Two schemas fingerprint equal iff they
+    serialize equal, independent of construction order or process --
+    which is what makes the fingerprint usable as a component of
+    cross-process plan-cache keys.  The value is golden-pinned in the
+    test suite: changing the serialization format (or this encoding)
+    must be a deliberate, visible act that invalidates old caches.
+    """
+    payload = json.dumps(
+        schema_to_dict(schema),
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=16
+    ).hexdigest()
 
 
 def _tgd_to_text(tgd: TGD) -> str:

@@ -12,6 +12,11 @@ Public surface of :mod:`repro.service`:
   priority-aware admission with load shedding and preemption.
 * The priority classes ``PRIORITY_HIGH`` / ``PRIORITY_NORMAL`` /
   ``PRIORITY_BEST_EFFORT``.
+* :class:`~repro.service.workers.WorkerPool` and its
+  :class:`~repro.service.workers.ProcessWorkerPool` /
+  :class:`~repro.service.workers.ThreadWorkerPool` implementations --
+  the execution tier that ships plan IR (not pickles) to worker
+  processes to scale CPU-bound serving past the GIL.
 """
 
 from repro.service.admission import AdmissionQueue
@@ -26,9 +31,18 @@ from repro.service.request import (
     Ticket,
 )
 from repro.service.service import QueryService, ServiceHealth
+from repro.service.workers import (
+    ProcessWorkerPool,
+    SourceSpecError,
+    ThreadWorkerPool,
+    WorkerPool,
+    source_to_spec,
+    spec_to_source,
+)
 
 __all__ = [
     "AdmissionQueue",
+    "ProcessWorkerPool",
     "PRIORITY_BEST_EFFORT",
     "PRIORITY_CLASSES",
     "PRIORITY_HIGH",
@@ -38,5 +52,10 @@ __all__ = [
     "QueryResponse",
     "QueryService",
     "ServiceHealth",
+    "SourceSpecError",
+    "ThreadWorkerPool",
     "Ticket",
+    "WorkerPool",
+    "source_to_spec",
+    "spec_to_source",
 ]

@@ -64,8 +64,18 @@ from repro.exec.resilience import (
     Sleep,
 )
 from repro.exec.stats import ExecStats
+from repro.logic.queries import ConjunctiveQuery
+from repro.planner.plan_cache import PlanCache, canonical_query_text, plan_cache_key
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.plans.ir import plan_to_ir, table_from_ir
 from repro.plans.plan import Plan
 from repro.service.admission import AdmissionQueue
+from repro.service.workers import (
+    WorkerPool,
+    encode_bindings,
+    rebuild_error,
+    retry_to_dict,
+)
 from repro.service.request import (
     PRIORITY_NORMAL,
     QueryRequest,
@@ -98,6 +108,12 @@ class ServiceHealth:
     breakers: Dict[str, str]
     cache: Optional[Dict]
     stats: Optional[Dict]
+    #: Execution-tier liveness (None when running in the worker threads).
+    worker_tier: Optional[Dict] = None
+    #: Plan-cache counters (None when no plan cache is configured).
+    plan_cache: Optional[Dict] = None
+    #: How many times Algorithm 1 search actually ran for submit_query.
+    planned: int = 0
 
     def summary(self) -> str:
         """A one-line human-readable digest."""
@@ -114,6 +130,11 @@ class ServiceHealth:
             f"({self.completed} complete / {self.partial} partial / "
             f"{self.failed} failed), {self.shed} shed"
             + (f", breakers not closed: {open_breakers}" if open_breakers else "")
+            + (
+                f", worker tier {self.worker_tier['tier']} DEGRADED"
+                if self.worker_tier and not self.worker_tier.get("alive")
+                else ""
+            )
         )
 
     def as_dict(self) -> Dict:
@@ -136,6 +157,9 @@ class ServiceHealth:
             "breakers": dict(self.breakers),
             "cache": self.cache,
             "stats": self.stats,
+            "worker_tier": self.worker_tier,
+            "plan_cache": self.plan_cache,
+            "planned": self.planned,
         }
 
 
@@ -158,6 +182,8 @@ class QueryService:
         sleep: Optional[Sleep] = None,
         name: str = "service",
         executor: str = "interpreter",
+        worker_pool: Optional[WorkerPool] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
@@ -165,6 +191,15 @@ class QueryService:
         self.workers = workers
         self.cache = cache
         self.executor = executor
+        # The execution tier: None keeps plan runs in this process's
+        # worker threads; a WorkerPool ships them (plan IR + bindings +
+        # budget, never pickles) to the tier -- typically a
+        # ProcessWorkerPool, which is what escapes the GIL.
+        self.worker_pool = worker_pool
+        # Cross-request plan cache consulted by submit_query before
+        # invoking Algorithm 1 search.
+        self.plan_cache = plan_cache
+        self._planned = 0
         self.retry = retry
         self.breakers = breakers if breakers is not None else BreakerRegistry(
             clock=clock
@@ -199,6 +234,9 @@ class QueryService:
             self._queue.reopen()
             self._running = True
             self._accepting = True
+        if self.worker_pool is not None:
+            self.worker_pool.start()
+        with self._lock:
             self._threads = [
                 threading.Thread(
                     target=self._worker_loop,
@@ -249,6 +287,8 @@ class QueryService:
             )
             thread.join(remaining)
             finished = finished and not thread.is_alive()
+        if self.worker_pool is not None:
+            self.worker_pool.shutdown()
         with self._lock:
             self._running = not finished
         return finished
@@ -334,6 +374,69 @@ class QueryService:
         """Submit and block for the response (convenience wrapper)."""
         return self.submit(plan, **kwargs).result(timeout)
 
+    # ------------------------------------------------------ query planning
+    def plan_for(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        search_options: Optional[SearchOptions] = None,
+    ) -> Plan:
+        """The best plan for a query, via the plan cache when configured.
+
+        The cache key covers the *whole* planning problem -- canonical
+        query text, schema fingerprint, cost-model identity (see
+        :mod:`repro.planner.plan_cache`) -- so a hit is exactly as good
+        as re-running Algorithm 1.  On a miss the search runs here, in
+        the submitting thread (planning is request-shaping work, like
+        admission), and the result is stored for every later request.
+        Concurrent misses on the same key may both search; both store
+        the same answer, so this is wasted work at worst, never a wrong
+        plan.
+        """
+        options = search_options if search_options is not None else SearchOptions()
+        key = None
+        if self.plan_cache is not None:
+            key = plan_cache_key(query, self.source.schema, options.cost)
+            hit = self.plan_cache.get(key)
+            if hit is not None:
+                return hit.plan
+        result = find_best_plan(self.source.schema, query, options)
+        with self._lock:
+            self._planned += 1
+        if not result.found:
+            raise ExecutionError(
+                f"no plan within the search budget for query "
+                f"{canonical_query_text(query)}"
+            )
+        if self.plan_cache is not None and key is not None:
+            self.plan_cache.put(
+                key,
+                result.best_plan,
+                result.best_cost,
+                meta={
+                    "query": canonical_query_text(query),
+                    "schema": self.source.schema.fingerprint(),
+                },
+            )
+        return result.best_plan
+
+    def submit_query(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        search_options: Optional[SearchOptions] = None,
+        **kwargs,
+    ) -> Ticket:
+        """Plan a query (cache-first) and admit the resulting plan run.
+
+        This is the millions-of-users entry point: many clients, few
+        distinct queries.  With a warm :class:`PlanCache` the search
+        step disappears and only execution remains; ``kwargs`` are
+        those of :meth:`submit` (bindings, priority, deadline, budget).
+        """
+        plan = self.plan_for(query, search_options=search_options)
+        return self.submit(plan, **kwargs)
+
     # ------------------------------------------------------------- workers
     def _worker_loop(self) -> None:
         while True:
@@ -373,6 +476,8 @@ class QueryService:
                 stats=stats,
                 queue_wait=queue_wait,
             )
+        if self.worker_pool is not None:
+            return self._execute_on_pool(ticket, queue_wait, stats)
         plan = request.plan
         if request.bindings:
             plan = substitute_constants(plan, request.bindings)
@@ -420,6 +525,70 @@ class QueryService:
             stats=stats,
             queue_wait=queue_wait,
             wall_time=perf_counter() - started,
+        )
+
+    def _execute_on_pool(
+        self,
+        ticket: Ticket,
+        queue_wait: float,
+        stats: Optional[ExecStats],
+    ) -> QueryResponse:
+        """Ship one admitted request to the execution tier.
+
+        The request crosses the boundary as data -- plan IR, term-IR
+        bindings, a budget dict, a retry-policy dict -- and the answer
+        comes back as sorted rows plus a stats dict.  The per-request
+        deadline is enforced parent-side as the blocking-wait timeout
+        (worker processes cannot share the parent's clock); tier-level
+        failures (a killed worker, a timeout) surface as typed errors
+        on this ticket only, and the pool recovers for the next one.
+        """
+        request = ticket.request
+        budget = request.budget
+        deadline: Optional[Deadline] = ticket.deadline
+        payload = {
+            "plan": plan_to_ir(request.plan),
+            "bindings": encode_bindings(request.bindings),
+            "executor": self.executor,
+            "collect_stats": stats is not None,
+            "budget": budget.as_dict() if budget is not None else None,
+            "retry": retry_to_dict(self.retry),
+        }
+        timeout = deadline.remaining() if deadline is not None else None
+        started = perf_counter()
+        try:
+            result = self.worker_pool.run_request(payload, timeout=timeout)
+        except ReproError as error:
+            return QueryResponse(
+                request.request_id,
+                error=error,
+                stats=stats,
+                queue_wait=queue_wait,
+                wall_time=perf_counter() - started,
+            )
+        wall_time = perf_counter() - started
+        if stats is not None and result.get("stats"):
+            stats.merge(ExecStats.from_dict(result["stats"]))
+        if not result.get("ok"):
+            return QueryResponse(
+                request.request_id,
+                error=rebuild_error(result),
+                stats=stats,
+                queue_wait=queue_wait,
+                wall_time=wall_time,
+            )
+        truncated = int(result.get("truncated", 0))
+        if budget is not None:
+            budget.truncated_rows = truncated
+        return QueryResponse(
+            request.request_id,
+            table=table_from_ir(result["table"]),
+            complete=truncated == 0,
+            partial=truncated > 0,
+            truncated_rows=truncated,
+            stats=stats,
+            queue_wait=queue_wait,
+            wall_time=wall_time,
         )
 
     def _account(self, response: QueryResponse) -> None:
@@ -483,7 +652,21 @@ class QueryService:
             return self._shed
 
     def health(self) -> ServiceHealth:
-        """A point-in-time snapshot of queue, pool, breakers and cache."""
+        """A point-in-time snapshot of queue, tiers, breakers and caches.
+
+        ``worker_tier`` reports the execution tier's liveness (its
+        ``alive`` flag goes false when a broken process pool could not
+        be replaced -- the degradation is visible here, and requests
+        fail with typed :class:`~repro.errors.WorkerCrashed`, never
+        hang); ``plan_cache`` carries the hit/miss/invalidation
+        counters and ``planned`` how often search actually ran.
+        """
+        worker_tier = (
+            self.worker_pool.health() if self.worker_pool is not None else None
+        )
+        plan_cache = (
+            self.plan_cache.counters() if self.plan_cache is not None else None
+        )
         with self._lock:
             return ServiceHealth(
                 running=self._running,
@@ -503,6 +686,9 @@ class QueryService:
                 breakers=self.breakers.states(),
                 cache=self.cache.as_dict() if self.cache is not None else None,
                 stats=self.stats.as_dict() if self.stats is not None else None,
+                worker_tier=worker_tier,
+                plan_cache=plan_cache,
+                planned=self._planned,
             )
 
     def __repr__(self) -> str:

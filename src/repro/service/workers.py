@@ -1,0 +1,627 @@
+"""The process-parallel worker tier: ship plans and specs, not pickles.
+
+CPython's GIL means the thread pool inside :class:`~repro.service.
+QueryService` only scales when requests *wait* (the `LatencySource`
+benchmark); CPU-bound chase/search/columnar work serializes.  This
+module moves plan execution into worker **processes** while keeping the
+service's externally observable behaviour bit-identical:
+
+* **What crosses the boundary is data, never live objects.**  A
+  :func:`source_to_spec` *source spec* (plain JSON-able dict: schema
+  serialization, canonical instance dump, wrapper stack) is shipped
+  once per worker via the executor's initializer, so each worker
+  rehydrates its own source -- with its own per-method indexes -- once,
+  not per request.  Requests then ship only the plan IR
+  (:mod:`repro.plans.ir`), encoded bindings and a budget dict; answers
+  come back as sorted row lists (:func:`~repro.plans.ir.table_to_ir`)
+  plus an ``ExecStats.as_dict()`` payload the parent rebuilds and
+  merges.  No pickled closures, no live sources -- which is also what
+  makes the tier ``spawn``-safe (the default start method here).
+
+* **What does NOT cross the boundary** -- the parent's
+  :class:`~repro.exec.cache.AccessCache`, circuit breakers and fault
+  wrapper attempt counters -- is per-process state in the workers.
+  That is still sound: caches and breakers are *monotone observations*
+  of a deterministic source (docs/theory.md, "Concurrent serving"), so
+  partitioning observations among processes can change efficiency,
+  never answers; the seeded fault schedule is keyed by
+  ``(seed, method, inputs)`` (not by call order), so a faulty access
+  fails the same way in any process.
+
+* **Crashes are typed, not hung.**  A killed worker breaks the whole
+  ``ProcessPoolExecutor``; :class:`ProcessWorkerPool` maps that to a
+  typed :class:`~repro.errors.WorkerCrashed` for the affected request,
+  recreates the pool, and counts the restart -- surfaced through
+  ``QueryService.health()``.
+
+:class:`ThreadWorkerPool` keeps the old in-process behaviour behind the
+same interface (useful on small data, where serialization dominates,
+and as the degraded fallback when processes are unavailable).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from multiprocessing import get_context
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import repro.errors as errors_module
+from repro.data.decorators import CachingSource, LatencySource
+from repro.data.instance import Instance, _to_constant
+from repro.data.source import InMemorySource, ShardedInMemorySource
+from repro.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    ReproError,
+    WorkerCrashed,
+)
+from repro.exec.batch import substitute_constants
+from repro.exec.budget import ResourceBudget
+from repro.exec.resilience import (
+    BreakerRegistry,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+from repro.exec.stats import ExecStats
+from repro.faults.policy import FaultPolicy
+from repro.faults.source import FaultInjectingSource
+from repro.logic.terms import Constant
+from repro.plans.ir import (
+    ir_to_plan,
+    table_from_ir,
+    table_to_ir,
+    term_from_ir,
+    term_to_ir,
+)
+from repro.schema.serialize import schema_from_dict, schema_to_dict
+
+#: Format marker stamped into every source spec.
+SPEC_KIND = "repro.source-spec"
+SPEC_VERSION = 1
+
+
+class SourceSpecError(ValueError):
+    """Raised when a source (stack) cannot be described as a spec."""
+
+
+# -------------------------------------------------------------- source spec
+def source_to_spec(source) -> Dict[str, Any]:
+    """Describe a source (possibly a wrapper stack) as a plain dict.
+
+    Supported: :class:`InMemorySource`, :class:`ShardedInMemorySource`,
+    and stacks of :class:`LatencySource` / :class:`CachingSource` /
+    :class:`FaultInjectingSource` over them.  Stateful wrappers whose
+    behaviour depends on global call order (``FlakySource``,
+    ``BudgetedSource``) are rejected: replaying them per worker would
+    change semantics, and budgets are shipped per request instead.
+    """
+    if isinstance(source, LatencySource):
+        return {
+            "wrap": "latency",
+            "latency": source.latency,
+            "inner": source_to_spec(source.inner),
+        }
+    if isinstance(source, CachingSource):
+        return {"wrap": "caching", "inner": source_to_spec(source.inner)}
+    if isinstance(source, FaultInjectingSource):
+        policy = source.policy
+        return {
+            "wrap": "faults",
+            "policy": {
+                "seed": policy.seed,
+                "unavailable_rate": policy.unavailable_rate,
+                "timeout_rate": policy.timeout_rate,
+                "rate_limit_rate": policy.rate_limit_rate,
+                "truncation_rate": policy.truncation_rate,
+                "burst": policy.burst,
+                "truncation_keep": policy.truncation_keep,
+                "latency": policy.latency,
+                "outages": dict(policy.outages),
+            },
+            "inner": source_to_spec(source.inner),
+        }
+    if isinstance(source, ShardedInMemorySource):
+        return {
+            "format": SPEC_KIND,
+            "version": SPEC_VERSION,
+            "kind": "sharded",
+            "schema": schema_to_dict(source.schema),
+            "instance": source.instance.to_dict(),
+            "shards": source.shards,
+            "indexed": source.indexed,
+        }
+    if isinstance(source, InMemorySource):
+        return {
+            "format": SPEC_KIND,
+            "version": SPEC_VERSION,
+            "kind": "memory",
+            "schema": schema_to_dict(source.schema),
+            "instance": source.instance.to_dict(),
+            "indexed": source.indexed,
+        }
+    raise SourceSpecError(
+        f"cannot describe {type(source).__name__} as a worker source spec"
+    )
+
+
+def spec_to_source(spec: Mapping[str, Any]):
+    """Rehydrate the source (stack) described by :func:`source_to_spec`."""
+    wrap = spec.get("wrap")
+    if wrap == "latency":
+        return LatencySource(
+            spec_to_source(spec["inner"]), float(spec["latency"])
+        )
+    if wrap == "caching":
+        return CachingSource(spec_to_source(spec["inner"]))
+    if wrap == "faults":
+        policy = spec["policy"]
+        return FaultInjectingSource(
+            spec_to_source(spec["inner"]),
+            FaultPolicy(
+                seed=policy["seed"],
+                unavailable_rate=policy["unavailable_rate"],
+                timeout_rate=policy["timeout_rate"],
+                rate_limit_rate=policy["rate_limit_rate"],
+                truncation_rate=policy["truncation_rate"],
+                burst=policy["burst"],
+                truncation_keep=policy["truncation_keep"],
+                latency=policy["latency"],
+                outages=dict(policy["outages"]),
+            ),
+        )
+    if spec.get("format") != SPEC_KIND or spec.get("version") != SPEC_VERSION:
+        raise SourceSpecError(
+            f"not a source spec (format={spec.get('format')!r}, "
+            f"version={spec.get('version')!r})"
+        )
+    schema = schema_from_dict(spec["schema"])
+    instance = Instance.from_dict(spec["instance"])
+    if spec["kind"] == "sharded":
+        return ShardedInMemorySource(
+            schema,
+            instance,
+            shards=int(spec["shards"]),
+            indexed=bool(spec.get("indexed", True)),
+        )
+    if spec["kind"] == "memory":
+        return InMemorySource(
+            schema, instance, indexed=bool(spec.get("indexed", True))
+        )
+    raise SourceSpecError(f"unknown source spec kind {spec['kind']!r}")
+
+
+# ----------------------------------------------------------- request payload
+def encode_bindings(
+    bindings: Optional[Mapping[object, object]]
+) -> Optional[List[List[Dict[str, Any]]]]:
+    """Encode a constant-substitution mapping as term-IR pairs."""
+    if not bindings:
+        return None
+    return [
+        [term_to_ir(_to_constant(key)), term_to_ir(_to_constant(value))]
+        for key, value in bindings.items()
+    ]
+
+
+def decode_bindings(
+    encoded: Optional[List[List[Dict[str, Any]]]]
+) -> Optional[Dict[Constant, Constant]]:
+    """Inverse of :func:`encode_bindings`."""
+    if not encoded:
+        return None
+    return {
+        term_from_ir(key): term_from_ir(value) for key, value in encoded
+    }
+
+
+def _budget_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[ResourceBudget]:
+    if data is None:
+        return None
+    return ResourceBudget(
+        max_result_rows=data.get("max_result_rows"),
+        max_resident_rows=data.get("max_resident_rows"),
+        max_accesses=data.get("max_accesses"),
+        max_cost=data.get("max_cost"),
+        on_result_overflow=data.get("on_result_overflow", "truncate"),
+    )
+
+
+def _retry_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[RetryPolicy]:
+    if data is None:
+        return None
+    return RetryPolicy(
+        max_attempts=int(data.get("max_attempts", 4)),
+        base_delay=float(data.get("base_delay", 0.05)),
+        multiplier=float(data.get("multiplier", 2.0)),
+        max_delay=float(data.get("max_delay", 2.0)),
+        jitter=float(data.get("jitter", 0.1)),
+    )
+
+
+def retry_to_dict(retry: Optional[RetryPolicy]) -> Optional[Dict[str, Any]]:
+    """Encode a retry policy for the request payload."""
+    if retry is None:
+        return None
+    return {
+        "max_attempts": retry.max_attempts,
+        "base_delay": retry.base_delay,
+        "multiplier": retry.multiplier,
+        "max_delay": retry.max_delay,
+        "jitter": retry.jitter,
+    }
+
+
+def execute_payload(source, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one shipped request against a source; return a plain dict.
+
+    This is the single execution path both pool flavours share: the
+    process tier calls it in the worker against the rehydrated source,
+    the thread tier calls it in-process against the shared source.
+    Errors come back as ``{"ok": False, "error_type", "error"}`` so the
+    parent can re-raise the matching typed :mod:`repro.errors` class --
+    exception *instances* never cross the boundary.
+    """
+    try:
+        plan = ir_to_plan(payload["plan"])
+        bindings = decode_bindings(payload.get("bindings"))
+        if bindings:
+            plan = substitute_constants(plan, bindings)
+        budget = _budget_from_dict(payload.get("budget"))
+        run_source = source
+        if budget is not None and (
+            budget.max_accesses is not None or budget.max_cost is not None
+        ):
+            from repro.data.decorators import BudgetedSource
+
+            run_source = BudgetedSource(
+                source,
+                max_invocations=budget.max_accesses,
+                max_cost=budget.max_cost,
+            )
+        stats = ExecStats() if payload.get("collect_stats") else None
+        dispatcher = ResilientDispatcher(
+            retry=_retry_from_dict(payload.get("retry")),
+            breakers=BreakerRegistry(),
+        )
+        table = plan.execute(
+            run_source,
+            stats=stats,
+            resilience=dispatcher,
+            budget=budget,
+            executor=payload.get("executor", "interpreter"),
+        )
+        return {
+            "ok": True,
+            "table": table_to_ir(table),
+            "truncated": budget.truncated_rows if budget is not None else 0,
+            "stats": stats.as_dict() if stats is not None else None,
+        }
+    except ReproError as error:
+        return {
+            "ok": False,
+            "error_type": type(error).__name__,
+            "error": str(error),
+        }
+
+
+def rebuild_error(result: Mapping[str, Any]) -> ReproError:
+    """Rebuild the typed error a worker reported for one request."""
+    error_type = result.get("error_type", "ExecutionError")
+    error_class = getattr(errors_module, error_type, ExecutionError)
+    if not (
+        isinstance(error_class, type) and issubclass(error_class, ReproError)
+    ):
+        error_class = ExecutionError
+    try:
+        return error_class(str(result.get("error", "worker failure")))
+    except TypeError:
+        return ExecutionError(str(result.get("error", "worker failure")))
+
+
+# ------------------------------------------------------- worker process side
+#: The once-per-worker rehydrated source (set by the pool initializer).
+_WORKER_SOURCE = None
+
+
+def _init_worker(spec: Mapping[str, Any]) -> None:
+    """Executor initializer: rehydrate the source once per process."""
+    global _WORKER_SOURCE
+    _WORKER_SOURCE = spec_to_source(spec)
+
+
+def _run_payload_task(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """The task the parent submits; referenced by name, so spawn-safe."""
+    if _WORKER_SOURCE is None:
+        return {
+            "ok": False,
+            "error_type": "ExecutionError",
+            "error": "worker process was never initialized with a source spec",
+        }
+    return execute_payload(_WORKER_SOURCE, payload)
+
+
+# ------------------------------------------------------------------- pools
+class WorkerPool:
+    """The execution-tier interface ``QueryService`` dispatches through.
+
+    One blocking call per request: :meth:`run_request` takes the plain
+    payload dict and returns the plain result dict of
+    :func:`execute_payload` (raising typed errors only for tier-level
+    failures: crash, timeout).  ``start``/``shutdown`` bracket the
+    tier's lifetime; :meth:`health` is a JSON-able liveness snapshot.
+    """
+
+    kind = "none"
+
+    def start(self) -> "WorkerPool":
+        """Bring the tier up; returns ``self`` for ``with``-chaining."""
+        return self
+
+    def shutdown(self) -> None:  # pragma: no cover - trivial default
+        """Tear the tier down; idempotent."""
+        pass
+
+    def run_request(
+        self, payload: Mapping[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Execute one request payload and return its result dict."""
+        raise NotImplementedError
+
+    def health(self) -> Dict[str, Any]:
+        """A JSON-able liveness/counters snapshot of the tier."""
+        return {"tier": self.kind, "alive": True}
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Plan execution on a ``ProcessPoolExecutor`` over a source spec.
+
+    ``start_method`` defaults to ``"spawn"``: slowest to start but
+    immune to fork-time lock/thread hazards, and it proves the spec
+    path carries *everything* a worker needs (fork can silently lean on
+    inherited state).  The differential tests run both.
+
+    A broken pool (a worker killed mid-request) fails the affected
+    request with :class:`~repro.errors.WorkerCrashed` and the pool is
+    recreated immediately, so the next request is served by fresh
+    workers -- liveness is reported via :meth:`health`.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        source_spec: Mapping[str, Any],
+        workers: int = 8,
+        start_method: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker count must be positive")
+        self.source_spec = dict(source_spec)
+        self.workers = workers
+        self.start_method = start_method
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._started = False
+        self.tasks = 0
+        self.crashes = 0
+        self.restarts = 0
+
+    @classmethod
+    def for_source(
+        cls, source, workers: int = 8, start_method: str = "spawn"
+    ) -> "ProcessWorkerPool":
+        """Build a pool from a live source (via :func:`source_to_spec`)."""
+        return cls(
+            source_to_spec(source),
+            workers=workers,
+            start_method=start_method,
+        )
+
+    def start(self) -> "ProcessWorkerPool":
+        """Spin up the process executor (workers rehydrate the spec)."""
+        with self._lock:
+            self._started = True
+            self._ensure_executor()
+        return self
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        """Create (or recreate) the executor; caller holds the lock."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(self.start_method),
+                initializer=_init_worker,
+                initargs=(self.source_spec,),
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Stop the executor and mark the tier not-started."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._started = False
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def run_request(
+        self, payload: Mapping[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Ship one payload to a worker process and await its result.
+
+        A broken pool (killed worker) raises typed :class:`WorkerCrashed`
+        and recreates the executor so the next request can succeed.
+        """
+        with self._lock:
+            if not self._started:
+                raise WorkerCrashed(
+                    "process worker pool is not running",
+                    restarts=self.restarts,
+                )
+            executor = self._ensure_executor()
+            self.tasks += 1
+        try:
+            future = executor.submit(_run_payload_task, dict(payload))
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise DeadlineExceeded(
+                f"worker did not answer within {timeout:.3f}s"
+            ) from None
+        except BrokenExecutor as broken:
+            restarts = self._recreate(executor)
+            raise WorkerCrashed(
+                f"worker process died executing this request: {broken}",
+                restarts=restarts,
+            ) from broken
+
+    def _recreate(self, broken: ProcessPoolExecutor) -> int:
+        """Replace a broken executor with a fresh one; returns restarts."""
+        with self._lock:
+            self.crashes += 1
+            if self._executor is broken:
+                self._executor = None
+                if self._started:
+                    self.restarts += 1
+                    self._ensure_executor()
+            restarts = self.restarts
+        broken.shutdown(wait=False, cancel_futures=True)
+        return restarts
+
+    def alive(self) -> bool:
+        """Whether the tier can currently take requests."""
+        with self._lock:
+            return self._started and self._executor is not None
+
+    def health(self) -> Dict[str, Any]:
+        """A JSON-able liveness/counters snapshot of the tier."""
+        with self._lock:
+            return {
+                "tier": self.kind,
+                "alive": self._started and self._executor is not None,
+                "workers": self.workers,
+                "start_method": self.start_method,
+                "tasks": self.tasks,
+                "crashes": self.crashes,
+                "restarts": self.restarts,
+            }
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive() else "stopped"
+        return (
+            f"ProcessWorkerPool({self.workers} x {self.start_method}, "
+            f"{state}, {self.tasks} tasks, {self.crashes} crashes)"
+        )
+
+
+class ThreadWorkerPool(WorkerPool):
+    """The same payload protocol, executed in-process over a shared source.
+
+    The fallback tier: no serialization, no processes, no GIL escape.
+    Useful on small data (where shipping rows costs more than computing
+    them) and in environments where spawning processes is not allowed.
+    Answers are byte-identical to the process tier by construction --
+    both run :func:`execute_payload`.
+    """
+
+    kind = "thread"
+
+    def __init__(self, source, workers: int = 8) -> None:
+        if workers < 1:
+            raise ValueError("worker count must be positive")
+        self.source = source
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started = False
+        self.tasks = 0
+
+    def start(self) -> "ThreadWorkerPool":
+        """Spin up the thread executor over the shared live source."""
+        with self._lock:
+            self._started = True
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="exec-tier",
+                )
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the executor and mark the tier not-started."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._started = False
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def run_request(
+        self, payload: Mapping[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Execute one payload on a pool thread against the live source."""
+        with self._lock:
+            if not self._started or self._executor is None:
+                raise WorkerCrashed("thread worker pool is not running")
+            executor = self._executor
+            self.tasks += 1
+        try:
+            future = executor.submit(execute_payload, self.source, payload)
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            raise DeadlineExceeded(
+                f"worker did not answer within {timeout:.3f}s"
+            ) from None
+
+    def alive(self) -> bool:
+        """Whether the tier can currently take requests."""
+        with self._lock:
+            return self._started and self._executor is not None
+
+    def health(self) -> Dict[str, Any]:
+        """A JSON-able liveness/counters snapshot of the tier."""
+        with self._lock:
+            return {
+                "tier": self.kind,
+                "alive": self._started and self._executor is not None,
+                "workers": self.workers,
+                "tasks": self.tasks,
+                "crashes": 0,
+                "restarts": 0,
+            }
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive() else "stopped"
+        return f"ThreadWorkerPool({self.workers} threads, {state})"
+
+
+def merge_answer_tables(results: List[Mapping[str, Any]]):
+    """Union several workers' shipped answers into one table.
+
+    Set semantics are restored at this merge point: each worker ships
+    its rows sorted, the union dedups, and the caller re-sorts for
+    rendering -- deterministic regardless of completion order.  All
+    parts must agree on attributes (they ran the same plan).
+    """
+    if not results:
+        raise ValueError("nothing to merge")
+    tables = [table_from_ir(r["table"]) for r in results]
+    first = tables[0]
+    for other in tables[1:]:
+        if other.attributes != first.attributes:
+            raise ValueError(
+                f"cannot merge answers with attributes {other.attributes} "
+                f"vs {first.attributes}"
+            )
+    rows = frozenset().union(*(t.rows for t in tables))
+    return type(first)(first.attributes, rows)

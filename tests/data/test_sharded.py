@@ -1,0 +1,131 @@
+"""Sharded in-memory sources: partitioning, merge semantics, metering.
+
+The contract: sharding an instance is an *implementation detail* of
+one logical source.  Every access answers exactly what the unsharded
+source answers (the per-partition partial scans merge back to set
+semantics), and the metering ledger is identical -- one logical access
+is logged and charged once, regardless of shard count.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import (
+    InMemorySource,
+    ShardedInMemorySource,
+    partition_instance,
+    shard_of,
+)
+from repro.schema.core import SchemaBuilder
+
+
+def schema():
+    return (
+        SchemaBuilder("sharded")
+        .relation("R", 2)
+        .access("mt_key", "R", inputs=[0], cost=2.0)
+        .access("mt_scan", "R", inputs=[], cost=5.0)
+        .build()
+    )
+
+
+def instance(n=40):
+    return Instance({"R": [(f"k{i % 7}", f"v{i}") for i in range(n)]})
+
+
+class TestPartitioning:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        row = ("k1", "v1")
+        for shards in (1, 2, 5, 16):
+            first = shard_of("R", row, shards)
+            assert 0 <= first < shards
+            assert all(
+                shard_of("R", row, shards) == first for _ in range(5)
+            )
+
+    def test_shard_of_depends_on_relation(self):
+        # The same row in different relations may land differently --
+        # the relation name is part of the hashed key.
+        rows = [(f"k{i}", f"v{i}") for i in range(64)]
+        assert any(
+            shard_of("R", row, 8) != shard_of("S", row, 8) for row in rows
+        )
+
+    def test_partition_instance_is_a_disjoint_cover(self):
+        whole = instance()
+        parts = partition_instance(whole, 4)
+        assert len(parts) == 4
+        assert sum(part.size() for part in parts) == whole.size()
+        seen = set()
+        for part in parts:
+            rows = part.tuples("R")
+            assert not (seen & rows)
+            seen |= rows
+        assert len(seen) == whole.size()
+
+    def test_single_shard_is_the_whole_instance(self):
+        whole = instance()
+        (only,) = partition_instance(whole, 1)
+        assert only.size() == whole.size()
+
+
+class TestShardedSource:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_answers_identical_to_plain_source(self, shards):
+        plain = InMemorySource(schema(), instance())
+        sharded = ShardedInMemorySource(
+            schema(), instance(), shards=shards
+        )
+        assert sharded.access("mt_scan") == plain.access("mt_scan")
+        for key in ("k0", "k3", "missing"):
+            assert sharded.access("mt_key", (key,)) == plain.access(
+                "mt_key", (key,)
+            )
+
+    def test_metering_parity_with_plain_source(self):
+        plain = InMemorySource(schema(), instance())
+        sharded = ShardedInMemorySource(schema(), instance(), shards=4)
+        for source in (plain, sharded):
+            source.access("mt_scan")
+            source.access("mt_key", ("k1",))
+        # One logical access = one log entry and one charge, even
+        # though the sharded source consulted four partitions.
+        assert sharded.total_invocations == plain.total_invocations == 2
+        assert sharded.charged_cost() == plain.charged_cost()
+        assert [e.method for e in sharded.log] == [
+            e.method for e in plain.log
+        ]
+
+    def test_parallel_partial_scans_merge_identically(self):
+        plain = InMemorySource(schema(), instance(200))
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            sharded = ShardedInMemorySource(
+                schema(), instance(200), shards=4, pool=pool
+            )
+            assert sharded.access("mt_scan") == plain.access("mt_scan")
+            assert sharded.access("mt_key", ("k2",)) == plain.access(
+                "mt_key", ("k2",)
+            )
+
+    def test_mutation_triggers_repartition(self):
+        inst = instance(10)
+        sharded = ShardedInMemorySource(schema(), inst, shards=3)
+        before = sharded.access("mt_scan")
+        assert inst.add("R", ("k_new", "v_new"))
+        after = sharded.access("mt_scan")
+        assert len(after) == len(before) + 1
+        total = sum(
+            part.instance.size() for part in sharded.partitions
+        )
+        assert total == inst.size()
+
+    def test_unindexed_sharded_source(self):
+        sharded = ShardedInMemorySource(
+            schema(), instance(), shards=3, indexed=False
+        )
+        plain = InMemorySource(schema(), instance())
+        assert sharded.access("mt_key", ("k1",)) == plain.access(
+            "mt_key", ("k1",)
+        )

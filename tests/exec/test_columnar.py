@@ -347,3 +347,94 @@ class TestRuntimeContract:
     def test_unknown_executor_rejected(self, source):
         with pytest.raises(ValueError, match="unknown executor"):
             Plan((scan_r(),), "T_R").execute(source, executor="turbo")
+
+
+class TestAccessOutputEncoding:
+    """The batched access-output path (one interning pass per column)."""
+
+    def repeated_position_plan(self):
+        # ("x", (0, 1)): both cell positions feed the same output
+        # attribute, so only rows where they agree survive -- the
+        # interpreter's per-row equality check, vectorized as a mask.
+        return Plan(
+            (
+                AccessCommand(
+                    "OUT",
+                    "mt_R",
+                    Singleton(),
+                    (),
+                    (("x", (0, 1)),),
+                ),
+            ),
+            "OUT",
+        )
+
+    def test_repeated_position_equality_filter_parity(self, schema):
+        instance = Instance(
+            {
+                "R": [("same", "same"), ("a", "b"), ("c", "c"), ("d", "e")],
+                "S": [],
+            }
+        )
+        plan = self.repeated_position_plan()
+        interp, columnar = run_both(
+            plan, lambda: InMemorySource(schema, instance)
+        )
+        assert interp.rows == frozenset(
+            {(C("same"),), (C("c"),)}
+        )
+
+    def test_repeated_position_all_filtered(self, schema):
+        instance = Instance({"R": [("a", "b"), ("c", "d")], "S": []})
+        interp, columnar = run_both(
+            self.repeated_position_plan(),
+            lambda: InMemorySource(schema, instance),
+        )
+        assert interp.rows == frozenset()
+
+    def test_boolean_access_empty_output_map(self, schema):
+        # No output columns: the access answers a yes/no question with
+        # a zero-attribute table (one empty row iff anything matched).
+        plan = Plan(
+            (AccessCommand("OUT", "mt_R", Singleton(), (), ()),),
+            "OUT",
+        )
+        nonempty = Instance({"R": [("a", "b")], "S": []})
+        interp, columnar = run_both(
+            plan, lambda: InMemorySource(schema, nonempty)
+        )
+        assert interp.rows == frozenset({()})
+        empty = Instance({"R": [], "S": []})
+        interp, columnar = run_both(
+            plan, lambda: InMemorySource(schema, empty)
+        )
+        assert interp.rows == frozenset()
+
+    def test_access_output_dedups_projected_rows(self, schema):
+        # Projecting to the key column collapses the 12 rows to the 4
+        # distinct keys; the columnar path must dedup just as the
+        # interpreter's set semantics do.
+        instance = Instance(
+            {
+                "R": [(f"k{i % 4}", f"v{i}") for i in range(12)],
+                "S": [],
+            }
+        )
+        plan = Plan(
+            (
+                AccessCommand(
+                    "OUT", "mt_R", Singleton(), (), (("x", (0,)),)
+                ),
+            ),
+            "OUT",
+        )
+        stats = ExecStats()
+        columnar = plan.execute(
+            InMemorySource(schema, instance),
+            executor="columnar",
+            stats=stats,
+        )
+        interp = plan.execute(InMemorySource(schema, instance))
+        assert columnar.rows == interp.rows
+        assert len(columnar.rows) == 4
+        assert stats.commands[-1].rows_out == 4

@@ -1,0 +1,82 @@
+"""ExecStats / CommandStats survive the dict trip across processes.
+
+Workers ship their stats as ``as_dict()`` payloads; the parent
+rebuilds them with ``from_dict`` and merges into the service ledger.
+The derived totals must be *recomputed* from the command records --
+never trusted from the payload -- so a corrupted or stale total cannot
+poison the ledger.
+"""
+
+import json
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.exec.stats import CommandStats, ExecStats
+from repro.plans.commands import AccessCommand, identity_output_map
+from repro.plans.expressions import Singleton
+from repro.plans.plan import Plan
+from repro.schema.core import SchemaBuilder
+
+
+def executed_stats():
+    schema = (
+        SchemaBuilder("stats")
+        .relation("R", 2)
+        .access("mt_R", "R", inputs=[], cost=1.0)
+        .build()
+    )
+    source = InMemorySource(
+        schema, Instance({"R": [("a", "1"), ("b", "2")]})
+    )
+    plan = Plan(
+        (
+            AccessCommand(
+                "T", "mt_R", Singleton(), (), identity_output_map(("x", "y"))
+            ),
+        ),
+        "T",
+    )
+    stats = ExecStats()
+    plan.execute(source, stats=stats)
+    return stats
+
+
+class TestCommandStats:
+    def test_round_trip(self):
+        stats = executed_stats()
+        command = stats.commands[0]
+        revived = CommandStats.from_dict(
+            json.loads(json.dumps(command.as_dict()))
+        )
+        assert revived.as_dict() == command.as_dict()
+
+
+class TestExecStats:
+    def test_round_trip_through_json(self):
+        stats = executed_stats()
+        shipped = json.loads(json.dumps(stats.as_dict()))
+        revived = ExecStats.from_dict(shipped)
+        assert revived.as_dict() == stats.as_dict()
+
+    def test_totals_recomputed_not_trusted(self):
+        stats = executed_stats()
+        shipped = stats.as_dict()
+        # A tampered top-level total must not survive the rebuild: the
+        # command records are the ground truth.
+        shipped["accesses_dispatched"] = 999999
+        revived = ExecStats.from_dict(shipped)
+        assert revived.accesses_dispatched == stats.accesses_dispatched
+
+    def test_merge_after_round_trip(self):
+        left = executed_stats()
+        right = ExecStats.from_dict(executed_stats().as_dict())
+        before = left.as_dict()["accesses_dispatched"]
+        left.merge(right)
+        assert left.as_dict()["accesses_dispatched"] == 2 * before
+        assert len(left.commands) == 2
+
+    def test_empty_stats_round_trip(self):
+        empty = ExecStats()
+        assert (
+            ExecStats.from_dict(empty.as_dict()).as_dict() == empty.as_dict()
+        )

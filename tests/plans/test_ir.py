@@ -47,6 +47,8 @@ from repro.plans.ir import (
     expr_to_ir,
     ir_to_plan,
     plan_to_ir,
+    table_from_ir,
+    table_to_ir,
     term_from_ir,
     term_to_ir,
 )
@@ -280,3 +282,26 @@ class TestSearchPlansSerialize:
                 PlanIR.from_plan(plan).to_json()
             ).to_plan()
             assert revived == plan
+
+
+class TestTableIR:
+    """Answer tables ship across the process boundary as plain dicts."""
+
+    def test_table_round_trips_through_json(self, source):
+        table = kitchen_sink_plan().execute(source)
+        shipped = json.loads(json.dumps(table_to_ir(table)))
+        revived = table_from_ir(shipped)
+        assert revived.attributes == table.attributes
+        assert revived.rows == table.rows
+
+    def test_table_ir_rows_are_sorted(self, source):
+        table = kitchen_sink_plan().execute(source)
+        ir = table_to_ir(table)
+        assert ir["rows"] == sorted(ir["rows"], key=repr)
+
+    def test_empty_table_round_trips(self, source):
+        table = kitchen_sink_plan().execute(source)
+        empty = type(table)(table.attributes, frozenset())
+        revived = table_from_ir(table_to_ir(empty))
+        assert revived.attributes == table.attributes
+        assert revived.rows == frozenset()

@@ -1,0 +1,297 @@
+"""The worker-pool execution tier: specs, payloads, pools, recovery.
+
+Everything that crosses the process boundary here is a plain JSON-able
+dict -- these tests round-trip each piece through ``json.dumps`` to
+prove it, because "it pickled today" is not a compatibility story.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.data.decorators import (
+    BudgetedSource,
+    CachingSource,
+    FlakySource,
+    LatencySource,
+)
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource, ShardedInMemorySource
+from repro.errors import MethodOutage, RowBudgetExceeded, WorkerCrashed
+from repro.exec.budget import ResourceBudget
+from repro.exec.resilience import RetryPolicy
+from repro.faults import FaultInjectingSource, FaultPolicy
+from repro.logic.terms import Constant
+from repro.plans.ir import plan_to_ir, table_from_ir, table_to_ir
+from repro.schema.core import SchemaBuilder
+from repro.service.workers import (
+    ProcessWorkerPool,
+    SourceSpecError,
+    ThreadWorkerPool,
+    decode_bindings,
+    encode_bindings,
+    execute_payload,
+    merge_answer_tables,
+    rebuild_error,
+    retry_to_dict,
+    source_to_spec,
+    spec_to_source,
+)
+
+
+def simple_schema():
+    return (
+        SchemaBuilder("workers")
+        .relation("R", 2)
+        .relation("S", 2)
+        .access("mt_R", "R", inputs=[], cost=1.0)
+        .access("mt_S", "S", inputs=[], cost=1.0)
+        .build()
+    )
+
+
+def simple_instance(n=12):
+    return Instance(
+        {
+            "R": [(f"a{i}", f"b{i % 3}") for i in range(n)],
+            "S": [(f"b{i % 3}", f"c{i}") for i in range(n)],
+        }
+    )
+
+
+def simple_plan(schema):
+    from repro.planner.search import SearchOptions, find_best_plan
+    from repro.logic.queries import parse_cq
+
+    result = find_best_plan(
+        schema,
+        parse_cq("q(a, c) :- R(a, b) & S(b, c)"),
+        SearchOptions(max_accesses=4),
+    )
+    assert result.found
+    return result.best_plan
+
+
+def canonical(table):
+    return (table.attributes, tuple(sorted(map(repr, table.rows))))
+
+
+# ---------------------------------------------------------------- source spec
+class TestSourceSpec:
+    def test_memory_round_trip_is_jsonable(self):
+        source = InMemorySource(simple_schema(), simple_instance())
+        spec = json.loads(json.dumps(source_to_spec(source)))
+        rebuilt = spec_to_source(spec)
+        assert isinstance(rebuilt, InMemorySource)
+        assert rebuilt.schema.name == source.schema.name
+        assert rebuilt.instance.to_dict() == source.instance.to_dict()
+
+    def test_sharded_round_trip(self):
+        source = ShardedInMemorySource(
+            simple_schema(), simple_instance(), shards=3
+        )
+        rebuilt = spec_to_source(
+            json.loads(json.dumps(source_to_spec(source)))
+        )
+        assert isinstance(rebuilt, ShardedInMemorySource)
+        assert rebuilt.shards == 3
+        assert rebuilt.instance.to_dict() == source.instance.to_dict()
+
+    def test_wrapper_stack_round_trip(self):
+        inner = InMemorySource(simple_schema(), simple_instance())
+        stack = FaultInjectingSource(
+            CachingSource(LatencySource(inner, 0.001)),
+            FaultPolicy.transient(0.2, seed=7),
+        )
+        spec = json.loads(json.dumps(source_to_spec(stack)))
+        rebuilt = spec_to_source(spec)
+        assert isinstance(rebuilt, FaultInjectingSource)
+        assert rebuilt.policy.seed == 7
+        assert isinstance(rebuilt.inner, CachingSource)
+        assert isinstance(rebuilt.inner.inner, LatencySource)
+        assert rebuilt.inner.inner.latency == pytest.approx(0.001)
+
+    def test_call_order_dependent_wrappers_rejected(self):
+        inner = InMemorySource(simple_schema(), simple_instance())
+        with pytest.raises(SourceSpecError):
+            source_to_spec(FlakySource(inner, fail_on=(0,)))
+        with pytest.raises(SourceSpecError):
+            source_to_spec(BudgetedSource(inner, max_invocations=5))
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(SourceSpecError):
+            spec_to_source({"format": "something-else", "version": 1})
+
+
+# ------------------------------------------------------------------- payload
+class TestPayload:
+    def test_bindings_round_trip_through_json(self):
+        bindings = {Constant("x"): Constant(3), Constant("y"): Constant("z")}
+        encoded = json.loads(json.dumps(encode_bindings(bindings)))
+        assert decode_bindings(encoded) == bindings
+        assert encode_bindings(None) is None
+        assert decode_bindings(None) is None
+
+    def test_retry_round_trip(self):
+        retry = RetryPolicy(max_attempts=3, base_delay=0.01)
+        data = json.loads(json.dumps(retry_to_dict(retry)))
+        assert data["max_attempts"] == 3
+        assert retry_to_dict(None) is None
+
+    def test_execute_payload_matches_direct_execution(self):
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        reference = plan.execute(source)
+        payload = json.loads(
+            json.dumps({"plan": plan_to_ir(plan), "collect_stats": True})
+        )
+        result = execute_payload(source, payload)
+        assert result["ok"]
+        assert canonical(table_from_ir(result["table"])) == canonical(
+            reference
+        )
+        assert result["stats"]["commands"]
+        json.dumps(result)  # the response is shippable too
+
+    def test_execute_payload_budget_truncation(self):
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        reference = sorted(plan.execute(source).rows)
+        budget = ResourceBudget(max_result_rows=3)
+        result = execute_payload(
+            source, {"plan": plan_to_ir(plan), "budget": budget.as_dict()}
+        )
+        assert result["ok"]
+        assert result["truncated"] == len(reference) - 3
+        assert sorted(table_from_ir(result["table"]).rows) == reference[:3]
+
+    def test_execute_payload_reports_typed_error(self):
+        schema = simple_schema()
+        source = FaultInjectingSource(
+            InMemorySource(schema, simple_instance()),
+            FaultPolicy(seed=0, outages={"mt_R": 0}),
+        )
+        result = execute_payload(
+            source, {"plan": plan_to_ir(simple_plan(schema))}
+        )
+        assert not result["ok"]
+        assert result["error_type"] == "MethodOutage"
+        rebuilt = rebuild_error(result)
+        assert isinstance(rebuilt, MethodOutage)
+
+    def test_rebuild_error_falls_back_for_unknown_types(self):
+        from repro.errors import ExecutionError
+
+        rebuilt = rebuild_error(
+            {"error_type": "NoSuchError", "error": "boom"}
+        )
+        assert isinstance(rebuilt, ExecutionError)
+        # A name that exists but is not a ReproError must not be raised.
+        rebuilt = rebuild_error({"error_type": "__name__", "error": "x"})
+        assert isinstance(rebuilt, ExecutionError)
+
+    def test_rebuild_budget_error(self):
+        rebuilt = rebuild_error(
+            {"error_type": "RowBudgetExceeded", "error": "over"}
+        )
+        assert isinstance(rebuilt, RowBudgetExceeded)
+
+
+# ------------------------------------------------------------------- merging
+class TestMerge:
+    def test_merge_unions_with_set_semantics(self):
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        table = plan.execute(source)
+        half_a = table_to_ir(table)
+        merged = merge_answer_tables(
+            [{"table": half_a}, {"table": half_a}]
+        )
+        assert canonical(merged) == canonical(table)
+
+    def test_merge_rejects_attribute_disagreement(self):
+        a = {"table": {"attrs": ["x"], "rows": []}}
+        b = {"table": {"attrs": ["y"], "rows": []}}
+        with pytest.raises(ValueError):
+            merge_answer_tables([a, b])
+
+
+# --------------------------------------------------------------- thread tier
+class TestThreadWorkerPool:
+    def test_run_request_and_health(self):
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        reference = canonical(plan.execute(source))
+        with ThreadWorkerPool(source, workers=2) as pool:
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            assert result["ok"]
+            assert canonical(table_from_ir(result["table"])) == reference
+            health = pool.health()
+            assert health["tier"] == "thread"
+            assert health["alive"]
+            assert health["tasks"] == 1
+        assert not pool.alive()
+        with pytest.raises(WorkerCrashed):
+            pool.run_request({"plan": plan_to_ir(plan)})
+
+
+# -------------------------------------------------------------- process tier
+class TestProcessWorkerPool:
+    @pytest.mark.parametrize("start_method", ["spawn", "fork"])
+    def test_identical_answers_across_start_methods(self, start_method):
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        reference = canonical(plan.execute(source))
+        pool = ProcessWorkerPool.for_source(
+            source, workers=2, start_method=start_method
+        )
+        with pool:
+            result = pool.run_request(
+                {"plan": plan_to_ir(plan)}, timeout=120
+            )
+            assert result["ok"], result
+            assert canonical(table_from_ir(result["table"])) == reference
+            health = pool.health()
+            assert health["tier"] == "process"
+            assert health["start_method"] == start_method
+            assert health["crashes"] == 0
+
+    def test_killed_worker_raises_typed_error_and_pool_recovers(self):
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        reference = canonical(plan.execute(source))
+        pool = ProcessWorkerPool.for_source(
+            source, workers=2, start_method="fork"
+        )
+        with pool:
+            # Hard-kill a worker mid-task: the executor breaks.
+            future = pool._executor.submit(os._exit, 13)
+            with pytest.raises(Exception):
+                future.result(timeout=60)
+            # The next request surfaces a *typed* failure, not a hang
+            # and not a bare concurrent.futures internal error.
+            with pytest.raises(WorkerCrashed) as excinfo:
+                pool.run_request({"plan": plan_to_ir(plan)}, timeout=60)
+            assert excinfo.value.restarts >= 1
+            # ... and the pool has already been rebuilt: same request,
+            # same bytes, no manual intervention.
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=120)
+            assert result["ok"], result
+            assert canonical(table_from_ir(result["table"])) == reference
+            health = pool.health()
+            assert health["alive"]
+            assert health["crashes"] == 1
+            assert health["restarts"] == 1
+
+    def test_run_request_before_start_is_typed(self):
+        source = InMemorySource(simple_schema(), simple_instance())
+        pool = ProcessWorkerPool.for_source(source, workers=1)
+        with pytest.raises(WorkerCrashed):
+            pool.run_request({"plan": {}})
