@@ -14,6 +14,9 @@ Usage::
     python benchmarks/bench_execution.py        # writes BENCH_exec.json
     python benchmarks/report.py --exec-json BENCH_exec.json
 
+    python benchmarks/bench_cost.py             # writes BENCH_cost.json
+    python benchmarks/report.py --cost-json BENCH_cost.json
+
     python benchmarks/bench_faults.py           # writes BENCH_faults.json
     python benchmarks/report.py --faults-json BENCH_faults.json
 
@@ -163,6 +166,72 @@ def render_search(report: Dict) -> str:
             + " |"
         )
     lines.append("")
+    return "\n".join(lines)
+
+
+def render_cost(report: Dict) -> str:
+    """Markdown tables for a ``bench_cost.py`` comparison report."""
+    lines = [
+        "### cost model: feedback calibration on misleading fan-outs "
+        f"({report['mode']})",
+        "",
+        "| scenario | true fan-out | uncalibrated pick | measured"
+        " | calibrated pick | measured | improvement | flipped |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for row in report["calibration"]:
+        uncal, cal = row["uncalibrated"], row["calibrated"]
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["scenario"],
+                    str(row["fan_out"]),
+                    "+".join(uncal["methods"]),
+                    f"{uncal['measured_cost']:.2f}",
+                    "+".join(cal["methods"]),
+                    f"{cal['measured_cost']:.2f}",
+                    f"{row['improvement']:.2f}x",
+                    "yes" if row["flipped"] else "no",
+                ]
+            )
+            + " |"
+        )
+    lines += [
+        "",
+        "### Algorithm 1: incumbent branch-and-bound pruning",
+        "",
+        "| scenario | expanded (off) | expanded (on) | reduction"
+        " | bound-pruned | best plan |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in report["pruning"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["scenario"],
+                    str(row["base_expanded"]),
+                    str(row["pruned_expanded"]),
+                    f"{row['reduction']:.2f}x",
+                    str(row["pruned_by_bound"]),
+                    "unchanged" if row["best_cost_equal"] else "CHANGED",
+                ]
+            )
+            + " |"
+        )
+    admission = report["admission"]
+    lines += [
+        "",
+        f"Admission: doomed plan rejected typed "
+        f"(bound {admission['bound']:.0f} > ceiling "
+        f"{admission['ceiling']}) after "
+        f"{admission['source_invocations']} source invocations; "
+        f"headline node reduction {report['node_reduction']:.2f}x, "
+        "calibrated pick never measured worse: "
+        f"{'yes' if report['calibrated_never_worse'] else 'NO'}.",
+        "",
+    ]
     return "\n".join(lines)
 
 
@@ -449,6 +518,10 @@ def main() -> int:
         help="render a bench_execution.py comparison report instead",
     )
     parser.add_argument(
+        "--cost-json", metavar="PATH",
+        help="render a bench_cost.py calibration/pruning report instead",
+    )
+    parser.add_argument(
         "--faults-json", metavar="PATH",
         help="render a bench_faults.py fault/failover report instead",
     )
@@ -480,6 +553,10 @@ def main() -> int:
     if args.search_json:
         with open(args.search_json) as handle:
             print(render_search(json.load(handle)))
+        return 0
+    if args.cost_json:
+        with open(args.cost_json) as handle:
+            print(render_cost(json.load(handle)))
         return 0
     if args.exec_json:
         with open(args.exec_json) as handle:

@@ -131,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
              "IR, or differential (run both, assert identical answers)",
     )
     demo.add_argument(
+        "--calibrated",
+        action="store_true",
+        help="after executing, fold the run's observed row flow into a "
+             "cost-calibration store, re-plan with the calibrated "
+             "cardinality estimator under static size-bound "
+             "branch-and-bound pruning, and report both plans",
+    )
+    demo.add_argument(
         "--failover",
         action="store_true",
         help="serve the query through the failover executor: when a "
@@ -195,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist cached plans as JSON files under DIR (implies "
              "--plan-cache); a restarted service re-reads them from disk",
+    )
+    serve.add_argument(
+        "--calibration-file",
+        default=None,
+        metavar="PATH",
+        help="maintain a persistent cost-calibration store at PATH: "
+             "every served request's observed per-method row flow is "
+             "folded in (atomic rewrite), and a restarted service "
+             "resumes planning from the accumulated estimates",
     )
 
     plan = sub.add_parser("plan", help="plan a query over a schema file")
@@ -305,7 +322,9 @@ def _demo(args) -> int:
             sleep=clock.sleep,
         )
     cache = AccessCache() if args.access_cache else None
-    exec_stats = ExecStats() if args.exec_stats else None
+    exec_stats = (
+        ExecStats() if (args.exec_stats or args.calibrated) else None
+    )
     truth = instance.evaluate(scenario.query)
     if args.failover:
         executor = FailoverExecutor(
@@ -352,8 +371,52 @@ def _demo(args) -> int:
         print(f"exec [{exec_stats.summary()}]")
     if cache is not None:
         print(f"cache [{cache.summary()}]")
+    if args.calibrated and exec_stats is not None:
+        _demo_calibrated(args, scenario, instance, exec_stats)
     print(f"complete: {'yes' if complete else 'NO'}")
     return 0 if complete else 1
+
+
+def _demo_calibrated(args, scenario, instance, exec_stats) -> None:
+    """Re-plan with feedback-calibrated costs and size-bound pruning."""
+    from repro.cost import (
+        CalibrationStore,
+        CardinalityCostFunction,
+        SizeBounds,
+    )
+
+    store = CalibrationStore()
+    observed = store.observe_stats(
+        exec_stats,
+        {m.name: m.relation for m in scenario.schema.methods},
+    )
+    cost = CardinalityCostFunction(
+        relation_cardinality={},
+        calibration=store,
+        bounds=SizeBounds.from_instance(scenario.schema, instance),
+    )
+    calibrated = find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=args.max_accesses,
+            cost=cost,
+            prune_by_bound=True,
+            chase_policy=_chase_policy(args, scenario.schema),
+            domination_index=args.domination_index,
+        ),
+    )
+    print(f"\ncalibration [{store.summary()}]")
+    if not calibrated.found:
+        print("calibrated re-plan: no complete plan within the budget")
+        return
+    stats = calibrated.stats
+    print(
+        f"calibrated re-plan: cost {calibrated.best_cost:.2f} over "
+        f"{len(calibrated.best_plan.access_commands)} accesses "
+        f"({stats.nodes_expanded} nodes expanded, "
+        f"{stats.pruned_by_bound} closed by branch-and-bound)"
+    )
 
 
 def _serve_demo(args) -> int:
@@ -379,6 +442,11 @@ def _serve_demo(args) -> int:
     plan_cache = (
         PlanCache(directory=args.plan_cache_dir) if use_plan_cache else None
     )
+    calibration = None
+    if args.calibration_file is not None:
+        from repro.cost import CalibrationStore
+
+        calibration = CalibrationStore(path=args.calibration_file)
     plan = None
     if not use_plan_cache:
         result = find_best_plan(scenario.schema, scenario.query,
@@ -416,6 +484,7 @@ def _serve_demo(args) -> int:
         executor=args.executor,
         worker_pool=worker_pool,
         plan_cache=plan_cache,
+        calibration=calibration,
     )
     tier = args.worker_tier if worker_pool is not None else "in-service"
     print(
@@ -459,6 +528,13 @@ def _serve_demo(args) -> int:
               f"searches run={health.planned}")
     if health.worker_tier is not None:
         print(f"worker tier: {health.worker_tier}")
+    if health.calibration is not None:
+        print(
+            f"calibration: v{health.calibration['version']} "
+            f"({health.calibration['observations']} commands over "
+            f"{health.calibration['methods']} methods, "
+            f"persisted={health.calibration['persistent']})"
+        )
     return 0
 
 

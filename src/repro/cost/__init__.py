@@ -9,6 +9,8 @@ stated for simple cost functions; the cardinality-aware estimator here is
 the kind of "generic" monotone cost the search also accepts.
 """
 
+from repro.cost.bounds import SizeBounds
+from repro.cost.calibration import CalibrationStore, MethodCalibration
 from repro.cost.functions import (
     CardinalityCostFunction,
     CostFunction,
@@ -18,9 +20,12 @@ from repro.cost.functions import (
 )
 
 __all__ = [
+    "CalibrationStore",
     "CardinalityCostFunction",
     "CostFunction",
     "CountingCostFunction",
+    "MethodCalibration",
     "SimpleCostFunction",
+    "SizeBounds",
     "is_monotone_on",
 ]

@@ -21,9 +21,13 @@ third-party cost functions stay correct without opting in.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
+from repro.cost.bounds import SizeBounds
+from repro.cost.calibration import CalibrationStore
+from repro.errors import InvalidCostParameter
 from repro.plans.commands import AccessCommand, Command, MiddlewareCommand
 from repro.plans.expressions import (
     Difference,
@@ -100,6 +104,20 @@ class CostFunction:
         """
         return {"kind": type(self).__name__}
 
+    def min_access_charge(self) -> float:
+        """A sound lower bound on what *any* access command adds.
+
+        Branch-and-bound pruning in Algorithm 1 uses this as an
+        admissible completion estimate: every descendant of a
+        non-successful search node must append at least one access
+        command, so its cost is at least ``node.cost +
+        min_access_charge()``.  The base implementation returns 0.0
+        (no claim beyond monotonicity -- pruning degrades to a plain
+        incumbent comparison); subclasses with known positive charges
+        override.
+        """
+        return 0.0
+
 
 @dataclass
 class SimpleCostFunction(CostFunction):
@@ -143,6 +161,12 @@ class SimpleCostFunction(CostFunction):
             "default": float(self.default),
         }
 
+    def min_access_charge(self) -> float:
+        """The cheapest declared weight (or the default, if cheaper)."""
+        weights = [float(w) for w in self.per_method.values()]
+        weights.append(float(self.default))
+        return max(0.0, min(weights))
+
 
 @dataclass
 class CountingCostFunction(CostFunction):
@@ -165,6 +189,10 @@ class CountingCostFunction(CostFunction):
         total = state + self.commands_cost(new_commands)
         return total, total
 
+    def min_access_charge(self) -> float:
+        """Every access command costs exactly one unit."""
+        return 1.0
+
 
 @dataclass
 class CardinalityCostFunction(CostFunction):
@@ -178,6 +206,28 @@ class CardinalityCostFunction(CostFunction):
 
     This is the "generic black box" flavour of cost the search accepts;
     it stays monotone because every access command adds a positive charge.
+
+    Three optional refinements (all off by default, all preserving
+    monotonicity):
+
+    ``per_method_access``
+        per-method access weights overriding the flat ``per_access``
+        (absent methods keep the flat charge) -- the estimator's
+        counterpart of :class:`SimpleCostFunction`'s weight table.
+    ``calibration``
+        a :class:`~repro.cost.calibration.CalibrationStore`: an access's
+        output estimate becomes ``observed_fan_out(method) * fan_in``
+        instead of the flat per-relation guess, and the observed global
+        selectivity replaces the flat ``select_selectivity`` knob.  The
+        store's identity folds into :meth:`identity`, so plan-cache
+        entries keyed on this cost model invalidate whenever new
+        observations move the estimates.
+    ``bounds``
+        a :class:`~repro.cost.bounds.SizeBounds`: every table estimate
+        is capped at its static size bound.  A cap can only *lower*
+        estimates (floored at 1.0), and fan-in only scales the
+        per-tuple charge, so costs stay monotone and the
+        :meth:`min_access_charge` lower bound stays sound.
     """
 
     relation_cardinality: Mapping[str, int]
@@ -186,34 +236,79 @@ class CardinalityCostFunction(CostFunction):
     join_selectivity: float = 0.5
     select_selectivity: float = 0.5
     default_cardinality: int = 100
+    per_method_access: Mapping[str, float] = field(default_factory=dict)
+    calibration: Optional[CalibrationStore] = None
+    bounds: Optional[SizeBounds] = None
+
+    def __post_init__(self) -> None:
+        for knob in ("select_selectivity", "join_selectivity"):
+            value = getattr(self, knob)
+            if not (0.0 < value <= 1.0):
+                raise InvalidCostParameter(
+                    f"{knob} must lie in (0, 1], got {value!r}",
+                    parameter=knob,
+                    value=value,
+                )
+        for knob in ("per_access", "per_tuple"):
+            value = getattr(self, knob)
+            if not (value >= 0.0):
+                raise InvalidCostParameter(
+                    f"{knob} must be non-negative, got {value!r}",
+                    parameter=knob,
+                    value=value,
+                )
+        if self.default_cardinality < 1:
+            raise InvalidCostParameter(
+                "default_cardinality must be >= 1, got "
+                f"{self.default_cardinality!r}",
+                parameter="default_cardinality",
+                value=self.default_cardinality,
+            )
+        for name, weight in self.per_method_access.items():
+            if not (weight >= 0.0):
+                raise InvalidCostParameter(
+                    f"per_method_access[{name!r}] must be non-negative, "
+                    f"got {weight!r}",
+                    parameter="per_method_access",
+                    value=weight,
+                )
 
     def commands_cost(self, commands: Sequence[Command]) -> float:
         """Monotone cost of a command prefix."""
         estimates: Dict[str, float] = {}
+        static_bounds: Dict[str, float] = {}
         total = 0.0
         for command in commands:
-            total += self._advance(estimates, command)
+            total += self._advance(estimates, static_bounds, command)
         return total
 
-    def cost_state(self) -> Tuple[float, Dict[str, float]]:
-        """Running total plus the table-size estimates so far."""
-        return 0.0, {}
+    def cost_state(self) -> Tuple[float, Dict[str, float], Dict[str, float]]:
+        """Running total, table-size estimates, and static bounds so far."""
+        return 0.0, {}, {}
 
     def delta_cost(
         self,
-        state: Tuple[float, Mapping[str, float]],
+        state: Tuple[float, Mapping[str, float], Mapping[str, float]],
         new_commands: Sequence[Command],
-    ) -> Tuple[Tuple[float, Dict[str, float]], float]:
-        """O(|new_commands|): the estimates dict carries the context."""
-        total, estimates = state
+    ) -> Tuple[Tuple[float, Dict[str, float], Dict[str, float]], float]:
+        """O(|new_commands|): the estimate dicts carry the context."""
+        total, estimates, static_bounds = state
         estimates = dict(estimates)
+        static_bounds = dict(static_bounds)
         for command in new_commands:
-            total += self._advance(estimates, command)
-        return (total, estimates), total
+            total += self._advance(estimates, static_bounds, command)
+        return (total, estimates, static_bounds), total
 
     def identity(self) -> Dict[str, object]:
-        """Kind plus every estimator knob, key-sorted."""
-        return {
+        """Kind plus every estimator knob, key-sorted.
+
+        When a calibration store or static bounds are attached, their
+        identities are included -- a calibration version bump therefore
+        changes this cost model's identity, which is exactly what makes
+        :func:`repro.planner.plan_cache.plan_cache_key` land on a new
+        key and forces a re-plan under the updated estimates.
+        """
+        identity: Dict[str, object] = {
             "kind": type(self).__name__,
             "relation_cardinality": {
                 name: int(self.relation_cardinality[name])
@@ -225,24 +320,111 @@ class CardinalityCostFunction(CostFunction):
             "select_selectivity": float(self.select_selectivity),
             "default_cardinality": int(self.default_cardinality),
         }
+        if self.per_method_access:
+            identity["per_method_access"] = {
+                name: float(self.per_method_access[name])
+                for name in sorted(self.per_method_access)
+            }
+        if self.calibration is not None:
+            identity["calibration"] = self.calibration.identity()
+        if self.bounds is not None:
+            identity["bounds"] = self.bounds.identity()
+        return identity
+
+    def min_access_charge(self) -> float:
+        """Cheapest access weight plus one tuple's charge.
+
+        Sound because every table estimate is floored at 1.0, so the
+        fan-in of any future access is at least one tuple.
+        """
+        weights = [float(w) for w in self.per_method_access.values()]
+        weights.append(float(self.per_access))
+        return max(0.0, min(weights)) + float(self.per_tuple)
+
+    def access_charge(self, method: str, fan_in: float) -> float:
+        """The charge of one access command with the given fan-in."""
+        weight = float(
+            self.per_method_access.get(method, self.per_access)
+        )
+        return weight + self.per_tuple * fan_in
 
     def _advance(
-        self, estimates: Dict[str, float], command: Command
+        self,
+        estimates: Dict[str, float],
+        static_bounds: Dict[str, float],
+        command: Command,
     ) -> float:
         """Record the command's output estimate; return its charge."""
         if isinstance(command, AccessCommand):
             fan_in = self._estimate(command.input_expr, estimates)
-            # The access's own output size estimate.
-            relation = self._relation_of(command)
-            base = float(
-                self.relation_cardinality.get(
-                    relation, self.default_cardinality
-                )
+            fan_out = (
+                self.calibration.fan_out(command.method)
+                if self.calibration is not None
+                else None
             )
-            estimates[command.target] = max(1.0, base)
-            return self.per_access + self.per_tuple * fan_in
-        estimates[command.target] = self._estimate(command.expr, estimates)
+            if fan_out is not None:
+                # Calibrated: observed mean output rows per dispatched
+                # input tuple, scaled by the estimated fan-in.
+                out = fan_out * fan_in
+            else:
+                relation = self._relation_of(command)
+                out = float(
+                    self.relation_cardinality.get(
+                        relation, self.default_cardinality
+                    )
+                )
+            estimates[command.target] = self._capped(
+                out, command, static_bounds
+            )
+            return self.access_charge(command.method, fan_in)
+        estimates[command.target] = self._capped(
+            self._estimate(command.expr, estimates),
+            command,
+            static_bounds,
+        )
         return 0.0
+
+    def _capped(
+        self,
+        estimate: float,
+        command: Command,
+        static_bounds: Dict[str, float],
+    ) -> float:
+        """Cap an output estimate at its static size bound (floor 1.0).
+
+        The bound itself is floored at 1.0 before capping so the
+        invariant "every table estimate is at least one row" -- which
+        :meth:`min_access_charge` relies on -- survives empty-relation
+        bounds.
+        """
+        if self.bounds is None:
+            return max(1.0, estimate)
+        if isinstance(command, AccessCommand):
+            fan_in_bound = self.bounds.expression_bound(
+                command.input_expr, static_bounds
+            )
+            bound = self.bounds.access_bound(command.method, fan_in_bound)
+        else:
+            bound = self.bounds.expression_bound(
+                command.expr, static_bounds
+            )
+        static_bounds[command.target] = bound
+        if math.isinf(bound):
+            return max(1.0, estimate)
+        return max(1.0, min(estimate, bound))
+
+    def _effective_select_selectivity(self) -> float:
+        """The observed global selectivity when calibrated, else the knob.
+
+        The calibration's pooled emitted/fetched ratio lies in (0, 1] by
+        construction, the same sound range the constructor enforces for
+        the static knob, so swapping it in preserves every invariant.
+        """
+        if self.calibration is not None:
+            observed = self.calibration.select_selectivity()
+            if observed is not None:
+                return observed
+        return self.select_selectivity
 
     def _relation_of(self, command: AccessCommand) -> str:
         # Access commands do not carry the relation; the method name is the
@@ -261,7 +443,7 @@ class CardinalityCostFunction(CostFunction):
         if isinstance(expr, Select):
             return max(
                 1.0,
-                self.select_selectivity
+                self._effective_select_selectivity()
                 * self._estimate(expr.child, estimates),
             )
         if isinstance(expr, Join):

@@ -123,6 +123,28 @@ class ResultTruncated(TransientAccessError):
         self.rows = rows
 
 
+# -------------------------------------------------------------- cost layer
+class CostModelError(ReproError):
+    """A failure inside a cost model or its calibration machinery."""
+
+
+class InvalidCostParameter(CostModelError):
+    """A cost-model knob was given a value outside its sound range.
+
+    Raised at *construction* time (e.g. a selectivity outside ``(0, 1]``
+    would silently produce non-monotone or negative costs), so a
+    misconfigured estimator can never reach the planner.  ``parameter``
+    names the knob and ``value`` carries the offending value.
+    """
+
+    def __init__(
+        self, message: str, *, parameter: str = "", value: object = None
+    ) -> None:
+        self.parameter = parameter
+        self.value = value
+        super().__init__(message)
+
+
 # -------------------------------------------------------------- exec layer
 class ExecutionError(ReproError):
     """A failure while evaluating a plan or relational expression."""
@@ -215,6 +237,38 @@ class ServiceStopped(ServiceError):
     """A request was submitted to a draining or stopped service."""
 
 
+class PlanInadmissible(ServiceError):
+    """Admission control rejected a plan its static size bounds doom.
+
+    Raised by :meth:`QueryService.submit
+    <repro.service.service.QueryService.submit>` *before any execution*
+    when a :class:`~repro.cost.bounds.SizeBounds` analyzer proves a
+    finite worst-case ceiling on the plan's result (or resident) rows
+    and that ceiling already exceeds the request's strict
+    :class:`~repro.exec.budget.ResourceBudget` row ceiling.  The
+    rejection is conservative: the *bound* is proven, the overflow is
+    worst-case -- but under an error-mode budget the run could not be
+    guaranteed to complete, and rejecting at the door costs zero source
+    invocations instead of a mid-plan :class:`RowBudgetExceeded`.
+
+    ``kind`` says which ceiling ("result" or "resident"), ``bound`` the
+    proven worst-case row count and ``ceiling`` the budget's limit.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "result",
+        bound: float = 0.0,
+        ceiling: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.bound = bound
+        self.ceiling = ceiling
+        super().__init__(message)
+
+
 class WorkerCrashed(ServiceError):
     """A worker process died while (or before) executing a request.
 
@@ -269,12 +323,15 @@ __all__ = [
     "ChaseBudgetExceeded",
     "ChaseError",
     "CircuitOpen",
+    "CostModelError",
     "DeadlineExceeded",
     "ExecutionError",
+    "InvalidCostParameter",
     "MethodOutage",
     "NoViablePlan",
     "NonTerminatingChaseError",
     "PlanFailed",
+    "PlanInadmissible",
     "RateLimited",
     "ReproError",
     "ResultTruncated",

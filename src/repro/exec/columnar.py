@@ -656,6 +656,7 @@ class _CAccess:
             stats.rows_in = inputs.nrows
             stats.dispatched = len(bindings)
             stats.deduped = inputs.nrows - len(bindings)
+            stats.rows_fetched = sum(len(batch) for batch in batches)
             if cache is not None:
                 stats.cache_hits = cache.hits - cache_hits_before
             if resilience is not None:
@@ -855,7 +856,10 @@ class ColumnarPlan:
             command_stats = None
             if stats is not None:
                 command_stats = stats.command(
-                    index, command.target, command.kind
+                    index,
+                    command.target,
+                    command.kind,
+                    method=getattr(command, "method", None),
                 )
             command_started = perf_counter()
             command.execute(

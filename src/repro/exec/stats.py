@@ -14,7 +14,7 @@ what the temp-table freeing in ``Plan.execute`` bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -24,11 +24,20 @@ class CommandStats:
     index: int
     target: str
     kind: str  # "access" | "middleware"
+    # The access method invoked (None for middleware commands).  This is
+    # what lets downstream consumers -- notably the feedback-driven cost
+    # calibration (repro.cost.calibration) -- aggregate observed row
+    # flow per (relation, method) without re-deriving it from the plan.
+    method: Optional[str] = None
     wall_time: float = 0.0
     rows_in: int = 0
     rows_out: int = 0
     dispatched: int = 0  # distinct input tuples sent to dispatch
     deduped: int = 0  # duplicate input tuples collapsed before dispatch
+    # Raw tuples the source (or cache) answered with, before the output
+    # mapping's equality filter and set-semantics dedup.  rows_out /
+    # rows_fetched is therefore a true selectivity observation in (0, 1].
+    rows_fetched: int = 0
     cache_hits: int = 0  # dispatches answered from the AccessCache
     freed_tables: int = 0  # temp tables released after this command
     retries: int = 0  # dispatches re-attempted after a transient fault
@@ -40,11 +49,13 @@ class CommandStats:
             "index": self.index,
             "target": self.target,
             "kind": self.kind,
+            "method": self.method,
             "wall_time": self.wall_time,
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "dispatched": self.dispatched,
             "deduped": self.deduped,
+            "rows_fetched": self.rows_fetched,
             "cache_hits": self.cache_hits,
             "freed_tables": self.freed_tables,
             "retries": self.retries,
@@ -54,15 +65,18 @@ class CommandStats:
     @classmethod
     def from_dict(cls, data: Dict) -> "CommandStats":
         """Inverse of :meth:`as_dict` (cross-process stats shipping)."""
+        method = data.get("method")
         return cls(
             index=int(data["index"]),
             target=str(data["target"]),
             kind=str(data["kind"]),
+            method=str(method) if method is not None else None,
             wall_time=float(data.get("wall_time", 0.0)),
             rows_in=int(data.get("rows_in", 0)),
             rows_out=int(data.get("rows_out", 0)),
             dispatched=int(data.get("dispatched", 0)),
             deduped=int(data.get("deduped", 0)),
+            rows_fetched=int(data.get("rows_fetched", 0)),
             cache_hits=int(data.get("cache_hits", 0)),
             freed_tables=int(data.get("freed_tables", 0)),
             retries=int(data.get("retries", 0)),
@@ -84,9 +98,17 @@ class ExecStats:
     breaker_trips: int = 0
     failovers: int = 0
 
-    def command(self, index: int, target: str, kind: str) -> CommandStats:
+    def command(
+        self,
+        index: int,
+        target: str,
+        kind: str,
+        method: Optional[str] = None,
+    ) -> CommandStats:
         """Open a fresh per-command record and return it."""
-        stats = CommandStats(index=index, target=target, kind=kind)
+        stats = CommandStats(
+            index=index, target=target, kind=kind, method=method
+        )
         self.commands.append(stats)
         return stats
 

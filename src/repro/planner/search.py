@@ -91,6 +91,15 @@ class SearchOptions:
     max_accesses: int = 6
     cost: Optional[CostFunction] = None
     prune_by_cost: bool = True
+    # Incumbent-based branch-and-bound: close any non-successful node
+    # whose cost plus the cost function's admissible completion margin
+    # (``CostFunction.min_access_charge()`` -- every descendant appends
+    # at least one more access command) already reaches the incumbent
+    # best cost.  Strictly stronger than ``prune_by_cost`` alone and
+    # plan-preserving whenever the margin is sound (a descendant could
+    # at best *tie* the incumbent, never beat it); off by default so
+    # node-count baselines stay bit-identical.
+    prune_by_bound: bool = False
     domination: bool = True
     expose_induced: bool = True
     strategy: str = "dfs"  # or "best-first"
@@ -127,6 +136,7 @@ class SearchStats:
     nodes_expanded: int = 0
     successes: int = 0
     pruned_by_cost: int = 0
+    pruned_by_bound: int = 0
     pruned_by_domination: int = 0
     pruned_by_depth: int = 0
     best_cost_history: List[float] = field(default_factory=list)
@@ -151,6 +161,7 @@ class SearchStats:
                 f"nodes: created={self.nodes_created} "
                 f"expanded={self.nodes_expanded} successes={self.successes}",
                 f"pruned: cost={self.pruned_by_cost} "
+                f"bound={self.pruned_by_bound} "
                 f"domination={self.pruned_by_domination} "
                 f"depth={self.pruned_by_depth}",
                 f"domination checks: {d.checks} "
@@ -172,6 +183,7 @@ class SearchStats:
             "nodes_expanded": self.nodes_expanded,
             "successes": self.successes,
             "pruned_by_cost": self.pruned_by_cost,
+            "pruned_by_bound": self.pruned_by_bound,
             "pruned_by_domination": self.pruned_by_domination,
             "pruned_by_depth": self.pruned_by_depth,
             "domination": self.domination.as_dict(),
@@ -331,6 +343,10 @@ class _Searcher:
         self._drained = False
         self._ids = itertools.count()
         self.head_nulls: Dict[Variable, Null] = {}
+        # Admissible completion margin for branch-and-bound: every
+        # descendant of a non-successful node appends at least one
+        # access command, which charges at least this much.
+        self._min_access_charge = self.cost.min_access_charge()
         # Methods ordered by expected cost (the paper's fixed priority).
         self._method_priority = {
             m.name: (self.cost.method_cost(m.name), m.name)
@@ -537,6 +553,18 @@ class _Searcher:
                 self.best_plan = plan
                 self.best_proof = ChaseProof(self.query, node.exposures)
                 self.stats.best_cost_history.append(plan_cost)
+        elif (
+            self.options.prune_by_bound
+            and self.best_plan is not None
+            and node.cost + self._min_access_charge >= self.best_cost
+        ):
+            # Branch-and-bound: this node is not successful, so every
+            # descendant plan costs at least node.cost plus the margin
+            # -- it can at best tie the incumbent.  Close the subtree
+            # (no candidates generated); the node still registers with
+            # the domination index so it keeps pruning others.
+            self.stats.pruned_by_bound += 1
+            node.pruned = "bound"
         else:
             tick = time.perf_counter()
             if parent is not None and self.options.incremental_candidates:

@@ -109,6 +109,7 @@ class AccessCommand:
             )
             distinct.setdefault(values, None)
         rows = set()
+        fetched = 0
         cache_hits_before = cache.hits if cache is not None else 0
         retries_before = resilience.retries if resilience is not None else 0
         faults_before = resilience.faults if resilience is not None else 0
@@ -127,6 +128,7 @@ class AccessCommand:
                 accessed_rows = cache.fetch(source, self.method, values)
             else:
                 accessed_rows = source.access(self.method, values)
+            fetched += len(accessed_rows)
             for accessed in accessed_rows:
                 out_row = self._map_output(accessed)
                 if out_row is not None:
@@ -138,6 +140,7 @@ class AccessCommand:
             stats.rows_in = len(inputs.rows)
             stats.dispatched = len(distinct)
             stats.deduped = len(inputs.rows) - len(distinct)
+            stats.rows_fetched = fetched
             if cache is not None:
                 stats.cache_hits = cache.hits - cache_hits_before
             if resilience is not None:

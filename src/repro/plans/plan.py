@@ -174,12 +174,13 @@ class Plan:
                 resilience.check_deadline(f"command #{index}")
             command_stats = None
             if stats is not None:
-                kind = (
-                    "access"
-                    if isinstance(command, AccessCommand)
-                    else "middleware"
+                is_access = isinstance(command, AccessCommand)
+                command_stats = stats.command(
+                    index,
+                    command.target,
+                    "access" if is_access else "middleware",
+                    method=command.method if is_access else None,
                 )
-                command_stats = stats.command(index, command.target, kind)
             command_started = perf_counter()
             command.execute(
                 env,

@@ -39,22 +39,26 @@ request's answer -- the differential test suite asserts exactly that.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Mapping, Optional
 
+from repro.cost.bounds import SizeBounds
+from repro.cost.calibration import CalibrationStore
 from repro.data.decorators import BudgetedSource
 from repro.errors import (
     DeadlineExceeded,
     ExecutionError,
+    PlanInadmissible,
     ReproError,
     ServiceOverloaded,
     ServiceStopped,
 )
 from repro.exec.batch import substitute_constants
-from repro.exec.budget import ResourceBudget
+from repro.exec.budget import ERROR, ResourceBudget
 from repro.exec.cache import AccessCache
 from repro.exec.resilience import (
     BreakerRegistry,
@@ -114,6 +118,12 @@ class ServiceHealth:
     plan_cache: Optional[Dict] = None
     #: How many times Algorithm 1 search actually ran for submit_query.
     planned: int = 0
+    #: Cost-calibration counters (None when no store is configured):
+    #: observation totals, store version, estimate hit/fallback counts.
+    calibration: Optional[Dict] = None
+    #: Requests rejected at admission because their static result-size
+    #: bound already exceeded the budget's row ceiling.
+    rejected_inadmissible: int = 0
 
     def summary(self) -> str:
         """A one-line human-readable digest."""
@@ -160,6 +170,8 @@ class ServiceHealth:
             "worker_tier": self.worker_tier,
             "plan_cache": self.plan_cache,
             "planned": self.planned,
+            "calibration": self.calibration,
+            "rejected_inadmissible": self.rejected_inadmissible,
         }
 
 
@@ -184,6 +196,8 @@ class QueryService:
         executor: str = "interpreter",
         worker_pool: Optional[WorkerPool] = None,
         plan_cache: Optional[PlanCache] = None,
+        calibration: Optional[CalibrationStore] = None,
+        size_bounds: Optional[SizeBounds] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
@@ -191,6 +205,22 @@ class QueryService:
         self.workers = workers
         self.cache = cache
         self.executor = executor
+        # Feedback loop: every served request's ExecStats are folded
+        # into the calibration store (per-method fan-out/selectivity),
+        # which cost functions holding the store read on the next plan.
+        self.calibration = calibration
+        # Static size bounds backing admission-time inadmissibility
+        # checks: a plan whose provable result-size floor already
+        # exceeds the request's hard row ceiling is rejected typed,
+        # before a single access is dispatched.
+        self.size_bounds = size_bounds
+        schema = getattr(source, "schema", None)
+        self._method_relations: Dict[str, str] = (
+            {m.name: m.relation for m in schema.methods}
+            if schema is not None
+            else {}
+        )
+        self._rejected_inadmissible = 0
         # The execution tier: None keeps plan runs in this process's
         # worker threads; a WorkerPool ships them (plan IR + bindings +
         # budget, never pickles) to the tier -- typically a
@@ -328,6 +358,7 @@ class QueryService:
             rid = request_id or f"q{next(self._ids)}"
         if budget is None and self.default_budget is not None:
             budget = self.default_budget.fresh()
+        self._check_admissible(plan, budget)
         seconds = deadline if deadline is not None else self.default_deadline
         request = QueryRequest(
             plan=plan,
@@ -363,6 +394,40 @@ class QueryService:
                 ),
             )
         return ticket
+
+    def _check_admissible(
+        self, plan: Plan, budget: Optional[ResourceBudget]
+    ) -> None:
+        """Reject plans whose static result bound dooms the budget.
+
+        Only fires when static size bounds are configured, the budget's
+        result ceiling is a hard error (``on_result_overflow="error"``
+        -- truncate-mode requests succeed partially, so they are never
+        doomed), and the bound is *finite*: an unknown (infinite) bound
+        proves nothing, and admission stays permissive on no-proof.
+        Conversely a finite bound at or under the ceiling proves the
+        admitted request can never trip the result check.
+        """
+        if (
+            self.size_bounds is None
+            or budget is None
+            or budget.max_result_rows is None
+            or budget.on_result_overflow != ERROR
+        ):
+            return
+        bound = self.size_bounds.result_bound(plan)
+        if math.isinf(bound) or bound <= budget.max_result_rows:
+            return
+        with self._lock:
+            self._rejected_inadmissible += 1
+        raise PlanInadmissible(
+            f"plan {plan.name!r} statically bounded to "
+            f"{bound:.0f} result rows, over the hard budget ceiling of "
+            f"{budget.max_result_rows}; rejected before execution",
+            kind="result",
+            bound=bound,
+            ceiling=budget.max_result_rows,
+        )
 
     def serve(
         self,
@@ -592,6 +657,13 @@ class QueryService:
         )
 
     def _account(self, response: QueryResponse) -> None:
+        # Fold the request's observed row flow into the calibration
+        # store *outside* the service lock -- the store has its own --
+        # so planning threads reading estimates never wait on accounting.
+        if self.calibration is not None and response.stats is not None:
+            self.calibration.observe_stats(
+                response.stats, relation_of=self._method_relations
+            )
         with self._lock:
             self._in_flight -= 1
             self._served += 1
@@ -667,6 +739,11 @@ class QueryService:
         plan_cache = (
             self.plan_cache.counters() if self.plan_cache is not None else None
         )
+        calibration = (
+            self.calibration.counters()
+            if self.calibration is not None
+            else None
+        )
         with self._lock:
             return ServiceHealth(
                 running=self._running,
@@ -689,6 +766,8 @@ class QueryService:
                 worker_tier=worker_tier,
                 plan_cache=plan_cache,
                 planned=self._planned,
+                calibration=calibration,
+                rejected_inadmissible=self._rejected_inadmissible,
             )
 
     def __repr__(self) -> str:

@@ -1,0 +1,175 @@
+"""Static size bounds: propagation rules, key tightening, soundness.
+
+The load-bearing property is *soundness against execution*: for every
+library scenario, every temporary table a planned run materializes stays
+at or under the bound :class:`~repro.cost.bounds.SizeBounds` derived for
+it statically -- which is what entitles both the planner (estimate
+capping) and the service (admission rejection) to trust the bounds.
+"""
+
+import math
+
+import pytest
+
+from repro.cost.bounds import INF, SizeBounds
+from repro.data.source import InMemorySource
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.plans.commands import (
+    AccessCommand,
+    MiddlewareCommand,
+    identity_output_map,
+)
+from repro.plans.expressions import (
+    Difference,
+    Join,
+    Project,
+    Scan,
+    Singleton,
+    Union,
+)
+from repro.plans.plan import Plan
+from repro.scenarios import (
+    example1,
+    example2,
+    example5,
+    referential_chain,
+    view_stack_scenario,
+)
+from repro.schema.core import SchemaBuilder
+
+SCENARIOS = [
+    ("example1", example1),
+    ("example2", example2),
+    ("example5", example5),
+    ("chain2", lambda: referential_chain(2)),
+    ("views", view_stack_scenario),
+]
+
+
+def two_step_schema():
+    return (
+        SchemaBuilder("s")
+        .relation("R", 2, attributes=("a", "b"))
+        .relation("S", 2, attributes=("b", "c"))
+        .access("mt_R", "R", inputs=[])
+        .access("mt_S", "S", inputs=[0])
+        .build()
+    )
+
+
+def two_step_plan():
+    return Plan(
+        (
+            AccessCommand(
+                "T1",
+                "mt_R",
+                Singleton(),
+                (),
+                identity_output_map(("x", "y")),
+            ),
+            AccessCommand(
+                "T2",
+                "mt_S",
+                Project(Scan("T1"), ("y",)),
+                ("y",),
+                (("y", (0,)), ("z", (1,))),
+            ),
+            MiddlewareCommand("T3", Join(Scan("T1"), Scan("T2"))),
+        ),
+        output_table="T3",
+    )
+
+
+class TestPropagation:
+    def test_access_capped_by_relation_size(self):
+        bounds = SizeBounds(two_step_schema(), {"R": 5, "S": 7})
+        per_target = bounds.plan_bounds(two_step_plan())
+        assert per_target["T1"] == 5.0
+        # fan-in 5 * per-binding 7 = 35, capped by |S| = 7.
+        assert per_target["T2"] == 7.0
+        assert per_target["T3"] == 35.0
+
+    def test_key_tightens_per_binding_to_one(self):
+        bounds = SizeBounds(
+            two_step_schema(), {"R": 5, "S": 7}, keys={"S": [(0,)]}
+        )
+        # The bound input position covers S's key: one match per binding.
+        assert bounds.per_binding_bound("mt_S") == 1.0
+        assert bounds.plan_bounds(two_step_plan())["T2"] == 5.0
+
+    def test_key_not_covered_keeps_relation_bound(self):
+        bounds = SizeBounds(
+            two_step_schema(), {"R": 5, "S": 7}, keys={"S": [(1,)]}
+        )
+        assert bounds.per_binding_bound("mt_S") == 7.0
+
+    def test_unknown_relation_bounds_to_inf(self):
+        bounds = SizeBounds(two_step_schema(), {"R": 5})
+        assert math.isinf(bounds.result_bound(two_step_plan()))
+
+    def test_union_adds_and_difference_keeps_left(self):
+        bounds = SizeBounds(two_step_schema(), {"R": 5, "S": 7})
+        table_bounds = {"A": 3.0, "B": 4.0}
+        union = Union(Scan("A"), Scan("B"))
+        diff = Difference(Scan("A"), Scan("B"))
+        assert bounds.expression_bound(union, table_bounds) == 7.0
+        assert bounds.expression_bound(diff, table_bounds) == 3.0
+
+    def test_empty_side_zeroes_a_join_even_against_inf(self):
+        bounds = SizeBounds(two_step_schema(), {})
+        join = Join(Scan("empty"), Scan("unknown"))
+        assert (
+            bounds.expression_bound(join, {"empty": 0.0}) == 0.0
+        )
+
+    def test_access_bound_unknown_method_is_inf(self):
+        bounds = SizeBounds(two_step_schema(), {"R": 5})
+        assert math.isinf(bounds.access_bound("nope", 3.0))
+
+    def test_resident_bound_sums_targets(self):
+        bounds = SizeBounds(two_step_schema(), {"R": 5, "S": 7})
+        assert bounds.resident_bound(two_step_plan()) == 5.0 + 7.0 + 35.0
+
+    def test_identity_moves_with_sizes_and_keys(self):
+        schema = two_step_schema()
+        base = SizeBounds(schema, {"R": 5}).identity()
+        assert SizeBounds(schema, {"R": 6}).identity() != base
+        assert (
+            SizeBounds(schema, {"R": 5}, keys={"R": [(0,)]}).identity()
+            != base
+        )
+        assert SizeBounds(schema, {"R": 5}).identity() == base
+
+
+class TestSoundnessAgainstExecution:
+    @pytest.mark.parametrize(
+        "name,factory", SCENARIOS, ids=[n for n, _ in SCENARIOS]
+    )
+    def test_every_table_stays_under_its_bound(self, name, factory):
+        scenario = factory()
+        result = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+        )
+        assert result.found, name
+        instance = scenario.instance(0)
+        bounds = SizeBounds.from_instance(scenario.schema, instance)
+        per_target = bounds.plan_bounds(result.best_plan)
+        source = InMemorySource(scenario.schema, instance)
+        _, env = result.best_plan.run_with_env(source)
+        for table, produced in env.items():
+            assert len(produced.rows) <= per_target[table], (
+                f"{name}: {table} produced {len(produced.rows)} rows, "
+                f"bound {per_target[table]}"
+            )
+
+    def test_result_bound_dominates_result(self):
+        scenario = example1()
+        result = find_best_plan(
+            scenario.schema, scenario.query, SearchOptions(max_accesses=5)
+        )
+        instance = scenario.instance(0)
+        bounds = SizeBounds.from_instance(scenario.schema, instance)
+        table = result.best_plan.run(
+            InMemorySource(scenario.schema, instance)
+        )
+        assert len(table.rows) <= bounds.result_bound(result.best_plan)

@@ -243,3 +243,211 @@ class TestSelectSelectivity:
         assert default.commands_cost(commands) == pytest.approx(
             explicit.commands_cost(commands)
         )
+
+
+class TestParameterValidation:
+    """Satellite: estimator knobs are validated at construction."""
+
+    @pytest.mark.parametrize("value", [0.0, -0.25, 1.5, 2.0])
+    def test_select_selectivity_outside_unit_interval_rejected(self, value):
+        from repro.errors import InvalidCostParameter, ReproError
+
+        with pytest.raises(InvalidCostParameter) as info:
+            CardinalityCostFunction(
+                relation_cardinality={}, select_selectivity=value
+            )
+        assert isinstance(info.value, ReproError)
+        assert info.value.parameter == "select_selectivity"
+        assert info.value.value == value
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, 1.0000001])
+    def test_join_selectivity_outside_unit_interval_rejected(self, value):
+        from repro.errors import InvalidCostParameter
+
+        with pytest.raises(InvalidCostParameter):
+            CardinalityCostFunction(
+                relation_cardinality={}, join_selectivity=value
+            )
+
+    def test_negative_charges_rejected(self):
+        from repro.errors import InvalidCostParameter
+
+        with pytest.raises(InvalidCostParameter):
+            CardinalityCostFunction(relation_cardinality={}, per_access=-1.0)
+        with pytest.raises(InvalidCostParameter):
+            CardinalityCostFunction(relation_cardinality={}, per_tuple=-0.1)
+        with pytest.raises(InvalidCostParameter):
+            CardinalityCostFunction(
+                relation_cardinality={}, per_method_access={"mt": -2.0}
+            )
+
+    def test_default_cardinality_floor(self):
+        from repro.errors import InvalidCostParameter
+
+        with pytest.raises(InvalidCostParameter):
+            CardinalityCostFunction(
+                relation_cardinality={}, default_cardinality=0
+            )
+
+    def test_boundary_values_accepted(self):
+        CardinalityCostFunction(
+            relation_cardinality={},
+            select_selectivity=1.0,
+            join_selectivity=1.0,
+            per_access=0.0,
+            per_tuple=0.0,
+            default_cardinality=1,
+        )
+
+
+class TestMinAccessCharge:
+    def test_base_class_claims_nothing(self):
+        class Opaque(CostFunction):
+            def commands_cost(self, commands):
+                return 0.0
+
+        assert Opaque().min_access_charge() == 0.0
+
+    def test_counting_charges_one(self):
+        assert CountingCostFunction().min_access_charge() == 1.0
+
+    def test_simple_takes_cheapest_weight(self):
+        cost = SimpleCostFunction({"a": 3.0, "b": 0.5}, default=2.0)
+        assert cost.min_access_charge() == pytest.approx(0.5)
+        assert SimpleCostFunction({}).min_access_charge() == 1.0
+
+    def test_cardinality_adds_one_tuple_charge(self):
+        cost = CardinalityCostFunction(
+            relation_cardinality={},
+            per_access=2.0,
+            per_tuple=0.25,
+            per_method_access={"cheap": 0.5},
+        )
+        assert cost.min_access_charge() == pytest.approx(0.75)
+
+    def test_charge_really_is_a_lower_bound(self, commands):
+        for cost in (
+            SimpleCostFunction({"cheap": 1.0, "pricey": 10.0}),
+            CountingCostFunction(),
+            CardinalityCostFunction(relation_cardinality={}),
+        ):
+            floor = cost.min_access_charge()
+            total = 0.0
+            for end in range(1, len(commands) + 1):
+                previous, total = total, cost.commands_cost(commands[:end])
+                if isinstance(commands[end - 1], AccessCommand):
+                    assert total - previous >= floor - 1e-9
+
+
+class TestCalibratedEstimates:
+    def make_calibration(self, fan_out):
+        from repro.cost.calibration import CalibrationStore
+
+        store = CalibrationStore()
+        store.observe(
+            "cheap",
+            dispatched=10,
+            fetched=10 * int(fan_out),
+            emitted=10 * int(fan_out),
+        )
+        return store
+
+    def test_calibrated_fan_out_replaces_flat_guess(self):
+        chained = [
+            access("A", "cheap"),
+            access("B", "probe", Project(Scan("A"), ("A_p0",)), ("A_p0",)),
+        ]
+        flat = CardinalityCostFunction(
+            relation_cardinality={}, per_tuple=0.1, default_cardinality=100
+        )
+        calibrated = CardinalityCostFunction(
+            relation_cardinality={},
+            per_tuple=0.1,
+            default_cardinality=100,
+            calibration=self.make_calibration(fan_out=3),
+        )
+        # Flat: B's fan-in is the 100-row default guess for A's output;
+        # calibrated: 3 emitted rows per dispatched tuple * 1 dispatched.
+        assert flat.commands_cost(chained) == pytest.approx(2.0 + 0.1 + 10.0)
+        assert calibrated.commands_cost(chained) == pytest.approx(
+            2.0 + 0.1 + 0.3
+        )
+
+    def test_per_method_access_weights(self):
+        cost = CardinalityCostFunction(
+            relation_cardinality={},
+            per_access=1.0,
+            per_tuple=0.0,
+            per_method_access={"pricey": 10.0},
+        )
+        cmds = [access("A", "cheap"), access("B", "pricey")]
+        assert cost.commands_cost(cmds) == pytest.approx(11.0)
+
+    def test_bounds_cap_estimates(self):
+        from repro.cost.bounds import SizeBounds
+        from repro.schema.core import SchemaBuilder as SB
+
+        schema = (
+            SB("s")
+            .relation("R", 2)
+            .access("cheap", "R", inputs=[])
+            .build()
+        )
+        chained = [
+            access("A", "cheap"),
+            access("B", "probe", Project(Scan("A"), ("A_p0",)), ("A_p0",)),
+        ]
+        capped = CardinalityCostFunction(
+            relation_cardinality={},
+            per_tuple=0.1,
+            default_cardinality=100,
+            bounds=SizeBounds(schema, {"R": 4}),
+        )
+        # A's estimate is capped at |R| = 4, so B's fan-in charge drops
+        # from 100 * 0.1 to 4 * 0.1.
+        assert capped.commands_cost(chained) == pytest.approx(2.0 + 0.1 + 0.4)
+
+    def test_calibration_moves_the_identity(self):
+        store = self.make_calibration(fan_out=2)
+        cost = CardinalityCostFunction(
+            relation_cardinality={}, calibration=store
+        )
+        before = cost.identity()
+        store.observe("cheap", dispatched=1, fetched=5, emitted=5)
+        assert cost.identity() != before
+
+    def test_monotone_with_calibration_and_bounds(self, commands):
+        from repro.cost.bounds import SizeBounds
+        from repro.schema.core import SchemaBuilder as SB
+
+        schema = (
+            SB("s").relation("R", 2).access("cheap", "R", inputs=[]).build()
+        )
+        cost = CardinalityCostFunction(
+            relation_cardinality={},
+            calibration=self.make_calibration(fan_out=5),
+            bounds=SizeBounds(schema, {"R": 3}),
+        )
+        assert is_monotone_on(cost, commands)
+
+    def test_delta_cost_agrees_with_recompute_when_calibrated(self):
+        from repro.cost.bounds import SizeBounds
+        from repro.schema.core import SchemaBuilder as SB
+
+        schema = (
+            SB("s").relation("R", 2).access("cheap", "R", inputs=[]).build()
+        )
+        cost = CardinalityCostFunction(
+            relation_cardinality={},
+            per_tuple=0.1,
+            calibration=self.make_calibration(fan_out=3),
+            bounds=SizeBounds(schema, {"R": 2}),
+        )
+        chained = [
+            access("A", "cheap"),
+            access("B", "probe", Project(Scan("A"), ("A_p0",)), ("A_p0",)),
+        ]
+        state = cost.cost_state()
+        state, _ = cost.delta_cost(state, chained[:1])
+        _, total = cost.delta_cost(state, chained[1:])
+        assert total == pytest.approx(cost.commands_cost(chained))

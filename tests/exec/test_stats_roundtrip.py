@@ -80,3 +80,28 @@ class TestExecStats:
         assert (
             ExecStats.from_dict(empty.as_dict()).as_dict() == empty.as_dict()
         )
+
+
+class TestCalibrationFields:
+    """The feedback-calibration fields survive the trip and default sanely."""
+
+    def test_method_and_rows_fetched_recorded(self):
+        stats = executed_stats()
+        command = stats.commands[0]
+        assert command.method == "mt_R"
+        assert command.rows_fetched == 2
+        assert command.rows_out <= command.rows_fetched
+
+    def test_round_trip_preserves_calibration_fields(self):
+        stats = executed_stats()
+        revived = ExecStats.from_dict(stats.as_dict())
+        assert revived.commands[0].method == "mt_R"
+        assert revived.commands[0].rows_fetched == 2
+
+    def test_old_payloads_without_the_fields_still_parse(self):
+        # A worker running the previous stats schema ships no method /
+        # rows_fetched keys; the parent must not reject the payload.
+        payload = {"index": 0, "target": "T", "kind": "access"}
+        revived = CommandStats.from_dict(payload)
+        assert revived.method is None
+        assert revived.rows_fetched == 0

@@ -1,0 +1,143 @@
+"""Branch-and-bound pruning: plan-preserving, counted, off by default.
+
+``SearchOptions.prune_by_bound`` closes any non-successful node whose
+cost plus the cost model's admissible completion margin
+(``min_access_charge``) reaches the incumbent.  The differential
+property pinned here is the whole point: across scenarios, strategies
+and cost models, pruning may only *shrink* the explored tree -- the
+returned best cost (and found/not-found outcome) never changes.
+"""
+
+import pytest
+
+from repro.cost.functions import (
+    CardinalityCostFunction,
+    CountingCostFunction,
+    SimpleCostFunction,
+)
+from repro.planner.search import SearchOptions, find_best_plan
+from repro.scenarios import (
+    example1,
+    example2,
+    example5,
+    referential_chain,
+    view_stack_scenario,
+)
+
+SCENARIOS = [
+    ("example1", example1),
+    ("example2", example2),
+    ("example5", example5),
+    ("chain2", lambda: referential_chain(2)),
+    ("views", view_stack_scenario),
+]
+
+COSTS = {
+    "declared": lambda schema: SimpleCostFunction.from_schema(schema),
+    "counting": lambda schema: CountingCostFunction(),
+    "cardinality": lambda schema: CardinalityCostFunction(
+        relation_cardinality={}, per_tuple=0.05
+    ),
+}
+
+
+def run(scenario, *, cost=None, prune_by_bound=False, strategy="dfs"):
+    return find_best_plan(
+        scenario.schema,
+        scenario.query,
+        SearchOptions(
+            max_accesses=5,
+            cost=cost,
+            prune_by_bound=prune_by_bound,
+            strategy=strategy,
+        ),
+    )
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "name,factory", SCENARIOS, ids=[n for n, _ in SCENARIOS]
+    )
+    @pytest.mark.parametrize("cost_name", sorted(COSTS))
+    @pytest.mark.parametrize("strategy", ["dfs", "best-first"])
+    def test_pruning_never_changes_the_best_plan(
+        self, name, factory, cost_name, strategy
+    ):
+        scenario = factory()
+        cost = COSTS[cost_name](scenario.schema)
+        base = run(scenario, cost=cost, strategy=strategy)
+        pruned = run(
+            scenario, cost=cost, strategy=strategy, prune_by_bound=True
+        )
+        assert pruned.found == base.found
+        if base.found:
+            assert pruned.best_cost == pytest.approx(base.best_cost)
+        # Pruning may only shrink the explored tree.
+        assert pruned.stats.nodes_expanded <= base.stats.nodes_expanded
+
+    @pytest.mark.parametrize(
+        "name,factory", SCENARIOS, ids=[n for n, _ in SCENARIOS]
+    )
+    def test_off_by_default_baseline_is_bit_identical(self, name, factory):
+        scenario = factory()
+        default = run(scenario)
+        explicit_off = run(scenario, prune_by_bound=False)
+        assert (
+            default.stats.nodes_created == explicit_off.stats.nodes_created
+        )
+        assert default.stats.pruned_by_bound == 0
+
+
+class TestPruningBites:
+    def test_bound_pruning_shrinks_a_branchy_search(self):
+        scenario = example5(6)
+        base = run(scenario)
+        pruned = run(scenario, prune_by_bound=True)
+        assert pruned.stats.pruned_by_bound > 0
+        assert pruned.stats.nodes_expanded < base.stats.nodes_expanded
+        assert pruned.best_cost == pytest.approx(base.best_cost)
+
+    def test_pruned_counter_reported(self):
+        scenario = example5(6)
+        stats = run(scenario, prune_by_bound=True).stats
+        assert stats.as_dict()["pruned_by_bound"] == stats.pruned_by_bound
+        assert f"bound={stats.pruned_by_bound}" in stats.summary()
+
+    def test_pruned_nodes_marked_in_collected_tree(self):
+        scenario = example5(6)
+        result = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(
+                max_accesses=5, prune_by_bound=True, collect_tree=True
+            ),
+        )
+        marked = [n for n in result.tree if n.pruned == "bound"]
+        assert len(marked) == result.stats.pruned_by_bound
+        # A bound-pruned node is closed: it exposes no candidates.
+        assert all(not n.has_pending for n in marked)
+
+    def test_successful_nodes_are_never_bound_pruned(self):
+        scenario = example5(6)
+        result = find_best_plan(
+            scenario.schema,
+            scenario.query,
+            SearchOptions(
+                max_accesses=5, prune_by_bound=True, collect_tree=True
+            ),
+        )
+        assert all(
+            n.pruned is None for n in result.tree if n.successful
+        )
+
+    def test_zero_margin_cost_degrades_to_plain_incumbent_check(self):
+        # per_access=0, per_tuple=0: min_access_charge is 0, so the
+        # bound check only fires at cost >= incumbent, like prune_by_cost.
+        scenario = example1()
+        cost = CardinalityCostFunction(
+            relation_cardinality={}, per_access=0.0, per_tuple=0.0
+        )
+        base = run(scenario, cost=cost)
+        pruned = run(scenario, cost=cost, prune_by_bound=True)
+        assert pruned.found == base.found
+        assert pruned.best_cost == pytest.approx(base.best_cost)
