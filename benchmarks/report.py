@@ -26,6 +26,9 @@ Usage::
     python benchmarks/bench_parallel.py         # writes BENCH_parallel.json
     python benchmarks/report.py --parallel-json BENCH_parallel.json
 
+    python benchmarks/bench_chaos.py            # writes BENCH_chaos.json
+    python benchmarks/report.py --chaos-json BENCH_chaos.json
+
 The default mode groups pytest-benchmark rows by module and prints one
 markdown table per module with mean/stddev timings and every
 ``extra_info`` measurement.  ``--chase-json`` instead renders the
@@ -407,6 +410,73 @@ def render_service(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_chaos(report: Dict) -> str:
+    """Markdown tables for a ``bench_chaos.py`` report."""
+    lines = [
+        f"### chaos matrix ({report['mode']}): every scenario terminates "
+        "typed and sound",
+        "",
+        "| scenario | submitted | outcomes | typed errors | hangs"
+        " | violations | elapsed / deadline |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in report["matrix"]["rows"]:
+        outcomes = ", ".join(
+            f"{k}={v}" for k, v in sorted(row["outcomes"].items())
+        )
+        errors = (
+            ", ".join(
+                f"{k}={v}" for k, v in sorted(row["error_types"].items())
+            )
+            or "-"
+        )
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["scenario"],
+                    str(row["submitted"]),
+                    outcomes,
+                    errors,
+                    str(row["hangs"]),
+                    str(row["violations"]),
+                    f"{_time(row['elapsed'])} / {row['deadline']:.0f} s",
+                ]
+            )
+            + " |"
+        )
+    lines += [
+        "",
+        "### hedged dispatch vs the latency storm "
+        "(identical answers, asserted row by row)",
+        "",
+        "| mode | requests | p50 | p95 | p99 | hedges (wins/waste) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in report["hedging"]["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    "hedged" if row["hedged"] else "unhedged",
+                    str(row["requests"]),
+                    _time(row["p50_latency"]),
+                    _time(row["p95_latency"]),
+                    _time(row["p99_latency"]),
+                    f"{row['hedges']} ({row['hedge_wins']}"
+                    f"/{row['hedge_waste']})",
+                ]
+            )
+            + " |"
+        )
+    lines += [
+        "",
+        f"P99 reduction from hedging: **{report['p99_reduction']:.0%}**",
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def render_parallel(report: Dict) -> str:
     """Markdown tables for a ``bench_parallel.py`` report."""
     scaling = report["scaling"]
@@ -533,7 +603,15 @@ def main() -> int:
         "--parallel-json", metavar="PATH",
         help="render a bench_parallel.py process-tier report instead",
     )
+    parser.add_argument(
+        "--chaos-json", metavar="PATH",
+        help="render a bench_chaos.py chaos/hedging report instead",
+    )
     args = parser.parse_args()
+    if args.chaos_json:
+        with open(args.chaos_json) as handle:
+            print(render_chaos(json.load(handle)))
+        return 0
     if args.parallel_json:
         with open(args.parallel_json) as handle:
             print(render_parallel(json.load(handle)))

@@ -1,0 +1,44 @@
+"""Run chaos scenarios by name; the surface the CLI and benchmarks use.
+
+:func:`run_scenario` dispatches one named scenario from the matrix in
+:mod:`repro.chaos.scenarios`; :func:`run_matrix` sweeps all of them
+and returns the reports in matrix order.  Both are pure functions of
+``(name, seed, quick)`` -- the scenarios own their services, pools and
+temp directories, so repeated runs are independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.chaos.harness import ChaosReport
+from repro.chaos.scenarios import SCENARIO_BUILDERS, SCENARIOS
+
+
+def run_scenario(
+    name: str, seed: int = 0, quick: bool = True
+) -> ChaosReport:
+    """Run one named chaos scenario and return its report.
+
+    Raises ``ValueError`` on an unknown name (the valid names are
+    :data:`SCENARIOS`); never raises on invariant violations -- those
+    are *data*, carried in ``report.violations`` for the caller to
+    assert on.
+    """
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown chaos scenario {name!r}; "
+            f"known: {', '.join(SCENARIOS)}"
+        )
+    return builder(seed=seed, quick=quick)
+
+
+def run_matrix(
+    seed: int = 0,
+    quick: bool = True,
+    names: Optional[Sequence[str]] = None,
+) -> List[ChaosReport]:
+    """Run the whole scenario matrix (or a named subset), in order."""
+    selected = SCENARIOS if names is None else tuple(names)
+    return [run_scenario(name, seed=seed, quick=quick) for name in selected]

@@ -48,6 +48,7 @@ from repro.scenarios import (
     referential_chain,
     view_stack_scenario,
 )
+from repro.chaos import SCENARIOS as CHAOS_SCENARIOS
 from repro.schema.serialize import schema_from_dict
 
 SCENARIOS = {
@@ -212,6 +213,40 @@ def build_parser() -> argparse.ArgumentParser:
              "every served request's observed per-method row flow is "
              "folded in (atomic rewrite), and a restarted service "
              "resumes planning from the accumulated estimates",
+    )
+    serve.add_argument(
+        "--watchdog-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request stall bound on the execution tier: a request "
+             "stuck past it fails typed (WorkerStalled) and the process "
+             "tier kills and recreates its pool to reclaim the slot",
+    )
+    serve.add_argument(
+        "--hedge",
+        action="store_true",
+        help="hedged dispatch on the execution tier: duplicate a "
+             "request to a second worker after an adaptive EWMA-P95 "
+             "delay and take the first answer (cuts tail latency; "
+             "safe because execution is deterministic)",
+    )
+    serve.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fixed hedge delay overriding the adaptive P95 estimate",
+    )
+    serve.add_argument(
+        "--chaos-scenario",
+        choices=list(CHAOS_SCENARIOS),
+        default=None,
+        metavar="NAME",
+        help="instead of the normal burst, run one deterministic chaos "
+             "scenario from repro.chaos against a live service and "
+             "print its invariant report (scenarios: "
+             + ", ".join(CHAOS_SCENARIOS) + ")",
     )
 
     plan = sub.add_parser("plan", help="plan a query over a schema file")
@@ -432,6 +467,8 @@ def _serve_demo(args) -> int:
         ThreadWorkerPool,
     )
 
+    if args.chaos_scenario is not None:
+        return _chaos_scenario(args)
     scenario = SCENARIOS[args.scenario]()
     search_options = SearchOptions(
         max_accesses=args.max_accesses,
@@ -460,14 +497,26 @@ def _serve_demo(args) -> int:
     source = InMemorySource(scenario.schema, instance)
     if args.latency:
         source = LatencySource(source, args.latency)
+    resilience = {
+        "watchdog_seconds": args.watchdog_seconds,
+        "hedge": args.hedge,
+        "hedge_delay": args.hedge_delay,
+    }
     if args.worker_tier == "process":
         worker_pool = ProcessWorkerPool.for_source(
-            source, workers=args.tier_workers
+            source, workers=args.tier_workers, **resilience
         )
     elif args.worker_tier == "thread":
-        worker_pool = ThreadWorkerPool(source, workers=args.tier_workers)
+        worker_pool = ThreadWorkerPool(
+            source, workers=args.tier_workers, **resilience
+        )
     else:
         worker_pool = None
+        if args.hedge or args.watchdog_seconds is not None:
+            print(
+                "note: --hedge/--watchdog-seconds apply to the execution "
+                "tier; pass --worker-tier thread|process to enable them"
+            )
     budget = (
         ResourceBudget(max_result_rows=args.budget_rows)
         if args.budget_rows is not None
@@ -535,6 +584,28 @@ def _serve_demo(args) -> int:
             f"{health.calibration['methods']} methods, "
             f"persisted={health.calibration['persistent']})"
         )
+    return 0
+
+
+def _chaos_scenario(args) -> int:
+    """Run one deterministic chaos scenario and print its report.
+
+    Exit status 0 when every invariant held (terminate / sound /
+    accounted / typed), 3 when the report carries violations or hangs.
+    """
+    from repro.chaos import run_scenario
+
+    report = run_scenario(args.chaos_scenario, seed=args.seed, quick=True)
+    print(report.summary())
+    print(f"  outcomes: {dict(report.outcomes)}")
+    if report.error_types:
+        print(f"  typed errors: {dict(report.error_types)}")
+    for key, value in sorted(report.details.items()):
+        print(f"  {key}: {value}")
+    if not report.ok:
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        return 3
     return 0
 
 

@@ -53,8 +53,26 @@ from typing import Dict, Mapping, Optional
 from repro.errors import CostModelError
 
 #: Format marker + version stamped into the on-disk store.
+#: Version 2 added the content checksum (stores without one are
+#: treated as alien -- an empty store, re-filled by observation).
 CALIBRATION_KIND = "repro.cost-calibration"
-CALIBRATION_VERSION = 1
+CALIBRATION_VERSION = 2
+
+
+def store_checksum(entry: Mapping) -> str:
+    """BLAKE2b content checksum of the on-disk store (sans checksum).
+
+    Same discipline as the plan cache's disk tier: canonical JSON of
+    everything but the checksum field, so a corrupt store is detected
+    and quarantined instead of silently mis-calibrating the planner.
+    """
+    payload = json.dumps(
+        {k: v for k, v in entry.items() if k != "checksum"},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 #: Selectivities are clamped into (EPSILON, 1.0]: zero would make
 #: downstream size estimates vanish (and divide costs to nothing).
@@ -170,11 +188,17 @@ class CalibrationStore:
         self.path = path
         self.min_observations = min_observations
         self._lock = threading.Lock()
+        # Serializes disk writes: _persist runs outside the main lock
+        # (so estimate readers never wait on IO), but two persists must
+        # not interleave on the temp-then-rename protocol.
+        self._io_lock = threading.Lock()
         self._methods: Dict[str, MethodCalibration] = {}
         self.version = 0
         # Estimate-query accounting (exposed in QueryService.health()).
         self.hits = 0
         self.fallbacks = 0
+        self.quarantined = 0
+        self.persist_errors = 0
         if path is not None and os.path.exists(path):
             self._load(path)
 
@@ -355,6 +379,8 @@ class CalibrationStore:
                 "emitted": sum(m.emitted for m in self._methods.values()),
                 "hits": self.hits,
                 "fallbacks": self.fallbacks,
+                "quarantined": self.quarantined,
+                "persist_errors": self.persist_errors,
                 "persistent": bool(self.path),
                 "min_observations": self.min_observations,
             }
@@ -384,29 +410,71 @@ class CalibrationStore:
             }
 
     def _persist(self) -> None:
+        """Atomically rewrite the disk tier (never raises into serving).
+
+        Serialized under a dedicated IO lock -- two worker threads
+        persisting concurrently must not race on the temp file -- and
+        the temp name is thread-unique besides, so even an unexpected
+        interleaving cannot tear the rename.  A failed persist (disk
+        full, permissions) is counted, not raised: losing one disk
+        snapshot costs nothing (the store re-persists on the next
+        observation), whereas an exception here would detonate inside
+        request accounting.
+        """
         if self.path is None:
             return
         entry = self.as_dict()
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        tmp = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True, indent=1)
-        os.replace(tmp, self.path)
+        entry["checksum"] = store_checksum(entry)
+        tmp = (
+            f"{self.path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            with self._io_lock:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True, indent=1)
+                os.replace(tmp, self.path)
+        except OSError:
+            with self._lock:
+                self.persist_errors += 1
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt store aside and continue empty (never raise).
+
+        The store re-fills from live observations (every served request
+        feeds it), so quarantine-and-continue converges back to
+        calibrated estimates; meanwhile the estimator's documented
+        fallback defaults apply.  The rotten file is kept as
+        ``<path>.quarantined`` for inspection and the event counted.
+        """
+        try:
+            os.replace(path, f"{path}.quarantined")
+        except OSError:  # pragma: no cover -- racing cleanup is fine
+            pass
+        self.quarantined += 1
 
     def _load(self, path: str) -> None:
-        """Rehydrate from disk; corrupt or alien files are empty stores."""
+        """Rehydrate from disk; corrupt stores are quarantined, alien
+        ones ignored -- either way this store starts empty and serves."""
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:  # pragma: no cover -- checked by caller
+            return
         except (OSError, ValueError):
+            self._quarantine(path)
             return
         if (
             not isinstance(entry, dict)
             or entry.get("format") != CALIBRATION_KIND
             or entry.get("version") != CALIBRATION_VERSION
         ):
+            return
+        checksum = entry.get("checksum")
+        if not isinstance(checksum, str) or checksum != store_checksum(entry):
+            self._quarantine(path)
             return
         try:
             methods = [
@@ -415,6 +483,7 @@ class CalibrationStore:
             ]
             store_version = int(entry.get("store_version", 0))
         except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
             return
         self._methods = {m.method: m for m in methods}
         self.version = store_version

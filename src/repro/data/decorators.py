@@ -170,6 +170,53 @@ class LatencySource(_Wrapper):
         return self.inner.access(method_name, inputs)
 
 
+class StormyLatencySource(_Wrapper):
+    """Latency with a deterministic tail: every k-th access is slow.
+
+    Models the P99 regime hedged execution targets -- a backend that is
+    usually fast but periodically stalls (GC pause, cold replica, page
+    fault storm).  Every access sleeps ``base_latency`` except each
+    ``slow_every``-th one (per *instance* call counter, 1-based), which
+    sleeps ``slow_latency`` instead.  The counter is lock-protected and
+    per instance, so two worker processes rehydrating the same spec
+    storm independently -- which is exactly why a hedge duplicate,
+    landing on a different counter, usually dodges the slow tick.
+    """
+
+    def __init__(
+        self,
+        inner,
+        base_latency: float,
+        slow_latency: float,
+        slow_every: int,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if base_latency < 0 or slow_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if slow_every < 1:
+            raise ValueError("slow_every must be at least 1")
+        super().__init__(inner)
+        self.base_latency = base_latency
+        self.slow_latency = slow_latency
+        self.slow_every = slow_every
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.slow_calls = 0
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        with self._lock:
+            self.calls += 1
+            slow = self.calls % self.slow_every == 0
+            if slow:
+                self.slow_calls += 1
+        delay = self.slow_latency if slow else self.base_latency
+        if delay:
+            self._sleep(delay)
+        return self.inner.access(method_name, inputs)
+
+
 def calibrate_costs(source) -> Dict[str, float]:
     """Fit simple-cost weights from an executed source's log.
 

@@ -284,6 +284,27 @@ class WorkerCrashed(ServiceError):
         super().__init__(message)
 
 
+class WorkerStalled(ServiceError):
+    """A worker accepted a request and then stopped making progress.
+
+    Raised by the worker tier's watchdog when a request exceeds its
+    stall bound while its worker is *alive but stuck* (a hung source,
+    a lost lock, a runaway loop) -- the failure mode a crash detector
+    cannot see, because nothing died.  The process tier reclaims the
+    slot by killing and recreating the pool (``killed`` is True);
+    the thread tier cannot kill a thread, so it surfaces the stall
+    typed and leaks the slot until the task finishes (``killed`` is
+    False).  ``stalls`` counts stalls observed by the tier so far.
+    """
+
+    def __init__(
+        self, message: str, *, stalls: int = 0, killed: bool = False
+    ) -> None:
+        self.stalls = stalls
+        self.killed = killed
+        super().__init__(message)
+
+
 # ------------------------------------------------------------- chase layer
 class ChaseError(ReproError):
     """A failure inside the chase engine."""
@@ -342,4 +363,5 @@ __all__ = [
     "SourceUnavailable",
     "TransientAccessError",
     "WorkerCrashed",
+    "WorkerStalled",
 ]

@@ -206,6 +206,22 @@ class CircuitBreaker:
         self._opened_at = self.clock()
         self._probe_successes = 0
 
+    def reset(self) -> None:
+        """Close the breaker unconditionally (operator/recovery action).
+
+        This is the one transition the state machine cannot take by
+        itself: a *forced*-open breaker (hard :class:`MethodOutage`)
+        never half-opens, so when the outage is known to be over --
+        an operator says so, or the service's method-health recovery
+        loop does -- the breaker must be reset explicitly.  Clears the
+        forced flag and the failure run; ``trips`` history is kept.
+        """
+        with self._lock:
+            self.state = CLOSED
+            self.forced = False
+            self._consecutive_failures = 0
+            self._probe_successes = 0
+
     def refuse(self, inputs: Tuple = ()) -> CircuitOpen:
         """The error describing why a call was refused right now."""
         return CircuitOpen(
@@ -264,6 +280,25 @@ class BreakerRegistry:
                 if breaker.state == OPEN
             )
         )
+
+    def forced_open_methods(self) -> Tuple[str, ...]:
+        """Methods force-opened by a hard outage (never self-recover)."""
+        return tuple(
+            sorted(
+                name
+                for name, breaker in self._snapshot()
+                if breaker.state == OPEN and breaker.forced
+            )
+        )
+
+    def reset_method(self, method: str) -> bool:
+        """Reset one method's breaker if it exists; True when it did."""
+        with self._lock:
+            breaker = self._breakers.get(method)
+        if breaker is None:
+            return False
+        breaker.reset()
+        return True
 
     def states(self) -> Dict[str, str]:
         """Method -> breaker state, a point-in-time health snapshot."""

@@ -47,8 +47,27 @@ from repro.plans.plan import Plan
 from repro.schema.core import Schema
 
 #: Format marker + version stamped into every on-disk cache entry.
+#: Version 2 added the content checksum (entries without one are
+#: treated as alien -- a miss, so old caches simply re-fill).
 CACHE_KIND = "repro.plan-cache"
-CACHE_VERSION = 1
+CACHE_VERSION = 2
+
+
+def entry_checksum(entry: Mapping[str, Any]) -> str:
+    """The BLAKE2b content checksum of one disk entry (sans checksum).
+
+    Computed over the canonical JSON rendering of every field *except*
+    the checksum itself, so any bit flipped by a bad disk, a partial
+    write, or a concurrent editor moves the digest and the entry is
+    quarantined instead of trusted.
+    """
+    payload = json.dumps(
+        {k: v for k, v in entry.items() if k != "checksum"},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def canonical_query_text(query: ConjunctiveQuery) -> str:
@@ -144,6 +163,8 @@ class PlanCache:
         self.disk_hits = 0
         self.stores = 0
         self.invalidations = 0
+        self.quarantined = 0
+        self.persist_errors = 0
         if directory:
             os.makedirs(directory, exist_ok=True)
 
@@ -192,11 +213,21 @@ class PlanCache:
             }
             if meta:
                 entry["meta"] = dict(meta)
+            entry["checksum"] = entry_checksum(entry)
             path = self._path(key)
-            tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True, indent=1)
-            os.replace(tmp, path)
+            # Thread-unique temp name: two submitting threads storing
+            # the same key concurrently (both missed, both searched)
+            # must not race on the temp-then-rename protocol.  A failed
+            # disk write is counted, not raised -- the memory tier has
+            # the entry and the next put retries the disk.
+            tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True, indent=1)
+                os.replace(tmp, path)
+            except OSError:
+                with self._lock:
+                    self.persist_errors += 1
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry from both tiers; True when anything was dropped."""
@@ -239,13 +270,34 @@ class PlanCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
+    def _quarantine(self, key: str) -> None:
+        """Move one corrupt entry aside and continue (never raise).
+
+        The file is renamed to ``<key>.json.quarantined`` so operators
+        can inspect what rotted, the slot reads as a miss (the planner
+        re-plans and the next ``put`` writes a fresh entry), and the
+        event is counted -- corruption is *visible and survivable*,
+        never served and never fatal.
+        """
+        path = self._path(key)
+        try:
+            os.replace(path, f"{path}.quarantined")
+        except OSError:  # pragma: no cover -- racing cleanup is fine
+            pass
+        with self._lock:
+            self.quarantined += 1
+
     def _load_from_disk(self, key: str) -> Optional[CachedPlan]:
         if not self.directory:
             return None
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            # Unreadable or not JSON at all: torn write or bad disk.
+            self._quarantine(key)
             return None
         if (
             not isinstance(entry, dict)
@@ -253,10 +305,16 @@ class PlanCache:
             or entry.get("version") != CACHE_VERSION
             or entry.get("key") != key
         ):
+            # Alien or outdated format: a miss, not corruption.
+            return None
+        checksum = entry.get("checksum")
+        if not isinstance(checksum, str) or checksum != entry_checksum(entry):
+            self._quarantine(key)
             return None
         try:
             plan = ir_to_plan(entry["plan"])
         except (KeyError, TypeError, PlanIRError):
+            self._quarantine(key)
             return None
         return CachedPlan(plan, float(entry.get("cost", 0.0)), tier="disk")
 
@@ -285,6 +343,8 @@ class PlanCache:
                 "disk_hits": self.disk_hits,
                 "stores": self.stores,
                 "invalidations": self.invalidations,
+                "quarantined": self.quarantined,
+                "persist_errors": self.persist_errors,
                 "hit_rate": self.hits / total if total else 0.0,
             }
 

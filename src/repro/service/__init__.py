@@ -17,9 +17,14 @@ Public surface of :mod:`repro.service`:
   :class:`~repro.service.workers.ThreadWorkerPool` implementations --
   the execution tier that ships plan IR (not pickles) to worker
   processes to scale CPU-bound serving past the GIL.
+* :class:`~repro.service.method_health.MethodHealthRegistry` -- the
+  dead-method ledger behind health-aware degraded planning, and
+  :class:`~repro.service.workers.LatencyTracker` -- the EWMA/P95
+  estimator behind adaptive hedged dispatch.
 """
 
 from repro.service.admission import AdmissionQueue
+from repro.service.method_health import MethodHealthRegistry
 from repro.service.request import (
     PRIORITY_BEST_EFFORT,
     PRIORITY_CLASSES,
@@ -32,6 +37,7 @@ from repro.service.request import (
 )
 from repro.service.service import QueryService, ServiceHealth
 from repro.service.workers import (
+    LatencyTracker,
     ProcessWorkerPool,
     SourceSpecError,
     ThreadWorkerPool,
@@ -42,6 +48,8 @@ from repro.service.workers import (
 
 __all__ = [
     "AdmissionQueue",
+    "LatencyTracker",
+    "MethodHealthRegistry",
     "ProcessWorkerPool",
     "PRIORITY_BEST_EFFORT",
     "PRIORITY_CLASSES",

@@ -1,0 +1,100 @@
+"""Service-level method health: turn N request failures into one re-plan.
+
+Before this module, a permanent access-method outage was paid for *per
+request*: every admitted plan touching the dead method failed (typed,
+but failed), because the service kept planning over the full schema.
+The paper's own machinery has the better answer -- proofs enumerate
+*many* plans, and :meth:`Schema.without_methods
+<repro.schema.core.Schema.without_methods>` expresses "the schema minus
+the dead methods" -- so the service should re-plan *once* and keep
+serving.
+
+:class:`MethodHealthRegistry` is the small shared ledger that makes
+that possible: access-method outages observed anywhere in the serving
+path (an in-process :class:`~repro.errors.MethodOutage`, a worker-tier
+failure dict carrying its method context, a force-opened breaker) are
+marked dead here, and :meth:`QueryService.plan_for
+<repro.service.service.QueryService.plan_for>` plans over the schema
+minus the current dead set.  Because the plan cache keys on the schema
+*fingerprint*, the degraded schema lands on a different cache key
+automatically -- the dead-method set is part of the key by
+construction, so a healthy-schema plan can never be served while the
+method is dead, and vice versa.
+
+Recovery closes the loop: when a breaker half-opens and its probe
+succeeds (or an operator declares the outage over), the method is
+marked recovered, the dead set shrinks, and planning falls back to the
+original schema -- whose cached plan is still there, under its own key.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+
+class MethodHealthRegistry:
+    """A thread-safe ledger of access methods currently believed dead.
+
+    ``mark_dead`` / ``mark_recovered`` return whether the call changed
+    anything, so callers can count *transitions* (one outage = one
+    marking = one re-plan) instead of observations (one outage = N
+    failing requests).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._dead: Dict[str, str] = {}
+        self.outages_observed = 0
+        self.recoveries = 0
+
+    def mark_dead(self, method: str, reason: str = "outage") -> bool:
+        """Record one method as dead; True when it was alive before."""
+        if not method:
+            return False
+        with self._lock:
+            self.outages_observed += 1
+            if method in self._dead:
+                return False
+            self._dead[method] = reason
+            return True
+
+    def mark_recovered(self, method: str) -> bool:
+        """Record one method as healthy again; True when it was dead."""
+        with self._lock:
+            if self._dead.pop(method, None) is None:
+                return False
+            self.recoveries += 1
+            return True
+
+    def is_dead(self, method: str) -> bool:
+        """Whether one method is currently marked dead."""
+        with self._lock:
+            return method in self._dead
+
+    def dead_methods(self) -> Tuple[str, ...]:
+        """The current dead set, sorted (stable for cache keys/tests)."""
+        with self._lock:
+            return tuple(sorted(self._dead))
+
+    def reason(self, method: str) -> Optional[str]:
+        """Why one method is marked dead (None when it is not)."""
+        with self._lock:
+            return self._dead.get(method)
+
+    def counters(self) -> Dict[str, object]:
+        """A JSON-able snapshot (surfaced by ``QueryService.health()``)."""
+        with self._lock:
+            return {
+                "dead_methods": sorted(self._dead),
+                "outages_observed": self.outages_observed,
+                "recoveries": self.recoveries,
+            }
+
+    def __repr__(self) -> str:
+        dead = self.dead_methods()
+        return (
+            f"MethodHealthRegistry({len(dead)} dead"
+            + (f": {list(dead)}" if dead else "")
+            + ")"
+        )

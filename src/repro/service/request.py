@@ -78,6 +78,12 @@ class QueryResponse:
     stats: Optional[ExecStats] = None
     queue_wait: float = 0.0
     wall_time: float = 0.0
+    #: True when this response was served while the service's method
+    #: health registry had a nonempty dead set -- planning was degraded
+    #: (the plan avoids the dead methods, or the answer is the marked
+    #: accessible-part fallback).  Orthogonal to complete/partial: a
+    #: degraded *complete* response is still the certain answers.
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -88,6 +94,8 @@ class QueryResponse:
         """A one-line human-readable digest."""
         if self.complete:
             status = "complete"
+            if self.degraded:
+                status = "complete (degraded planning)"
         elif self.partial:
             status = f"PARTIAL ({self.truncated_rows} rows truncated)"
         else:

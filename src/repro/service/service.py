@@ -48,10 +48,15 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.cost.bounds import SizeBounds
 from repro.cost.calibration import CalibrationStore
+from repro.data.accessible_part import accessible_part
 from repro.data.decorators import BudgetedSource
+from repro.data.instance import _to_constant
 from repro.errors import (
     DeadlineExceeded,
     ExecutionError,
+    MethodOutage,
+    NoViablePlan,
+    PlanFailed,
     PlanInadmissible,
     ReproError,
     ServiceOverloaded,
@@ -61,6 +66,7 @@ from repro.exec.batch import substitute_constants
 from repro.exec.budget import ERROR, ResourceBudget
 from repro.exec.cache import AccessCache
 from repro.exec.resilience import (
+    CLOSED,
     BreakerRegistry,
     Deadline,
     ResilientDispatcher,
@@ -68,12 +74,15 @@ from repro.exec.resilience import (
     Sleep,
 )
 from repro.exec.stats import ExecStats
+from repro.logic.atoms import Atom
 from repro.logic.queries import ConjunctiveQuery
 from repro.planner.plan_cache import PlanCache, canonical_query_text, plan_cache_key
 from repro.planner.search import SearchOptions, find_best_plan
+from repro.plans.expressions import NamedTable
 from repro.plans.ir import plan_to_ir, table_from_ir
 from repro.plans.plan import Plan
 from repro.service.admission import AdmissionQueue
+from repro.service.method_health import MethodHealthRegistry
 from repro.service.workers import (
     WorkerPool,
     encode_bindings,
@@ -124,6 +133,11 @@ class ServiceHealth:
     #: Requests rejected at admission because their static result-size
     #: bound already exceeded the budget's row ceiling.
     rejected_inadmissible: int = 0
+    #: Method-health registry snapshot: the current dead-method set,
+    #: outage observations, recoveries, plus how often planning re-ran
+    #: over a degraded schema (``replans``) and how many responses were
+    #: served under a nonempty dead set (``degraded_served``).
+    method_health: Optional[Dict] = None
 
     def summary(self) -> str:
         """A one-line human-readable digest."""
@@ -172,6 +186,7 @@ class ServiceHealth:
             "planned": self.planned,
             "calibration": self.calibration,
             "rejected_inadmissible": self.rejected_inadmissible,
+            "method_health": self.method_health,
         }
 
 
@@ -198,6 +213,8 @@ class QueryService:
         plan_cache: Optional[PlanCache] = None,
         calibration: Optional[CalibrationStore] = None,
         size_bounds: Optional[SizeBounds] = None,
+        method_health: Optional[MethodHealthRegistry] = None,
+        allow_degraded: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
@@ -230,6 +247,18 @@ class QueryService:
         # invoking Algorithm 1 search.
         self.plan_cache = plan_cache
         self._planned = 0
+        # Health-aware degraded planning: outages observed while serving
+        # mark methods dead here, and plan_for plans over the schema
+        # minus the dead set -- one re-plan per outage, not one failure
+        # per request.  allow_degraded additionally lets submit_query
+        # fall back to a marked-partial accessible-part answer when no
+        # full plan survives the dead set.
+        self.method_health = (
+            method_health if method_health is not None else MethodHealthRegistry()
+        )
+        self.allow_degraded = allow_degraded
+        self._replans = 0
+        self._degraded_served = 0
         self.retry = retry
         self.breakers = breakers if breakers is not None else BreakerRegistry(
             clock=clock
@@ -440,6 +469,42 @@ class QueryService:
         return self.submit(plan, **kwargs).result(timeout)
 
     # ------------------------------------------------------ query planning
+    def current_dead_methods(self) -> tuple:
+        """The dead-method set planning must avoid right now, sorted.
+
+        The union of the method-health registry and any breakers
+        force-opened by a hard outage (failover's diagnosis path);
+        force-opened breakers are folded *into* the registry so the
+        two views converge.  Recovery is observed here too: a dead
+        method whose breaker has closed again (a half-open probe
+        succeeded, or :meth:`mark_method_recovered` reset it) leaves
+        the dead set.
+        """
+        dead = set(self.method_health.dead_methods())
+        for method in self.breakers.forced_open_methods():
+            if method not in dead:
+                self.method_health.mark_dead(method, reason="breaker forced open")
+                dead.add(method)
+        if dead:
+            states = self.breakers.states()
+            for method in list(dead):
+                if states.get(method) == CLOSED:
+                    self.method_health.mark_recovered(method)
+                    dead.discard(method)
+        return tuple(sorted(dead))
+
+    def mark_method_recovered(self, method: str) -> bool:
+        """Declare one method's outage over (operator/probe action).
+
+        Resets the method's breaker (a *forced*-open breaker never
+        half-opens by itself) and clears the registry entry, so the
+        next planning pass sees the full schema again -- whose cached
+        plan, keyed by the healthy schema fingerprint, is still warm.
+        Returns True when the method was actually marked dead.
+        """
+        self.breakers.reset_method(method)
+        return self.method_health.mark_recovered(method)
+
     def plan_for(
         self,
         query: ConjunctiveQuery,
@@ -457,32 +522,55 @@ class QueryService:
         Concurrent misses on the same key may both search; both store
         the same answer, so this is wasted work at worst, never a wrong
         plan.
+
+        Under a nonempty dead-method set, planning runs over
+        ``schema.without_methods(dead)``: the degraded schema has a
+        *different fingerprint*, so the dead set is part of the cache
+        key by construction -- an outage costs one re-plan (a cache
+        miss on the degraded key), then every request hits the degraded
+        entry until recovery swings the key back.  Raises typed
+        :class:`~repro.errors.NoViablePlan` when no plan avoids the
+        dead methods.
         """
         options = search_options if search_options is not None else SearchOptions()
+        dead = self.current_dead_methods()
+        schema = self.source.schema
+        if dead:
+            schema = schema.without_methods(dead)
         key = None
         if self.plan_cache is not None:
-            key = plan_cache_key(query, self.source.schema, options.cost)
+            key = plan_cache_key(query, schema, options.cost)
             hit = self.plan_cache.get(key)
             if hit is not None:
                 return hit.plan
-        result = find_best_plan(self.source.schema, query, options)
+        if dead and not schema.methods:
+            raise NoViablePlan(
+                "every access method is dead", dead_methods=dead
+            )
+        result = find_best_plan(schema, query, options)
         with self._lock:
             self._planned += 1
+            if dead:
+                self._replans += 1
         if not result.found:
+            if dead:
+                raise NoViablePlan(
+                    f"no plan for {canonical_query_text(query)} avoids "
+                    f"the dead methods",
+                    dead_methods=dead,
+                )
             raise ExecutionError(
                 f"no plan within the search budget for query "
                 f"{canonical_query_text(query)}"
             )
         if self.plan_cache is not None and key is not None:
-            self.plan_cache.put(
-                key,
-                result.best_plan,
-                result.best_cost,
-                meta={
-                    "query": canonical_query_text(query),
-                    "schema": self.source.schema.fingerprint(),
-                },
-            )
+            meta = {
+                "query": canonical_query_text(query),
+                "schema": schema.fingerprint(),
+            }
+            if dead:
+                meta["dead_methods"] = list(dead)
+            self.plan_cache.put(key, result.best_plan, result.best_cost, meta=meta)
         return result.best_plan
 
     def submit_query(
@@ -498,9 +586,104 @@ class QueryService:
         distinct queries.  With a warm :class:`PlanCache` the search
         step disappears and only execution remains; ``kwargs`` are
         those of :meth:`submit` (bindings, priority, deadline, budget).
+
+        When the dead-method set leaves *no* viable plan and
+        ``allow_degraded`` is on, the request is served anyway: the
+        query is evaluated over the accessible part of the surviving
+        schema and the response comes back explicitly marked
+        ``partial`` and ``degraded`` -- a sound under-approximation of
+        the certain answers, never a silent wrong answer and never a
+        per-request error storm.
         """
-        plan = self.plan_for(query, search_options=search_options)
+        try:
+            plan = self.plan_for(query, search_options=search_options)
+        except NoViablePlan:
+            if not self.allow_degraded:
+                raise
+            return self._degraded_ticket(query, **kwargs)
         return self.submit(plan, **kwargs)
+
+    def _degraded_ticket(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        bindings: Optional[Mapping[object, object]] = None,
+        priority: int = PRIORITY_NORMAL,
+        deadline: Optional[float] = None,
+        budget: Optional[ResourceBudget] = None,
+        request_id: Optional[str] = None,
+    ) -> Ticket:
+        """Serve a no-viable-plan query from the accessible part, marked.
+
+        The answer is computed synchronously (it reads the wrapped
+        instance directly -- the simulation's ground truth restricted
+        to what surviving methods can reveal, the same fallback
+        :class:`~repro.exec.failover.FailoverExecutor` uses) and the
+        ticket comes back already resolved with a ``partial`` +
+        ``degraded`` response.  The request is fully accounted: it
+        counts as served/partial in :meth:`health`, so the accounting
+        identity holds with zero special cases.
+        """
+        with self._lock:
+            if not (self._running and self._accepting):
+                raise ServiceStopped(
+                    f"service {self.name!r} is not accepting requests"
+                )
+            rid = request_id or f"q{next(self._ids)}"
+        bound_query = self._bind_query(query, bindings)
+        dead = self.current_dead_methods()
+        schema = self.source.schema.without_methods(dead)
+        started = perf_counter()
+        part = accessible_part(schema, self.source.instance).as_instance()
+        answers = part.evaluate(bound_query)
+        table = NamedTable(
+            tuple(variable.name for variable in bound_query.head),
+            frozenset(answers),
+        )
+        request = QueryRequest(
+            plan=None,  # no plan survives the dead set; served degraded
+            bindings=bindings,
+            priority=priority,
+            deadline_seconds=deadline,
+            budget=budget,
+            request_id=rid,
+            submitted_at=self.clock(),
+        )
+        ticket = Ticket(request)
+        response = QueryResponse(
+            rid,
+            table=table,
+            complete=False,
+            partial=True,
+            degraded=True,
+            wall_time=perf_counter() - started,
+        )
+        ticket.resolve(response)
+        with self._lock:
+            self._in_flight += 1  # balances _account's decrement
+        self._account(response)
+        return ticket
+
+    @staticmethod
+    def _bind_query(
+        query: ConjunctiveQuery,
+        bindings: Optional[Mapping[object, object]],
+    ) -> ConjunctiveQuery:
+        """Substitute parameter constants into a query's body atoms."""
+        if not bindings:
+            return query
+        mapping = {
+            _to_constant(key): _to_constant(value)
+            for key, value in bindings.items()
+        }
+        atoms = tuple(
+            Atom(
+                atom.relation,
+                tuple(mapping.get(term, term) for term in atom.terms),
+            )
+            for atom in query.atoms
+        )
+        return ConjunctiveQuery(query.head, atoms, name=query.name)
 
     # ------------------------------------------------------------- workers
     def _worker_loop(self) -> None:
@@ -523,6 +706,12 @@ class QueryService:
                         )
                     ),
                 )
+            if not response.degraded and self.method_health.dead_methods():
+                # Anything served while the dead set is nonempty is
+                # visibly flagged: the answer may be complete (a
+                # re-planned full plan still computes the certain
+                # answers) but the serving regime is degraded.
+                response.degraded = True
             ticket.resolve(response)
             self._account(response)
 
@@ -656,17 +845,44 @@ class QueryService:
             wall_time=wall_time,
         )
 
+    def _observe_outage(self, response: QueryResponse) -> None:
+        """Mark the failing method dead on a hard-outage response.
+
+        This is the feed of the method-health registry: a typed
+        :class:`~repro.errors.MethodOutage` (direct from in-process
+        execution, rebuilt with its method context from a worker-tier
+        failure dict, or wrapped in a :class:`PlanFailed`) means the
+        method is hard-down -- the *next* planning pass avoids it.
+        """
+        error = response.error
+        if isinstance(error, PlanFailed) and error.cause is not None:
+            error = error.cause
+        if isinstance(error, MethodOutage):
+            method = getattr(error, "method", None)
+            if method:
+                self.method_health.mark_dead(method)
+
     def _account(self, response: QueryResponse) -> None:
         # Fold the request's observed row flow into the calibration
         # store *outside* the service lock -- the store has its own --
         # so planning threads reading estimates never wait on accounting.
         if self.calibration is not None and response.stats is not None:
-            self.calibration.observe_stats(
-                response.stats, relation_of=self._method_relations
-            )
+            try:
+                self.calibration.observe_stats(
+                    response.stats, relation_of=self._method_relations
+                )
+            except Exception:  # pragma: no cover -- feedback is advisory
+                # The calibration fold must never stop the books from
+                # balancing: the ticket is already resolved, and an
+                # unaccounted request breaks served-counter invariants.
+                pass
+        if response.error is not None:
+            self._observe_outage(response)
         with self._lock:
             self._in_flight -= 1
             self._served += 1
+            if response.degraded:
+                self._degraded_served += 1
             if response.complete:
                 self._completed += 1
             elif response.partial:
@@ -694,10 +910,32 @@ class QueryService:
             self._shed += 1
 
     def _retry_after_hint(self) -> float:
+        """Expected seconds until capacity frees up (a hint, not a vow).
+
+        Little's-law shape: (work waiting) x (mean service time) /
+        (effective parallelism).  With an execution tier configured the
+        effective width is the *narrower* of the service thread pool
+        and the tier's worker count -- a 2-process tier behind 8
+        service threads drains 2 requests at a time, not 8 -- and the
+        tier's own backlog beyond this service's in-flight requests
+        (hedge duplicates, other clients of a shared pool) counts as
+        waiting work too.
+        """
         with self._lock:
             mean = self._mean_service_time or _DEFAULT_SERVICE_TIME
             waiting = self._queue.depth() + self._in_flight
-        return max(mean, waiting * mean / self.workers)
+        width = self.workers
+        if self.worker_pool is not None:
+            tier_width = getattr(self.worker_pool, "workers", 0) or 0
+            if tier_width:
+                width = min(width, tier_width)
+            try:
+                backlog = self.worker_pool.backlog()
+            except Exception:  # pragma: no cover -- defensive
+                backlog = 0
+            with self._lock:
+                waiting += max(0, backlog - self._in_flight)
+        return max(mean, waiting * mean / width)
 
     # ---------------------------------------------------------- inspection
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
@@ -744,7 +982,10 @@ class QueryService:
             if self.calibration is not None
             else None
         )
+        method_health = self.method_health.counters()
         with self._lock:
+            method_health["replans"] = self._replans
+            method_health["degraded_served"] = self._degraded_served
             return ServiceHealth(
                 running=self._running,
                 accepting=self._accepting,
@@ -768,6 +1009,7 @@ class QueryService:
                 planned=self._planned,
                 calibration=calibration,
                 rejected_inadmissible=self._rejected_inadmissible,
+                method_health=method_health,
             )
 
     def __repr__(self) -> str:

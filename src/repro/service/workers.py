@@ -42,24 +42,34 @@ and as the degraded fallback when processes are unavailable).
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import (
+    FIRST_COMPLETED,
     BrokenExecutor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
 from multiprocessing import get_context
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import repro.errors as errors_module
-from repro.data.decorators import CachingSource, LatencySource
+from repro.data.decorators import (
+    CachingSource,
+    LatencySource,
+    StormyLatencySource,
+)
 from repro.data.instance import Instance, _to_constant
 from repro.data.source import InMemorySource, ShardedInMemorySource
 from repro.errors import (
+    AccessError,
     DeadlineExceeded,
     ExecutionError,
     ReproError,
     WorkerCrashed,
+    WorkerStalled,
 )
 from repro.exec.batch import substitute_constants
 from repro.exec.budget import ResourceBudget
@@ -101,6 +111,19 @@ def source_to_spec(source) -> Dict[str, Any]:
     ``BudgetedSource``) are rejected: replaying them per worker would
     change semantics, and budgets are shipped per request instead.
     """
+    if isinstance(source, StormyLatencySource):
+        # Per-instance call counters make the storm *schedule* differ
+        # between workers, but latency is timing-only nondeterminism:
+        # answers are unchanged, which is what makes this (unlike
+        # FlakySource) safe to replay per worker -- and what hedged
+        # dispatch exploits.
+        return {
+            "wrap": "storm",
+            "base_latency": source.base_latency,
+            "slow_latency": source.slow_latency,
+            "slow_every": source.slow_every,
+            "inner": source_to_spec(source.inner),
+        }
     if isinstance(source, LatencySource):
         return {
             "wrap": "latency",
@@ -153,6 +176,13 @@ def source_to_spec(source) -> Dict[str, Any]:
 def spec_to_source(spec: Mapping[str, Any]):
     """Rehydrate the source (stack) described by :func:`source_to_spec`."""
     wrap = spec.get("wrap")
+    if wrap == "storm":
+        return StormyLatencySource(
+            spec_to_source(spec["inner"]),
+            float(spec["base_latency"]),
+            float(spec["slow_latency"]),
+            int(spec["slow_every"]),
+        )
     if wrap == "latency":
         return LatencySource(
             spec_to_source(spec["inner"]), float(spec["latency"])
@@ -303,25 +333,46 @@ def execute_payload(source, payload: Mapping[str, Any]) -> Dict[str, Any]:
             "stats": stats.as_dict() if stats is not None else None,
         }
     except ReproError as error:
-        return {
+        failure = {
             "ok": False,
             "error_type": type(error).__name__,
             "error": str(error),
         }
+        # Access-layer context crosses the boundary too: the service's
+        # method-health registry needs to know *which* method died, and
+        # a string message is not a protocol.
+        for attribute in ("method", "relation"):
+            value = getattr(error, attribute, None)
+            if isinstance(value, str):
+                failure[attribute] = value
+        return failure
 
 
 def rebuild_error(result: Mapping[str, Any]) -> ReproError:
-    """Rebuild the typed error a worker reported for one request."""
+    """Rebuild the typed error a worker reported for one request.
+
+    Access errors are rebuilt *with* their method/relation context when
+    the worker shipped it, so parent-side consumers (the service's
+    method-health registry, failover diagnosis) see the same typed
+    error they would have seen executing in-process.
+    """
     error_type = result.get("error_type", "ExecutionError")
     error_class = getattr(errors_module, error_type, ExecutionError)
     if not (
         isinstance(error_class, type) and issubclass(error_class, ReproError)
     ):
         error_class = ExecutionError
+    message = str(result.get("error", "worker failure"))
+    kwargs: Dict[str, Any] = {}
+    if issubclass(error_class, AccessError):
+        for attribute in ("method", "relation"):
+            value = result.get(attribute)
+            if isinstance(value, str):
+                kwargs[attribute] = value
     try:
-        return error_class(str(result.get("error", "worker failure")))
+        return error_class(message, **kwargs)
     except TypeError:
-        return ExecutionError(str(result.get("error", "worker failure")))
+        return ExecutionError(message)
 
 
 # ------------------------------------------------------- worker process side
@@ -346,6 +397,81 @@ def _run_payload_task(payload: Mapping[str, Any]) -> Dict[str, Any]:
     return execute_payload(_WORKER_SOURCE, payload)
 
 
+# -------------------------------------------------------- latency tracking
+class LatencyTracker:
+    """Streaming EWMA mean + P95 estimate of request service times.
+
+    The P95 is a Robbins-Monro stochastic quantile approximation: each
+    sample nudges the estimate up by a ``quantile`` fraction of one
+    step when the sample lies above it, down by ``1 - quantile`` when
+    below, with the step scaled to the current mean -- so the tail
+    estimate converges without storing any samples.  :meth:`hedge_delay`
+    is what hedged dispatch waits before duplicating a request: the
+    current P95 (clamped into ``[min_delay, max_delay]``), i.e. long
+    enough that ~95% of requests come back unhedged and only the tail
+    pays for a duplicate.  Until ``warmup`` samples arrive the tracker
+    answers ``initial_delay`` -- a cold estimator should not hedge
+    aggressively.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        quantile: float = 0.95,
+        initial_delay: float = 0.05,
+        min_delay: float = 0.001,
+        max_delay: float = 5.0,
+        warmup: int = 5,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be within (0, 1]")
+        if not 0 < quantile < 1:
+            raise ValueError("quantile must be within (0, 1)")
+        self.alpha = alpha
+        self.quantile = quantile
+        self.initial_delay = initial_delay
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.warmup = warmup
+        self._lock = threading.Lock()
+        self.samples = 0
+        self.mean = 0.0
+        self.p95 = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one observed request service time in."""
+        if seconds < 0:
+            return
+        with self._lock:
+            self.samples += 1
+            if self.samples == 1:
+                self.mean = seconds
+                self.p95 = seconds
+                return
+            self.mean += self.alpha * (seconds - self.mean)
+            step = self.alpha * max(self.mean, 1e-6)
+            if seconds > self.p95:
+                self.p95 += step * self.quantile
+            else:
+                self.p95 = max(0.0, self.p95 - step * (1.0 - self.quantile))
+
+    def hedge_delay(self) -> float:
+        """How long to wait before issuing a hedge duplicate."""
+        with self._lock:
+            if self.samples < self.warmup:
+                return self.initial_delay
+            return min(self.max_delay, max(self.min_delay, self.p95))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-able snapshot (surfaced by pool ``health()``)."""
+        with self._lock:
+            return {
+                "samples": self.samples,
+                "mean": self.mean,
+                "p95": self.p95,
+            }
+
+
 # ------------------------------------------------------------------- pools
 class WorkerPool:
     """The execution-tier interface ``QueryService`` dispatches through.
@@ -353,11 +479,124 @@ class WorkerPool:
     One blocking call per request: :meth:`run_request` takes the plain
     payload dict and returns the plain result dict of
     :func:`execute_payload` (raising typed errors only for tier-level
-    failures: crash, timeout).  ``start``/``shutdown`` bracket the
-    tier's lifetime; :meth:`health` is a JSON-able liveness snapshot.
+    failures: crash, stall, timeout).  ``start``/``shutdown`` bracket
+    the tier's lifetime; :meth:`health` is a JSON-able liveness
+    snapshot.
+
+    Both concrete tiers share two opt-in resilience features:
+
+    * a **watchdog** (``watchdog_seconds``): a stall bound per request,
+      independent of (and typically much tighter than) the request
+      deadline.  A request that exceeds it while its worker is alive
+      but stuck surfaces typed :class:`~repro.errors.WorkerStalled`
+      instead of blocking its slot forever -- the process tier also
+      kills and recreates the pool to reclaim the slot;
+    * **hedged dispatch** (``hedge=True``): after an adaptive
+      EWMA-P95-based delay (see :class:`LatencyTracker`) the request is
+      duplicated to a second worker and the first result wins, cutting
+      tail latency.  Safe because plan execution is deterministic and
+      accesses are idempotent under set semantics (docs/theory.md,
+      "Chaos model, hedging, and degraded serving").
     """
 
     kind = "none"
+
+    def _init_resilience(
+        self,
+        watchdog_seconds: Optional[float],
+        hedge: bool,
+        hedge_delay: Optional[float],
+    ) -> None:
+        """Shared constructor plumbing for watchdog + hedging state."""
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise ValueError("watchdog_seconds must be positive")
+        if hedge_delay is not None and hedge_delay <= 0:
+            raise ValueError("hedge_delay must be positive")
+        self.watchdog_seconds = watchdog_seconds
+        self.hedge = hedge
+        self._hedge_delay = hedge_delay
+        self.latency = LatencyTracker()
+        self.stalls = 0
+        self.watchdog_kills = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.hedge_waste = 0
+        self._pending = 0
+
+    def hedge_delay(self) -> float:
+        """The delay before a hedge duplicate (fixed or adaptive)."""
+        if self._hedge_delay is not None:
+            return self._hedge_delay
+        return self.latency.hedge_delay()
+
+    def backlog(self) -> int:
+        """Requests currently inside the tier (submitted, unfinished)."""
+        with self._lock:
+            return self._pending
+
+    def _resilience_health(self) -> Dict[str, Any]:
+        """The watchdog/hedging slice of ``health()``; caller holds lock."""
+        return {
+            "pending": self._pending,
+            "watchdog_seconds": self.watchdog_seconds,
+            "stalls": self.stalls,
+            "watchdog_kills": self.watchdog_kills,
+            "hedge": self.hedge,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "hedge_waste": self.hedge_waste,
+            "latency": self.latency.as_dict(),
+        }
+
+    def _wait_hedged(
+        self,
+        primary: Future,
+        submit: Callable[[], Future],
+        timeout: Optional[float],
+    ) -> Dict[str, Any]:
+        """Await a request future, duplicating it after the hedge delay.
+
+        Returns the winner's result dict; raises ``FutureTimeoutError``
+        when neither copy answered within ``timeout`` (both copies are
+        cancelled best-effort first) and whatever the winner raised
+        otherwise.  Counter protocol: ``hedges`` counts duplicates
+        issued, ``hedge_wins`` duplicates that answered first,
+        ``hedge_waste`` duplicates outrun by their primary.
+        """
+        started = time.monotonic()
+        delay = self.hedge_delay()
+        if not self.hedge or (timeout is not None and delay >= timeout):
+            return primary.result(timeout=timeout)
+        try:
+            return primary.result(timeout=delay)
+        except FutureTimeoutError:
+            pass
+        hedge = submit()
+        with self._lock:
+            self.hedges += 1
+        remaining = (
+            None
+            if timeout is None
+            else max(0.0, timeout - (time.monotonic() - started))
+        )
+        done, _ = futures_wait(
+            [primary, hedge], timeout=remaining, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            hedge.cancel()
+            raise FutureTimeoutError()
+        # Prefer the primary when both raced to completion: its result
+        # is identical (deterministic execution) and the accounting
+        # then calls the duplicate what it was -- waste.
+        winner = primary if primary in done else hedge
+        loser = hedge if winner is primary else primary
+        with self._lock:
+            if winner is hedge:
+                self.hedge_wins += 1
+            else:
+                self.hedge_waste += 1
+        loser.cancel()
+        return winner.result()
 
     def start(self) -> "WorkerPool":
         """Bring the tier up; returns ``self`` for ``with``-chaining."""
@@ -405,6 +644,9 @@ class ProcessWorkerPool(WorkerPool):
         source_spec: Mapping[str, Any],
         workers: int = 8,
         start_method: str = "spawn",
+        watchdog_seconds: Optional[float] = None,
+        hedge: bool = False,
+        hedge_delay: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
@@ -417,16 +659,18 @@ class ProcessWorkerPool(WorkerPool):
         self.tasks = 0
         self.crashes = 0
         self.restarts = 0
+        self._init_resilience(watchdog_seconds, hedge, hedge_delay)
 
     @classmethod
     def for_source(
-        cls, source, workers: int = 8, start_method: str = "spawn"
+        cls, source, workers: int = 8, start_method: str = "spawn", **kwargs
     ) -> "ProcessWorkerPool":
         """Build a pool from a live source (via :func:`source_to_spec`)."""
         return cls(
             source_to_spec(source),
             workers=workers,
             start_method=start_method,
+            **kwargs,
         )
 
     def start(self) -> "ProcessWorkerPool":
@@ -462,6 +706,14 @@ class ProcessWorkerPool(WorkerPool):
 
         A broken pool (killed worker) raises typed :class:`WorkerCrashed`
         and recreates the executor so the next request can succeed.
+        With a watchdog configured, a request that exceeds its stall
+        bound while its worker is alive-but-stuck raises typed
+        :class:`~repro.errors.WorkerStalled` and the pool is killed and
+        recreated -- the slot is reclaimed instead of blocked forever
+        (collateral in-flight requests on the killed pool surface as
+        :class:`WorkerCrashed`, typed, never hung).  With ``hedge``
+        enabled the request is duplicated to a second worker after the
+        adaptive hedge delay and the first result wins.
         """
         with self._lock:
             if not self._started:
@@ -471,13 +723,25 @@ class ProcessWorkerPool(WorkerPool):
                 )
             executor = self._ensure_executor()
             self.tasks += 1
+            self._pending += 1
+        effective = timeout
+        if self.watchdog_seconds is not None:
+            effective = (
+                self.watchdog_seconds
+                if timeout is None
+                else min(timeout, self.watchdog_seconds)
+            )
+        started = time.monotonic()
+        future: Optional[Future] = None
         try:
             future = executor.submit(_run_payload_task, dict(payload))
-            return future.result(timeout=timeout)
+            submit = lambda: executor.submit(_run_payload_task, dict(payload))
+            result = self._wait_hedged(future, submit, effective)
+            self.latency.observe(time.monotonic() - started)
+            return result
         except FutureTimeoutError:
-            future.cancel()
-            raise DeadlineExceeded(
-                f"worker did not answer within {timeout:.3f}s"
+            raise self._timeout_error(
+                executor, future, timeout, effective
             ) from None
         except BrokenExecutor as broken:
             restarts = self._recreate(executor)
@@ -485,6 +749,78 @@ class ProcessWorkerPool(WorkerPool):
                 f"worker process died executing this request: {broken}",
                 restarts=restarts,
             ) from broken
+        finally:
+            with self._lock:
+                self._pending -= 1
+
+    def _timeout_error(
+        self,
+        executor: ProcessPoolExecutor,
+        future: Optional[Future],
+        timeout: Optional[float],
+        effective: Optional[float],
+    ) -> ReproError:
+        """Map one request timeout to its typed error (watchdog-aware)."""
+        watchdog_fired = self.watchdog_seconds is not None and (
+            timeout is None or self.watchdog_seconds < timeout
+        )
+        cancelled = future.cancel() if future is not None else True
+        if not watchdog_fired:
+            # The request's own deadline expired first.  Without a
+            # watchdog the stuck future is merely abandoned (its slot
+            # stays blocked until the task finishes -- the pre-watchdog
+            # behaviour); with one, a running worker is killed so the
+            # slot comes back.
+            if not cancelled and self.watchdog_seconds is not None:
+                self._watchdog_recycle(executor)
+            return DeadlineExceeded(
+                f"worker did not answer within {timeout:.3f}s"
+            )
+        with self._lock:
+            self.stalls += 1
+            stalls = self.stalls
+        if cancelled:
+            # Never started: the whole tier is busy (likely stuck
+            # behind other stalled requests).  The slot was reclaimed
+            # by the cancel, so no kill is needed.
+            return WorkerStalled(
+                f"request waited {effective:.3f}s unstarted in the worker "
+                f"tier (watchdog bound {self.watchdog_seconds}s): all "
+                f"workers busy",
+                stalls=stalls,
+                killed=False,
+            )
+        self._watchdog_recycle(executor)
+        return WorkerStalled(
+            f"worker made no progress within the {self.watchdog_seconds}s "
+            "watchdog bound; pool killed and recreated",
+            stalls=stalls,
+            killed=True,
+        )
+
+    def _watchdog_recycle(self, stuck: ProcessPoolExecutor) -> None:
+        """Kill a stuck executor's workers and install a fresh pool.
+
+        ``Future.cancel`` cannot stop a *running* task, so reclaiming
+        the slot means killing the worker processes.  Requests in
+        flight on the killed pool fail with typed
+        :class:`WorkerCrashed` via the normal broken-pool path --
+        collateral, but never a hang and never a wrong answer.
+        """
+        with self._lock:
+            self.watchdog_kills += 1
+            if self._executor is stuck:
+                self._executor = None
+                if self._started:
+                    self.restarts += 1
+                    self._ensure_executor()
+        processes = getattr(stuck, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover -- already dead
+                pass
+        stuck.shutdown(wait=False, cancel_futures=True)
 
     def _recreate(self, broken: ProcessPoolExecutor) -> int:
         """Replace a broken executor with a fresh one; returns restarts."""
@@ -507,7 +843,7 @@ class ProcessWorkerPool(WorkerPool):
     def health(self) -> Dict[str, Any]:
         """A JSON-able liveness/counters snapshot of the tier."""
         with self._lock:
-            return {
+            snapshot = {
                 "tier": self.kind,
                 "alive": self._started and self._executor is not None,
                 "workers": self.workers,
@@ -516,6 +852,8 @@ class ProcessWorkerPool(WorkerPool):
                 "crashes": self.crashes,
                 "restarts": self.restarts,
             }
+            snapshot.update(self._resilience_health())
+            return snapshot
 
     def __repr__(self) -> str:
         state = "alive" if self.alive() else "stopped"
@@ -537,7 +875,14 @@ class ThreadWorkerPool(WorkerPool):
 
     kind = "thread"
 
-    def __init__(self, source, workers: int = 8) -> None:
+    def __init__(
+        self,
+        source,
+        workers: int = 8,
+        watchdog_seconds: Optional[float] = None,
+        hedge: bool = False,
+        hedge_delay: Optional[float] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("worker count must be positive")
         self.source = source
@@ -546,6 +891,7 @@ class ThreadWorkerPool(WorkerPool):
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started = False
         self.tasks = 0
+        self._init_resilience(watchdog_seconds, hedge, hedge_delay)
 
     def start(self) -> "ThreadWorkerPool":
         """Spin up the thread executor over the shared live source."""
@@ -569,19 +915,64 @@ class ThreadWorkerPool(WorkerPool):
     def run_request(
         self, payload: Mapping[str, Any], timeout: Optional[float] = None
     ) -> Dict[str, Any]:
-        """Execute one payload on a pool thread against the live source."""
+        """Execute one payload on a pool thread against the live source.
+
+        The watchdog surfaces a stuck request as typed
+        :class:`~repro.errors.WorkerStalled` -- but unlike the process
+        tier it cannot reclaim the slot: Python threads cannot be
+        killed, so the stalled thread leaks until its task finishes
+        (counted in ``stalls``; documented, not hidden).  Hedging works
+        as on the process tier.
+        """
         with self._lock:
             if not self._started or self._executor is None:
                 raise WorkerCrashed("thread worker pool is not running")
             executor = self._executor
             self.tasks += 1
+            self._pending += 1
+        effective = timeout
+        if self.watchdog_seconds is not None:
+            effective = (
+                self.watchdog_seconds
+                if timeout is None
+                else min(timeout, self.watchdog_seconds)
+            )
+        started = time.monotonic()
+        future: Optional[Future] = None
         try:
             future = executor.submit(execute_payload, self.source, payload)
-            return future.result(timeout=timeout)
+            submit = lambda: executor.submit(
+                execute_payload, self.source, payload
+            )
+            result = self._wait_hedged(future, submit, effective)
+            self.latency.observe(time.monotonic() - started)
+            return result
         except FutureTimeoutError:
-            raise DeadlineExceeded(
-                f"worker did not answer within {timeout:.3f}s"
+            watchdog_fired = self.watchdog_seconds is not None and (
+                timeout is None or self.watchdog_seconds < timeout
+            )
+            cancelled = future.cancel() if future is not None else True
+            if not watchdog_fired:
+                raise DeadlineExceeded(
+                    f"worker did not answer within {timeout:.3f}s"
+                ) from None
+            with self._lock:
+                self.stalls += 1
+                stalls = self.stalls
+            detail = (
+                "all workers busy"
+                if cancelled
+                else "worker thread leaked until its task finishes"
+            )
+            raise WorkerStalled(
+                f"request made no progress within the "
+                f"{self.watchdog_seconds}s watchdog bound ({detail})",
+                stalls=stalls,
+                killed=False,
             ) from None
+        finally:
+            with self._lock:
+                self._pending -= 1
 
     def alive(self) -> bool:
         """Whether the tier can currently take requests."""
@@ -591,7 +982,7 @@ class ThreadWorkerPool(WorkerPool):
     def health(self) -> Dict[str, Any]:
         """A JSON-able liveness/counters snapshot of the tier."""
         with self._lock:
-            return {
+            snapshot = {
                 "tier": self.kind,
                 "alive": self._started and self._executor is not None,
                 "workers": self.workers,
@@ -599,6 +990,8 @@ class ThreadWorkerPool(WorkerPool):
                 "crashes": 0,
                 "restarts": 0,
             }
+            snapshot.update(self._resilience_health())
+            return snapshot
 
     def __repr__(self) -> str:
         state = "alive" if self.alive() else "stopped"

@@ -206,3 +206,60 @@ class TestDiskTier:
         )
         payload = json.loads(path.read_text())
         assert payload["format"] == CALIBRATION_KIND
+
+
+class TestCrashMidAtomicWrite:
+    """A writer dying inside the temp-then-rename protocol is harmless."""
+
+    def _persisted(self, tmp_path):
+        path = tmp_path / "calib.json"
+        store = CalibrationStore(path=str(path))
+        store.observe(
+            "mt_a", relation="R", dispatched=2, fetched=8, emitted=4
+        )
+        return path
+
+    def test_abandoned_temp_file_is_ignored(self, tmp_path):
+        path = self._persisted(tmp_path)
+        (tmp_path / "calib.json.tmp.9999").write_text(
+            '{"format": "repro.cost-calibration", "ver'
+        )
+        reloaded = CalibrationStore(path=str(path))
+        assert reloaded.fan_out("mt_a") == pytest.approx(2.0)
+        assert reloaded.counters()["quarantined"] == 0
+
+    def test_torn_rename_is_quarantined_and_survivable(self, tmp_path):
+        path = self._persisted(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        reloaded = CalibrationStore(path=str(path))
+        # The store starts empty (documented fallbacks apply), the
+        # rotten file is kept aside, and the event is counted.
+        assert reloaded.observations == 0
+        assert reloaded.counters()["quarantined"] == 1
+        assert (tmp_path / "calib.json.quarantined").exists()
+        # Live observations re-fill and re-persist a valid store.
+        reloaded.observe(
+            "mt_a", relation="R", dispatched=1, fetched=2, emitted=2
+        )
+        assert CalibrationStore(path=str(path)).observations == 1
+
+    def test_single_byte_flip_is_quarantined(self, tmp_path):
+        path = self._persisted(tmp_path)
+        data = bytearray(path.read_bytes())
+        mid = len(data) // 2
+        data[mid] = ord("Y") if data[mid] == ord("X") else ord("X")
+        path.write_bytes(bytes(data))
+        reloaded = CalibrationStore(path=str(path))
+        assert reloaded.observations == 0
+        assert reloaded.counters()["quarantined"] == 1
+
+    def test_failed_persist_is_counted_not_raised(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store dir should be")
+        store = CalibrationStore(path=str(blocker / "nested" / "calib.json"))
+        store.observe(
+            "mt_a", relation="R", dispatched=1, fetched=1, emitted=1
+        )
+        assert store.counters()["persist_errors"] == 1
+        # The in-memory estimates are intact despite the failed write.
+        assert store.fan_out("mt_a") == pytest.approx(1.0)

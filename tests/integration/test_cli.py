@@ -35,6 +35,52 @@ class TestDemo:
             main(["demo", "not-a-scenario"])
 
 
+class TestServeDemoResilience:
+    def test_hedged_thread_tier_serves_clean(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "example1",
+                "--worker-tier", "thread",
+                "--hedge",
+                "--watchdog-seconds", "5",
+                "--requests", "4",
+                "--latency", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "'hedge': True" in out
+        assert "'watchdog_seconds': 5.0" in out
+
+    def test_resilience_flags_without_a_tier_print_a_note(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "example1",
+                "--hedge",
+                "--requests", "2",
+                "--latency", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "pass --worker-tier" in out
+
+    def test_chaos_scenario_flag_runs_the_matrix_entry(self, capsys):
+        code = main(
+            ["serve-demo", "example1", "--chaos-scenario", "latency_storm"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "latency_storm[seed=0]: OK" in out
+        assert "0 violations" in out
+
+    def test_unknown_chaos_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve-demo", "example1", "--chaos-scenario", "meteor"])
+
+
 class TestPlan:
     def test_plan_query_over_schema_file(self, schema_file, capsys):
         code = main(

@@ -25,6 +25,7 @@ from repro.planner import (
     find_best_plan,
     plan_cache_key,
 )
+from repro.planner.plan_cache import entry_checksum
 from repro.planner.search import SearchOptions
 from repro.schema.core import SchemaBuilder
 from repro.schema.serialize import schema_fingerprint
@@ -222,9 +223,10 @@ class TestDiskTier:
         assert len(files) == 1
         entry = json.loads(files[0].read_text())
         assert entry["format"] == "repro.plan-cache"
-        assert entry["version"] == 1
+        assert entry["version"] == 2
         assert entry["key"] == key
         assert entry["meta"]["query"] == canonical_query_text(query)
+        assert entry["checksum"] == entry_checksum(entry)
 
     def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path):
         schema = golden_schema()
@@ -246,3 +248,74 @@ class TestDiskTier:
         cache.clear()
         assert cache.get("k1") is None
         assert not list(tmp_path.glob("*.json"))
+
+
+class TestCrashMidAtomicWrite:
+    """A writer dying inside the temp-then-rename protocol is harmless.
+
+    Two torn states are possible: the temp file was written but never
+    renamed (the entry is simply the previous version), or the rename
+    itself was torn by the filesystem (the entry is truncated -- the
+    checksum catches it and the file is quarantined).
+    """
+
+    def _store_one(self, tmp_path):
+        schema = golden_schema()
+        query = join_query()
+        plan, cost = best_plan(schema, query)
+        key = plan_cache_key(query, schema)
+        PlanCache(directory=str(tmp_path)).put(key, plan, cost)
+        return key, plan
+
+    def test_abandoned_temp_file_is_ignored(self, tmp_path):
+        key, plan = self._store_one(tmp_path)
+        # A writer crashed after writing its temp file, before rename.
+        (tmp_path / f"{key}.json.tmp.9999").write_text(
+            '{"format": "repro.plan-cache", "ver'
+        )
+        fresh = PlanCache(directory=str(tmp_path))
+        hit = fresh.get(key)
+        assert hit is not None
+        assert hit.plan.describe() == plan.describe()
+        assert fresh.counters()["quarantined"] == 0
+
+    def test_torn_rename_is_quarantined_and_survivable(self, tmp_path):
+        key, plan = self._store_one(tmp_path)
+        path = tmp_path / f"{key}.json"
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        fresh = PlanCache(directory=str(tmp_path))
+        assert fresh.get(key) is None
+        counters = fresh.counters()
+        assert counters["quarantined"] == 1
+        assert (tmp_path / f"{key}.json.quarantined").exists()
+        # The slot is reusable: the next put writes a fresh entry and
+        # the next get serves it.
+        fresh.put(key, plan, 1.0)
+        assert PlanCache(directory=str(tmp_path)).get(key) is not None
+
+    def test_single_byte_flip_is_quarantined(self, tmp_path):
+        key, _ = self._store_one(tmp_path)
+        path = tmp_path / f"{key}.json"
+        data = bytearray(path.read_bytes())
+        mid = len(data) // 2
+        data[mid] = ord("Y") if data[mid] == ord("X") else ord("X")
+        path.write_bytes(bytes(data))
+        fresh = PlanCache(directory=str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.counters()["quarantined"] == 1
+
+    def test_failed_disk_write_is_counted_not_raised(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        schema = golden_schema()
+        query = join_query()
+        plan, cost = best_plan(schema, query)
+        cache = PlanCache(directory=str(tmp_path))
+        # Point the disk tier at a path whose parent is a file: every
+        # persist fails with OSError, which must be counted, never
+        # raised -- the memory tier still serves the entry.
+        cache.directory = str(blocker / "nested")
+        key = plan_cache_key(query, schema)
+        cache.put(key, plan, cost)
+        assert cache.counters()["persist_errors"] == 1
+        assert cache.get(key) is not None

@@ -1,0 +1,244 @@
+"""Health-aware degraded planning: one outage, one re-plan, recovery.
+
+The unit half exercises :class:`MethodHealthRegistry` as a ledger of
+*transitions*; the service half drives a real outage through a live
+``QueryService`` and asserts the paper-side consequence: planning swings
+to ``schema.without_methods(dead)`` exactly once (the degraded schema
+fingerprint is a different cache key), serving continues marked
+``degraded``, and recovery swings the key straight back to the warm
+healthy-schema entry.
+"""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.errors import (
+    MethodOutage,
+    NoViablePlan,
+    PlanFailed,
+    ReproError,
+)
+from repro.faults import FaultInjectingSource, FaultPolicy
+from repro.logic.queries import parse_cq
+from repro.planner.plan_cache import PlanCache
+from repro.schema.core import SchemaBuilder
+from repro.service.method_health import MethodHealthRegistry
+from repro.service.service import QueryService
+
+
+def _no_sleep(_seconds):
+    return None
+
+
+def redundant_schema():
+    """R reachable two ways (cheap primary, pricey backup), S one way."""
+    return (
+        SchemaBuilder("outage")
+        .relation("R", 2)
+        .relation("S", 2)
+        .access("primary_R", "R", inputs=[], cost=1.0)
+        .access("backup_R", "R", inputs=[], cost=5.0)
+        .access("mt_S", "S", inputs=[], cost=1.0)
+        .build()
+    )
+
+
+def fragile_schema():
+    """R reachable exactly one way: its outage leaves no viable plan."""
+    return (
+        SchemaBuilder("fragile")
+        .relation("R", 2)
+        .relation("S", 2)
+        .access("mt_R", "R", inputs=[], cost=1.0)
+        .access("mt_S", "S", inputs=[], cost=1.0)
+        .build()
+    )
+
+
+def small_instance():
+    return Instance(
+        {
+            "R": [(f"a{i}", f"b{i % 3}") for i in range(9)],
+            "S": [(f"b{i % 3}", f"c{i}") for i in range(9)],
+        }
+    )
+
+
+QUERY = parse_cq("q(a, c) :- R(a, b) & S(b, c)")
+
+
+def outage_service(schema, dead_method, **kwargs):
+    source = FaultInjectingSource(
+        InMemorySource(schema, small_instance()),
+        FaultPolicy.outage(dead_method, after=0, seed=0),
+    )
+    service = QueryService(
+        source,
+        workers=2,
+        plan_cache=PlanCache(capacity=8),
+        default_deadline=30.0,
+        sleep=_no_sleep,
+        **kwargs,
+    )
+    return source, service
+
+
+def serve_query(service, timeout=30.0):
+    return service.submit_query(QUERY).result(timeout)
+
+
+# ------------------------------------------------------------------ registry
+class TestMethodHealthRegistry:
+    def test_mark_dead_counts_transitions_not_observations(self):
+        registry = MethodHealthRegistry()
+        assert registry.mark_dead("mt_a") is True
+        assert registry.mark_dead("mt_a") is False  # observed, no change
+        assert registry.mark_dead("mt_a") is False
+        counters = registry.counters()
+        assert counters["dead_methods"] == ["mt_a"]
+        assert counters["outages_observed"] == 3
+
+    def test_empty_method_name_is_ignored(self):
+        registry = MethodHealthRegistry()
+        assert registry.mark_dead("") is False
+        assert registry.dead_methods() == ()
+
+    def test_recovery_round_trip(self):
+        registry = MethodHealthRegistry()
+        registry.mark_dead("mt_a", reason="breaker forced open")
+        assert registry.is_dead("mt_a")
+        assert registry.reason("mt_a") == "breaker forced open"
+        assert registry.mark_recovered("mt_a") is True
+        assert registry.mark_recovered("mt_a") is False  # already healthy
+        assert not registry.is_dead("mt_a")
+        assert registry.reason("mt_a") is None
+        assert registry.counters()["recoveries"] == 1
+
+    def test_dead_set_is_sorted_for_stable_cache_keys(self):
+        registry = MethodHealthRegistry()
+        registry.mark_dead("mt_z")
+        registry.mark_dead("mt_a")
+        assert registry.dead_methods() == ("mt_a", "mt_z")
+        assert "2 dead" in repr(registry)
+
+
+# ------------------------------------------------- service degraded planning
+class TestDegradedPlanning:
+    def test_one_outage_costs_one_replan_then_serving_continues(self):
+        _, service = outage_service(redundant_schema(), "primary_R")
+        oracle = frozenset(small_instance().evaluate(QUERY))
+        with service:
+            first = serve_query(service)
+            assert isinstance(first.error, (MethodOutage, PlanFailed))
+            service.wait_idle(timeout=10.0)
+            for _ in range(3):
+                response = serve_query(service)
+                assert response.error is None, response.error
+                assert frozenset(response.table.rows) == oracle
+                # Full answers, but the serving regime is flagged.
+                assert response.degraded is True
+                service.wait_idle(timeout=10.0)
+            health = service.health()
+            assert health.method_health["dead_methods"] == ["primary_R"]
+            # One transition, one search against the degraded schema --
+            # requests two and three hit the degraded cache entry.
+            assert health.method_health["replans"] == 1
+
+    def test_recovery_closes_the_loop_without_a_new_search(self):
+        source, service = outage_service(redundant_schema(), "primary_R")
+        with service:
+            serve_query(service)  # pays for the outage
+            service.wait_idle(timeout=10.0)
+            serve_query(service)  # triggers the one re-plan
+            service.wait_idle(timeout=10.0)
+            planned_before = service.health().planned
+            source.policy = FaultPolicy(seed=0)  # the backend heals
+            assert service.mark_method_recovered("primary_R") is True
+            response = serve_query(service)
+            assert response.error is None
+            assert response.degraded is False
+            service.wait_idle(timeout=10.0)
+            health = service.health()
+            assert health.method_health["dead_methods"] == []
+            assert health.method_health["recoveries"] == 1
+            # The healthy-schema plan was still cached under its own
+            # key: recovery costs zero additional searches.
+            assert health.planned == planned_before
+
+    def test_no_viable_plan_serves_marked_partial_when_degraded_allowed(self):
+        _, service = outage_service(fragile_schema(), "mt_R")
+        oracle = frozenset(small_instance().evaluate(QUERY))
+        with service:
+            first = serve_query(service)
+            assert isinstance(first.error, ReproError)
+            service.wait_idle(timeout=10.0)
+            ticket = service.submit_query(QUERY)
+            response = ticket.result(10.0)
+            # No plan avoids the dead method, so the accessible part
+            # answers: explicitly partial + degraded, sound (a subset
+            # of the oracle), fully accounted.
+            assert response.error is None
+            assert response.partial is True
+            assert response.complete is False
+            assert response.degraded is True
+            assert frozenset(response.table.rows) <= oracle
+            health = service.health()
+            assert health.method_health["degraded_served"] >= 1
+            assert health.served == health.completed + health.partial + health.failed
+
+    def test_no_viable_plan_raises_typed_when_degraded_disallowed(self):
+        _, service = outage_service(
+            fragile_schema(), "mt_R", allow_degraded=False
+        )
+        with service:
+            serve_query(service)
+            service.wait_idle(timeout=10.0)
+            with pytest.raises(NoViablePlan) as excinfo:
+                service.submit_query(QUERY)
+            assert excinfo.value.dead_methods == ("mt_R",)
+
+
+# ------------------------------------------------------- retry-after hinting
+class _StubTier:
+    """A worker-pool stand-in with a fixed width and backlog."""
+
+    workers = 2
+
+    def __init__(self, backlog):
+        self._backlog = backlog
+
+    def backlog(self):
+        return self._backlog
+
+
+class TestRetryAfterHint:
+    def _service(self, pool=None):
+        schema = fragile_schema()
+        service = QueryService(
+            InMemorySource(schema, small_instance()),
+            workers=8,
+            worker_pool=pool,
+        )
+        service._mean_service_time = 2.0
+        return service
+
+    def test_hint_uses_the_narrower_tier_width(self):
+        # 6 requests deep in the tier behind 2 processes drain two at a
+        # time: the hint must price the tier's width (6 * 2 / 2 = 6s),
+        # not the 8 service threads (which would claim 1.5s).
+        service = self._service(_StubTier(backlog=6))
+        assert service._retry_after_hint() == pytest.approx(6.0)
+
+    def test_hint_without_a_tier_uses_service_width(self):
+        service = self._service(None)
+        # Nothing queued or in flight: the floor is one mean service time.
+        assert service._retry_after_hint() == pytest.approx(2.0)
+
+    def test_tier_backlog_beyond_in_flight_counts_as_waiting(self):
+        # Hedge duplicates (or another client of a shared pool) show up
+        # as tier backlog without any in-flight request of ours.
+        service = self._service(_StubTier(backlog=3))
+        service._in_flight = 1
+        # waiting = queue(0) + in_flight(1) + max(0, 3 - 1) = 3
+        assert service._retry_after_hint() == pytest.approx(3.0)

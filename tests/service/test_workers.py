@@ -7,6 +7,7 @@ prove it, because "it pickled today" is not a compatibility story.
 
 import json
 import os
+import time
 
 import pytest
 
@@ -15,17 +16,25 @@ from repro.data.decorators import (
     CachingSource,
     FlakySource,
     LatencySource,
+    StormyLatencySource,
 )
 from repro.data.instance import Instance
 from repro.data.source import InMemorySource, ShardedInMemorySource
-from repro.errors import MethodOutage, RowBudgetExceeded, WorkerCrashed
+from repro.errors import (
+    MethodOutage,
+    RowBudgetExceeded,
+    WorkerCrashed,
+    WorkerStalled,
+)
 from repro.exec.budget import ResourceBudget
 from repro.exec.resilience import RetryPolicy
 from repro.faults import FaultInjectingSource, FaultPolicy
 from repro.logic.terms import Constant
 from repro.plans.ir import plan_to_ir, table_from_ir, table_to_ir
 from repro.schema.core import SchemaBuilder
+from repro.service.service import QueryService
 from repro.service.workers import (
+    LatencyTracker,
     ProcessWorkerPool,
     SourceSpecError,
     ThreadWorkerPool,
@@ -111,6 +120,22 @@ class TestSourceSpec:
         assert isinstance(rebuilt.inner, CachingSource)
         assert isinstance(rebuilt.inner.inner, LatencySource)
         assert rebuilt.inner.inner.latency == pytest.approx(0.001)
+
+    def test_storm_wrapper_round_trip(self):
+        inner = InMemorySource(simple_schema(), simple_instance())
+        storm = StormyLatencySource(
+            inner, base_latency=0.001, slow_latency=0.25, slow_every=5
+        )
+        rebuilt = spec_to_source(
+            json.loads(json.dumps(source_to_spec(storm)))
+        )
+        assert isinstance(rebuilt, StormyLatencySource)
+        assert rebuilt.base_latency == pytest.approx(0.001)
+        assert rebuilt.slow_latency == pytest.approx(0.25)
+        assert rebuilt.slow_every == 5
+        # Each rehydrated copy storms on its own schedule (fresh call
+        # counter) -- latency-only nondeterminism, answers unchanged.
+        assert isinstance(rebuilt.inner, InMemorySource)
 
     def test_call_order_dependent_wrappers_rejected(self):
         inner = InMemorySource(simple_schema(), simple_instance())
@@ -295,3 +320,281 @@ class TestProcessWorkerPool:
         pool = ProcessWorkerPool.for_source(source, workers=1)
         with pytest.raises(WorkerCrashed):
             pool.run_request({"plan": {}})
+
+
+# ------------------------------------------------------------ latency tracker
+class TestLatencyTracker:
+    def test_cold_tracker_answers_initial_delay(self):
+        tracker = LatencyTracker(initial_delay=0.07, warmup=3)
+        assert tracker.hedge_delay() == pytest.approx(0.07)
+        tracker.observe(0.5)
+        tracker.observe(0.5)
+        # Still inside warmup: two of three samples seen.
+        assert tracker.hedge_delay() == pytest.approx(0.07)
+
+    def test_p95_tracks_the_tail_not_the_mean(self):
+        tracker = LatencyTracker(warmup=1)
+        for _ in range(200):
+            tracker.observe(0.01)
+        for _ in range(20):
+            tracker.observe(1.0)
+        snapshot = tracker.as_dict()
+        # The spikes pull the quantile estimate well above the fast
+        # mass even though they are a minority of samples.
+        assert snapshot["p95"] > snapshot["mean"] * 0.5
+        assert tracker.hedge_delay() >= snapshot["p95"] * 0.9 or (
+            tracker.hedge_delay() == tracker.max_delay
+        )
+
+    def test_hedge_delay_is_clamped(self):
+        tracker = LatencyTracker(warmup=1, min_delay=0.05, max_delay=0.2)
+        tracker.observe(0.0001)
+        assert tracker.hedge_delay() == pytest.approx(0.05)
+        for _ in range(50):
+            tracker.observe(30.0)
+        assert tracker.hedge_delay() == pytest.approx(0.2)
+
+    def test_negative_samples_are_ignored(self):
+        tracker = LatencyTracker()
+        tracker.observe(-1.0)
+        assert tracker.samples == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            LatencyTracker(quantile=1.0)
+
+
+# ------------------------------------------------------------------ watchdog
+class TestWatchdog:
+    def test_thread_pool_stall_surfaces_typed_worker_stalled(self):
+        schema = simple_schema()
+        source = StormyLatencySource(
+            InMemorySource(schema, simple_instance()),
+            base_latency=0.0,
+            slow_latency=0.4,
+            slow_every=1,  # every access stalls
+        )
+        plan = simple_plan(schema)
+        with ThreadWorkerPool(source, workers=2, watchdog_seconds=0.1) as pool:
+            with pytest.raises(WorkerStalled) as excinfo:
+                pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            # Threads cannot be killed: the slot leaks, and says so.
+            assert not excinfo.value.killed
+            health = pool.health()
+            assert health["stalls"] == 1
+            assert health["watchdog_seconds"] == pytest.approx(0.1)
+
+    def test_process_pool_watchdog_kills_and_pool_recovers(self):
+        schema = simple_schema()
+        source = StormyLatencySource(
+            InMemorySource(schema, simple_instance()),
+            base_latency=0.0,
+            slow_latency=30.0,
+            slow_every=3,  # each worker's third access hangs
+        )
+        plan = simple_plan(schema)
+        reference = canonical(plan.execute(source))
+        pool = ProcessWorkerPool.for_source(
+            source, workers=1, start_method="fork", watchdog_seconds=0.5
+        )
+        with pool:
+            # Request 1: accesses 1-2 on the single worker, both fast.
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=60)
+            assert result["ok"]
+            # Request 2: access 3 sleeps 30s; the watchdog reclaims the
+            # slot in 0.5s with a typed, killed=True stall.
+            with pytest.raises(WorkerStalled) as excinfo:
+                pool.run_request({"plan": plan_to_ir(plan)}, timeout=60)
+            assert excinfo.value.killed
+            # Request 3: the recreated worker starts a fresh storm
+            # counter, so the same request now succeeds -- same bytes.
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=60)
+            assert result["ok"]
+            assert canonical(table_from_ir(result["table"])) == reference
+            health = pool.health()
+            assert health["alive"]
+            assert health["stalls"] == 1
+            assert health["watchdog_kills"] == 1
+            assert health["restarts"] == 1
+
+    def test_watchdog_seconds_must_be_positive(self):
+        source = InMemorySource(simple_schema(), simple_instance())
+        with pytest.raises(ValueError):
+            ThreadWorkerPool(source, watchdog_seconds=0.0)
+        with pytest.raises(ValueError):
+            ProcessWorkerPool.for_source(source, hedge_delay=-1.0)
+
+
+# ------------------------------------------------------------------- hedging
+class TestHedging:
+    def test_hedge_duplicate_wins_against_a_slow_primary(self):
+        schema = simple_schema()
+        source = StormyLatencySource(
+            InMemorySource(schema, simple_instance()),
+            base_latency=0.0,
+            slow_latency=0.5,
+            slow_every=3,
+        )
+        plan = simple_plan(schema)
+        reference = canonical(plan.execute(InMemorySource(schema, simple_instance())))
+        with ThreadWorkerPool(
+            source, workers=2, hedge=True, hedge_delay=0.05
+        ) as pool:
+            assert pool.hedge_delay() == pytest.approx(0.05)
+            # Request 1: accesses 1-2 both fast -- answered before the
+            # hedge delay, so no duplicate is issued.
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            assert result["ok"]
+            assert pool.health()["hedges"] == 0
+            # Request 2: access 3 sleeps 0.5s; the duplicate issued at
+            # 0.05s runs accesses 4-5 (fast) and wins.
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            assert result["ok"]
+            assert canonical(table_from_ir(result["table"])) == reference
+            health = pool.health()
+            assert health["hedges"] == 1
+            assert health["hedge_wins"] == 1
+            assert health["hedge_waste"] == 0
+
+    def test_outrun_hedge_is_counted_as_waste(self):
+        schema = simple_schema()
+        source = StormyLatencySource(
+            InMemorySource(schema, simple_instance()),
+            base_latency=0.0,
+            slow_latency=0.3,
+            slow_every=1,  # duplicates are just as slow as primaries
+        )
+        plan = simple_plan(schema)
+        with ThreadWorkerPool(
+            source, workers=2, hedge=True, hedge_delay=0.05
+        ) as pool:
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            assert result["ok"]
+            health = pool.health()
+            # The primary had a head start over the equally slow
+            # duplicate, so it finished first: the hedge was waste.
+            assert health["hedges"] == 1
+            assert health["hedge_wins"] == 0
+            assert health["hedge_waste"] == 1
+
+    def test_hedging_disabled_issues_no_duplicates(self):
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        with ThreadWorkerPool(source, workers=2) as pool:
+            pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            health = pool.health()
+            assert health["hedge"] is False
+            assert health["hedges"] == 0
+            # The adaptive delay is still tracked for health visibility.
+            assert health["latency"]["samples"] == 1
+
+
+# -------------------------------------------- partial markings across the tier
+class TestPartialMarkingsAcrossTier:
+    """Satellite: ``partial``/``truncated_rows`` survive the tier path.
+
+    The markings are computed worker-side (the budget lives in the
+    payload), cross back as plain JSON, and must land on the
+    :class:`QueryResponse` exactly as the in-process path would set
+    them -- on both tiers and both process start methods, and even when
+    a worker crash lands mid-burst.
+    """
+
+    def _expected(self, schema):
+        plan = simple_plan(schema)
+        source = InMemorySource(schema, simple_instance())
+        return plan, sorted(plan.execute(source).rows)
+
+    def _assert_marked(self, response, reference, keep):
+        assert response.error is None
+        assert response.partial is True
+        assert response.complete is False
+        assert response.truncated_rows == len(reference) - keep
+        assert sorted(response.table.rows) == reference[:keep]
+
+    def test_thread_tier_marks_truncation_end_to_end(self):
+        schema = simple_schema()
+        plan, reference = self._expected(schema)
+        source = InMemorySource(schema, simple_instance())
+        pool = ThreadWorkerPool(source, workers=2)
+        service = QueryService(source, workers=2, worker_pool=pool)
+        with service:
+            response = service.serve(
+                plan, budget=ResourceBudget(max_result_rows=3), timeout=30
+            )
+            self._assert_marked(response, reference, 3)
+
+    @pytest.mark.parametrize("start_method", ["spawn", "fork"])
+    def test_process_tier_marks_truncation_end_to_end(self, start_method):
+        schema = simple_schema()
+        plan, reference = self._expected(schema)
+        source = InMemorySource(schema, simple_instance())
+        pool = ProcessWorkerPool.for_source(
+            source, workers=2, start_method=start_method
+        )
+        service = QueryService(source, workers=2, worker_pool=pool)
+        with service:
+            response = service.serve(
+                plan, budget=ResourceBudget(max_result_rows=3), timeout=120
+            )
+            self._assert_marked(response, reference, 3)
+            # An unbudgeted request through the same tier is complete
+            # and unmarked -- truncation state never leaks across
+            # requests.
+            clean = service.serve(plan, timeout=120)
+            assert clean.complete is True
+            assert clean.partial is False
+            assert clean.truncated_rows == 0
+
+    def test_markings_survive_a_mid_burst_worker_crash(self):
+        schema = simple_schema()
+        plan, reference = self._expected(schema)
+        source = InMemorySource(schema, simple_instance())
+        pool = ProcessWorkerPool.for_source(
+            source, workers=2, start_method="fork"
+        )
+        service = QueryService(source, workers=2, worker_pool=pool)
+        with service:
+            before = service.serve(
+                plan, budget=ResourceBudget(max_result_rows=3), timeout=120
+            )
+            self._assert_marked(before, reference, 3)
+            # Hard-kill a worker, then keep serving budget requests:
+            # the crash surfaces typed on at most the requests it hit,
+            # and every surviving answer still carries its markings.
+            pool._executor.submit(os._exit, 13)
+            tickets = [
+                service.submit(
+                    plan,
+                    budget=ResourceBudget(max_result_rows=3),
+                    deadline=120,
+                )
+                for _ in range(4)
+            ]
+            crashed = 0
+            for ticket in tickets:
+                response = ticket.result(timeout=130)
+                if response.error is not None:
+                    assert isinstance(response.error, WorkerCrashed)
+                    crashed += 1
+                else:
+                    self._assert_marked(response, reference, 3)
+            # Give the executor a beat to notice the corpse, then prove
+            # the recovered pool serves marked answers again.
+            time.sleep(0.3)
+            after = service.serve(
+                plan, budget=ResourceBudget(max_result_rows=3), timeout=120
+            )
+            if after.error is not None:
+                # The crash surfaced here instead: typed, and the pool
+                # was recreated by the same call -- retry once.
+                assert isinstance(after.error, WorkerCrashed)
+                after = service.serve(
+                    plan, budget=ResourceBudget(max_result_rows=3), timeout=120
+                )
+            self._assert_marked(after, reference, 3)
+            assert pool.health()["crashes"] >= 1
+            assert pool.health()["restarts"] >= 1

@@ -141,3 +141,28 @@ class TestCostAndAdmissionErrors:
         assert error.ceiling == 100
         with pytest.raises(errors.ServiceError):
             raise error
+
+
+class TestWorkerTierErrors:
+    def test_worker_stalled_is_a_service_error_with_context(self):
+        error = errors.WorkerStalled("stuck", stalls=3, killed=True)
+        assert issubclass(errors.WorkerStalled, errors.ServiceError)
+        assert error.stalls == 3
+        assert error.killed is True
+        with pytest.raises(errors.ServiceError):
+            raise error
+
+    def test_worker_stalled_defaults_to_unkilled(self):
+        error = errors.WorkerStalled("leaked thread")
+        assert error.stalls == 0
+        assert error.killed is False
+
+    def test_worker_crashed_carries_restart_count(self):
+        error = errors.WorkerCrashed("died", restarts=2)
+        assert error.restarts == 2
+        assert issubclass(errors.WorkerCrashed, errors.ServiceError)
+
+    def test_no_viable_plan_carries_the_dead_set(self):
+        error = errors.NoViablePlan("all dead", dead_methods=("mt_a",))
+        assert error.dead_methods == ("mt_a",)
+        assert issubclass(errors.NoViablePlan, errors.ExecutionError)

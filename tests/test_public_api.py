@@ -21,6 +21,7 @@ class TestTopLevelAPI:
             "repro.logic.analysis",
             "repro.schema",
             "repro.schema.serialize",
+            "repro.chaos",
             "repro.chase",
             "repro.plans",
             "repro.plans.tools",
@@ -42,6 +43,7 @@ class TestTopLevelAPI:
         for module_name in [
             "repro.logic",
             "repro.schema",
+            "repro.chaos",
             "repro.chase",
             "repro.plans",
             "repro.data",
