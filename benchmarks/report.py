@@ -29,6 +29,9 @@ Usage::
     python benchmarks/bench_chaos.py            # writes BENCH_chaos.json
     python benchmarks/report.py --chaos-json BENCH_chaos.json
 
+    python benchmarks/bench_adapters.py         # writes BENCH_adapters.json
+    python benchmarks/report.py --adapters-json BENCH_adapters.json
+
 The default mode groups pytest-benchmark rows by module and prints one
 markdown table per module with mean/stddev timings and every
 ``extra_info`` measurement.  ``--chase-json`` instead renders the
@@ -569,6 +572,86 @@ def render_parallel(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_adapters(report: Dict) -> str:
+    """Markdown tables for a ``bench_adapters.py`` report."""
+    lines = [
+        f"### real backends vs the in-memory oracle ({report['mode']}): "
+        "byte-identical answers in every cell",
+        "",
+        "| scenario | backend | condition | answer rows | identical"
+        " | accesses | reconnects | retry-after waits |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for row in report["differential"]["rows"]:
+        counters = row["counters"]
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["scenario"],
+                    row["backend"],
+                    row["condition"],
+                    str(row["answer_rows"]),
+                    "yes" if row["identical"] else "NO",
+                    str(row["accesses"]),
+                    str(counters.get("reconnects", "-")),
+                    str(counters.get("retry_after_waits", "-")),
+                ]
+            )
+            + " |"
+        )
+    lines += [
+        "",
+        "### rate-limit compliance: paced vs unpaced against a policed "
+        "web service",
+        "",
+        "| client | requests | server requests | over budget"
+        " | retry-after waits | throughput | oracle-identical |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in report["rate_limit"]["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    "paced" if row["paced"] else "unpaced",
+                    str(row["requests"]),
+                    str(row["server_requests"]),
+                    str(row["over_budget"]),
+                    str(row["retry_after_waits"]),
+                    f"{row['throughput_rps']:.0f} req/s",
+                    "yes" if row["identical_to_oracle"] else "NO",
+                ]
+            )
+            + " |"
+        )
+    compliant = report["rate_limit"]["compliant"]
+    lines += [
+        "",
+        "Paced client over-budget requests: "
+        f"**{'zero (compliant)' if compliant else 'NONZERO'}**",
+        "",
+        "### adapter throughput (sequential plan executions)",
+        "",
+        "| backend | requests | throughput |",
+        "|---|---|---|",
+    ]
+    for row in report["throughput"]["rows"]:
+        lines.append(
+            "| "
+            + " | ".join(
+                [
+                    row["backend"],
+                    str(row["requests"]),
+                    f"{row['throughput_rps']:.0f} req/s",
+                ]
+            )
+            + " |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -607,7 +690,15 @@ def main() -> int:
         "--chaos-json", metavar="PATH",
         help="render a bench_chaos.py chaos/hedging report instead",
     )
+    parser.add_argument(
+        "--adapters-json", metavar="PATH",
+        help="render a bench_adapters.py backend-differential report instead",
+    )
     args = parser.parse_args()
+    if args.adapters_json:
+        with open(args.adapters_json) as handle:
+            print(render_adapters(json.load(handle)))
+        return 0
     if args.chaos_json:
         with open(args.chaos_json) as handle:
             print(render_chaos(json.load(handle)))

@@ -1,4 +1,4 @@
-"""The six-scenario chaos matrix, each seeded and deterministic.
+"""The eight-scenario chaos matrix, each seeded and deterministic.
 
 Every scenario builds its own workload (schema + instance + query,
 sized so a clean run answers in milliseconds), computes the clean
@@ -28,6 +28,18 @@ oracle first, then serves the same workload through a live
     failure marks it dead, planning re-runs *once* over the surviving
     schema, every later request is served complete (flagged
     ``degraded``), and recovery swings back to the healthy plan.
+``http_rate_limit_storm``
+    a concurrent burst against a token-bucket-policed web-service stub
+    (:class:`~repro.sources.StubTransport`): the server answers 429 +
+    ``Retry-After``, the :class:`~repro.sources.HTTPSource` client
+    waits it out and follows pagination, and every answer still
+    matches the oracle.
+``sqlite_disconnect``
+    the :class:`~repro.sources.SQLiteSource` connection is severed
+    before every third statement (mid-plan, between a request's own
+    accesses); reconnect-with-backoff reloads the same read snapshot
+    (epoch unchanged), so answers are byte-identical and only the
+    ``reconnects`` counter knows.
 ``disk_corruption``
     the plan-cache entry and the calibration store are corrupted on
     disk between service generations (plus a torn temp file from a
@@ -60,6 +72,7 @@ from repro.planner.search import SearchOptions, find_best_plan
 from repro.schema.core import SchemaBuilder
 from repro.service.service import QueryService
 from repro.service.workers import ProcessWorkerPool, ThreadWorkerPool
+from repro.sources import HTTPSource, SQLiteSource, StubTransport
 
 #: No real backoff sleeping inside chaos runs -- schedules stay
 #: deterministic and scenarios stay fast.
@@ -308,6 +321,94 @@ def permanent_outage(seed: int = 0, quick: bool = True) -> ChaosReport:
     )
 
 
+def http_rate_limit_storm(seed: int = 0, quick: bool = True) -> ChaosReport:
+    """A burst of concurrent requests slams a rate-limited web service.
+
+    The stub transport polices a tiny token bucket, so the storm is
+    *guaranteed* to trip it (``over_budget`` counts the 429s); the
+    :class:`~repro.sources.HTTPSource` client honours every
+    ``Retry-After`` (millisecond-scale waits) and follows pagination,
+    so despite the policing every answer matches the oracle exactly
+    and nothing surfaces to clients -- rate limiting degrades latency,
+    never soundness.
+    """
+    schema, instance, _query, plan, oracle = join_workload("chaos_http")
+    transport = StubTransport(
+        schema, instance, page_size=5, rate_limit=500.0, burst=2.0
+    )
+    source = HTTPSource(transport, max_retry_after_waits=64)
+    requests = 8 if quick else 16
+    harness = ScenarioHarness("http_rate_limit_storm", seed, 60.0, oracle)
+    service = QueryService(
+        source,
+        workers=4,
+        max_queue=64,
+        retry=RetryPolicy(
+            max_attempts=4, base_delay=0.001, max_delay=0.002, seed=seed
+        ),
+        default_deadline=30.0,
+        sleep=_NO_SLEEP,
+    )
+    with service:
+        for _ in range(requests):
+            harness.submit(service.submit, plan)
+        harness.collect()
+    return harness.finish(
+        service,
+        details={
+            "transport": transport.counters(),
+            "retry_after_waits": source.retry_after_waits,
+            "snapshot_restarts": source.snapshot_restarts,
+        },
+    )
+
+
+def sqlite_disconnect(seed: int = 0, quick: bool = True) -> ChaosReport:
+    """The SQLite backend loses its connection mid-plan, repeatedly.
+
+    ``drop_every=3`` severs the connection before every third
+    statement, so nearly every plan run hits at least one dead
+    connection *between its own accesses*.  Reconnect-with-backoff
+    reloads the retained snapshot (same epoch -- a reconnect is not a
+    mutation), so every answer is byte-identical to the oracle and the
+    only trace is the ``reconnects`` counter.
+    """
+    schema, instance, _query, plan, oracle = join_workload(
+        "chaos_sqlite", bound_s=True
+    )
+    source = SQLiteSource(
+        schema, instance, drop_every=3, sleep=_NO_SLEEP
+    )
+    requests = 8 if quick else 16
+    harness = ScenarioHarness("sqlite_disconnect", seed, 60.0, oracle)
+    service = QueryService(
+        source,
+        workers=4,
+        max_queue=64,
+        retry=RetryPolicy(
+            max_attempts=4, base_delay=0.001, max_delay=0.002, seed=seed
+        ),
+        default_deadline=30.0,
+        sleep=_NO_SLEEP,
+    )
+    with service:
+        for _ in range(requests):
+            harness.submit(service.submit, plan)
+        harness.collect()
+    report = harness.finish(
+        service,
+        details={
+            "reconnects": source.reconnects,
+            "statements": source._statements,
+            "batched_calls": source.batched_calls,
+        },
+    )
+    assert source.reconnects > 0, (
+        "the disconnect scenario must actually sever connections"
+    )
+    return report
+
+
 def disk_corruption(seed: int = 0, quick: bool = True) -> ChaosReport:
     """Rot the plan cache + calibration store between service generations.
 
@@ -394,6 +495,8 @@ SCENARIO_BUILDERS: Dict[str, object] = {
     "latency_storm": latency_storm,
     "burst_outage": burst_outage,
     "permanent_outage": permanent_outage,
+    "http_rate_limit_storm": http_rate_limit_storm,
+    "sqlite_disconnect": sqlite_disconnect,
     "disk_corruption": disk_corruption,
 }
 

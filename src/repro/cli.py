@@ -60,6 +60,46 @@ SCENARIOS = {
 }
 
 
+def _make_source(schema, instance, kind: str):
+    """Build the backend the CLI executes over.
+
+    ``memory`` is the in-memory oracle; ``sqlite`` serves the same
+    instance as SQLite tables; ``http`` serves it through the
+    in-process web-service stub (pagination enabled so the client's
+    page-chaining actually runs).  All three answer identically -- the
+    flag changes *how* accesses are answered, never what they return.
+    """
+    if kind == "sqlite":
+        from repro.sources import SQLiteSource
+
+        return SQLiteSource(schema, instance)
+    if kind == "http":
+        from repro.sources import HTTPSource, StubTransport
+
+        return HTTPSource(StubTransport(schema, instance, page_size=50))
+    return InMemorySource(schema, instance)
+
+
+def _adapter_summary(source) -> str:
+    """A one-line counters digest for a non-memory backend, or ''."""
+    reconnects = getattr(source, "reconnects", None)
+    if reconnects is not None:
+        return (
+            f"sqlite [statements={source._statements} "
+            f"reconnects={reconnects} batched={source.batched_calls}]"
+        )
+    transport = getattr(source, "transport", None)
+    if transport is not None and hasattr(transport, "counters"):
+        counters = transport.counters()
+        return (
+            f"http [requests={counters['requests']} "
+            f"over_budget={counters['over_budget']} "
+            f"retry_after_waits={source.retry_after_waits} "
+            f"batched={source.batched_calls}]"
+        )
+    return ""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for the repro CLI."""
     parser = argparse.ArgumentParser(
@@ -72,6 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("scenario", choices=sorted(SCENARIOS))
     demo.add_argument("--max-accesses", type=int, default=6)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--source",
+        choices=["memory", "sqlite", "http"],
+        default="memory",
+        help="which backend serves the accesses: the in-memory oracle, "
+             "relations as SQLite tables (parameterized lookups, "
+             "reconnect-on-error), or an in-process HTTP web-service "
+             "stub (pagination, rate limits, Retry-After); answers are "
+             "identical by construction",
+    )
     demo.add_argument(
         "--exec-stats",
         action="store_true",
@@ -170,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline, measured from submission")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--max-accesses", type=int, default=6)
+    serve.add_argument(
+        "--source",
+        choices=["memory", "sqlite", "http"],
+        default="memory",
+        help="backend the service executes over (see 'demo --source'); "
+             "sqlite and http rehydrate per worker under "
+             "--worker-tier process",
+    )
     serve.add_argument(
         "--executor",
         choices=["interpreter", "columnar", "differential"],
@@ -328,7 +386,7 @@ def _demo(args) -> int:
     print(f"\nstatic cost: {result.best_cost}")
     print(f"proof: {result.best_proof}\n")
     instance = scenario.instance(args.seed)
-    source = InMemorySource(scenario.schema, instance)
+    source = _make_source(scenario.schema, instance, args.source)
     clock = VirtualClock()
     faulty = bool(args.fault_rate) or bool(args.outage)
     if faulty:
@@ -406,6 +464,9 @@ def _demo(args) -> int:
         print(f"exec [{exec_stats.summary()}]")
     if cache is not None:
         print(f"cache [{cache.summary()}]")
+    adapter = _adapter_summary(inner)
+    if adapter:
+        print(adapter)
     if args.calibrated and exec_stats is not None:
         _demo_calibrated(args, scenario, instance, exec_stats)
     print(f"complete: {'yes' if complete else 'NO'}")
@@ -494,7 +555,8 @@ def _serve_demo(args) -> int:
         plan = result.best_plan
         print(plan.describe())
     instance = scenario.instance(args.seed)
-    source = InMemorySource(scenario.schema, instance)
+    backend = _make_source(scenario.schema, instance, args.source)
+    source = backend
     if args.latency:
         source = LatencySource(source, args.latency)
     resilience = {
@@ -539,7 +601,7 @@ def _serve_demo(args) -> int:
     print(
         f"\nserving {args.requests} requests on {args.workers} workers "
         f"(queue {args.max_queue}, per-access latency {args.latency}s, "
-        f"execution tier {tier})\n"
+        f"execution tier {tier}, source {args.source})\n"
     )
     with service:
         tickets = []
@@ -584,6 +646,9 @@ def _serve_demo(args) -> int:
             f"{health.calibration['methods']} methods, "
             f"persisted={health.calibration['persistent']})"
         )
+    adapter = _adapter_summary(backend)
+    if adapter:
+        print(f"adapter: {adapter}")
     return 0
 
 

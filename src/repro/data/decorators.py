@@ -34,6 +34,12 @@ from repro.logic.terms import Constant
 class _Wrapper:
     """Shared plumbing: delegate everything, intercept ``access``."""
 
+    #: Never delegate the batch endpoint: a wrapper that intercepts
+    #: ``access`` but silently forwards ``access_batch`` would let the
+    #: batch path route around its caching/budgeting/fault logic.
+    #: Wrappers that can batch safely override this with a real method.
+    access_batch = None
+
     def __init__(self, inner) -> None:
         self.inner = inner
 

@@ -95,6 +95,16 @@ class InMemorySource:
             )
         return matching
 
+    def epoch(self) -> int:
+        """The snapshot token of the adapter protocol: instance version.
+
+        The in-memory source never reconnects, so its epoch is exactly
+        the instance's mutation counter -- the token the
+        :class:`~repro.exec.cache.AccessCache` has always invalidated
+        on.
+        """
+        return self.instance.version
+
     def _lookup(
         self, method: AccessMethod, values: Tuple[Constant, ...]
     ) -> FrozenSet[Tuple[Constant, ...]]:

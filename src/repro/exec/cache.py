@@ -6,8 +6,12 @@ legitimately remember what a call returned: an
 :class:`~repro.data.source.InMemorySource` is *deterministic* -- the
 same ``(method, inputs)`` pair always yields the same tuple set until
 the underlying instance mutates -- which makes memoization sound.  The
-cache watches ``Instance.version`` and drops everything when the data
-changes, so a stale answer is never served.
+cache watches the source's *epoch token*
+(:func:`~repro.sources.base.source_epoch`: ``epoch()`` when the source
+exposes it, ``Instance.version`` otherwise) and drops everything when
+it moves, so a stale answer is never served -- including answers from
+a real backend (:mod:`repro.sources`) whose snapshot changed behind a
+reconnect.
 
 Metering policy: by default a cache hit is *free* -- it is not
 dispatched to the source, so it is neither logged nor charged.  That is
@@ -41,6 +45,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.data.source import AccessRecord
 from repro.logic.terms import Constant
+from repro.sources.base import source_epoch
 
 _Key = Tuple[str, Tuple[Constant, ...]]
 _Rows = FrozenSet[Tuple[Constant, ...]]
@@ -96,7 +101,7 @@ class AccessCache:
         waited = False
         while True:
             with self._lock:
-                version = source.instance.version
+                version = source_epoch(source)
                 if version != self._instance_version:
                     self._store.clear()
                     self._instance_version = version
@@ -139,9 +144,9 @@ class AccessCache:
             flight.event.set()
             raise
         with self._lock:
-            # Only install if no instance mutation invalidated this fetch
-            # while it was in flight.
-            if source.instance.version == self._instance_version:
+            # Only install if no epoch change (instance mutation or
+            # backend snapshot move) invalidated this fetch in flight.
+            if source_epoch(source) == self._instance_version:
                 self._store[key] = (relation, result)
                 if len(self._store) > self.maxsize:
                     self._store.popitem(last=False)

@@ -56,6 +56,11 @@ _Key = Tuple[str, Tuple[Constant, ...]]
 class FaultInjectingSource:
     """Wrap any source with a seeded, deterministic fault schedule."""
 
+    #: The batch endpoint is never delegated: batched accesses reaching
+    #: the inner source directly would skip the fault schedule, and the
+    #: chaos/differential suites rely on every access being in scope.
+    access_batch = None
+
     def __init__(
         self,
         inner,

@@ -113,26 +113,51 @@ class AccessCommand:
         cache_hits_before = cache.hits if cache is not None else 0
         retries_before = resilience.retries if resilience is not None else 0
         faults_before = resilience.faults if resilience is not None else 0
-        for values in distinct:
+        batch = getattr(source, "access_batch", None) if cache is None else None
+        if callable(batch) and len(distinct) > 1:
+            # Batch at the access boundary: several distinct input
+            # tuples become one backend round trip (the backend still
+            # meters one logical access per tuple).  Only without an
+            # AccessCache -- the cache's single-flight memoization is
+            # per key, and splitting a batch across hit/miss keys would
+            # re-derive exactly the per-key loop below.
+            keyed = list(distinct)
             if resilience is not None:
-                if cache is not None:
-                    fetch = lambda v=values: cache.fetch(
-                        source, self.method, v
-                    )
-                else:
-                    fetch = lambda v=values: source.access(self.method, v)
-                accessed_rows = resilience.call(
-                    fetch, self.method, inputs=values
+                answers = resilience.call(
+                    lambda: batch(self.method, keyed),
+                    self.method,
+                    inputs=keyed[0],
                 )
-            elif cache is not None:
-                accessed_rows = cache.fetch(source, self.method, values)
             else:
-                accessed_rows = source.access(self.method, values)
-            fetched += len(accessed_rows)
-            for accessed in accessed_rows:
-                out_row = self._map_output(accessed)
-                if out_row is not None:
-                    rows.add(out_row)
+                answers = batch(self.method, keyed)
+            for values in keyed:
+                accessed_rows = answers[values]
+                fetched += len(accessed_rows)
+                for accessed in accessed_rows:
+                    out_row = self._map_output(accessed)
+                    if out_row is not None:
+                        rows.add(out_row)
+        else:
+            for values in distinct:
+                if resilience is not None:
+                    if cache is not None:
+                        fetch = lambda v=values: cache.fetch(
+                            source, self.method, v
+                        )
+                    else:
+                        fetch = lambda v=values: source.access(self.method, v)
+                    accessed_rows = resilience.call(
+                        fetch, self.method, inputs=values
+                    )
+                elif cache is not None:
+                    accessed_rows = cache.fetch(source, self.method, values)
+                else:
+                    accessed_rows = source.access(self.method, values)
+                fetched += len(accessed_rows)
+                for accessed in accessed_rows:
+                    out_row = self._map_output(accessed)
+                    if out_row is not None:
+                        rows.add(out_row)
         if stats is not None:
             # rows_in counts the raw tuples the input expression fed the
             # access; the projection onto the bound attributes is what

@@ -94,6 +94,7 @@ class Plan:
         resilience=None,
         budget=None,
         executor: str = "interpreter",
+        cancel=None,
     ) -> NamedTable:
         """Run the plan through the execution runtime.
 
@@ -136,6 +137,13 @@ class Plan:
             answers are byte-identical -- the interpreter stays the
             oracle.  The compiled form is cached on the plan, so
             repeated ``executor="columnar"`` runs pay compilation once.
+        ``cancel``
+            an optional :class:`threading.Event`-like object (anything
+            with ``is_set()``).  The interpreter re-checks it between
+            commands and raises :class:`~repro.errors.PlanCancelled`
+            when set -- cooperative, best-effort cancellation for runs
+            whose answer is no longer wanted (a lost hedge duplicate).
+            The columnar backends ignore it.
         """
         if executor != "interpreter":
             # Imported lazily: repro.exec imports repro.plans.
@@ -170,6 +178,13 @@ class Plan:
         last_read = self._last_readers() if free_temps else {}
         started = perf_counter()
         for index, command in enumerate(self.commands):
+            if cancel is not None and cancel.is_set():
+                from repro.errors import PlanCancelled
+
+                raise PlanCancelled(
+                    f"plan cancelled before command #{index} "
+                    f"({len(self.commands) - index} commands unrun)"
+                )
             if resilience is not None:
                 resilience.check_deadline(f"command #{index}")
             command_stats = None

@@ -14,6 +14,7 @@ from repro.scenarios.examples import (
     redundant_sources,
     referential_chain,
 )
+from repro.scenarios.pathviews import path_views
 from repro.scenarios.viewsets import view_stack_scenario
 from repro.scenarios.webservices import webservices
 
@@ -22,6 +23,7 @@ __all__ = [
     "example1",
     "example2",
     "example5",
+    "path_views",
     "redundant_sources",
     "referential_chain",
     "view_stack_scenario",

@@ -1,0 +1,96 @@
+"""Path views over web services (the Romero-Preda-Suchanek regime).
+
+The query-rewriting-on-path-views setting (PAPERS.md): a mediator whose
+only interfaces are *chains of id-to-id lookups* -- exactly the shape of
+real web-service APIs (``getAlbum(id) -> songIds``,
+``getSong(id) -> lyricsId``, ...).  Here that is a free ``Entry`` feed
+plus ``Hop1 .. HopL`` binary relations, each accessible only with its
+first position bound, and the query asks for the endpoints of the full
+length-``L`` path.  Constraints say every hop's sources are fed by the
+previous level, so the chase can prove the chain is answerable and plan
+search recovers the left-to-right lookup cascade -- the plan the
+adapter layer then executes over an actual (SQLite or HTTP-stub)
+backend, one id-to-id request per hop per frontier node.
+
+Sized by ``length`` (hops) and ``fanout``/``entries`` (data shape); the
+generated data forms a forest, so answer counts grow geometrically with
+``fanout`` -- useful for pagination and batching stress.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instance import Instance
+from repro.logic.queries import cq
+from repro.scenarios.examples import Scenario
+from repro.schema.core import SchemaBuilder
+
+MAX_LENGTH = 12  # keeps chase/search budgets sane
+
+
+def path_views(
+    length: int = 3,
+    entries: int = 4,
+    fanout: int = 2,
+) -> Scenario:
+    """A length-``length`` chain of id-to-id web-service lookups.
+
+    Schema: ``Entry(id)`` with a free (cost 1) access plus binary
+    ``Hop{i}(src, dst)`` relations, each with a single input-bound
+    (cost 2) access on ``src``.  TGDs assert the chain is *covered*:
+    every ``Hop1`` source is a known entry, and every ``Hop{i}`` source
+    is reachable as a ``Hop{i-1}`` destination.  The query returns the
+    (start, end) pairs of complete length-``length`` paths.
+    """
+    if not 1 <= length <= MAX_LENGTH:
+        raise ValueError(f"length must be in 1..{MAX_LENGTH}, got {length}")
+    if entries < 1 or fanout < 1:
+        raise ValueError("entries and fanout must be at least 1")
+    builder = SchemaBuilder(f"pathviews{length}")
+    builder.relation("Entry", 1, ["id"])
+    builder.access("mt_entry", "Entry", inputs=[], cost=1.0)
+    for i in range(1, length + 1):
+        builder.relation(f"Hop{i}", 2, ["src", "dst"])
+        builder.access(f"mt_hop{i}", f"Hop{i}", inputs=[0], cost=2.0)
+    builder.tgd("Hop1(x, y) -> Entry(x)")
+    for i in range(2, length + 1):
+        builder.tgd(f"Hop{i}(x, y) -> Hop{i - 1}(w, x)")
+    schema = builder.build()
+
+    variables = [f"?x{i}" for i in range(length + 1)]
+    query = cq(
+        [variables[0], variables[-1]],
+        [("Entry", [variables[0]])]
+        + [
+            (f"Hop{i}", [variables[i - 1], variables[i]])
+            for i in range(1, length + 1)
+        ],
+        name=f"Qpath{length}",
+    )
+
+    def make_instance(seed: int) -> Instance:
+        """Generate a seeded forest of id-to-id hop chains."""
+        rng = random.Random(seed)
+        instance = Instance()
+        frontier = []
+        for e in range(entries):
+            node = f"n0_{e}"
+            instance.add("Entry", (node,))
+            frontier.append(node)
+        counter = 0
+        for i in range(1, length + 1):
+            next_frontier = []
+            for node in frontier:
+                # Some nodes dead-end (no outgoing hop) so partial
+                # paths exist and the join genuinely filters.
+                children = rng.randrange(fanout + 1) if i > 1 else fanout
+                for _ in range(children):
+                    child = f"n{i}_{counter}"
+                    counter += 1
+                    instance.add(f"Hop{i}", (node, child))
+                    next_frontier.append(child)
+            frontier = next_frontier
+        return instance
+
+    return Scenario(f"pathviews{length}", schema, query, make_instance)

@@ -79,13 +79,14 @@ from repro.logic.queries import ConjunctiveQuery
 from repro.planner.plan_cache import PlanCache, canonical_query_text, plan_cache_key
 from repro.planner.search import SearchOptions, find_best_plan
 from repro.plans.expressions import NamedTable
-from repro.plans.ir import plan_to_ir, table_from_ir
+from repro.plans.ir import table_from_ir
 from repro.plans.plan import Plan
 from repro.service.admission import AdmissionQueue
 from repro.service.method_health import MethodHealthRegistry
 from repro.service.workers import (
     WorkerPool,
     encode_bindings,
+    encoded_plan_ir,
     rebuild_error,
     retry_to_dict,
 )
@@ -801,7 +802,9 @@ class QueryService:
         budget = request.budget
         deadline: Optional[Deadline] = ticket.deadline
         payload = {
-            "plan": plan_to_ir(request.plan),
+            # Memoized per plan object: a hot plan (and every hedge
+            # duplicate the tier issues for it) is encoded once.
+            "plan": encoded_plan_ir(request.plan),
             "bindings": encode_bindings(request.bindings),
             "executor": self.executor,
             "collect_stats": stats is not None,

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -84,12 +85,21 @@ from repro.faults.source import FaultInjectingSource
 from repro.logic.terms import Constant
 from repro.plans.ir import (
     ir_to_plan,
+    plan_to_ir,
     table_from_ir,
     table_to_ir,
     term_from_ir,
     term_to_ir,
 )
 from repro.schema.serialize import schema_from_dict, schema_to_dict
+from repro.sources.base import (
+    AdaptiveConcurrencySource,
+    CoalescingSource,
+    PacedSource,
+    source_epoch,
+)
+from repro.sources.http import HTTPSource, StubTransport
+from repro.sources.sqlite import SQLiteSource
 
 #: Format marker stamped into every source spec.
 SPEC_KIND = "repro.source-spec"
@@ -132,6 +142,26 @@ def source_to_spec(source) -> Dict[str, Any]:
         }
     if isinstance(source, CachingSource):
         return {"wrap": "caching", "inner": source_to_spec(source.inner)}
+    if isinstance(source, PacedSource):
+        return {
+            "wrap": "paced",
+            "rate": source.rate,
+            "capacity": source.capacity,
+            "max_wait": source.max_wait,
+            "inner": source_to_spec(source.inner),
+        }
+    if isinstance(source, AdaptiveConcurrencySource):
+        # The evolved AIMD limit is deliberately not shipped: each
+        # worker starts its own probe from the configured ceiling, the
+        # same way per-worker breakers start closed.
+        return {
+            "wrap": "aimd",
+            "max_concurrency": source.max_concurrency,
+            "increase": source.increase,
+            "inner": source_to_spec(source.inner),
+        }
+    if isinstance(source, CoalescingSource):
+        return {"wrap": "coalescing", "inner": source_to_spec(source.inner)}
     if isinstance(source, FaultInjectingSource):
         policy = source.policy
         return {
@@ -168,6 +198,38 @@ def source_to_spec(source) -> Dict[str, Any]:
             "instance": source.instance.to_dict(),
             "indexed": source.indexed,
         }
+    if isinstance(source, SQLiteSource):
+        # Each worker rehydrates its *own* database from the canonical
+        # instance dump (":memory:" by construction) -- workers never
+        # share a connection, so there is nothing to contend on.
+        return {
+            "format": SPEC_KIND,
+            "version": SPEC_VERSION,
+            "kind": "sqlite",
+            "schema": schema_to_dict(source.schema),
+            "instance": source.instance.to_dict(),
+            "max_reconnects": source.max_reconnects,
+            "backoff": source.backoff,
+            "max_backoff": source.max_backoff,
+            "drop_every": source.drop_every,
+        }
+    if isinstance(source, HTTPSource):
+        spec_config = getattr(source.transport, "spec_config", None)
+        if not callable(spec_config):
+            raise SourceSpecError(
+                f"HTTPSource transport {type(source.transport).__name__} "
+                "is not spec-able: it exposes no spec_config()"
+            )
+        return {
+            "format": SPEC_KIND,
+            "version": SPEC_VERSION,
+            "kind": "http",
+            "schema": schema_to_dict(source.transport.schema),
+            "instance": source.transport.instance.to_dict(),
+            "transport": spec_config(),
+            "max_retry_after_waits": source.max_retry_after_waits,
+            "max_snapshot_restarts": source.max_snapshot_restarts,
+        }
     raise SourceSpecError(
         f"cannot describe {type(source).__name__} as a worker source spec"
     )
@@ -189,6 +251,21 @@ def spec_to_source(spec: Mapping[str, Any]):
         )
     if wrap == "caching":
         return CachingSource(spec_to_source(spec["inner"]))
+    if wrap == "paced":
+        return PacedSource(
+            spec_to_source(spec["inner"]),
+            float(spec["rate"]),
+            capacity=float(spec["capacity"]),
+            max_wait=float(spec["max_wait"]),
+        )
+    if wrap == "aimd":
+        return AdaptiveConcurrencySource(
+            spec_to_source(spec["inner"]),
+            max_concurrency=int(spec["max_concurrency"]),
+            increase=float(spec["increase"]),
+        )
+    if wrap == "coalescing":
+        return CoalescingSource(spec_to_source(spec["inner"]))
     if wrap == "faults":
         policy = spec["policy"]
         return FaultInjectingSource(
@@ -222,6 +299,45 @@ def spec_to_source(spec: Mapping[str, Any]):
     if spec["kind"] == "memory":
         return InMemorySource(
             schema, instance, indexed=bool(spec.get("indexed", True))
+        )
+    if spec["kind"] == "sqlite":
+        drop_every = spec.get("drop_every")
+        return SQLiteSource(
+            schema,
+            instance,
+            max_reconnects=int(spec.get("max_reconnects", 4)),
+            backoff=float(spec.get("backoff", 0.01)),
+            max_backoff=float(spec.get("max_backoff", 0.5)),
+            drop_every=None if drop_every is None else int(drop_every),
+        )
+    if spec["kind"] == "http":
+        config = spec["transport"]
+        policy = config.get("fault_policy")
+        transport = StubTransport(
+            schema,
+            instance,
+            latency=float(config.get("latency", 0.0)),
+            page_size=config.get("page_size"),
+            rate_limit=config.get("rate_limit"),
+            burst=config.get("burst"),
+            fault_policy=None
+            if policy is None
+            else FaultPolicy(
+                seed=policy["seed"],
+                unavailable_rate=policy["unavailable_rate"],
+                timeout_rate=policy["timeout_rate"],
+                rate_limit_rate=policy["rate_limit_rate"],
+                truncation_rate=policy["truncation_rate"],
+                burst=policy["burst"],
+                truncation_keep=policy["truncation_keep"],
+                latency=policy["latency"],
+                outages=dict(policy["outages"]),
+            ),
+        )
+        return HTTPSource(
+            transport,
+            max_retry_after_waits=int(spec.get("max_retry_after_waits", 8)),
+            max_snapshot_restarts=int(spec.get("max_snapshot_restarts", 8)),
         )
     raise SourceSpecError(f"unknown source spec kind {spec['kind']!r}")
 
@@ -287,7 +403,43 @@ def retry_to_dict(retry: Optional[RetryPolicy]) -> Optional[Dict[str, Any]]:
     }
 
 
-def execute_payload(source, payload: Mapping[str, Any]) -> Dict[str, Any]:
+# Encoded-plan memo: hedged process-tier dispatch ships the full plan IR
+# per duplicate, and a hot plan (plan-cache hit) is re-encoded for every
+# request.  Keyed weakly by the (frozen, hashable) Plan object so the
+# memo lives exactly as long as the plan-cache entry that keeps the plan
+# alive; encoding happens at most once per plan object.
+_ENCODED_PLANS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_ENCODED_PLANS_LOCK = threading.Lock()
+
+
+def encoded_plan_ir(plan) -> Dict[str, Any]:
+    """``plan_to_ir(plan)``, memoized per plan object.
+
+    The dispatch-path encoder: every pool payload (and every hedge
+    duplicate of it) shares one encoded IR dict per plan.  Sound
+    because plans are immutable and :func:`~repro.plans.ir.ir_to_plan`
+    never mutates its input.  Unhashable/unweakreferenceable plans fall
+    back to plain encoding.
+    """
+    try:
+        with _ENCODED_PLANS_LOCK:
+            cached = _ENCODED_PLANS.get(plan)
+    except TypeError:
+        return plan_to_ir(plan)
+    if cached is not None:
+        return cached
+    encoded = plan_to_ir(plan)
+    try:
+        with _ENCODED_PLANS_LOCK:
+            _ENCODED_PLANS[plan] = encoded
+    except TypeError:
+        pass
+    return encoded
+
+
+def execute_payload(
+    source, payload: Mapping[str, Any], cancel=None
+) -> Dict[str, Any]:
     """Run one shipped request against a source; return a plain dict.
 
     This is the single execution path both pool flavours share: the
@@ -296,6 +448,12 @@ def execute_payload(source, payload: Mapping[str, Any]) -> Dict[str, Any]:
     Errors come back as ``{"ok": False, "error_type", "error"}`` so the
     parent can re-raise the matching typed :mod:`repro.errors` class --
     exception *instances* never cross the boundary.
+
+    ``cancel`` (thread tier only) is a :class:`threading.Event` the
+    interpreter polls between commands: a hedge duplicate whose twin
+    already won stops cooperatively instead of running to completion.
+    A successful result carries the source's epoch token (``"epoch"``)
+    so callers can tell which backend snapshot answered.
     """
     try:
         plan = ir_to_plan(payload["plan"])
@@ -325,12 +483,14 @@ def execute_payload(source, payload: Mapping[str, Any]) -> Dict[str, Any]:
             resilience=dispatcher,
             budget=budget,
             executor=payload.get("executor", "interpreter"),
+            cancel=cancel,
         )
         return {
             "ok": True,
             "table": table_to_ir(table),
             "truncated": budget.truncated_rows if budget is not None else 0,
             "stats": stats.as_dict() if stats is not None else None,
+            "epoch": source_epoch(source),
         }
     except ReproError as error:
         failure = {
@@ -521,6 +681,7 @@ class WorkerPool:
         self.hedges = 0
         self.hedge_wins = 0
         self.hedge_waste = 0
+        self.hedge_cancelled = 0
         self._pending = 0
 
     def hedge_delay(self) -> float:
@@ -545,6 +706,7 @@ class WorkerPool:
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
             "hedge_waste": self.hedge_waste,
+            "hedge_cancelled": self.hedge_cancelled,
             "latency": self.latency.as_dict(),
         }
 
@@ -583,7 +745,7 @@ class WorkerPool:
             [primary, hedge], timeout=remaining, return_when=FIRST_COMPLETED
         )
         if not done:
-            hedge.cancel()
+            self._cancel_loser(hedge)
             raise FutureTimeoutError()
         # Prefer the primary when both raced to completion: its result
         # is identical (deterministic execution) and the accounting
@@ -595,8 +757,18 @@ class WorkerPool:
                 self.hedge_wins += 1
             else:
                 self.hedge_waste += 1
-        loser.cancel()
+        self._cancel_loser(loser)
         return winner.result()
+
+    def _cancel_loser(self, future: Future) -> None:
+        """Reclaim a hedge loser's slot, best-effort.
+
+        The base behaviour is ``Future.cancel()`` -- which only helps
+        while the loser is still queued.  Tiers that can reach into a
+        *running* duplicate (the thread tier's cancellation tokens)
+        override this.
+        """
+        future.cancel()
 
     def start(self) -> "WorkerPool":
         """Bring the tier up; returns ``self`` for ``with``-chaining."""
@@ -891,6 +1063,12 @@ class ThreadWorkerPool(WorkerPool):
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started = False
         self.tasks = 0
+        # future -> its cooperative cancellation token.  Weak keys: an
+        # entry lives exactly as long as something still holds the
+        # future (the executor while running, the caller while waiting).
+        self._cancel_tokens: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
         self._init_resilience(watchdog_seconds, hedge, hedge_delay)
 
     def start(self) -> "ThreadWorkerPool":
@@ -939,11 +1117,24 @@ class ThreadWorkerPool(WorkerPool):
             )
         started = time.monotonic()
         future: Optional[Future] = None
-        try:
-            future = executor.submit(execute_payload, self.source, payload)
-            submit = lambda: executor.submit(
-                execute_payload, self.source, payload
+
+        def submit() -> Future:
+            """Submit one copy of the request with its own cancel token.
+
+            ``_cancel_loser`` sets the token when the copy loses a
+            hedge race while already running, so the duplicate stops at
+            its next between-commands check instead of finishing.
+            """
+            token = threading.Event()
+            submitted = executor.submit(
+                execute_payload, self.source, payload, cancel=token
             )
+            with self._lock:
+                self._cancel_tokens[submitted] = token
+            return submitted
+
+        try:
+            future = submit()
             result = self._wait_hedged(future, submit, effective)
             self.latency.observe(time.monotonic() - started)
             return result
@@ -952,6 +1143,14 @@ class ThreadWorkerPool(WorkerPool):
                 timeout is None or self.watchdog_seconds < timeout
             )
             cancelled = future.cancel() if future is not None else True
+            if future is not None and not cancelled:
+                # Already running: ask it to stop between commands so
+                # the leaked thread frees its slot early (best-effort;
+                # not counted as a hedge cancellation).
+                with self._lock:
+                    token = self._cancel_tokens.get(future)
+                if token is not None:
+                    token.set()
             if not watchdog_fired:
                 raise DeadlineExceeded(
                     f"worker did not answer within {timeout:.3f}s"
@@ -973,6 +1172,25 @@ class ThreadWorkerPool(WorkerPool):
         finally:
             with self._lock:
                 self._pending -= 1
+
+    def _cancel_loser(self, future: Future) -> None:
+        """Reclaim a hedge loser's slot: dequeue it, or flag it down.
+
+        A loser still queued is plainly cancelled.  A loser already
+        *running* cannot be killed (Python threads), but its
+        cancellation token is set, so it raises
+        :class:`~repro.errors.PlanCancelled` at its next
+        between-commands check and frees its slot early -- counted in
+        ``hedge_cancelled`` (the result is never read: the winner
+        already answered).
+        """
+        if future.cancel():
+            return
+        with self._lock:
+            token = self._cancel_tokens.get(future)
+            if token is not None and not token.is_set():
+                token.set()
+                self.hedge_cancelled += 1
 
     def alive(self) -> bool:
         """Whether the tier can currently take requests."""

@@ -1,0 +1,46 @@
+"""Real-backend source adapters behind the standard access protocol.
+
+The in-memory sources in :mod:`repro.data` are the oracle; this package
+holds the adapters that serve the same schema/access contract from
+backends that can actually disconnect, throttle and paginate --
+:class:`SQLiteSource` (relations as tables) and :class:`HTTPSource` (a
+web-service client over a pluggable transport) -- plus the shared
+defensive I/O layer (:class:`PacedSource`,
+:class:`AdaptiveConcurrencySource`, :class:`CoalescingSource`) and the
+epoch-token machinery (:func:`source_epoch`) that keeps caches and
+answers snapshot-consistent across reconnects and backend mutations.
+"""
+
+from repro.sources.base import (
+    AdaptiveConcurrencySource,
+    CoalescingSource,
+    MeteredSourceMixin,
+    PacedSource,
+    SourceAdapter,
+    TokenBucket,
+    source_epoch,
+)
+from repro.sources.http import (
+    EPOCH_HEADER,
+    HTTPSource,
+    StubResponse,
+    StubTransport,
+    TransportTimeout,
+)
+from repro.sources.sqlite import SQLiteSource
+
+__all__ = [
+    "AdaptiveConcurrencySource",
+    "CoalescingSource",
+    "EPOCH_HEADER",
+    "HTTPSource",
+    "MeteredSourceMixin",
+    "PacedSource",
+    "SQLiteSource",
+    "SourceAdapter",
+    "StubResponse",
+    "StubTransport",
+    "TokenBucket",
+    "TransportTimeout",
+    "source_epoch",
+]

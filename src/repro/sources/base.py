@@ -1,0 +1,472 @@
+"""The adapter layer's shared plumbing: protocol, epochs, defense.
+
+Every backend in :mod:`repro.sources` speaks the same duck-typed
+protocol the rest of the runtime already consumes -- ``schema``,
+``access(method, inputs)``, a metered ``log`` -- captured here as
+:class:`SourceAdapter` (a :class:`typing.Protocol`, so
+:class:`~repro.data.source.InMemorySource` satisfies it unchanged).
+
+Two additions make *real* backends safe to put behind the planner:
+
+* **Epoch tokens.**  A backend that can reconnect or whose data can
+  change underneath us must expose a monotone ``epoch()``; anything
+  derived from its answers (the :class:`~repro.exec.cache.AccessCache`,
+  a paginated result sequence) is valid only within one epoch.
+  :func:`source_epoch` is the single reading point: it prefers
+  ``epoch()``, falls back to ``instance.version`` (the in-memory
+  sources' native token), and answers 0 for epoch-less sources --
+  preserving the old cache behaviour exactly.
+
+* **Defensive I/O wrappers.**  :class:`PacedSource` (client-side
+  token-bucket pacing mapped to the existing
+  :class:`~repro.errors.RateLimited`), :class:`AdaptiveConcurrencySource`
+  (AIMD concurrency control per source) and :class:`CoalescingSource`
+  (single-flight collapse of identical concurrent accesses) compose
+  around any adapter the same way the :mod:`repro.data.decorators`
+  wrappers do, and all three are spec-able so the process tier can
+  rehydrate the full defensive stack per worker.
+
+Batching: a backend that can answer several distinct input tuples in
+one round trip exposes ``access_batch(method, inputs_list)``; the
+access-command boundary dispatches through it when present.  Wrappers
+deliberately *block* delegation of ``access_batch`` (class attribute
+``None``) unless they implement it themselves -- otherwise a wrapper's
+pacing/fault/metering logic would be silently bypassed by the batch
+path reaching the inner source directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # Protocol is typing-only; keep the runtime dependency soft.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover -- ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        """No-op stand-in when typing lacks runtime_checkable."""
+        return cls
+
+
+from repro.errors import RateLimited
+from repro.logic.terms import Constant
+
+
+@runtime_checkable
+class SourceAdapter(Protocol):
+    """The duck-typed contract every source backend satisfies.
+
+    ``schema``
+        the :class:`~repro.schema.core.Schema` whose access methods the
+        adapter serves.
+    ``access``
+        invoke one method with values for all of its input positions;
+        returns the matching relation tuples as a frozenset.
+    ``log``
+        the per-invocation metering log (a list of
+        :class:`~repro.data.source.AccessRecord`).
+    ``epoch``
+        a monotone snapshot token; answers observed under different
+        epochs must never be mixed (see :func:`source_epoch`).
+    """
+
+    schema: Any
+    log: List[Any]
+
+    def access(
+        self, method_name: str, inputs: Sequence[object] = ()
+    ) -> FrozenSet[Tuple[Constant, ...]]:
+        """Invoke one access method with its bound input values."""
+        ...
+
+    def epoch(self) -> int:
+        """The current monotone snapshot token."""
+        ...
+
+
+def source_epoch(source) -> int:
+    """The source's current snapshot token, through any wrapper stack.
+
+    Prefers a callable ``epoch()`` (the adapter protocol), falls back
+    to ``instance.version`` (the in-memory sources), and answers 0 for
+    sources with neither -- so epoch-less callers keep the exact
+    pre-adapter cache semantics.  Wrappers delegate ``epoch`` via
+    ``__getattr__``, so reading through a stack reaches the backend.
+    """
+    epoch = getattr(source, "epoch", None)
+    if callable(epoch):
+        return int(epoch())
+    instance = getattr(source, "instance", None)
+    if instance is not None:
+        version = getattr(instance, "version", None)
+        if version is not None:
+            return int(version)
+    return 0
+
+
+class MeteredSourceMixin:
+    """The metering helpers every backend shares.
+
+    Subclasses provide ``self.log`` (a list of
+    :class:`~repro.data.source.AccessRecord`), ``self._lock`` (held
+    around log mutation) and ``self.schema``; the mixin derives the
+    same metering surface :class:`~repro.data.source.InMemorySource`
+    exposes, so benchmarks and the CLI treat every backend uniformly.
+    """
+
+    def reset_log(self) -> None:
+        """Clear the access log and counters."""
+        with self._lock:
+            self.log.clear()
+
+    @property
+    def total_invocations(self) -> int:
+        """Every logged call, including repeats."""
+        return len(self.log)
+
+    def _log_snapshot(self):
+        """A point-in-time copy of the log, safe against appenders."""
+        with self._lock:
+            return tuple(self.log)
+
+    def distinct_accesses(self):
+        """The set of (method, inputs) pairs -- Theorem 8's measure."""
+        return frozenset(
+            (rec.method, rec.inputs) for rec in self._log_snapshot()
+        )
+
+    def invocations_of(self, method_name: str) -> int:
+        """Logged invocation count for one method."""
+        return sum(
+            1 for rec in self._log_snapshot() if rec.method == method_name
+        )
+
+    def charged_cost(
+        self, per_method: Optional[Dict[str, float]] = None
+    ) -> float:
+        """Total runtime cost: per-method weight (default: declared)."""
+        total = 0.0
+        for record in self._log_snapshot():
+            if per_method is not None and record.method in per_method:
+                total += per_method[record.method]
+            else:
+                total += self.schema.method(record.method).cost
+        return total
+
+
+# ----------------------------------------------------------- token buckets
+class TokenBucket:
+    """A thread-safe token bucket with an injectable clock.
+
+    ``rate`` tokens refill per second up to ``capacity``.  The bucket
+    never sleeps: :meth:`acquire` answers how long the caller must wait
+    (0.0 when a token was granted immediately), so both the client-side
+    pacer (which sleeps) and the server-side stub (which answers 429 +
+    ``Retry-After``) share one implementation.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("token refill rate must be positive")
+        if capacity < 1:
+            raise ValueError("bucket capacity must be at least 1")
+        self.rate = rate
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` now if available; else the seconds to wait.
+
+        Returns 0.0 when the tokens were granted.  A positive return
+        means *nothing was taken* -- the caller should wait that long
+        (or give up) and try again.
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    def available(self) -> float:
+        """The current token count (after refill), for introspection."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+# ------------------------------------------------------ defensive wrappers
+class _AdapterWrapper:
+    """Delegate everything, intercept ``access``; block batch bypass."""
+
+    #: Wrappers never silently expose the inner source's batch
+    #: endpoint: delegation would route around the wrapper's own
+    #: pacing/limiting/metering.  Wrappers that *can* batch safely
+    #: override this with a real implementation.
+    access_batch = None
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    @property
+    def schema(self):
+        """The wrapped source's schema."""
+        return self.inner.schema
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class PacedSource(_AdapterWrapper):
+    """Client-side token-bucket pacing in front of any source.
+
+    A mediator that knows its backend's advertised call budget paces
+    itself *below* it instead of slamming into server-side policing:
+    each access first takes a token; when the bucket is dry the wrapper
+    sleeps out the shortfall (up to ``max_wait`` seconds, injectable
+    ``sleep``) and proceeds -- beyond that it refuses with the existing
+    typed :class:`~repro.errors.RateLimited`, which the retry layer
+    already knows how to back off from.  With the pacer matched to the
+    server's budget the server observes *zero* over-budget requests
+    (``benchmarks/bench_adapters.py`` asserts exactly that).
+    """
+
+    def __init__(
+        self,
+        inner,
+        rate: float,
+        capacity: float = 1.0,
+        max_wait: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        super().__init__(inner)
+        self.rate = rate
+        self.capacity = capacity
+        self.max_wait = max_wait
+        self.bucket = TokenBucket(rate, capacity, clock=clock)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.paced_waits = 0
+        self.wait_seconds = 0.0
+        self.refusals = 0
+
+    def _pace(self, method_name: str, values: Tuple) -> None:
+        wait = self.bucket.acquire()
+        while wait > 0.0:
+            if wait > self.max_wait:
+                with self._lock:
+                    self.refusals += 1
+                raise RateLimited(
+                    f"client-side pacer refused: bucket dry for "
+                    f"{wait:.3f}s > max_wait {self.max_wait}s",
+                    method=method_name,
+                    inputs=values,
+                )
+            with self._lock:
+                self.paced_waits += 1
+                self.wait_seconds += wait
+            self._sleep(wait)
+            wait = self.bucket.acquire()
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        self._pace(method_name, tuple(inputs))
+        return self.inner.access(method_name, inputs)
+
+    def access_batch(self, method_name: str, inputs_list):
+        """Batch through the pacer: one token per distinct input tuple."""
+        for values in inputs_list:
+            self._pace(method_name, tuple(values))
+        inner_batch = getattr(self.inner, "access_batch", None)
+        if callable(inner_batch):
+            return inner_batch(method_name, inputs_list)
+        return {
+            tuple(values): self.inner.access(method_name, values)
+            for values in inputs_list
+        }
+
+
+class AdaptiveConcurrencySource(_AdapterWrapper):
+    """AIMD concurrency control per source, TCP style.
+
+    The in-flight access count is gated by an adaptive limit: every
+    success grows it additively (``increase / limit`` per call, i.e.
+    +1 per round of ``limit`` successes), every backpressure signal --
+    a typed :class:`~repro.errors.RateLimited` or
+    :class:`~repro.errors.AccessTimeout` from below -- halves it
+    (multiplicative decrease, floored at 1).  Callers over the limit
+    block on a condition variable, so a misbehaving backend throttles
+    the whole service *smoothly* instead of via an error storm.
+    """
+
+    def __init__(
+        self,
+        inner,
+        max_concurrency: int = 32,
+        initial: Optional[float] = None,
+        increase: float = 1.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        super().__init__(inner)
+        self.max_concurrency = max_concurrency
+        self.increase = increase
+        self._limit = float(
+            min(max_concurrency, initial if initial is not None else 4.0)
+        )
+        self._inflight = 0
+        self._cond = threading.Condition()
+        self.throttle_events = 0
+        self.peak_inflight = 0
+        self.waits = 0
+
+    @property
+    def limit(self) -> float:
+        """The current adaptive concurrency ceiling."""
+        with self._cond:
+            return self._limit
+
+    def _enter(self) -> None:
+        with self._cond:
+            while self._inflight >= max(1, int(self._limit)):
+                self.waits += 1
+                self._cond.wait(timeout=1.0)
+            self._inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
+
+    def _exit(self, backpressure: bool) -> None:
+        with self._cond:
+            self._inflight -= 1
+            if backpressure:
+                self._limit = max(1.0, self._limit / 2.0)
+                self.throttle_events += 1
+            else:
+                self._limit = min(
+                    float(self.max_concurrency),
+                    self._limit + self.increase / max(1.0, self._limit),
+                )
+            self._cond.notify_all()
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        from repro.errors import AccessTimeout  # local: avoid fanout
+
+        self._enter()
+        try:
+            result = self.inner.access(method_name, inputs)
+        except (RateLimited, AccessTimeout):
+            self._exit(backpressure=True)
+            raise
+        except BaseException:
+            self._exit(backpressure=False)
+            raise
+        self._exit(backpressure=False)
+        return result
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-able counters snapshot (used by the benchmarks)."""
+        with self._cond:
+            return {
+                "limit": self._limit,
+                "max_concurrency": self.max_concurrency,
+                "throttle_events": self.throttle_events,
+                "peak_inflight": self.peak_inflight,
+                "waits": self.waits,
+            }
+
+
+class CoalescingSource(_AdapterWrapper):
+    """Single-flight collapse of identical concurrent accesses.
+
+    When several threads ask for the same ``(method, inputs)`` at the
+    same moment, only the first reaches the backend; the rest wait on
+    its completion and share the answer (sound: accesses are
+    deterministic reads within an epoch).  Unlike
+    :class:`~repro.exec.cache.AccessCache` nothing is *retained* --
+    this is request coalescing at the I/O boundary, not memoization,
+    so it composes under a cache without double-bookkeeping.  A waiter
+    whose leader failed retries itself, so errors reach everyone who
+    asked.
+    """
+
+    def __init__(self, inner) -> None:
+        super().__init__(inner)
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple, "_Flight"] = {}
+        self.coalesced = 0
+        self.leaders = 0
+
+    def access(self, method_name: str, inputs: Sequence[object] = ()):
+        """Invoke an access method (see the class docstring)."""
+        key = (method_name, tuple(inputs))
+        while True:
+            with self._lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    self.leaders += 1
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                break
+            flight.event.wait()
+            if not flight.failed:
+                with self._lock:
+                    self.coalesced += 1
+                return flight.result
+            # Leader failed: fall through and try to lead ourselves.
+        try:
+            result = self.inner.access(method_name, inputs)
+        except BaseException:
+            with self._lock:
+                flight.failed = True
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        flight.result = result
+        with self._lock:
+            self._inflight.pop(key, None)
+        flight.event.set()
+        return result
+
+
+class _Flight:
+    """One in-progress access other threads can wait on."""
+
+    __slots__ = ("event", "failed", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.failed = False
+        self.result = None

@@ -1,4 +1,4 @@
-"""The six-scenario chaos matrix: every run terminates, typed, sound.
+"""The eight-scenario chaos matrix: every run terminates, typed, sound.
 
 Each test runs one deterministic scenario end-to-end against a live
 service and asserts (a) the report is clean -- zero hangs, zero
@@ -27,6 +27,8 @@ class TestScenarioMatrix:
             "latency_storm",
             "burst_outage",
             "permanent_outage",
+            "http_rate_limit_storm",
+            "sqlite_disconnect",
             "disk_corruption",
         )
 
@@ -112,6 +114,29 @@ class TestPermanentOutage:
         assert final["dead_methods"] == []
         assert final["recoveries"] == 1
         assert final["replans"] == 1
+
+
+class TestHttpRateLimitStorm:
+    def test_storm_trips_policing_yet_every_answer_is_exact(self):
+        report = run_scenario("http_rate_limit_storm", seed=0, quick=True)
+        assert_clean(report)
+        assert report.outcomes["complete"] == report.submitted
+        # The storm genuinely tripped the server's policing...
+        assert report.details["transport"]["over_budget"] >= 1
+        # ...and every 429 was ridden out via Retry-After, client-side.
+        assert report.details["retry_after_waits"] >= 1
+
+
+class TestSqliteDisconnect:
+    def test_mid_plan_disconnects_reconnect_to_the_same_snapshot(self):
+        report = run_scenario("sqlite_disconnect", seed=0, quick=True)
+        assert_clean(report)
+        assert report.outcomes["complete"] == report.submitted
+        # The connection was severed mid-plan, repeatedly, and every
+        # reconnect reloaded the same epoch (assert_clean covers the
+        # oracle identity).
+        assert report.details["reconnects"] >= 1
+        assert report.details["statements"] >= 2
 
 
 class TestDiskCorruption:

@@ -22,6 +22,7 @@ from repro.data.instance import Instance
 from repro.data.source import InMemorySource, ShardedInMemorySource
 from repro.errors import (
     MethodOutage,
+    PlanCancelled,
     RowBudgetExceeded,
     WorkerCrashed,
     WorkerStalled,
@@ -40,6 +41,7 @@ from repro.service.workers import (
     ThreadWorkerPool,
     decode_bindings,
     encode_bindings,
+    encoded_plan_ir,
     execute_payload,
     merge_answer_tables,
     rebuild_error,
@@ -490,6 +492,63 @@ class TestHedging:
             assert health["hedges"] == 0
             # The adaptive delay is still tracked for health visibility.
             assert health["latency"]["samples"] == 1
+
+
+# -------------------------------------------------------- hedge cancellation
+class TestHedgeCancellation:
+    """Satellite: a losing duplicate is flagged down, not left running."""
+
+    def test_running_loser_gets_its_token_set_and_is_counted(self):
+        schema = simple_schema()
+        source = StormyLatencySource(
+            InMemorySource(schema, simple_instance()),
+            base_latency=0.0,
+            slow_latency=0.5,
+            slow_every=3,
+        )
+        plan = simple_plan(schema)
+        with ThreadWorkerPool(
+            source, workers=2, hedge=True, hedge_delay=0.05
+        ) as pool:
+            # Request 1 is fast (accesses 1-2): no hedge, nothing to
+            # cancel.  Request 2's primary sleeps 0.5s on access 3;
+            # the duplicate wins, and the still-running primary gets
+            # its cancellation token set instead of a silent leak.
+            pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            assert result["ok"]
+            health = pool.health()
+            assert health["hedge_wins"] == 1
+            assert health["hedge_cancelled"] == 1
+            # The flagged loser frees its slot: both workers answer a
+            # follow-up promptly instead of one being wedged.
+            result = pool.run_request({"plan": plan_to_ir(plan)}, timeout=30)
+            assert result["ok"]
+
+    def test_cancel_token_stops_plan_execution_between_commands(self):
+        import threading
+
+        schema = simple_schema()
+        source = InMemorySource(schema, simple_instance())
+        plan = simple_plan(schema)
+        token = threading.Event()
+        token.set()
+        with pytest.raises(PlanCancelled):
+            plan.execute(source, cancel=token)
+
+
+# ------------------------------------------------------- encoded-plan memo
+class TestEncodedPlanMemo:
+    """Satellite: hot plans are IR-encoded once, not once per dispatch."""
+
+    def test_encoding_is_memoized_and_faithful(self):
+        schema = simple_schema()
+        plan = simple_plan(schema)
+        first = encoded_plan_ir(plan)
+        assert encoded_plan_ir(plan) is first
+        assert first == plan_to_ir(plan)
+        # Memoized payloads still cross the boundary as plain JSON.
+        assert json.loads(json.dumps(first)) == first
 
 
 # -------------------------------------------- partial markings across the tier

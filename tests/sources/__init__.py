@@ -1,0 +1,1 @@
+"""Tests for the real-backend source adapters (repro.sources)."""

@@ -1,0 +1,140 @@
+"""SQLiteSource: typed cells, reconnect lifecycle, epochs, batching."""
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.data.source import InMemorySource
+from repro.errors import AccessViolation, SourceUnavailable
+from repro.scenarios import example1
+from repro.schema.core import SchemaBuilder
+from repro.sources import SQLiteSource
+
+_NO_SLEEP = lambda _seconds: None  # noqa: E731
+
+
+def typed_schema():
+    return (
+        SchemaBuilder("typed")
+        .relation("T", 2)
+        .access("mt_T", "T", inputs=[0], cost=1.0)
+        .access("mt_all", "T", inputs=[], cost=1.0)
+        .build()
+    )
+
+
+def typed_instance():
+    # 1, 1.0, True and "1" are distinct Constants; SQLite affinity
+    # would collapse them -- the JSON cells must not.
+    return Instance(
+        {"T": [(1, "int"), (1.0, "float"), (True, "bool"), ("1", "str")]}
+    )
+
+
+class TestTypedRoundTrip:
+    def test_mixed_types_survive_byte_for_byte(self):
+        schema, instance = typed_schema(), typed_instance()
+        sql = SQLiteSource(schema, instance, sleep=_NO_SLEEP)
+        mem = InMemorySource(schema, instance)
+        assert sql.access("mt_all") == mem.access("mt_all")
+        for key in (1, 1.0, True, "1"):
+            assert sql.access("mt_T", (key,)) == mem.access("mt_T", (key,))
+
+    def test_scenario_parity_on_every_method(self):
+        scenario = example1(professors=10, directory_extra=5)
+        instance = scenario.instance(0)
+        sql = SQLiteSource(scenario.schema, instance, sleep=_NO_SLEEP)
+        mem = InMemorySource(scenario.schema, instance)
+        assert sql.access("mt_udir") == mem.access("mt_udir")
+        assert sql.access("mt_prof", ("e1",)) == mem.access(
+            "mt_prof", ("e1",)
+        )
+
+    def test_wrong_input_count_is_typed(self):
+        sql = SQLiteSource(typed_schema(), typed_instance(), sleep=_NO_SLEEP)
+        with pytest.raises(AccessViolation):
+            sql.access("mt_T", ())
+
+
+class TestReconnectLifecycle:
+    def test_severed_connection_reconnects_and_answers_identically(self):
+        schema, instance = typed_schema(), typed_instance()
+        sql = SQLiteSource(schema, instance, sleep=_NO_SLEEP)
+        reference = sql.access("mt_all")
+        sql.sever_connection()
+        assert sql.access("mt_all") == reference
+        assert sql.reconnects == 1
+
+    def test_backoff_is_capped_exponential(self):
+        sleeps = []
+        sql = SQLiteSource(
+            typed_schema(), typed_instance(),
+            backoff=0.01, max_backoff=0.03, sleep=sleeps.append,
+        )
+        sql.sever_connection()
+        sql.access("mt_all")
+        assert sleeps == [pytest.approx(0.01)]
+
+    def test_exhausted_reconnects_surface_as_source_unavailable(self):
+        sql = SQLiteSource(
+            typed_schema(), typed_instance(),
+            max_reconnects=0, sleep=_NO_SLEEP,
+        )
+        sql.sever_connection()
+        with pytest.raises(SourceUnavailable):
+            sql.access("mt_all")
+
+    def test_drop_every_severs_deterministically(self):
+        sql = SQLiteSource(
+            typed_schema(), typed_instance(),
+            drop_every=2, sleep=_NO_SLEEP,
+        )
+        reference = InMemorySource(typed_schema(), typed_instance())
+        for i in range(6):
+            assert sql.access("mt_all") == reference.access("mt_all")
+        assert sql._statements == 6
+        assert sql.reconnects == 3  # statements 2, 4, 6 hit a dead conn
+
+
+class TestEpochs:
+    def test_reconnect_keeps_the_epoch(self):
+        sql = SQLiteSource(typed_schema(), typed_instance(), sleep=_NO_SLEEP)
+        before = sql.epoch()
+        sql.sever_connection()
+        sql.access("mt_all")
+        assert sql.epoch() == before
+
+    def test_mutation_bumps_the_epoch_and_reloads_the_snapshot(self):
+        schema, instance = typed_schema(), typed_instance()
+        sql = SQLiteSource(schema, instance, sleep=_NO_SLEEP)
+        before = sql.epoch()
+        stale = sql.access("mt_T", ("fresh",))
+        assert stale == frozenset()
+        instance.add("T", ("fresh", "row"))
+        assert sql.epoch() > before
+        assert sql.access("mt_T", ("fresh",)) == InMemorySource(
+            schema, instance
+        ).access("mt_T", ("fresh",))
+
+
+class TestBatching:
+    def test_batch_matches_per_key_answers_and_metering(self):
+        scenario = example1(professors=8, directory_extra=0)
+        instance = scenario.instance(0)
+        sql = SQLiteSource(scenario.schema, instance, sleep=_NO_SLEEP)
+        mem = InMemorySource(scenario.schema, instance)
+        keys = [("e0",), ("e1",), ("e7",), ("nope",)]
+        batched = sql.access_batch("mt_prof", keys)
+        assert sql.batched_calls == 1
+        # One logical access metered per key, same as the per-key loop.
+        assert sql.total_invocations == len(keys)
+        assert sql.invocations_of("mt_prof") == len(keys)
+        for key in keys:
+            assert batched[sql._check_method("mt_prof", key)[1]] == (
+                mem.access("mt_prof", key)
+            )
+
+    def test_batch_uses_one_statement_for_single_input_methods(self):
+        sql = SQLiteSource(typed_schema(), typed_instance(), sleep=_NO_SLEEP)
+        before = sql._statements
+        sql.access_batch("mt_T", [(1,), (True,), ("1",)])
+        assert sql._statements == before + 1
